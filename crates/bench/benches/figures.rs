@@ -1,0 +1,158 @@
+//! `cargo bench` entry point that regenerates *scaled-down* versions of
+//! every figure of the paper's evaluation (Figures 7–11) in one go.
+//!
+//! For properly sized sweeps use the dedicated binaries:
+//! `cargo run -p xtc-bench --release --bin fig7` … `fig11` (see
+//! EXPERIMENTS.md). This harness keeps each cell short so the complete
+//! set finishes in a few minutes and appears in `bench_output.txt`.
+
+use std::time::Duration;
+use xtc_bench::{print_table, CommonArgs};
+use xtc_core::IsolationLevel;
+use xtc_protocols::ALL_PROTOCOLS;
+use xtc_tamix::{run_cluster1, run_cluster2, BibConfig, TxnKind};
+
+fn quick_args() -> CommonArgs {
+    CommonArgs {
+        duration: Duration::from_millis(700),
+        runs: 1,
+        seed: 42,
+        depths: vec![0, 1, 2, 3, 4, 5, 6, 7],
+        scale: 1.0,
+        bib: BibConfig::scaled(),
+    }
+}
+
+fn sweep(args: &CommonArgs, proto: &str, iso: IsolationLevel) -> (Vec<f64>, Vec<f64>) {
+    let mut th = Vec::new();
+    let mut dl = Vec::new();
+    for &depth in &args.depths {
+        let r = run_cluster1(&args.cluster1(proto, iso, depth), &args.bib);
+        eprintln!(
+            "figures: {proto} iso={} depth={depth}: committed={} deadlocks={}",
+            iso.name(),
+            r.committed(),
+            r.deadlocks
+        );
+        th.push(r.committed() as f64);
+        dl.push(r.deadlocks as f64);
+    }
+    (th, dl)
+}
+
+fn main() {
+    let args = quick_args();
+    let xs: Vec<String> = args.depths.iter().map(|d| d.to_string()).collect();
+
+    // ---- Figure 7: taDOM3+ under the four isolation levels ----
+    let mut th7 = Vec::new();
+    let mut dl7 = Vec::new();
+    for iso in IsolationLevel::ALL {
+        let (th, dl) = sweep(&args, "taDOM3+", iso);
+        th7.push((iso.name().to_uppercase(), th));
+        dl7.push((iso.name().to_uppercase(), dl));
+    }
+    print_table("Figure 7 (left): taDOM3+ throughput", "lock depth", &xs, &th7);
+    print_table("Figure 7 (right): taDOM3+ deadlocks", "lock depth", &xs, &dl7);
+
+    // ---- Figure 8: the *-2PL group ----
+    let mut th8 = Vec::new();
+    let mut ab8 = Vec::new();
+    let rows8: Vec<String> = std::iter::once("CLUSTER1".into())
+        .chain(
+            [TxnKind::Chapter, TxnKind::LendAndReturn, TxnKind::QueryBook, TxnKind::RenameTopic]
+                .iter()
+                .map(|k| k.name().to_string()),
+        )
+        .collect();
+    for proto in ["Node2PL", "NO2PL", "OO2PL"] {
+        let r = run_cluster1(
+            &args.cluster1(proto, IsolationLevel::Repeatable, 7),
+            &args.bib,
+        );
+        eprintln!("figures: {proto}: committed={}", r.committed());
+        let kinds = [TxnKind::Chapter, TxnKind::LendAndReturn, TxnKind::QueryBook, TxnKind::RenameTopic];
+        let mut th = vec![r.committed() as f64];
+        let mut ab = vec![r.aborted() as f64];
+        for k in kinds {
+            th.push(r.committed_of(k) as f64);
+            ab.push(r.per_type.get(k.name()).map(|s| s.aborted() as f64).unwrap_or(0.0));
+        }
+        th8.push((proto.to_string(), th));
+        ab8.push((proto.to_string(), ab));
+    }
+    print_table("Figure 8 (left): *-2PL throughput", "series", &rows8, &th8);
+    print_table("Figure 8 (right): *-2PL aborts", "series", &rows8, &ab8);
+
+    // ---- Figures 9 + 10: all depth-capable protocols ----
+    let protos9 = [
+        "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+    ];
+    let mut reports = Vec::new();
+    for proto in protos9 {
+        let per_depth: Vec<_> = args
+            .depths
+            .iter()
+            .map(|&d| {
+                let r = run_cluster1(&args.cluster1(proto, IsolationLevel::Repeatable, d), &args.bib);
+                eprintln!(
+                    "figures: {proto} depth={d}: committed={} deadlocks={}",
+                    r.committed(),
+                    r.deadlocks
+                );
+                r
+            })
+            .collect();
+        reports.push((proto, per_depth));
+    }
+    let th9: Vec<(String, Vec<f64>)> = reports
+        .iter()
+        .map(|(p, rs)| (p.to_string(), rs.iter().map(|r| r.committed() as f64).collect()))
+        .collect();
+    let dl9: Vec<(String, Vec<f64>)> = reports
+        .iter()
+        .map(|(p, rs)| (p.to_string(), rs.iter().map(|r| r.deadlocks as f64).collect()))
+        .collect();
+    print_table("Figure 9 (left): all protocols, throughput", "lock depth", &xs, &th9);
+    print_table("Figure 9 (right): all protocols, deadlocks", "lock depth", &xs, &dl9);
+
+    for (panel, kind) in [
+        ("a", TxnKind::QueryBook),
+        ("b", TxnKind::Chapter),
+        ("c", TxnKind::LendAndReturn),
+        ("d", TxnKind::RenameTopic),
+    ] {
+        let series: Vec<(String, Vec<f64>)> = reports
+            .iter()
+            .map(|(p, rs)| {
+                (
+                    p.to_string(),
+                    rs.iter().map(|r| r.committed_of(kind) as f64).collect(),
+                )
+            })
+            .collect();
+        print_table(
+            &format!("Figure 10{panel}: {} throughput", kind.name()),
+            "lock depth",
+            &xs,
+            &series,
+        );
+    }
+
+    // ---- Figure 11: CLUSTER2 ----
+    println!("\n== Figure 11: CLUSTER2 — single TAdelBook ==");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "protocol", "time [µs]", "lock requests", "page reads"
+    );
+    for proto in ALL_PROTOCOLS {
+        let rep = run_cluster2(proto, &args.bib, 2);
+        println!(
+            "{:>10} {:>12} {:>14} {:>12}",
+            rep.protocol,
+            rep.duration.as_micros(),
+            rep.lock_requests,
+            rep.page_reads
+        );
+    }
+}

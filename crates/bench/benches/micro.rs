@@ -1,0 +1,252 @@
+//! Criterion micro-benchmarks for the performance-critical primitives the
+//! paper's architecture leans on (§3): SPLID operations (the "paramount"
+//! cost factor of lock-protocol overhead), B*-tree operations, lock-table
+//! throughput, and mode-matrix lookups — plus ablations for the design
+//! choices called out in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_lock::{LockClass, LockName, LockTable, LockTarget, TxnRegistry};
+use xtc_splid::{decode, encode, LabelAllocator, SplId};
+use xtc_storage::{BTree, BTreeConfig, StorageStats};
+
+/// A deep label comparable to the paper's depth-38 measurements.
+fn deep_label(depth: usize) -> SplId {
+    let alloc = LabelAllocator::new(16);
+    let mut cur = SplId::root();
+    for _ in 0..depth {
+        cur = alloc.first_child(&cur);
+    }
+    cur
+}
+
+fn bench_splid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("splid");
+    for depth in [4usize, 12, 38] {
+        let label = deep_label(depth);
+        let encoded = encode(&label);
+        g.bench_with_input(BenchmarkId::new("encode", depth), &label, |b, l| {
+            b.iter(|| encode(black_box(l)))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", depth), &encoded, |b, e| {
+            b.iter(|| decode(black_box(e)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("ancestors", depth), &label, |b, l| {
+            b.iter(|| black_box(l).ancestors().count())
+        });
+        let other = LabelAllocator::new(16).next_sibling(&label).unwrap();
+        g.bench_with_input(BenchmarkId::new("compare", depth), &(label.clone(), other), |b, (a, o)| {
+            b.iter(|| black_box(a).cmp(black_box(o)))
+        });
+    }
+    // Encoded size report (the §3.2 claim: 5–10 bytes up to depth 38).
+    let l = deep_label(38);
+    assert!(encode(&l).len() <= 48);
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_sequential_10k", |b| {
+        b.iter(|| {
+            let t = BTree::with_config(BTreeConfig::default(), StorageStats::default());
+            for i in 0u32..10_000 {
+                t.insert(format!("key-{i:08}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            t.len()
+        })
+    });
+    let t = BTree::new();
+    for i in 0u32..100_000 {
+        t.insert(format!("key-{i:08}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
+    }
+    g.bench_function("get_hit_100k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            t.get(format!("key-{i:08}").as_bytes())
+        })
+    });
+    g.bench_function("range_scan_100", |b| {
+        b.iter(|| t.scan_range(b"key-00050000", b"key-00050100").len())
+    });
+    g.finish();
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_table");
+    let handle = xtc_protocols::build("taDOM3+").unwrap();
+    let registry = Arc::new(TxnRegistry::new());
+    let table = LockTable::new(handle.families.clone(), registry.clone(), Duration::from_secs(5));
+    let nodes: Vec<LockName> = (0..64)
+        .map(|i| LockName {
+            family: 0,
+            target: LockTarget::Node(
+                SplId::from_divisions(&[1, 3, 2 * i + 3]).unwrap(),
+            ),
+        })
+        .collect();
+    let nr = handle.families[0].mode_named("NR").unwrap();
+    g.bench_function("acquire_release_64_nr", |b| {
+        b.iter(|| {
+            let txn = registry.begin();
+            for n in &nodes {
+                table.lock(txn, n, nr, LockClass::Long, false).unwrap();
+            }
+            table.release_all(txn);
+            registry.finish(txn);
+        })
+    });
+    let ir = handle.families[0].mode_named("IR").unwrap();
+    let sx = handle.families[0].mode_named("SX").unwrap();
+    g.bench_function("convert_ir_to_sx", |b| {
+        b.iter(|| {
+            let txn = registry.begin();
+            table.lock(txn, &nodes[0], ir, LockClass::Long, false).unwrap();
+            table.lock(txn, &nodes[0], sx, LockClass::Long, false).unwrap();
+            table.release_all(txn);
+            registry.finish(txn);
+        })
+    });
+    g.finish();
+}
+
+fn bench_mode_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mode_tables");
+    g.bench_function("generate_tadom3_plus", |b| {
+        b.iter(|| xtc_protocols::build("taDOM3+").unwrap().families[0].len())
+    });
+    let t = xtc_protocols::build("taDOM3+").unwrap();
+    let table = &t.families[0];
+    let n = table.len() as u8;
+    g.bench_function("compat_lookup_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..n {
+                for j in 0..n {
+                    acc += u32::from(table.compatible(black_box(i), black_box(j)));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: the taDOM level lock (LR) vs the MGL per-child fan-out for a
+/// getChildNodes of width `w` — lock requests are the cost driver.
+fn bench_ablation_level_lock(c: &mut Criterion) {
+    use xtc_core::{InsertPos, IsolationLevel, XtcConfig, XtcDb};
+    let mut g = c.benchmark_group("ablation_level_lock");
+    for width in [8usize, 64] {
+        for proto in ["taDOM3+", "URIX"] {
+            let db = XtcDb::new(XtcConfig {
+                protocol: proto.into(),
+                isolation: IsolationLevel::Repeatable,
+                lock_depth: 7,
+                ..XtcConfig::default()
+            });
+            let root = db.store().create_root("r").unwrap();
+            for _ in 0..width {
+                db.store()
+                    .insert_element(&root, InsertPos::LastChild, "c")
+                    .unwrap();
+            }
+            g.bench_function(BenchmarkId::new(proto, width), |b| {
+                b.iter(|| {
+                    let t = db.begin();
+                    let kids = t.children(&root).unwrap();
+                    t.commit().unwrap();
+                    kids.len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: conversion cost taDOM2 (annex child locks) vs taDOM2+
+/// (exact combination mode) — hold LR, then write one child.
+fn bench_ablation_conversion(c: &mut Criterion) {
+    use xtc_core::{InsertPos, IsolationLevel, XtcConfig, XtcDb};
+    let mut g = c.benchmark_group("ablation_conversion");
+    for proto in ["taDOM2", "taDOM2+"] {
+        let db = XtcDb::new(XtcConfig {
+            protocol: proto.into(),
+            isolation: IsolationLevel::Repeatable,
+            lock_depth: 7,
+            ..XtcConfig::default()
+        });
+        let root = db.store().create_root("r").unwrap();
+        let mut first = None;
+        for _ in 0..32 {
+            let e = db
+                .store()
+                .insert_element(&root, InsertPos::LastChild, "c")
+                .unwrap();
+            first.get_or_insert(e);
+        }
+        let target = first.unwrap();
+        g.bench_function(BenchmarkId::new(proto, 32), |b| {
+            b.iter(|| {
+                let t = db.begin();
+                let _ = t.children(&root).unwrap(); // LR on root
+                t.rename(&target, "d").unwrap(); // forces LR→CX-ish conversion
+                t.commit().unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Structural join vs the naive nested loop (§6's SPLID payoff).
+fn bench_structural_join(c: &mut Criterion) {
+    use xtc_query::join;
+    let mut g = c.benchmark_group("structural_join");
+    let alloc = LabelAllocator::new(2);
+    // 200 ancestors, each with 40 descendants.
+    let mut ancestors = Vec::new();
+    let mut descendants = Vec::new();
+    let root = SplId::root();
+    let mut a = alloc.first_child(&root);
+    for _ in 0..200 {
+        ancestors.push(a.clone());
+        let mut d = alloc.first_child(&a);
+        for _ in 0..40 {
+            descendants.push(d.clone());
+            d = alloc.next_sibling(&d).unwrap();
+        }
+        a = alloc.next_sibling(&a).unwrap();
+    }
+    descendants.sort();
+    g.bench_function("stack_join_200x8000", |b| {
+        b.iter(|| join::ancestor_descendant(black_box(&ancestors), black_box(&descendants)).len())
+    });
+    g.bench_function("naive_join_200x8000", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for d in &descendants {
+                for a in &ancestors {
+                    if a.is_ancestor_of(d) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500)).sample_size(20);
+    targets = bench_splid, bench_btree, bench_lock_table, bench_mode_tables,
+              bench_ablation_level_lock, bench_ablation_conversion,
+              bench_structural_join
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 10 — CLUSTER1 transaction throughput separated by transaction
+//! type: (a) TAqueryBook, (b) TAchapter, (c) TAlendAndReturn,
+//! (d) TArenameTopic, vs lock depth 0–7 at isolation level repeatable.
+//!
+//! Expected shapes (§5.2): readers dominate throughput at depths 0–1
+//! without aborting; Node2PLa "begins to react a level deeper" (parent
+//! locking) and "fails almost completely with TArenameTopic"; the MGL*
+//! group holds the middle but cannot separate name from content on
+//! renames; taDOM2/taDOM3 (and IRIX/URIX) degrade beyond depth 4 on
+//! (b)/(c) where the conversion-optimized + variants do not.
+
+use xtc_bench::{print_table, CommonArgs};
+use xtc_core::IsolationLevel;
+use xtc_tamix::{run_cluster1, RunReport, TxnKind};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let protocols = [
+        "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+    ];
+    let xs: Vec<String> = args.depths.iter().map(|d| d.to_string()).collect();
+
+    // One sweep produces all four panels.
+    let mut per_proto: Vec<(String, Vec<RunReport>)> = Vec::new();
+    for proto in protocols {
+        let mut reports = Vec::new();
+        for &depth in &args.depths {
+            let runs: Vec<_> = (0..args.runs)
+                .map(|run| {
+                    let mut p = args.cluster1(proto, IsolationLevel::Repeatable, depth);
+                    p.seed = args.seed + run as u64;
+                    run_cluster1(&p, &args.bib)
+                })
+                .collect();
+            eprintln!(
+                "fig10: {proto} depth={depth}: committed={:.0}",
+                runs.iter().map(|r| r.committed() as f64).sum::<f64>() / runs.len() as f64
+            );
+            // Keep the first run; per-type averaging happens below.
+            reports.extend(runs);
+        }
+        per_proto.push((proto.to_string(), reports));
+    }
+
+    for (panel, kind) in [
+        ("a", TxnKind::QueryBook),
+        ("b", TxnKind::Chapter),
+        ("c", TxnKind::LendAndReturn),
+        ("d", TxnKind::RenameTopic),
+    ] {
+        let series: Vec<(String, Vec<f64>)> = per_proto
+            .iter()
+            .map(|(name, reports)| {
+                let per_depth: Vec<f64> = args
+                    .depths
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let chunk =
+                            &reports[i * args.runs as usize..(i + 1) * args.runs as usize];
+                        chunk.iter().map(|r| r.committed_of(kind) as f64).sum::<f64>()
+                            / chunk.len() as f64
+                    })
+                    .collect();
+                (name.clone(), per_depth)
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Figure 10{panel}: CLUSTER1 throughput of {} (committed txns/run)",
+                kind.name()
+            ),
+            "lock depth",
+            &xs,
+            &series,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 11 — CLUSTER2: execution time of a single TAdelBook (isolation
+//! level repeatable, single-user) under all eleven protocols.
+//!
+//! Expected shape (§5.3): "the *-2PL group roughly consumes for the
+//! deletion twice as much time than all other protocols" — before
+//! removing a subtree, Node2PL/NO2PL/OO2PL must search the entire
+//! subtree for ID-attribute owners and IDX-lock them, paying node-manager
+//! page accesses; every intention-lock protocol (including Node2PLa)
+//! deletes with a handful of path locks.
+
+use xtc_bench::CommonArgs;
+use xtc_protocols::ALL_PROTOCOLS;
+use xtc_tamix::run_cluster2;
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!("\n== Figure 11: CLUSTER2 — TAdelBook execution under all protocols ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "protocol", "time [µs]", "lock requests", "page reads"
+    );
+    let reps = args.runs.max(3);
+    for proto in ALL_PROTOCOLS {
+        let rep = run_cluster2(proto, &args.bib, reps);
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            rep.protocol,
+            rep.duration.as_micros(),
+            rep.lock_requests,
+            rep.page_reads
+        );
+    }
+    println!(
+        "\n(The paper's absolute times are disk-bound; page reads are the\n\
+         hardware-independent proxy — see EXPERIMENTS.md.)"
+    );
+}

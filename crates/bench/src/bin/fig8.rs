@@ -1,0 +1,82 @@
+//! Figure 8 — CLUSTER1 under the *-2PL group (Node2PL, NO2PL, OO2PL):
+//! transaction throughput (left) and deadlocks (right), total and
+//! separated by transaction type.
+//!
+//! Expected shape (§5.2): OO2PL > NO2PL > Node2PL in throughput —
+//! "Node2PL locks the entire level of the context node for any IUD
+//! operation, whereas NO2PL and OO2PL only lock its neighborhood" —
+//! while OO2PL also produces the most aborts.
+
+use xtc_bench::{print_table, CommonArgs};
+use xtc_core::IsolationLevel;
+use xtc_tamix::{run_cluster1, TxnKind};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let protocols = ["Node2PL", "NO2PL", "OO2PL"];
+    let rows: Vec<String> = std::iter::once("CLUSTER1".to_string())
+        .chain(
+            [
+                TxnKind::Chapter,
+                TxnKind::LendAndReturn,
+                TxnKind::QueryBook,
+                TxnKind::RenameTopic,
+            ]
+            .iter()
+            .map(|k| k.name().to_string()),
+        )
+        .collect();
+
+    let mut committed: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut aborted: Vec<(String, Vec<f64>)> = Vec::new();
+    for proto in protocols {
+        let reports: Vec<_> = (0..args.runs)
+            .map(|run| {
+                // The plain *-2PL protocols ignore lock depth.
+                let mut p = args.cluster1(proto, IsolationLevel::Repeatable, 7);
+                p.seed = args.seed + run as u64;
+                run_cluster1(&p, &args.bib)
+            })
+            .collect();
+        let n = reports.len() as f64;
+        let kinds = [
+            TxnKind::Chapter,
+            TxnKind::LendAndReturn,
+            TxnKind::QueryBook,
+            TxnKind::RenameTopic,
+        ];
+        let mut th = vec![reports.iter().map(|r| r.committed() as f64).sum::<f64>() / n];
+        let mut ab = vec![reports.iter().map(|r| r.aborted() as f64).sum::<f64>() / n];
+        for k in kinds {
+            th.push(reports.iter().map(|r| r.committed_of(k) as f64).sum::<f64>() / n);
+            ab.push(
+                reports
+                    .iter()
+                    .map(|r| {
+                        r.per_type
+                            .get(k.name())
+                            .map(|s| s.aborted() as f64)
+                            .unwrap_or(0.0)
+                    })
+                    .sum::<f64>()
+                    / n,
+            );
+        }
+        eprintln!("fig8: {proto}: committed={:.0} aborted={:.0}", th[0], ab[0]);
+        committed.push((proto.to_string(), th));
+        aborted.push((proto.to_string(), ab));
+    }
+
+    print_table(
+        "Figure 8 (left): *-2PL group on CLUSTER1 — transaction throughput (committed txns/run)",
+        "series",
+        &rows,
+        &committed,
+    );
+    print_table(
+        "Figure 8 (right): *-2PL group on CLUSTER1 — aborted transactions (deadlocks)",
+        "series",
+        &rows,
+        &aborted,
+    );
+}

@@ -1,0 +1,170 @@
+//! # xtc-bench — shared harness for the figure-regeneration binaries
+//!
+//! One binary per figure of the paper's evaluation section:
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig7`  | Fig. 7 — taDOM3+ under the four isolation levels: throughput and deadlocks vs lock depth |
+//! | `fig8`  | Fig. 8 — the *-2PL group: throughput and deadlocks, total and per transaction type |
+//! | `fig9`  | Fig. 9 — synopsis of all depth-capable protocols vs lock depth |
+//! | `fig10` | Fig. 10 — per-transaction-type throughput (four panels) |
+//! | `fig11` | Fig. 11 — CLUSTER2: TAdelBook execution time under all eleven protocols |
+//!
+//! Every binary accepts `--duration-ms N`, `--runs N`, `--seed N`,
+//! `--depths a,b,c`, `--scale F` (multiplies all think/run times),
+//! `--paper-scale` (full-size document and paper think times), and
+//! `--bib tiny|scaled|paper`.
+
+use std::time::Duration;
+use xtc_tamix::{BibConfig, RunReport, TamixParams};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Run duration per cell (before `scale`).
+    pub duration: Duration,
+    /// Repetitions per cell, averaged (the paper used 4).
+    pub runs: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Lock depths to sweep.
+    pub depths: Vec<u32>,
+    /// Time multiplier applied to all wall-clock parameters.
+    pub scale: f64,
+    /// Document size.
+    pub bib: BibConfig,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            duration: Duration::from_millis(1500),
+            runs: 1,
+            seed: 42,
+            depths: (0..=7).collect(),
+            scale: 1.0,
+            bib: BibConfig::scaled(),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args()`; exits with usage on errors.
+    pub fn parse() -> CommonArgs {
+        let mut out = CommonArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut val = |what: &str| {
+                args.next()
+                    .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+            };
+            match a.as_str() {
+                "--duration-ms" => {
+                    out.duration = Duration::from_millis(
+                        val("number").parse().unwrap_or_else(|_| die("bad number")),
+                    )
+                }
+                "--runs" => out.runs = val("number").parse().unwrap_or_else(|_| die("bad number")),
+                "--seed" => out.seed = val("number").parse().unwrap_or_else(|_| die("bad number")),
+                "--scale" => out.scale = val("factor").parse().unwrap_or_else(|_| die("bad factor")),
+                "--depths" => {
+                    out.depths = val("list")
+                        .split(',')
+                        .map(|d| d.parse().unwrap_or_else(|_| die("bad depth")))
+                        .collect()
+                }
+                "--bib" => {
+                    out.bib = match val("size").as_str() {
+                        "tiny" => BibConfig::tiny(),
+                        "scaled" => BibConfig::scaled(),
+                        "paper" => BibConfig::paper(),
+                        other => die(&format!("unknown bib size {other}")),
+                    }
+                }
+                "--paper-scale" => {
+                    // The paper's original setting: 5-minute runs, 2500 ms
+                    // waitAfterCommit, 100 ms waitAfterOperation, full doc.
+                    out.scale = 50.0;
+                    out.duration = Duration::from_millis(6000); // ×50 = 5 min
+                    out.runs = 4;
+                    out.bib = BibConfig::paper();
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --duration-ms N --runs N --seed N --depths a,b,c \
+                         --scale F --bib tiny|scaled|paper --paper-scale"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown option {other}")),
+            }
+        }
+        out
+    }
+
+    /// CLUSTER1 parameters for one cell of a sweep.
+    pub fn cluster1(&self, protocol: &str, isolation: xtc_core::IsolationLevel, depth: u32) -> TamixParams {
+        let mut p = TamixParams::cluster1(protocol, isolation, depth);
+        p.duration = self.duration;
+        p.seed = self.seed;
+        p.scale_time(self.scale)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+/// Averages the committed counts of repeated runs into a throughput
+/// figure normalized to the run duration (committed transactions per
+/// run, like the paper's per-5-minute counts).
+pub fn avg_committed(reports: &[RunReport]) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(|r| r.committed() as f64).sum::<f64>() / reports.len() as f64
+}
+
+/// Averages deadlock counts.
+pub fn avg_deadlocks(reports: &[RunReport]) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(|r| r.deadlocks as f64).sum::<f64>() / reports.len() as f64
+}
+
+/// Prints an aligned series table: one row per x value, one column per
+/// series — the textual form of one plot panel.
+pub fn print_table(title: &str, x_label: &str, xs: &[String], series: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{x_label:>12}");
+    for (name, _) in series {
+        print!(" {name:>14}");
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:>12}");
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) => print!(" {y:>14.1}"),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = CommonArgs::default();
+        assert_eq!(a.depths, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let p = a.cluster1("taDOM3+", xtc_core::IsolationLevel::Repeatable, 3);
+        assert_eq!(p.lock_depth, 3);
+        assert_eq!(p.total_slots(), 72, "the paper's 72 active transactions");
+    }
+}

@@ -1,0 +1,135 @@
+//! The database handle: storage + lock table + protocol, and transaction
+//! creation.
+
+use crate::error::XtcError;
+use crate::txn::Transaction;
+use crate::view::StoreView;
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_lock::{IsolationLevel, LockTable, Protocol, TxnRegistry};
+use xtc_node::{DocStore, DocStoreConfig};
+use xtc_splid::SplId;
+
+/// Configuration of an [`XtcDb`].
+#[derive(Debug, Clone)]
+pub struct XtcConfig {
+    /// Lock protocol name (one of `xtc_protocols::ALL_PROTOCOLS`).
+    pub protocol: String,
+    /// Default isolation level for new transactions.
+    pub isolation: IsolationLevel,
+    /// Default lock depth (ignored by protocols without depth support).
+    pub lock_depth: u32,
+    /// Lock-wait timeout (safety valve; counted as an abort).
+    pub lock_timeout: Duration,
+    /// Storage configuration.
+    pub store: DocStoreConfig,
+}
+
+impl Default for XtcConfig {
+    fn default() -> Self {
+        XtcConfig {
+            protocol: "taDOM3+".to_string(),
+            isolation: IsolationLevel::Repeatable,
+            lock_depth: 4,
+            lock_timeout: Duration::from_secs(10),
+            store: DocStoreConfig::default(),
+        }
+    }
+}
+
+/// An embedded XTC database: one XML document, one lock protocol.
+pub struct XtcDb {
+    store: Arc<DocStore>,
+    view: Arc<StoreView>,
+    registry: Arc<TxnRegistry>,
+    table: Arc<LockTable>,
+    protocol: Arc<dyn Protocol>,
+    isolation: IsolationLevel,
+    lock_depth: u32,
+}
+
+impl XtcDb {
+    /// Opens an empty database with the given configuration.
+    ///
+    /// # Panics
+    /// On an unknown protocol name (use [`XtcDb::try_new`] to handle it).
+    pub fn new(config: XtcConfig) -> Self {
+        Self::try_new(config).expect("unknown protocol")
+    }
+
+    /// Opens an empty database; fails on unknown protocol names.
+    pub fn try_new(config: XtcConfig) -> Result<Self, XtcError> {
+        let handle = xtc_protocols::build(&config.protocol)
+            .ok_or_else(|| XtcError::UnknownProtocol(config.protocol.clone()))?;
+        let store = Arc::new(DocStore::new(config.store.clone()));
+        let registry = Arc::new(TxnRegistry::new());
+        let table = Arc::new(LockTable::new(
+            handle.families.clone(),
+            registry.clone(),
+            config.lock_timeout,
+        ));
+        Ok(XtcDb {
+            view: Arc::new(StoreView(store.clone())),
+            store,
+            registry,
+            table,
+            protocol: handle.protocol,
+            isolation: config.isolation,
+            lock_depth: config.lock_depth,
+        })
+    }
+
+    /// The underlying node manager — **unlocked** access, intended for
+    /// bulk document loading before concurrent transactions start and for
+    /// read-only inspection in tests and reports.
+    pub fn store(&self) -> &Arc<DocStore> {
+        &self.store
+    }
+
+    /// Parses an XML document into the (empty) store, unlocked.
+    pub fn load_xml(&self, xml: &str) -> Result<SplId, xtc_node::XmlError> {
+        xtc_node::parse_into(&self.store, xml)
+    }
+
+    /// Begins a transaction at the database defaults.
+    pub fn begin(&self) -> Transaction<'_> {
+        self.begin_with(self.isolation, self.lock_depth)
+    }
+
+    /// Begins a transaction with an explicit isolation level and lock
+    /// depth.
+    pub fn begin_with(&self, isolation: IsolationLevel, lock_depth: u32) -> Transaction<'_> {
+        let id = self.registry.begin();
+        Transaction::new(self, id, isolation, lock_depth)
+    }
+
+    /// The active lock protocol.
+    pub fn protocol(&self) -> &Arc<dyn Protocol> {
+        &self.protocol
+    }
+
+    /// The shared lock table (deadlock statistics, request counts).
+    pub fn lock_table(&self) -> &Arc<LockTable> {
+        &self.table
+    }
+
+    /// The transaction registry.
+    pub fn registry(&self) -> &Arc<TxnRegistry> {
+        &self.registry
+    }
+
+    /// The protocol-facing document view.
+    pub(crate) fn view(&self) -> &Arc<StoreView> {
+        &self.view
+    }
+
+    /// Default lock depth.
+    pub fn lock_depth(&self) -> u32 {
+        self.lock_depth
+    }
+
+    /// Default isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+}

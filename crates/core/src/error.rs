@@ -1,0 +1,62 @@
+//! Errors of the transaction layer.
+
+use std::fmt;
+use xtc_lock::LockError;
+use xtc_node::NodeError;
+
+/// Transaction-layer errors. Lock errors (deadlock victim, timeout) mean
+/// the transaction must be aborted and may be retried; node errors are
+/// logical failures of the operation itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XtcError {
+    /// The lock manager refused the request; abort the transaction.
+    Lock(LockError),
+    /// The node manager rejected the operation.
+    Node(NodeError),
+    /// The operation raced concurrent structure changes too often
+    /// (plan/lock/verify loop exhausted); abort and retry.
+    Busy,
+    /// The transaction has already been committed or aborted.
+    Finished,
+    /// The named lock protocol does not exist.
+    UnknownProtocol(String),
+}
+
+impl XtcError {
+    /// `true` when the transaction should be aborted and is worth
+    /// retrying (deadlock victim, timeout, plan races).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, XtcError::Lock(_) | XtcError::Busy)
+    }
+
+    /// `true` when caused by a deadlock (victim abort).
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, XtcError::Lock(e) if e.is_deadlock())
+    }
+}
+
+impl fmt::Display for XtcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XtcError::Lock(e) => write!(f, "lock error: {e}"),
+            XtcError::Node(e) => write!(f, "node error: {e}"),
+            XtcError::Busy => write!(f, "operation raced concurrent structure changes"),
+            XtcError::Finished => write!(f, "transaction already finished"),
+            XtcError::UnknownProtocol(p) => write!(f, "unknown lock protocol {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for XtcError {}
+
+impl From<LockError> for XtcError {
+    fn from(e: LockError) -> Self {
+        XtcError::Lock(e)
+    }
+}
+
+impl From<NodeError> for XtcError {
+    fn from(e: NodeError) -> Self {
+        XtcError::Node(e)
+    }
+}

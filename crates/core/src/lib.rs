@@ -1,0 +1,45 @@
+//! # xtc-core — the XTC transaction coordinator
+//!
+//! The public API of the reproduction: an embedded XML DBMS combining the
+//! taDOM node manager (`xtc-node`), the meta-synchronizing lock manager
+//! (`xtc-lock`), and any of the eleven contested lock protocols
+//! (`xtc-protocols`) into transactional DOM access with the ACID subset
+//! the paper evaluates (atomicity via logical undo, isolation via the
+//! chosen protocol and level; durability is out of scope — see
+//! DESIGN.md).
+//!
+//! ```
+//! use xtc_core::{XtcConfig, XtcDb};
+//! use xtc_lock::IsolationLevel;
+//!
+//! let db = XtcDb::new(XtcConfig {
+//!     protocol: "taDOM3+".into(),
+//!     isolation: IsolationLevel::Repeatable,
+//!     lock_depth: 4,
+//!     ..XtcConfig::default()
+//! });
+//! db.load_xml(r#"<bib><book id="b1"><title>Locks</title></book></bib>"#)
+//!     .unwrap();
+//!
+//! let txn = db.begin();
+//! let book = txn.element_by_id("b1").unwrap().unwrap();
+//! let title = txn.element_children(&book).unwrap()[0].clone();
+//! assert_eq!(txn.element_text(&title).unwrap(), "Locks");
+//! txn.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod db;
+mod error;
+mod txn;
+mod view;
+
+pub use db::{XtcConfig, XtcDb};
+pub use error::XtcError;
+pub use txn::Transaction;
+pub use view::StoreView;
+
+pub use xtc_lock::{EdgeKind, IsolationLevel, LockError};
+pub use xtc_node::{InsertPos, NodeData, NodeKind};
+pub use xtc_splid::SplId;

@@ -1,0 +1,550 @@
+//! Transactions: the DOM-level API with protocol locking and logical undo.
+//!
+//! Every operation follows the same discipline:
+//!
+//! 1. *plan* — read the affected neighbourhood (unlocked),
+//! 2. *lock* — hand the corresponding [`MetaOp`] to the protocol,
+//! 3. *verify* — re-read; if concurrent changes invalidated the plan,
+//!    loop (the extra locks are harmless over-locking),
+//! 4. *apply* — perform the node-manager mutation and push an undo
+//!    record,
+//! 5. *end of operation* — release short locks (isolation *committed*).
+//!
+//! Deadlock victims abort: the undo log is replayed in reverse while the
+//! transaction still holds its long locks, then everything is released.
+
+use crate::db::XtcDb;
+use crate::error::XtcError;
+use std::cell::{Cell, RefCell};
+use xtc_lock::{EdgeKind, IsolationLevel, LockCtx, MetaOp, TxnId};
+use xtc_node::{AttrPlan, InsertPos, NodeData};
+use xtc_splid::SplId;
+
+const PLAN_RETRIES: usize = 32;
+
+enum Undo {
+    /// Undo an insertion: delete the subtree rooted at the label.
+    InsertedSubtree(SplId),
+    /// Undo a deletion: restore the removed nodes (indexes included).
+    DeletedSubtree(Vec<(SplId, NodeData)>),
+    /// Undo a content update.
+    Content { node: SplId, old: String },
+    /// Undo a rename.
+    Renamed { node: SplId, old: String },
+}
+
+/// A running transaction. Dropping an unfinished transaction aborts it.
+pub struct Transaction<'db> {
+    db: &'db XtcDb,
+    id: TxnId,
+    isolation: IsolationLevel,
+    lock_depth: u32,
+    undo: RefCell<Vec<Undo>>,
+    finished: Cell<bool>,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(
+        db: &'db XtcDb,
+        id: TxnId,
+        isolation: IsolationLevel,
+        lock_depth: u32,
+    ) -> Self {
+        Transaction {
+            db,
+            id,
+            isolation,
+            lock_depth,
+            undo: RefCell::new(Vec::new()),
+            finished: Cell::new(false),
+        }
+    }
+
+    /// The transaction's id (also its age for victim selection).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    fn ctx(&self) -> LockCtx<'_> {
+        LockCtx {
+            txn: self.id,
+            table: self.db.lock_table(),
+            doc: &**self.db.view(),
+            isolation: self.isolation,
+            lock_depth: self.lock_depth,
+        }
+    }
+
+    /// Issues one meta-lock request to the protocol.
+    fn acquire(&self, op: MetaOp<'_>) -> Result<(), XtcError> {
+        if self.finished.get() {
+            return Err(XtcError::Finished);
+        }
+        self.db
+            .protocol()
+            .acquire(&self.ctx(), &op)
+            .map_err(XtcError::from)
+    }
+
+    /// Ends the current operation: short read locks are released under
+    /// isolation level *committed*. Called implicitly by every public
+    /// operation.
+    fn end_operation(&self) {
+        self.db.lock_table().release_end_of_operation(self.id);
+    }
+
+    fn store(&self) -> &xtc_node::DocStore {
+        self.db.store()
+    }
+
+    // ---- reads ----------------------------------------------------------
+
+    /// Direct jump via the ID index (`getElementById`).
+    ///
+    /// Under isolation level serializable the probed index value itself
+    /// is share-locked — present or absent — so a repeated jump can
+    /// neither lose nor gain a target (footnote 1's phantom protection).
+    pub fn element_by_id(&self, id_value: &str) -> Result<Option<SplId>, XtcError> {
+        if self.isolation.locks_index_keys() {
+            self.acquire(MetaOp::IndexKeyRead(id_value.as_bytes()))?;
+        }
+        for _ in 0..PLAN_RETRIES {
+            let Some(found) = self.store().element_by_id(id_value) else {
+                self.end_operation();
+                return Ok(None);
+            };
+            self.acquire(MetaOp::JumpRead(&found))?;
+            // Verify the jump target under lock.
+            if self.store().element_by_id(id_value).as_ref() == Some(&found) {
+                self.end_operation();
+                return Ok(Some(found));
+            }
+        }
+        Err(XtcError::Busy)
+    }
+
+    /// All elements with a given name via the element index, jump-locked.
+    pub fn elements_named(&self, name: &str) -> Result<Vec<SplId>, XtcError> {
+        let found = self.store().elements_named(name);
+        for e in &found {
+            self.acquire(MetaOp::JumpRead(e))?;
+        }
+        self.end_operation();
+        Ok(found)
+    }
+
+    /// The document root element, if any.
+    pub fn root(&self) -> Result<Option<SplId>, XtcError> {
+        let root = SplId::root();
+        if !self.store().exists(&root) {
+            return Ok(None);
+        }
+        self.acquire(MetaOp::ReadNode(&root))?;
+        self.end_operation();
+        Ok(Some(root))
+    }
+
+    /// Reads a node's record.
+    pub fn node(&self, n: &SplId) -> Result<Option<NodeData>, XtcError> {
+        self.acquire(MetaOp::ReadNode(n))?;
+        let data = self.store().get(n);
+        self.end_operation();
+        Ok(data)
+    }
+
+    /// Element/attribute name of a node.
+    pub fn name(&self, n: &SplId) -> Result<Option<String>, XtcError> {
+        self.acquire(MetaOp::ReadNode(n))?;
+        let name = self.store().name_of(n);
+        self.end_operation();
+        Ok(name)
+    }
+
+    /// Concatenated text content of an element's direct text children
+    /// (convenience over `children` + `text_content`).
+    pub fn element_text(&self, elem: &SplId) -> Result<String, XtcError> {
+        self.acquire(MetaOp::ReadLevel(elem))?;
+        let mut out = String::new();
+        for c in self.store().children(elem) {
+            if matches!(self.store().get(&c), Some(NodeData::Text)) {
+                self.acquire(MetaOp::ReadNode(&c))?;
+                if let Some(t) = self.store().text_of(&c) {
+                    out.push_str(&t);
+                }
+            }
+        }
+        self.end_operation();
+        Ok(out)
+    }
+
+    /// Content of a text or attribute node.
+    pub fn text_content(&self, n: &SplId) -> Result<Option<String>, XtcError> {
+        self.acquire(MetaOp::ReadNode(n))?;
+        let text = self.store().text_of(n);
+        self.end_operation();
+        Ok(text)
+    }
+
+    fn navigate(
+        &self,
+        from: &SplId,
+        edge: EdgeKind,
+        f: impl Fn(&xtc_node::DocStore) -> Option<SplId>,
+    ) -> Result<Option<SplId>, XtcError> {
+        for _ in 0..PLAN_RETRIES {
+            let to = f(self.store());
+            self.acquire(MetaOp::Navigate {
+                from,
+                to: to.as_ref(),
+                edge,
+            })?;
+            if f(self.store()) == to {
+                self.end_operation();
+                return Ok(to);
+            }
+        }
+        Err(XtcError::Busy)
+    }
+
+    /// `getFirstChild`.
+    pub fn first_child(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        self.navigate(n, EdgeKind::FirstChild, |s| s.first_child(n))
+    }
+
+    /// `getLastChild`.
+    pub fn last_child(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        self.navigate(n, EdgeKind::LastChild, |s| s.last_child(n))
+    }
+
+    /// `getNextSibling`.
+    pub fn next_sibling(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        self.navigate(n, EdgeKind::NextSibling, |s| s.next_sibling(n))
+    }
+
+    /// `getPreviousSibling`.
+    pub fn prev_sibling(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        self.navigate(n, EdgeKind::PrevSibling, |s| s.prev_sibling(n))
+    }
+
+    /// Parent node (SPLID arithmetic + read lock).
+    pub fn parent(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        match n.parent() {
+            Some(p) => {
+                self.acquire(MetaOp::ReadNode(&p))?;
+                let exists = self.store().exists(&p);
+                self.end_operation();
+                Ok(exists.then_some(p))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// `getChildNodes` — one shared level lock under taDOM, a per-child
+    /// fan-out elsewhere.
+    pub fn children(&self, n: &SplId) -> Result<Vec<SplId>, XtcError> {
+        self.acquire(MetaOp::ReadLevel(n))?;
+        let kids = self.store().children(n);
+        self.end_operation();
+        Ok(kids)
+    }
+
+    /// Element children only (skips attribute roots and text nodes).
+    pub fn element_children(&self, n: &SplId) -> Result<Vec<SplId>, XtcError> {
+        self.acquire(MetaOp::ReadLevel(n))?;
+        let kids = self.store().element_children(n);
+        self.end_operation();
+        Ok(kids)
+    }
+
+    /// `getAttributes` — a level lock on the attribute root (the taDOM
+    /// optimization of §2.3).
+    pub fn attributes(&self, elem: &SplId) -> Result<Vec<(SplId, String)>, XtcError> {
+        let ar = elem.reserved_child();
+        self.acquire(MetaOp::ReadNode(elem))?;
+        if self.store().exists(&ar) {
+            self.acquire(MetaOp::ReadLevel(&ar))?;
+        }
+        let attrs = self
+            .store()
+            .attributes(elem)
+            .into_iter()
+            .map(|(a, voc)| (a, self.store().vocab().resolve(voc).unwrap_or_default()))
+            .collect();
+        self.end_operation();
+        Ok(attrs)
+    }
+
+    /// Value of a named attribute.
+    pub fn attribute(&self, elem: &SplId, name: &str) -> Result<Option<String>, XtcError> {
+        let ar = elem.reserved_child();
+        self.acquire(MetaOp::ReadNode(elem))?;
+        if self.store().exists(&ar) {
+            self.acquire(MetaOp::ReadLevel(&ar))?;
+        }
+        let v = self.store().attribute_value(elem, name);
+        self.end_operation();
+        Ok(v)
+    }
+
+    /// Reads a whole subtree (`getFragmentNodes`-style) under one tree
+    /// lock.
+    pub fn subtree(&self, n: &SplId) -> Result<Vec<(SplId, NodeData)>, XtcError> {
+        self.acquire(MetaOp::ReadTree(n))?;
+        let nodes = self.store().subtree(n);
+        self.end_operation();
+        Ok(nodes)
+    }
+
+    /// Reads a subtree declaring the intent to update parts of it (tree
+    /// update lock — exercises the U modes).
+    pub fn subtree_for_update(&self, n: &SplId) -> Result<Vec<(SplId, NodeData)>, XtcError> {
+        self.acquire(MetaOp::UpdateTree(n))?;
+        let nodes = self.store().subtree(n);
+        self.end_operation();
+        Ok(nodes)
+    }
+
+    // ---- writes ---------------------------------------------------------
+
+    /// Replaces the content of a text or attribute node.
+    pub fn update_text(&self, n: &SplId, content: &str) -> Result<(), XtcError> {
+        self.acquire(MetaOp::WriteContent(n))?;
+        let old = self.store().update_content(n, content)?;
+        if let Some(old) = old {
+            self.undo.borrow_mut().push(Undo::Content {
+                node: n.clone(),
+                old,
+            });
+        }
+        self.end_operation();
+        Ok(())
+    }
+
+    /// Renames an element (DOM level 3).
+    pub fn rename(&self, n: &SplId, new_name: &str) -> Result<(), XtcError> {
+        self.acquire(MetaOp::Rename(n))?;
+        let old_voc = self.store().rename_element(n, new_name)?;
+        let old = self
+            .store()
+            .vocab()
+            .resolve(old_voc)
+            .expect("old name interned");
+        self.undo.borrow_mut().push(Undo::Renamed {
+            node: n.clone(),
+            old,
+        });
+        self.end_operation();
+        Ok(())
+    }
+
+    fn plan_and_lock_insert(
+        &self,
+        parent: &SplId,
+        pos: &InsertPos,
+    ) -> Result<SplId, XtcError> {
+        self.acquire(MetaOp::ReadNode(parent))?;
+        for _ in 0..PLAN_RETRIES {
+            let (label, left, right) = self.store().plan_insert(parent, pos)?;
+            self.acquire(MetaOp::InsertNode {
+                parent,
+                node: &label,
+                left: left.as_ref(),
+                right: right.as_ref(),
+            })?;
+            let (label2, ..) = self.store().plan_insert(parent, pos)?;
+            if label2 == label {
+                return Ok(label);
+            }
+        }
+        Err(XtcError::Busy)
+    }
+
+    /// Inserts a new element under `parent`.
+    pub fn insert_element(
+        &self,
+        parent: &SplId,
+        pos: InsertPos,
+        name: &str,
+    ) -> Result<SplId, XtcError> {
+        let label = self.plan_and_lock_insert(parent, &pos)?;
+        let inserted = self.store().insert_element(parent, pos, name)?;
+        debug_assert_eq!(inserted, label);
+        self.undo
+            .borrow_mut()
+            .push(Undo::InsertedSubtree(inserted.clone()));
+        self.end_operation();
+        Ok(inserted)
+    }
+
+    /// Inserts a new text node under `parent`.
+    pub fn insert_text(
+        &self,
+        parent: &SplId,
+        pos: InsertPos,
+        content: &str,
+    ) -> Result<SplId, XtcError> {
+        let label = self.plan_and_lock_insert(parent, &pos)?;
+        let inserted = self.store().insert_text(parent, pos, content)?;
+        debug_assert_eq!(inserted, label);
+        self.undo
+            .borrow_mut()
+            .push(Undo::InsertedSubtree(inserted.clone()));
+        self.end_operation();
+        Ok(inserted)
+    }
+
+    /// Sets (creating or updating) an attribute.
+    pub fn set_attribute(
+        &self,
+        elem: &SplId,
+        name: &str,
+        value: &str,
+    ) -> Result<(), XtcError> {
+        self.acquire(MetaOp::ReadNode(elem))?;
+        if name == "id" {
+            // Changing ID-index content: exclusive key locks so
+            // serializable jumpers (who share-lock even absent values)
+            // are excluded. Old value too, when it moves.
+            self.acquire(MetaOp::IndexKeyWrite(value.as_bytes()))?;
+            if let Some(old) = self.store().attribute_value(elem, "id") {
+                if old != value {
+                    self.acquire(MetaOp::IndexKeyWrite(old.as_bytes()))?;
+                }
+            }
+        }
+        for _ in 0..PLAN_RETRIES {
+            match self.store().plan_attribute(elem, name)? {
+                AttrPlan::Existing(attr) => {
+                    self.acquire(MetaOp::WriteContent(&attr))?;
+                    // Verify the attribute still exists under lock.
+                    if self.store().plan_attribute(elem, name)? != AttrPlan::Existing(attr.clone())
+                    {
+                        continue;
+                    }
+                    let old = self.store().update_content(&attr, value)?;
+                    if let Some(old) = old {
+                        self.undo.borrow_mut().push(Undo::Content { node: attr, old });
+                    }
+                    self.end_operation();
+                    return Ok(());
+                }
+                AttrPlan::New {
+                    attr_root,
+                    attr_root_exists,
+                    label,
+                    last,
+                } => {
+                    self.acquire(MetaOp::InsertNode {
+                        parent: &attr_root,
+                        node: &label,
+                        left: last.as_ref(),
+                        right: None,
+                    })?;
+                    if self.store().plan_attribute(elem, name)?
+                        != (AttrPlan::New {
+                            attr_root: attr_root.clone(),
+                            attr_root_exists,
+                            label: label.clone(),
+                            last,
+                        })
+                    {
+                        continue;
+                    }
+                    let (attr, _) = self.store().set_attribute(elem, name, value)?;
+                    debug_assert_eq!(attr, label);
+                    // Undo removes the attribute node — and the attribute
+                    // root if this call created it.
+                    let undo_root = if attr_root_exists { attr } else { attr_root };
+                    self.undo.borrow_mut().push(Undo::InsertedSubtree(undo_root));
+                    self.end_operation();
+                    return Ok(());
+                }
+            }
+        }
+        Err(XtcError::Busy)
+    }
+
+    /// Deletes the subtree rooted at `n`.
+    pub fn delete_subtree(&self, n: &SplId) -> Result<(), XtcError> {
+        for _ in 0..PLAN_RETRIES {
+            let left = self.store().prev_sibling(n);
+            let right = self.store().next_sibling(n);
+            self.acquire(MetaOp::DeleteTree {
+                node: n,
+                left: left.as_ref(),
+                right: right.as_ref(),
+            })?;
+            if self.store().prev_sibling(n) != left || self.store().next_sibling(n) != right {
+                continue;
+            }
+            let removed = self.store().delete_subtree(n)?;
+            self.undo.borrow_mut().push(Undo::DeletedSubtree(removed));
+            self.end_operation();
+            return Ok(());
+        }
+        Err(XtcError::Busy)
+    }
+
+    // ---- lifecycle --------------------------------------------------------
+
+    /// Commits: releases all locks and discards the undo log.
+    pub fn commit(self) -> Result<(), XtcError> {
+        if self.finished.replace(true) {
+            return Err(XtcError::Finished);
+        }
+        self.undo.borrow_mut().clear();
+        self.release();
+        Ok(())
+    }
+
+    /// Aborts: replays the undo log in reverse (while still holding the
+    /// long locks), then releases everything.
+    pub fn abort(self) {
+        self.abort_inner();
+    }
+
+    fn abort_inner(&self) {
+        if self.finished.replace(true) {
+            return;
+        }
+        let undo: Vec<Undo> = self.undo.borrow_mut().drain(..).collect();
+        let store = self.store();
+        for u in undo.into_iter().rev() {
+            // Undo is best-effort against logical errors: under isolation
+            // level `none` concurrent chaos may have invalidated records.
+            match u {
+                Undo::InsertedSubtree(id) => {
+                    let _ = store.delete_subtree(&id);
+                }
+                Undo::DeletedSubtree(nodes) => {
+                    let _ = store.insert_raw(&nodes);
+                }
+                Undo::Content { node, old } => {
+                    let _ = store.update_content(&node, &old);
+                }
+                Undo::Renamed { node, old } => {
+                    let _ = store.rename_element(&node, &old);
+                }
+            }
+        }
+        self.release();
+    }
+
+    fn release(&self) {
+        self.db.lock_table().release_all(self.id);
+        self.db.registry().finish(self.id);
+    }
+
+    /// Locks currently recorded for this transaction (diagnostics).
+    pub fn held_locks(&self) -> usize {
+        self.db.registry().held_count(self.id)
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished.get() {
+            self.abort_inner();
+        }
+    }
+}

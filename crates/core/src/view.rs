@@ -1,0 +1,27 @@
+//! Adapter exposing the node manager to lock protocols as a
+//! [`DocView`](xtc_lock::DocView).
+
+use std::sync::Arc;
+use xtc_lock::DocView;
+use xtc_node::DocStore;
+use xtc_splid::SplId;
+
+/// [`DocView`] over a shared [`DocStore`]. Every call pays real page
+/// accesses — which is the point: protocol-mandated document traversals
+/// (annex child locks, the *-2PL IDX scans) show up in the storage
+/// statistics exactly as they did on the paper's testbed.
+pub struct StoreView(pub Arc<DocStore>);
+
+impl DocView for StoreView {
+    fn children(&self, id: &SplId) -> Vec<SplId> {
+        self.0.children(id)
+    }
+
+    fn subtree_id_owners(&self, id: &SplId) -> Vec<SplId> {
+        self.0.subtree_id_owners(id)
+    }
+
+    fn subtree_nodes(&self, id: &SplId) -> Vec<SplId> {
+        self.0.subtree_ids(id)
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's worked example (Figure 3b), reproduced with exact lock
+//! states: two transactions on the taDOM tree of Figure 5 at lock
+//! depth 4 under taDOM2.
+//!
+//! * T1 (TAqueryBook) jumps to the book, leaving NR on `book` and IR on
+//!   all ancestors, then reads the `title` subtree — depth 4 is reached,
+//!   so `title` ends up holding SR.
+//! * T2 (TAlendAndReturn) jumps to the same book (NR/IR), reads the
+//!   `history` subtree (SR), then decides to lend: attaching the new
+//!   `lend` subtree needs SX on `history`, which propagates as CX on
+//!   `book` and IX on the remaining ancestors — the paper's `T2conv`
+//!   column.
+
+use std::time::Duration;
+use xtc_core::{InsertPos, IsolationLevel, SplId, XtcConfig, XtcDb};
+use xtc_lock::{LockName, LockTarget};
+
+fn held(db: &XtcDb, txn: u64, node: &SplId) -> Option<String> {
+    let name = LockName {
+        family: 0,
+        target: LockTarget::Node(node.clone()),
+    };
+    db.lock_table()
+        .held_mode(txn, &name)
+        .map(|m| db.lock_table().family(0).name(m).to_string())
+}
+
+#[test]
+fn figure_3b_lock_states() {
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taDOM2".into(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: Duration::from_secs(5),
+        ..XtcConfig::default()
+    });
+    // The Figure 5 cutout: bib / topics / topic0 / book{title, author,
+    // price, history(lend)}.
+    db.load_xml(
+        r#"<bib><topics><topic id="t0"><book id="b0"><title>first last</title><author>first last</author><price>9.95</price><history><lend person="p1" return="2005-01-01"/></history></book></topic></topics></bib>"#,
+    )
+    .unwrap();
+
+    let store = db.store();
+    let bib = SplId::root();
+    let topics = store.elements_named("topics")[0].clone();
+    let topic = store.elements_named("topic")[0].clone();
+    assert_eq!(topic.level(), 2);
+
+    // --- T1: TAqueryBook ---
+    let t1 = db.begin();
+    let book = t1.element_by_id("b0").unwrap().unwrap();
+    assert_eq!(book.level(), 3);
+    // "It sets an NR lock on book and IR locks on all ancestors up to the
+    // root."
+    assert_eq!(held(&db, t1.id(), &book).as_deref(), Some("NR"));
+    for anc in [&topic, &topics, &bib] {
+        assert_eq!(held(&db, t1.id(), anc).as_deref(), Some("IR"), "{anc}");
+    }
+    // "Then, it navigates to the first child and, because lock depth 4 is
+    // reached, it places an SR lock on title, reads the nodes of the
+    // subtree."
+    let title = t1.first_child(&book).unwrap().unwrap();
+    assert_eq!(title.level(), 4);
+    let _ = t1.subtree(&title).unwrap();
+    assert_eq!(held(&db, t1.id(), &title).as_deref(), Some("SR"));
+    // "…and proceeds to the author node setting again an SR lock."
+    let author = t1.next_sibling(&title).unwrap().unwrap();
+    let _ = t1.subtree(&author).unwrap();
+    assert_eq!(held(&db, t1.id(), &author).as_deref(), Some("SR"));
+
+    // --- T2: TAlendAndReturn ---
+    let t2 = db.begin();
+    let book2 = t2.element_by_id("b0").unwrap().unwrap();
+    assert_eq!(book2, book);
+    assert_eq!(held(&db, t2.id(), &book).as_deref(), Some("NR"));
+    for anc in [&topic, &topics, &bib] {
+        assert_eq!(held(&db, t2.id(), anc).as_deref(), Some("IR"));
+    }
+    // "Afterwards it forwards to the last child and locks the entire
+    // subtree history by SR (lock depth 4)."
+    let history = t2.last_child(&book).unwrap().unwrap();
+    let _ = t2.subtree(&history).unwrap();
+    assert_eq!(held(&db, t2.id(), &history).as_deref(), Some("SR"));
+
+    // "Assume it decides to lend this book; then it has to attach an
+    // additional subtree lend' … a lock conversion to SX on history is
+    // needed which is propagated to the root by converting NR on book to
+    // CX and the remaining IR locks to IX" — the T2conv column.
+    let lend = t2
+        .insert_element(&history, InsertPos::LastChild, "lend")
+        .unwrap();
+    t2.set_attribute(&lend, "person", "p2").unwrap();
+    t2.set_attribute(&lend, "return", "2006-01-01").unwrap();
+
+    assert_eq!(held(&db, t2.id(), &history).as_deref(), Some("SX"));
+    assert_eq!(held(&db, t2.id(), &book).as_deref(), Some("CX"));
+    for anc in [&topic, &topics, &bib] {
+        assert_eq!(held(&db, t2.id(), anc).as_deref(), Some("IX"), "{anc}");
+    }
+
+    // T1's locks are untouched and compatible with T2conv (the point of
+    // lock depth 4 in the example).
+    assert_eq!(held(&db, t1.id(), &title).as_deref(), Some("SR"));
+    assert_eq!(held(&db, t1.id(), &book).as_deref(), Some("NR"));
+
+    t2.commit().unwrap();
+    t1.commit().unwrap();
+}
+
+/// The example's counterfactual: "If we would have chosen lock depth 3,
+/// T1 would have set an SR lock on book. This lock, because incompatible
+/// with CX, would have prohibited the lock conversion."
+#[test]
+fn figure_3b_depth_3_blocks_the_conversion() {
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taDOM2".into(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 3,
+        lock_timeout: Duration::from_millis(200),
+        ..XtcConfig::default()
+    });
+    db.load_xml(
+        r#"<bib><topics><topic id="t0"><book id="b0"><title>t</title><history><lend person="p1"/></history></book></topic></topics></bib>"#,
+    )
+    .unwrap();
+
+    let t1 = db.begin();
+    let book = t1.element_by_id("b0").unwrap().unwrap();
+    let title = t1.first_child(&book).unwrap().unwrap();
+    let _ = t1.subtree(&title).unwrap(); // clamped to depth 3 → SR on book
+    assert_eq!(held(&db, t1.id(), &book).as_deref(), Some("SR"));
+
+    let t2 = db.begin();
+    let book2 = t2.element_by_id("b0").unwrap().unwrap();
+    let history = t2.last_child(&book2).unwrap().unwrap();
+    let res = t2.insert_element(&history, InsertPos::LastChild, "lend");
+    assert!(
+        res.is_err(),
+        "at depth 3, T1's SR on book must block T2's CX conversion"
+    );
+    t2.abort();
+    t1.commit().unwrap();
+}

@@ -1,0 +1,128 @@
+//! Property test: aborting a transaction restores the exact document
+//! state — content, structure, element index, and ID index — for an
+//! arbitrary sequence of mutations.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use xtc_core::{InsertPos, IsolationLevel, XtcConfig, XtcDb};
+
+#[derive(Debug, Clone)]
+enum Op {
+    InsertElement(u8, u8),
+    InsertText(u8, String),
+    UpdateText(u8, String),
+    SetAttribute(u8, u8, String),
+    Rename(u8, u8),
+    DeleteSubtree(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let name = 0u8..4;
+    let target = 0u8..16;
+    prop::collection::vec(
+        prop_oneof![
+            (target.clone(), name.clone()).prop_map(|(t, n)| Op::InsertElement(t, n)),
+            (target.clone(), "[a-z]{0,8}").prop_map(|(t, s)| Op::InsertText(t, s)),
+            (target.clone(), "[a-z]{0,8}").prop_map(|(t, s)| Op::UpdateText(t, s)),
+            (target.clone(), name.clone(), "[a-z]{1,6}")
+                .prop_map(|(t, n, v)| Op::SetAttribute(t, n, v)),
+            (target.clone(), name).prop_map(|(t, n)| Op::Rename(t, n)),
+            target.prop_map(Op::DeleteSubtree),
+        ],
+        1..25,
+    )
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn snapshot(db: &XtcDb) -> (String, usize, Vec<usize>, Vec<Option<String>>) {
+    let root = xtc_core::SplId::root();
+    let xml = xtc_node::serialize_subtree(db.store(), &root);
+    let count = db.store().node_count();
+    let index_counts = NAMES
+        .iter()
+        .map(|n| db.store().elements_named(n).len())
+        .collect();
+    let ids = (0..6)
+        .map(|i| {
+            db.store()
+                .element_by_id(&format!("x{i}"))
+                .map(|s| s.to_string())
+        })
+        .collect();
+    (xml, count, index_counts, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn abort_restores_everything(ops in arb_ops(), seed in 0u64..1000) {
+        let db = XtcDb::new(XtcConfig {
+            protocol: "taDOM3+".into(),
+            isolation: IsolationLevel::Repeatable,
+            lock_depth: 6,
+            lock_timeout: Duration::from_secs(5),
+            ..XtcConfig::default()
+        });
+        db.load_xml(
+            r#"<bib><a id="x0"><b id="x1">text one</b><c id="x2">two</c></a><d id="x3"><e id="x4">three</e></d></bib>"#,
+        ).unwrap();
+        let before = snapshot(&db);
+
+        let txn = db.begin();
+        // Collect live element targets as we go; ops address them modulo
+        // length so every op hits something real.
+        let mut elems: Vec<xtc_core::SplId> = db.store().elements_named("a")
+            .into_iter()
+            .chain(db.store().elements_named("b"))
+            .chain(db.store().elements_named("c"))
+            .chain(db.store().elements_named("d"))
+            .chain(db.store().elements_named("e"))
+            .collect();
+        elems.sort();
+        let _ = seed;
+        for op in ops {
+            if elems.is_empty() { break; }
+            let pick = |t: u8| elems[t as usize % elems.len()].clone();
+            // Ignore logical errors (target deleted earlier in the txn) —
+            // only the final abort-equivalence matters.
+            match op {
+                Op::InsertElement(t, n) => {
+                    let target = pick(t);
+                    if let Ok(new) = txn.insert_element(&target, InsertPos::LastChild, NAMES[n as usize]) {
+                        elems.push(new);
+                    }
+                }
+                Op::InsertText(t, s) => {
+                    let _ = txn.insert_text(&pick(t), InsertPos::FirstChild, &s);
+                }
+                Op::UpdateText(t, s) => {
+                    let target = pick(t);
+                    if let Ok(Some(text)) = txn.first_child(&target) {
+                        let _ = txn.update_text(&text, &s);
+                    }
+                }
+                Op::SetAttribute(t, n, v) => {
+                    let _ = txn.set_attribute(&pick(t), NAMES[n as usize], &v);
+                }
+                Op::Rename(t, n) => {
+                    let _ = txn.rename(&pick(t), NAMES[n as usize]);
+                }
+                Op::DeleteSubtree(t) => {
+                    let target = pick(t);
+                    if !target.is_root() && txn.delete_subtree(&target).is_ok() {
+                        elems.retain(|e| !(target == *e || target.is_ancestor_of(e)));
+                    }
+                }
+            }
+        }
+        txn.abort();
+
+        let after = snapshot(&db);
+        prop_assert_eq!(&before.0, &after.0, "document text differs");
+        prop_assert_eq!(before.1, after.1, "node count differs");
+        prop_assert_eq!(&before.2, &after.2, "element index differs");
+        prop_assert_eq!(&before.3, &after.3, "id index differs");
+        prop_assert_eq!(db.lock_table().granted_count(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Isolation level serializable: the footnote-1 extension — direct jumps
+//! via `getElementById` are phantom-free because the probed index *value*
+//! is locked, present or absent.
+
+use std::time::Duration;
+use xtc_core::{InsertPos, IsolationLevel, XtcConfig, XtcDb};
+
+fn db(protocol: &str) -> XtcDb {
+    let db = XtcDb::new(XtcConfig {
+        protocol: protocol.into(),
+        isolation: IsolationLevel::Serializable,
+        lock_depth: 6,
+        lock_timeout: Duration::from_millis(300),
+        ..XtcConfig::default()
+    });
+    db.load_xml(r#"<r><a id="a1"/><b/></r>"#).unwrap();
+    db
+}
+
+/// Repeatable read allows the jump phantom; serializable does not.
+#[test]
+fn serializable_prevents_the_jump_phantom() {
+    for proto in ["taDOM3+", "taDOM2", "URIX", "Node2PLa", "Node2PL", "OO2PL"] {
+        let db = db(proto);
+        // The reader probes a value that does not exist yet.
+        let reader = db.begin_with(IsolationLevel::Serializable, 6);
+        assert_eq!(reader.element_by_id("ghost").unwrap(), None, "{proto}");
+
+        // A writer trying to create that very id must block.
+        let writer = db.begin_with(IsolationLevel::Serializable, 6);
+        let b = writer.elements_named("b").unwrap()[0].clone();
+        let res = writer.set_attribute(&b, "id", "ghost");
+        assert!(
+            res.is_err(),
+            "{proto}: creating a probed id value must block"
+        );
+        writer.abort();
+
+        // The repeated probe still sees nothing.
+        assert_eq!(reader.element_by_id("ghost").unwrap(), None, "{proto}");
+        reader.commit().unwrap();
+
+        // After the reader commits, the id can be created.
+        let writer = db.begin_with(IsolationLevel::Serializable, 6);
+        let b = writer.elements_named("b").unwrap()[0].clone();
+        writer.set_attribute(&b, "id", "ghost").unwrap();
+        writer.commit().unwrap();
+    }
+}
+
+#[test]
+fn repeatable_read_admits_the_jump_phantom() {
+    let db = db("taDOM3+");
+    let reader = db.begin_with(IsolationLevel::Repeatable, 6);
+    assert_eq!(reader.element_by_id("ghost").unwrap(), None);
+
+    // Under plain repeatable read the creation goes through…
+    let writer = db.begin_with(IsolationLevel::Repeatable, 6);
+    let b = writer.elements_named("b").unwrap()[0].clone();
+    writer.set_attribute(&b, "id", "ghost").unwrap();
+    writer.commit().unwrap();
+
+    // …and the reader's repeated probe sees the phantom.
+    assert!(reader.element_by_id("ghost").unwrap().is_some());
+    reader.commit().unwrap();
+}
+
+/// Moving an id value locks both the old and the new key.
+#[test]
+fn id_value_moves_lock_both_keys() {
+    let db = db("taDOM3+");
+    let reader = db.begin_with(IsolationLevel::Serializable, 6);
+    let a = reader.element_by_id("a1").unwrap().unwrap();
+    let _ = a;
+
+    let writer = db.begin_with(IsolationLevel::Serializable, 6);
+    let a2 = writer.elements_named("a").unwrap()[0].clone();
+    // Renumbering a1 -> a9 writes the old key "a1", which the reader
+    // share-locked by probing it.
+    let res = writer.set_attribute(&a2, "id", "a9");
+    assert!(res.is_err(), "old key must be write-locked");
+    writer.abort();
+    reader.commit().unwrap();
+}
+
+/// Serializable transactions otherwise behave like repeatable read
+/// (normal reads and writes work, commit/abort intact).
+#[test]
+fn serializable_everyday_operations_work() {
+    let db = db("taDOM3+");
+    let t = db.begin();
+    let a = t.element_by_id("a1").unwrap().unwrap();
+    let note = t.insert_element(&a, InsertPos::LastChild, "note").unwrap();
+    t.insert_text(&note, InsertPos::LastChild, "x").unwrap();
+    t.commit().unwrap();
+    let t = db.begin();
+    let a = t.element_by_id("a1").unwrap().unwrap();
+    assert_eq!(t.element_children(&a).unwrap().len(), 1);
+    t.commit().unwrap();
+    assert_eq!(db.lock_table().granted_count(), 0);
+}

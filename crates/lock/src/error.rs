@@ -1,0 +1,46 @@
+//! Lock-manager errors.
+
+use std::fmt;
+
+/// Why a lock request failed. All variants mean the transaction must be
+/// rolled back (the experiments count these as aborts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// This transaction was chosen as the victim of a deadlock it was part
+    /// of. `conversion` classifies the cycle per the paper's analysis
+    /// (conversion deadlock vs. distinct-subtree deadlock).
+    Deadlock {
+        /// At least one cycle member was waiting on a lock conversion.
+        conversion: bool,
+    },
+    /// Another transaction's deadlock detection chose this transaction as
+    /// victim while it was waiting.
+    Aborted,
+    /// The lock wait exceeded the configured timeout (safety valve; also
+    /// counted as an abort).
+    Timeout,
+}
+
+impl LockError {
+    /// `true` for the two deadlock-victim variants.
+    pub fn is_deadlock(self) -> bool {
+        matches!(self, LockError::Deadlock { .. } | LockError::Aborted)
+    }
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Deadlock { conversion: true } => {
+                write!(f, "deadlock victim (conversion deadlock)")
+            }
+            LockError::Deadlock { conversion: false } => {
+                write!(f, "deadlock victim (distinct-subtree deadlock)")
+            }
+            LockError::Aborted => write!(f, "aborted as deadlock victim while waiting"),
+            LockError::Timeout => write!(f, "lock wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}

@@ -1,0 +1,419 @@
+//! Per-protocol lock mode tables: compatibility and conversion matrices
+//! generated from the region algebra.
+//!
+//! A [`ModeTable`] holds one protocol family's mode set (e.g. taDOM2's
+//! IR/NR/LR/SR/IX/CX/SU/SX). The compatibility matrix is the algebra's
+//! [`compatible`](crate::algebra::compatible) evaluated pairwise; the
+//! conversion matrix implements the paper's semantics:
+//!
+//! 1. if the held mode already covers the request → keep it (for two
+//!    pure-read modes, `U` coverage counts as satisfied by `R` coverage —
+//!    this reproduces Fig. 2's `R + U → R`),
+//! 2. if the request covers the held mode → take the request,
+//! 3. otherwise take the join; if a mode equals it exactly, use that
+//!    (taDOM2+'s LRIX/LRCX/SRIX/SRCX exist precisely for this),
+//! 4. else a *benign* covering mode (one whose over-coverage is read-only)
+//!    is used when available,
+//! 5. else, when the join carries `Read` coverage of the child level, the
+//!    **annex rule** of Fig. 4 applies: the coverage is replaced by
+//!    per-child locks (`CX_NR`, `IX_SR`, …) and the intent-only mode is
+//!    taken,
+//! 6. else the minimal covering mode — the `U + IX → X` escalation.
+//!
+//! Explicit `overrides` pin the handful of cells where the paper prints a
+//! normalization choice the rules cannot express (e.g. `IR + NR → NR`,
+//! where both modes are equivalent in every observable way).
+
+use crate::algebra::{compatible, AlgebraMode, CovNonNone, Region, SelfAcc};
+
+/// Index of a mode within its [`ModeTable`].
+pub type ModeIdx = u8;
+
+/// Additional locks a conversion requires (the subscripted results of
+/// Fig. 4): acquire the given mode on every direct child of the context
+/// node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Annex {
+    /// No additional locks.
+    None,
+    /// Lock each direct child with this mode.
+    ChildLocks(ModeIdx),
+}
+
+/// Result of converting a held lock under an additional request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conversion {
+    /// The mode the context-node lock converts to.
+    pub result: ModeIdx,
+    /// Additional per-child locks required first.
+    pub annex: Annex,
+}
+
+/// One protocol family's modes with precomputed matrices.
+#[derive(Debug)]
+pub struct ModeTable {
+    family: &'static str,
+    names: Vec<String>,
+    algs: Vec<AlgebraMode>,
+    compat: Vec<bool>,
+    convert: Vec<Conversion>,
+}
+
+impl ModeTable {
+    /// Generates a table from named algebra modes.
+    ///
+    /// `overrides` pins `(held, requested) → result` cells by name.
+    ///
+    /// # Panics
+    /// If a conversion cannot be resolved (the mode set lacks a top) or an
+    /// override names an unknown mode.
+    pub fn generate(
+        family: &'static str,
+        modes: &[(&str, AlgebraMode)],
+        overrides: &[(&str, &str, &str)],
+    ) -> ModeTable {
+        Self::generate_opts(family, modes, overrides, false)
+    }
+
+    /// Like [`ModeTable::generate`], with the Fig. 4 annex rule enabled
+    /// (taDOM protocols only — MGL-style protocols escalate instead).
+    pub fn generate_with_annex(
+        family: &'static str,
+        modes: &[(&str, AlgebraMode)],
+        overrides: &[(&str, &str, &str)],
+    ) -> ModeTable {
+        Self::generate_opts(family, modes, overrides, true)
+    }
+
+    fn generate_opts(
+        family: &'static str,
+        modes: &[(&str, AlgebraMode)],
+        overrides: &[(&str, &str, &str)],
+        annex: bool,
+    ) -> ModeTable {
+        let names: Vec<String> = modes.iter().map(|(n, _)| n.to_string()).collect();
+        let algs: Vec<AlgebraMode> = modes.iter().map(|(_, a)| *a).collect();
+        let n = algs.len();
+        assert!(n > 0 && n <= u8::MAX as usize, "bad mode count");
+        let mut compat = vec![false; n * n];
+        for req in 0..n {
+            for held in 0..n {
+                compat[req * n + held] = compatible(algs[req], algs[held]);
+            }
+        }
+        let mut convert = Vec::with_capacity(n * n);
+        for held in 0..n {
+            for req in 0..n {
+                convert.push(derive_conversion(family, &names, &algs, held, req, annex));
+            }
+        }
+        let mut table = ModeTable {
+            family,
+            names,
+            algs,
+            compat,
+            convert,
+        };
+        for (held, req, result) in overrides {
+            let h = table.mode_named(held).unwrap_or_else(|| {
+                panic!("{family}: override names unknown mode {held}")
+            });
+            let r = table.mode_named(req).expect("override mode");
+            let res = table.mode_named(result).expect("override mode");
+            table.convert[h as usize * n + req_idx(r) as usize] = Conversion {
+                result: res,
+                annex: Annex::None,
+            };
+        }
+        table
+    }
+
+    /// The family name (diagnostics).
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// Number of modes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false (tables are non-empty); clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mode name by index.
+    pub fn name(&self, m: ModeIdx) -> &str {
+        &self.names[m as usize]
+    }
+
+    /// Algebra interpretation by index.
+    pub fn alg(&self, m: ModeIdx) -> AlgebraMode {
+        self.algs[m as usize]
+    }
+
+    /// Index of a mode by name.
+    pub fn mode_named(&self, name: &str) -> Option<ModeIdx> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as ModeIdx)
+    }
+
+    /// May `requested` be granted while `held` is granted to another
+    /// transaction?
+    pub fn compatible(&self, requested: ModeIdx, held: ModeIdx) -> bool {
+        self.compat[requested as usize * self.len() + held as usize]
+    }
+
+    /// The conversion for (held, requested).
+    pub fn conversion(&self, held: ModeIdx, requested: ModeIdx) -> Conversion {
+        self.convert[held as usize * self.len() + requested as usize]
+    }
+}
+
+fn req_idx(r: ModeIdx) -> ModeIdx {
+    r
+}
+
+/// Derives one conversion cell per the module-level rules.
+fn derive_conversion(
+    family: &str,
+    names: &[String],
+    algs: &[AlgebraMode],
+    held: usize,
+    req: usize,
+    annex: bool,
+) -> Conversion {
+    let h = algs[held];
+    let r = algs[req];
+    // Rule 1: the held mode already covers the request — under the
+    // pure-read U≈R equivalence, reproducing Fig. 2's R + U → R.
+    if covers_for_conversion(h, r) {
+        return plain(held);
+    }
+    // Rule 2: the request strictly covers the held mode (no equivalence:
+    // taking the request must never downgrade a held update intent).
+    if r.covers(h) {
+        return plain(req);
+    }
+    let join = h.join(r);
+    // Rule 3: exact join.
+    if let Some(i) = algs.iter().position(|a| *a == join) {
+        return plain(i);
+    }
+    // Rule 4: benign covering mode (read-only over-coverage).
+    if let Some(i) = minimal_covering(algs, join, true) {
+        return plain(i);
+    }
+    // Rule 5: the annex route — replace child-level Read coverage by
+    // per-child locks.
+    if annex && join.children.cov == Some(CovNonNone::Read) {
+        let child_alg = AlgebraMode::new(
+            SelfAcc::Read,
+            if join.below.cov == Some(CovNonNone::Read) {
+                Region::cov(CovNonNone::Read)
+            } else {
+                Region::NONE
+            },
+            if join.below.cov == Some(CovNonNone::Read) {
+                Region::cov(CovNonNone::Read)
+            } else {
+                Region::NONE
+            },
+        );
+        if let Some(child) = algs.iter().position(|a| *a == child_alg) {
+            let mut reduced = join;
+            reduced.children.cov = None;
+            reduced.children.int_read = true;
+            if reduced.below.cov == Some(CovNonNone::Read) {
+                // The per-child subtree locks carry the deep coverage.
+                reduced.below.cov = None;
+            }
+            if let Some(i) = algs
+                .iter()
+                .position(|a| *a == reduced)
+                .or_else(|| minimal_covering(algs, reduced, true))
+            {
+                return Conversion {
+                    result: i as ModeIdx,
+                    annex: Annex::ChildLocks(child as ModeIdx),
+                };
+            }
+        }
+    }
+    // Rule 6: escalation (e.g. U + IX → X).
+    if let Some(i) = minimal_covering(algs, join, false) {
+        return plain(i);
+    }
+    panic!(
+        "{family}: no conversion for {} + {} (mode set lacks a top)",
+        names[held], names[req]
+    );
+}
+
+fn plain(i: usize) -> Conversion {
+    Conversion {
+        result: i as ModeIdx,
+        annex: Annex::None,
+    }
+}
+
+/// Held-covers-request with the pure-read U≈R equivalence: between two
+/// modes without any write authority, `Read` coverage satisfies an
+/// `Update` request (Fig. 2's `R + U → R`, Fig. 4's `SR + SU → SR`).
+fn covers_for_conversion(holder: AlgebraMode, wanted: AlgebraMode) -> bool {
+    if holder.covers(wanted) {
+        return true;
+    }
+    if holder.has_write() || wanted.has_write() {
+        return false;
+    }
+    holder.covers(weaken_update(wanted))
+}
+
+fn weaken_update(mut m: AlgebraMode) -> AlgebraMode {
+    if m.self_acc == SelfAcc::Update {
+        m.self_acc = SelfAcc::Read;
+    }
+    for r in [&mut m.children, &mut m.below] {
+        if r.cov == Some(CovNonNone::Update) {
+            r.cov = Some(CovNonNone::Read);
+        }
+    }
+    m
+}
+
+/// The lowest-weight mode covering `target`. With `benign_only`, modes
+/// whose over-coverage introduces new Update/Exclusive strength are
+/// excluded (read-level over-coverage is harmless).
+fn minimal_covering(algs: &[AlgebraMode], target: AlgebraMode, benign_only: bool) -> Option<usize> {
+    algs.iter()
+        .enumerate()
+        .filter(|(_, a)| a.covers(target))
+        .filter(|(_, a)| !benign_only || benign_over(**a, target))
+        .min_by_key(|(i, a)| (a.weight(), *i))
+        .map(|(i, _)| i)
+}
+
+/// Over-coverage of `m` beyond `target` is benign when it never exceeds
+/// `Read` strength where the target had less.
+fn benign_over(m: AlgebraMode, target: AlgebraMode) -> bool {
+    let self_ok = m.self_acc <= target.self_acc.max(SelfAcc::Read);
+    let reg_ok = |a: Region, t: Region| match a.cov {
+        None => true,
+        Some(CovNonNone::Read) => true,
+        Some(c) => t.cov >= Some(c),
+    };
+    self_ok && reg_ok(m.children, target.children) && reg_ok(m.below, target.below)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{CovNonNone::*, Region, SelfAcc as S};
+
+    /// The URIX mode set (Fig. 2) under the algebra, MGL semantics:
+    /// R/U/X are subtree locks; intention locks also read-pin the node.
+    fn urix() -> ModeTable {
+        ModeTable::generate(
+            "urix-test",
+            &[
+                ("IR", AlgebraMode::new(S::Read, Region::intents(true, false), Region::intents(true, false))),
+                ("IX", AlgebraMode::new(S::Read, Region::intents(true, true), Region::intents(true, true))),
+                ("R", AlgebraMode::new(S::Read, Region::cov(Read), Region::cov(Read))),
+                ("RIX", AlgebraMode::new(
+                    S::Read,
+                    Region { cov: Some(Read), int_read: true, int_write: true },
+                    Region { cov: Some(Read), int_read: true, int_write: true },
+                )),
+                ("U", AlgebraMode::new(S::Update, Region::cov(Update), Region::cov(Update))),
+                ("X", AlgebraMode::new(S::Excl, Region::cov(Excl), Region::cov(Excl))),
+            ],
+            &[],
+        )
+    }
+
+    #[test]
+    fn urix_compatibility_matches_figure_2() {
+        let t = urix();
+        // Fig. 2, rows = requested, columns = held: IR IX R RIX U X.
+        let expected = [
+            ("IR", [true, true, true, true, false, false]),
+            ("IX", [true, true, false, false, false, false]),
+            ("R", [true, false, true, false, false, false]),
+            ("RIX", [true, false, false, false, false, false]),
+            ("U", [true, false, true, false, false, false]),
+            ("X", [false, false, false, false, false, false]),
+        ];
+        let order = ["IR", "IX", "R", "RIX", "U", "X"];
+        for (req, row) in expected {
+            for (j, held) in order.iter().enumerate() {
+                let got = t.compatible(t.mode_named(req).unwrap(), t.mode_named(held).unwrap());
+                assert_eq!(got, row[j], "compat({req}, {held})");
+            }
+        }
+    }
+
+    #[test]
+    fn urix_conversion_matches_figure_2() {
+        let t = urix();
+        // Fig. 2 conversion matrix: rows = held, columns = requested.
+        let expected = [
+            ("IR", ["IR", "IX", "R", "RIX", "U", "X"]),
+            ("IX", ["IX", "IX", "RIX", "RIX", "X", "X"]),
+            ("R", ["R", "RIX", "R", "RIX", "R", "X"]),
+            ("RIX", ["RIX", "RIX", "RIX", "RIX", "X", "X"]),
+            ("U", ["U", "X", "U", "X", "U", "X"]),
+            ("X", ["X", "X", "X", "X", "X", "X"]),
+        ];
+        let order = ["IR", "IX", "R", "RIX", "U", "X"];
+        for (held, row) in expected {
+            for (j, req) in order.iter().enumerate() {
+                let conv = t.conversion(t.mode_named(held).unwrap(), t.mode_named(req).unwrap());
+                assert_eq!(
+                    t.name(conv.result),
+                    row[j],
+                    "convert(held={held}, req={req})"
+                );
+                assert_eq!(conv.annex, Annex::None, "URIX conversions need no annex");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_result_covers_both_inputs_up_to_u_equivalence() {
+        let t = urix();
+        for held in 0..t.len() as ModeIdx {
+            for req in 0..t.len() as ModeIdx {
+                let c = t.conversion(held, req);
+                let res = t.alg(c.result);
+                assert!(
+                    covers_for_conversion(res, t.alg(held))
+                        && covers_for_conversion(res, t.alg(req)),
+                    "convert({}, {}) = {} does not cover inputs",
+                    t.name(held),
+                    t.name(req),
+                    t.name(c.result)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let t = ModeTable::generate(
+            "ov",
+            &[
+                ("A", AlgebraMode::new(S::Read, Region::NONE, Region::NONE)),
+                ("B", AlgebraMode::new(S::Read, Region::intents(true, false), Region::NONE)),
+            ],
+            &[("B", "A", "A")],
+        );
+        let (a, b) = (t.mode_named("A").unwrap(), t.mode_named("B").unwrap());
+        assert_eq!(t.conversion(b, a).result, a);
+        // Unoverridden direction keeps the derived value (B covers A).
+        assert_eq!(t.conversion(a, b).result, b);
+    }
+}

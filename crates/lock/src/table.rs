@@ -1,0 +1,591 @@
+//! The lock table: sharded hash table of lock heads with FIFO wait queues,
+//! conversion priority, and integrated wait-for-graph deadlock detection.
+//!
+//! One [`LockTable`] serves all protocols: a protocol is a set of mode
+//! *families* (its [`ModeTable`]s) plus mapping logic (`xtc-protocols`).
+//! Lock names carry the family, so e.g. Node2PL's structure, content, and
+//! jump locks live in separate families that never conflict with each
+//! other — exactly the three separate matrices of Figure 1.
+
+use crate::error::LockError;
+use crate::modes::{Annex, ModeIdx, ModeTable};
+use crate::txn::{LockClass, TxnId, TxnRegistry};
+use parking_lot::{Condvar, Mutex};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xtc_splid::SplId;
+
+/// The four virtual navigation edges whose stability repeatable-read
+/// traversal must guarantee (§2 intro, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `getFirstChild()` of the named node.
+    FirstChild,
+    /// `getLastChild()` of the named node.
+    LastChild,
+    /// `getNextSibling()` of the named node.
+    NextSibling,
+    /// `getPreviousSibling()` of the named node.
+    PrevSibling,
+}
+
+/// What a lock protects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LockTarget {
+    /// A node, identified by its SPLID.
+    Node(SplId),
+    /// A virtual navigation edge anchored at a node.
+    Edge(SplId, EdgeKind),
+    /// A probed value of the ID index — locked under isolation level
+    /// serializable so `getElementById` jumps are phantom-free even for
+    /// values that do not (yet) exist.
+    IndexKey(Vec<u8>),
+}
+
+/// Index of a mode family within the protocol's family list.
+pub type FamilyId = u8;
+
+/// A lockable name: target + mode family. Different families on the same
+/// target never conflict (Figure 1's separate matrices).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockName {
+    /// The protocol-defined family this lock belongs to.
+    pub family: FamilyId,
+    /// What is being locked.
+    pub target: LockTarget,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquired {
+    /// The lock is held in a sufficient mode.
+    Granted,
+    /// The requested conversion first requires per-child annex locks
+    /// (Fig. 4's subscript rule). Acquire `child_mode` on every direct
+    /// child, then retry with `annex_done = true`.
+    NeedsAnnex {
+        /// Mode to acquire on each direct child.
+        child_mode: ModeIdx,
+    },
+}
+
+/// Counters of deadlock events, classified per the paper's TaMix analysis:
+/// "whether it was caused by lock conversion (frequent occurrence) or by
+/// lock requests in separate subtrees (rather rare cases)".
+#[derive(Debug, Default)]
+pub struct DeadlockStats {
+    total: AtomicU64,
+    conversion: AtomicU64,
+}
+
+impl DeadlockStats {
+    /// Total deadlocks resolved (one per victim).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Deadlocks involving at least one lock conversion.
+    pub fn conversion_caused(&self) -> u64 {
+        self.conversion.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, conversion: bool) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if conversion {
+            self.conversion.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct Waiter {
+    txn: TxnId,
+    mode: ModeIdx,
+}
+
+#[derive(Default)]
+struct LockHead {
+    /// One entry per holding transaction.
+    granted: Vec<(TxnId, ModeIdx)>,
+    /// FIFO queue of new requests.
+    queue: VecDeque<Waiter>,
+    /// Pending conversions (txn already in `granted`; target mode). These
+    /// have priority over queued requests and act as grant barriers for
+    /// newcomers, preventing conversion starvation.
+    converting: Vec<(TxnId, ModeIdx)>,
+}
+
+impl LockHead {
+    fn is_unused(&self) -> bool {
+        self.granted.is_empty() && self.queue.is_empty() && self.converting.is_empty()
+    }
+}
+
+struct Shard {
+    state: Mutex<HashMap<LockName, LockHead>>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct WaitGraph {
+    /// blocked txn → (was it converting, the txns it waits for).
+    edges: HashMap<TxnId, (bool, HashSet<TxnId>)>,
+}
+
+impl WaitGraph {
+    /// Finds a cycle through `start`, returning the members of one path
+    /// back to `start`.
+    ///
+    /// Linear-time reachability DFS: the visited set persists across
+    /// backtracking (each node's edge list is scanned exactly once). A
+    /// path-enumerating DFS is exponential on the dense wait-for graphs
+    /// low lock depths produce — 72 transactions contending on a handful
+    /// of names generate graphs where that blows up for hours while
+    /// holding the graph mutex.
+    fn cycle_through(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        let mut visited: HashSet<TxnId> = [start].into();
+        let mut path = vec![start];
+        self.dfs(start, start, &mut path, &mut visited)
+    }
+
+    fn dfs(
+        &self,
+        start: TxnId,
+        cur: TxnId,
+        path: &mut Vec<TxnId>,
+        visited: &mut HashSet<TxnId>,
+    ) -> Option<Vec<TxnId>> {
+        let (_, nexts) = self.edges.get(&cur)?;
+        for &n in nexts {
+            if n == start {
+                return Some(path.clone());
+            }
+            if visited.insert(n) {
+                path.push(n);
+                if let Some(c) = self.dfs(start, n, path, visited) {
+                    return Some(c);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
+}
+
+/// The lock table shared by all transactions of one database.
+pub struct LockTable {
+    shards: Box<[Shard]>,
+    families: Vec<Arc<ModeTable>>,
+    registry: Arc<TxnRegistry>,
+    wfg: Mutex<WaitGraph>,
+    deadlocks: DeadlockStats,
+    timeout: Duration,
+    /// Total lock requests served (lock-manager overhead metric).
+    requests: AtomicU64,
+    /// Requests per (family, mode) — the per-mode histogram of §4.1's
+    /// lock-manager metrics.
+    mode_requests: Vec<Vec<AtomicU64>>,
+}
+
+/// Wait-slice granularity: bounds the latency of deadlock-victim wakeup
+/// (a victim marked between its flag check and its wait misses one
+/// notification at most).
+const WAIT_SLICE: Duration = Duration::from_millis(20);
+
+impl LockTable {
+    /// Creates a table for the given mode families.
+    pub fn new(
+        families: Vec<Arc<ModeTable>>,
+        registry: Arc<TxnRegistry>,
+        timeout: Duration,
+    ) -> Self {
+        let shard_count = 64;
+        let shards = (0..shard_count)
+            .map(|_| Shard {
+                state: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            })
+            .collect();
+        let mode_requests = families
+            .iter()
+            .map(|f| (0..f.len()).map(|_| AtomicU64::new(0)).collect())
+            .collect();
+        LockTable {
+            shards,
+            families,
+            registry,
+            wfg: Mutex::new(WaitGraph::default()),
+            deadlocks: DeadlockStats::default(),
+            timeout,
+            requests: AtomicU64::new(0),
+            mode_requests,
+        }
+    }
+
+    /// The mode table of a family.
+    pub fn family(&self, f: FamilyId) -> &ModeTable {
+        &self.families[f as usize]
+    }
+
+    /// Deadlock counters.
+    pub fn deadlocks(&self) -> &DeadlockStats {
+        &self.deadlocks
+    }
+
+    /// Total lock requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Lock requests per mode: `(family name, mode name, count)` for
+    /// every mode that was requested at least once.
+    pub fn requests_by_mode(&self) -> Vec<(&'static str, String, u64)> {
+        let mut out = Vec::new();
+        for (f, fam) in self.families.iter().enumerate() {
+            for m in 0..fam.len() {
+                let n = self.mode_requests[f][m].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push((fam.family(), fam.name(m as ModeIdx).to_string(), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// The transaction registry this table records held locks in.
+    pub fn registry(&self) -> &Arc<TxnRegistry> {
+        &self.registry
+    }
+
+    fn shard(&self, name: &LockName) -> &Shard {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Requests `mode` on `name` for `txn`, blocking until granted,
+    /// deadlock-aborted, or timed out.
+    ///
+    /// Returns [`Acquired::NeedsAnnex`] (without blocking or changing
+    /// state) when the implied conversion requires per-child locks first.
+    pub fn lock(
+        &self,
+        txn: TxnId,
+        name: &LockName,
+        mode: ModeIdx,
+        class: LockClass,
+        annex_done: bool,
+    ) -> Result<Acquired, LockError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(fam) = self.mode_requests.get(name.family as usize) {
+            if let Some(ctr) = fam.get(mode as usize) {
+                ctr.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if self.registry.is_aborted(txn) {
+            return Err(LockError::Aborted);
+        }
+        let table = self.family(name.family);
+        assert!(
+            (mode as usize) < table.len(),
+            "mode index {mode} out of range for family {}",
+            table.family()
+        );
+        let shard = self.shard(name);
+        let mut g = shard.state.lock();
+        let head = g.entry(name.clone()).or_default();
+
+        if let Some(pos) = head.granted.iter().position(|(t, _)| *t == txn) {
+            // Conversion path.
+            let held = head.granted[pos].1;
+            let conv = table.conversion(held, mode);
+            if conv.result == held {
+                drop(g);
+                self.registry.record_lock(txn, name.clone(), class);
+                return Ok(Acquired::Granted);
+            }
+            if let Annex::ChildLocks(child_mode) = conv.annex {
+                if !annex_done {
+                    return Ok(Acquired::NeedsAnnex { child_mode });
+                }
+            }
+            let target = conv.result;
+            if self.conversion_grantable(head, txn, target, table) {
+                head.granted[pos].1 = target;
+                drop(g);
+                self.registry.record_lock(txn, name.clone(), class);
+                return Ok(Acquired::Granted);
+            }
+            head.converting.push((txn, target));
+            let res = self.wait(shard, g, name, txn, target, table, true);
+            if res.is_ok() {
+                self.registry.record_lock(txn, name.clone(), class);
+            }
+            return res.map(|()| Acquired::Granted);
+        }
+
+        // New request path.
+        if head.queue.is_empty() && self.new_grantable(head, txn, mode, table, usize::MAX) {
+            head.granted.push((txn, mode));
+            drop(g);
+            self.registry.record_lock(txn, name.clone(), class);
+            return Ok(Acquired::Granted);
+        }
+        head.queue.push_back(Waiter { txn, mode });
+        let res = self.wait(shard, g, name, txn, mode, table, false);
+        if res.is_ok() {
+            self.registry.record_lock(txn, name.clone(), class);
+        }
+        res.map(|()| Acquired::Granted)
+    }
+
+    /// Grant check for a pending conversion: compatible with every *other*
+    /// granted mode.
+    fn conversion_grantable(
+        &self,
+        head: &LockHead,
+        txn: TxnId,
+        target: ModeIdx,
+        table: &ModeTable,
+    ) -> bool {
+        head.granted
+            .iter()
+            .filter(|(t, _)| *t != txn)
+            .all(|(_, m)| table.compatible(target, *m))
+    }
+
+    /// Grant check for a queued request at position `pos` (or `usize::MAX`
+    /// for "queue empty" fast path): compatible with granted modes,
+    /// pending conversion targets, and all earlier waiters.
+    fn new_grantable(
+        &self,
+        head: &LockHead,
+        _txn: TxnId,
+        mode: ModeIdx,
+        table: &ModeTable,
+        pos: usize,
+    ) -> bool {
+        head.granted.iter().all(|(_, m)| table.compatible(mode, *m))
+            && head
+                .converting
+                .iter()
+                .all(|(_, m)| table.compatible(mode, *m))
+            && head
+                .queue
+                .iter()
+                .take(pos)
+                .all(|w| table.compatible(mode, w.mode))
+    }
+
+    /// Blocks until the pending request/conversion is granted.
+    #[allow(clippy::too_many_arguments)]
+    fn wait(
+        &self,
+        shard: &Shard,
+        mut g: parking_lot::MutexGuard<'_, HashMap<LockName, LockHead>>,
+        name: &LockName,
+        txn: TxnId,
+        target: ModeIdx,
+        table: &ModeTable,
+        converting: bool,
+    ) -> Result<(), LockError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            // Aborted by another detector's victim choice?
+            if self.registry.is_aborted(txn) {
+                self.remove_request(&mut g, name, txn, converting);
+                self.clear_edges(txn);
+                shard.cv.notify_all();
+                return Err(LockError::Aborted);
+            }
+            // Try to grant.
+            let head = g.get_mut(name).expect("lock head disappeared");
+            if converting {
+                if self.conversion_grantable(head, txn, target, table) {
+                    head.converting.retain(|(t, _)| *t != txn);
+                    let e = head
+                        .granted
+                        .iter_mut()
+                        .find(|(t, _)| *t == txn)
+                        .expect("converter lost its grant");
+                    e.1 = target;
+                    self.clear_edges(txn);
+                    shard.cv.notify_all();
+                    return Ok(());
+                }
+            } else {
+                let pos = head
+                    .queue
+                    .iter()
+                    .position(|w| w.txn == txn)
+                    .expect("waiter vanished from queue");
+                if self.new_grantable(head, txn, target, table, pos) {
+                    head.queue.remove(pos);
+                    head.granted.push((txn, target));
+                    self.clear_edges(txn);
+                    shard.cv.notify_all();
+                    return Ok(());
+                }
+            }
+            // Record who blocks us and check for deadlock.
+            let blockers = self.blockers_of(g.get(name).unwrap(), txn, target, table, converting);
+            if let Some(err) = self.update_graph_and_detect(txn, converting, blockers) {
+                self.remove_request(&mut g, name, txn, converting);
+                shard.cv.notify_all();
+                return Err(err);
+            }
+            if Instant::now() >= deadline {
+                self.remove_request(&mut g, name, txn, converting);
+                self.clear_edges(txn);
+                shard.cv.notify_all();
+                return Err(LockError::Timeout);
+            }
+            shard.cv.wait_for(&mut g, WAIT_SLICE);
+        }
+    }
+
+    fn blockers_of(
+        &self,
+        head: &LockHead,
+        txn: TxnId,
+        target: ModeIdx,
+        table: &ModeTable,
+        converting: bool,
+    ) -> HashSet<TxnId> {
+        let mut out = HashSet::new();
+        for (t, m) in &head.granted {
+            if *t != txn && !table.compatible(target, *m) {
+                out.insert(*t);
+            }
+        }
+        if !converting {
+            for (t, m) in &head.converting {
+                if *t != txn && !table.compatible(target, *m) {
+                    out.insert(*t);
+                }
+            }
+            for w in head
+                .queue
+                .iter()
+                .take_while(|w| w.txn != txn)
+            {
+                if !table.compatible(target, w.mode) {
+                    out.insert(w.txn);
+                }
+            }
+        }
+        out
+    }
+
+    /// Updates this transaction's wait-for edges, looks for a cycle, and
+    /// resolves it by aborting the youngest member. Returns an error when
+    /// this transaction is the victim.
+    fn update_graph_and_detect(
+        &self,
+        txn: TxnId,
+        converting: bool,
+        blockers: HashSet<TxnId>,
+    ) -> Option<LockError> {
+        let mut wfg = self.wfg.lock();
+        wfg.edges.insert(txn, (converting, blockers));
+        let cycle = wfg.cycle_through(txn)?;
+        let conversion_involved = cycle
+            .iter()
+            .any(|t| wfg.edges.get(t).map(|(c, _)| *c).unwrap_or(false))
+            || converting;
+        let victim = *cycle.iter().max().expect("cycle non-empty");
+        if victim == txn {
+            wfg.edges.remove(&txn);
+            drop(wfg);
+            if self.registry.mark_aborted(txn) {
+                self.deadlocks.record(conversion_involved);
+            }
+            return Some(LockError::Deadlock {
+                conversion: conversion_involved,
+            });
+        }
+        drop(wfg);
+        if self.registry.mark_aborted(victim) {
+            self.deadlocks.record(conversion_involved);
+        }
+        // Wake the victim wherever it waits.
+        for s in self.shards.iter() {
+            s.cv.notify_all();
+        }
+        None
+    }
+
+    fn clear_edges(&self, txn: TxnId) {
+        self.wfg.lock().edges.remove(&txn);
+    }
+
+    fn remove_request(
+        &self,
+        g: &mut HashMap<LockName, LockHead>,
+        name: &LockName,
+        txn: TxnId,
+        converting: bool,
+    ) {
+        if let Some(head) = g.get_mut(name) {
+            if converting {
+                head.converting.retain(|(t, _)| *t != txn);
+            } else {
+                head.queue.retain(|w| w.txn != txn);
+            }
+            if head.is_unused() {
+                g.remove(name);
+            }
+        }
+        self.clear_edges(txn);
+    }
+
+    /// The mode `txn` currently holds on `name`, if any.
+    pub fn held_mode(&self, txn: TxnId, name: &LockName) -> Option<ModeIdx> {
+        let g = self.shard(name).state.lock();
+        g.get(name)?
+            .granted
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
+    }
+
+    /// Releases the short-class locks of `txn` (end of operation under
+    /// isolation level *committed*).
+    pub fn release_end_of_operation(&self, txn: TxnId) {
+        for name in self.registry.take_releasable(txn, false) {
+            self.release_one(txn, &name);
+        }
+    }
+
+    /// Releases every lock of `txn` (commit or abort).
+    pub fn release_all(&self, txn: TxnId) {
+        for name in self.registry.take_releasable(txn, true) {
+            self.release_one(txn, &name);
+        }
+        self.clear_edges(txn);
+    }
+
+    fn release_one(&self, txn: TxnId, name: &LockName) {
+        let shard = self.shard(name);
+        let mut g = shard.state.lock();
+        if let Some(head) = g.get_mut(name) {
+            head.granted.retain(|(t, _)| *t != txn);
+            if head.is_unused() {
+                g.remove(name);
+            }
+        }
+        drop(g);
+        shard.cv.notify_all();
+    }
+
+    /// Number of granted lock entries across all shards (diagnostics).
+    pub fn granted_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().values().map(|h| h.granted.len()).sum::<usize>())
+            .sum()
+    }
+}

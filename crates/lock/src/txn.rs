@@ -1,0 +1,260 @@
+//! Transaction registry: identities, abort flags, held-lock bookkeeping,
+//! and isolation levels.
+
+use crate::table::LockName;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transaction identifier. Monotonically increasing; the deadlock victim
+/// policy ("youngest dies") compares these.
+pub type TxnId = u64;
+
+/// How long a lock is held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    /// Released at the end of the current operation (short read locks of
+    /// isolation level *committed*).
+    Short,
+    /// Released at commit/abort.
+    Long,
+}
+
+/// The four isolation levels of the experiments (§4.3, footnote 5):
+/// "While none acquires no locks at all, all others need long write locks;
+/// uncommitted means no read locks, committed and repeatable short and
+/// long read locks, respectively."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationLevel {
+    /// No locks at all.
+    None,
+    /// Uncommitted read: long write locks, no read locks.
+    Uncommitted,
+    /// Committed read: long write locks, short read locks.
+    Committed,
+    /// Repeatable read: long write and read locks.
+    Repeatable,
+    /// Serializable: repeatable read plus index-key locks protecting
+    /// direct jumps against phantoms (footnote 1 of the paper: "offered
+    /// by the taDOM* group, but not used in our experiments"; here it is
+    /// implemented for every protocol via key-value locks on the ID
+    /// index).
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// Lock class for read locks, or `None` when reads go unlocked.
+    pub fn read_class(self) -> Option<LockClass> {
+        match self {
+            IsolationLevel::None | IsolationLevel::Uncommitted => None,
+            IsolationLevel::Committed => Some(LockClass::Short),
+            IsolationLevel::Repeatable | IsolationLevel::Serializable => Some(LockClass::Long),
+        }
+    }
+
+    /// Lock class for write locks, or `None` when writes go unlocked.
+    pub fn write_class(self) -> Option<LockClass> {
+        match self {
+            IsolationLevel::None => None,
+            _ => Some(LockClass::Long),
+        }
+    }
+
+    /// The four levels of the paper's experiments, weakest first (bench
+    /// sweep order; serializable was not measured in the paper and is
+    /// kept out of the figure sweeps).
+    pub const ALL: [IsolationLevel; 4] = [
+        IsolationLevel::None,
+        IsolationLevel::Uncommitted,
+        IsolationLevel::Committed,
+        IsolationLevel::Repeatable,
+    ];
+
+    /// `true` when direct jumps must also lock the index key they probe
+    /// (phantom protection for `getElementById`).
+    pub fn locks_index_keys(self) -> bool {
+        matches!(self, IsolationLevel::Serializable)
+    }
+
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::None => "none",
+            IsolationLevel::Uncommitted => "uncommitted",
+            IsolationLevel::Committed => "committed",
+            IsolationLevel::Repeatable => "repeatable",
+            IsolationLevel::Serializable => "serializable",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TxnEntry {
+    aborted: Arc<AtomicBool>,
+    /// Held lock names with their class (strongest wins on re-acquire).
+    held: Vec<(LockName, LockClass)>,
+}
+
+/// Registry of live transactions.
+#[derive(Debug, Default)]
+pub struct TxnRegistry {
+    next: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnEntry>>,
+}
+
+impl TxnRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TxnRegistry::default()
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.txns.lock().insert(id, TxnEntry::default());
+        id
+    }
+
+    /// The abort flag handle for a transaction (shared so waiters can poll
+    /// it without the registry mutex).
+    pub fn abort_flag(&self, txn: TxnId) -> Option<Arc<AtomicBool>> {
+        self.txns.lock().get(&txn).map(|e| e.aborted.clone())
+    }
+
+    /// Marks a transaction as deadlock victim; returns `true` if this call
+    /// performed the transition (so concurrent detectors of the same cycle
+    /// count one deadlock, not two).
+    pub fn mark_aborted(&self, txn: TxnId) -> bool {
+        match self.txns.lock().get(&txn) {
+            Some(e) => !e.aborted.swap(true, Ordering::SeqCst),
+            None => false,
+        }
+    }
+
+    /// Whether the transaction has been marked as victim.
+    pub fn is_aborted(&self, txn: TxnId) -> bool {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|e| e.aborted.load(Ordering::SeqCst))
+            .unwrap_or(false)
+    }
+
+    /// Records a (possibly re-acquired) lock; keeps the strongest class.
+    pub fn record_lock(&self, txn: TxnId, name: LockName, class: LockClass) {
+        let mut g = self.txns.lock();
+        let Some(e) = g.get_mut(&txn) else { return };
+        match e.held.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c = (*c).max(class),
+            None => e.held.push((name, class)),
+        }
+    }
+
+    /// Drains the locks to release: all of them, or only the short ones.
+    pub fn take_releasable(&self, txn: TxnId, all: bool) -> Vec<LockName> {
+        let mut g = self.txns.lock();
+        let Some(e) = g.get_mut(&txn) else {
+            return Vec::new();
+        };
+        if all {
+            e.held.drain(..).map(|(n, _)| n).collect()
+        } else {
+            let (short, long): (Vec<_>, Vec<_>) = e
+                .held
+                .drain(..)
+                .partition(|(_, c)| *c == LockClass::Short);
+            e.held = long;
+            short.into_iter().map(|(n, _)| n).collect()
+        }
+    }
+
+    /// Number of locks currently recorded for the transaction.
+    pub fn held_count(&self, txn: TxnId) -> usize {
+        self.txns.lock().get(&txn).map(|e| e.held.len()).unwrap_or(0)
+    }
+
+    /// Removes a finished transaction. Call after releasing its locks.
+    pub fn finish(&self, txn: TxnId) {
+        self.txns.lock().remove(&txn);
+    }
+
+    /// Number of live transactions.
+    pub fn live(&self) -> usize {
+        self.txns.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{LockName, LockTarget};
+    use xtc_splid::SplId;
+
+    fn name(fam: u8) -> LockName {
+        LockName {
+            family: fam,
+            target: LockTarget::Node(SplId::root()),
+        }
+    }
+
+    #[test]
+    fn begin_ids_are_monotonic() {
+        let r = TxnRegistry::new();
+        let a = r.begin();
+        let b = r.begin();
+        assert!(b > a);
+        assert_eq!(r.live(), 2);
+        r.finish(a);
+        assert_eq!(r.live(), 1);
+    }
+
+    #[test]
+    fn abort_flag_visible() {
+        let r = TxnRegistry::new();
+        let t = r.begin();
+        assert!(!r.is_aborted(t));
+        let flag = r.abort_flag(t).unwrap();
+        r.mark_aborted(t);
+        assert!(r.is_aborted(t));
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn lock_classes_upgrade_and_release_by_class() {
+        let r = TxnRegistry::new();
+        let t = r.begin();
+        r.record_lock(t, name(0), LockClass::Short);
+        r.record_lock(t, name(1), LockClass::Long);
+        r.record_lock(t, name(0), LockClass::Long); // upgrade
+        let short = r.take_releasable(t, false);
+        assert!(short.is_empty(), "upgraded lock must not release early");
+        assert_eq!(r.held_count(t), 2);
+        let all = r.take_releasable(t, true);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn short_locks_release_at_end_of_operation() {
+        let r = TxnRegistry::new();
+        let t = r.begin();
+        r.record_lock(t, name(0), LockClass::Short);
+        r.record_lock(t, name(1), LockClass::Long);
+        let short = r.take_releasable(t, false);
+        assert_eq!(short, vec![name(0)]);
+        assert_eq!(r.held_count(t), 1);
+    }
+
+    #[test]
+    fn isolation_level_classes_match_footnote_5() {
+        use IsolationLevel::*;
+        assert_eq!(None.read_class(), Option::None);
+        assert_eq!(None.write_class(), Option::None);
+        assert_eq!(Uncommitted.read_class(), Option::None);
+        assert_eq!(Uncommitted.write_class(), Some(LockClass::Long));
+        assert_eq!(Committed.read_class(), Some(LockClass::Short));
+        assert_eq!(Committed.write_class(), Some(LockClass::Long));
+        assert_eq!(Repeatable.read_class(), Some(LockClass::Long));
+        assert_eq!(Repeatable.write_class(), Some(LockClass::Long));
+    }
+}

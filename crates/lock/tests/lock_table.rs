@@ -1,0 +1,348 @@
+//! Concurrency tests for the lock table: blocking, FIFO fairness,
+//! conversion priority, deadlock detection and victim choice.
+
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_lock::algebra::{AlgebraMode, Region, SelfAcc};
+use xtc_lock::{
+    Acquired, LockClass, LockError, LockName, LockTable, LockTarget, ModeTable, TxnRegistry,
+};
+use xtc_splid::SplId;
+
+/// A miniature S/U/X family for table tests.
+fn sux() -> Arc<ModeTable> {
+    Arc::new(ModeTable::generate(
+        "sux",
+        &[
+            ("S", AlgebraMode::new(SelfAcc::Read, Region::NONE, Region::NONE)),
+            (
+                "U",
+                AlgebraMode::new(SelfAcc::Update, Region::NONE, Region::NONE),
+            ),
+            (
+                "X",
+                AlgebraMode::new(SelfAcc::Excl, Region::NONE, Region::NONE),
+            ),
+        ],
+        &[],
+    ))
+}
+
+fn table() -> (Arc<LockTable>, Arc<TxnRegistry>) {
+    let reg = Arc::new(TxnRegistry::new());
+    let t = Arc::new(LockTable::new(
+        vec![sux()],
+        reg.clone(),
+        Duration::from_secs(5),
+    ));
+    (t, reg)
+}
+
+fn node(s: &str) -> LockName {
+    LockName {
+        family: 0,
+        target: LockTarget::Node(SplId::parse(s).unwrap()),
+    }
+}
+
+fn m(t: &LockTable, name: &str) -> u8 {
+    t.family(0).mode_named(name).unwrap()
+}
+
+#[test]
+fn shared_locks_coexist_exclusive_blocks() {
+    let (t, reg) = table();
+    let (a, b) = (reg.begin(), reg.begin());
+    let n = node("1.3");
+    let s = m(&t, "S");
+    assert_eq!(
+        t.lock(a, &n, s, LockClass::Long, false).unwrap(),
+        Acquired::Granted
+    );
+    assert_eq!(
+        t.lock(b, &n, s, LockClass::Long, false).unwrap(),
+        Acquired::Granted
+    );
+    assert_eq!(t.granted_count(), 2);
+    // X from a third txn blocks until both release.
+    let c = reg.begin();
+    let t2 = t.clone();
+    let n2 = n.clone();
+    let x = m(&t, "X");
+    let h = std::thread::spawn(move || t2.lock(c, &n2, x, LockClass::Long, false));
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!h.is_finished(), "X must wait for readers");
+    t.release_all(a);
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!h.is_finished(), "X must wait for the second reader too");
+    t.release_all(b);
+    assert_eq!(h.join().unwrap().unwrap(), Acquired::Granted);
+}
+
+#[test]
+fn reacquire_and_upgrade_same_txn() {
+    let (t, reg) = table();
+    let a = reg.begin();
+    let n = node("1.3");
+    t.lock(a, &n, m(&t, "S"), LockClass::Long, false).unwrap();
+    // Re-acquiring the same or weaker mode is a no-op.
+    t.lock(a, &n, m(&t, "S"), LockClass::Long, false).unwrap();
+    assert_eq!(t.held_mode(a, &n), Some(m(&t, "S")));
+    // Upgrading to X succeeds immediately (no other holders).
+    t.lock(a, &n, m(&t, "X"), LockClass::Long, false).unwrap();
+    assert_eq!(t.held_mode(a, &n), Some(m(&t, "X")));
+    assert_eq!(t.granted_count(), 1, "conversion does not duplicate entries");
+}
+
+#[test]
+fn conversion_deadlock_detected_and_classified() {
+    let (t, reg) = table();
+    let (a, b) = (reg.begin(), reg.begin());
+    let n = node("1.3");
+    let s = m(&t, "S");
+    let x = m(&t, "X");
+    t.lock(a, &n, s, LockClass::Long, false).unwrap();
+    t.lock(b, &n, s, LockClass::Long, false).unwrap();
+    // Both try to convert S -> X: the classic conversion deadlock. A
+    // victim rolls back (releases its locks) like the transaction layer
+    // does.
+    let (t2, n2, reg2) = (t.clone(), n.clone(), reg.clone());
+    let h = std::thread::spawn(move || {
+        let r = t2.lock(b, &n2, x, LockClass::Long, false);
+        if r.is_err() {
+            t2.release_all(b);
+            reg2.finish(b);
+        }
+        r
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let res = t.lock(a, &n, x, LockClass::Long, false);
+    let other = h.join().unwrap();
+    // Exactly one of the two must die; the victim is the younger (b).
+    match (res, other) {
+        (Ok(Acquired::Granted), Err(e)) => {
+            assert!(e.is_deadlock(), "{e:?}");
+        }
+        (Err(e), _) => panic!("older transaction a must not be the victim: {e:?}"),
+        (Ok(o), r) => panic!("unexpected outcome {o:?} / {r:?}"),
+    }
+    let stats = t.deadlocks();
+    assert_eq!(stats.total(), 1);
+    assert_eq!(stats.conversion_caused(), 1, "conversion deadlock");
+    assert_eq!(t.held_mode(a, &n), Some(x));
+}
+
+#[test]
+fn two_name_cycle_detected_as_distinct_subtree_deadlock() {
+    let (t, reg) = table();
+    let (a, b) = (reg.begin(), reg.begin());
+    let (n1, n2) = (node("1.3"), node("1.5"));
+    let x = m(&t, "X");
+    t.lock(a, &n1, x, LockClass::Long, false).unwrap();
+    t.lock(b, &n2, x, LockClass::Long, false).unwrap();
+    let (t2, n1c, reg2) = (t.clone(), n1.clone(), reg.clone());
+    let h = std::thread::spawn(move || {
+        let r = t2.lock(b, &n1c, x, LockClass::Long, false);
+        if r.is_err() {
+            t2.release_all(b);
+            reg2.finish(b);
+        }
+        r
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let res = t.lock(a, &n2, x, LockClass::Long, false);
+    let other = h.join().unwrap();
+    // b (younger) must be the victim.
+    assert!(other.is_err());
+    assert!(other.unwrap_err().is_deadlock());
+    res.expect("survivor acquires after victim aborts and releases");
+    let stats = t.deadlocks();
+    assert_eq!(stats.total(), 1);
+    assert_eq!(
+        stats.conversion_caused(),
+        0,
+        "no conversion involved in this cycle"
+    );
+}
+
+#[test]
+fn aborted_victim_waiting_elsewhere_wakes_with_error() {
+    let (t, reg) = table();
+    let (a, b) = (reg.begin(), reg.begin());
+    let (n1, n2) = (node("1.3"), node("1.5"));
+    let x = m(&t, "X");
+    t.lock(a, &n1, x, LockClass::Long, false).unwrap();
+    // b waits on n1.
+    let t2 = t.clone();
+    let n1c = n1.clone();
+    let h = std::thread::spawn(move || t2.lock(b, &n1c, x, LockClass::Long, false));
+    std::thread::sleep(Duration::from_millis(50));
+    // Someone marks b aborted (as a deadlock victim would be).
+    reg.mark_aborted(b);
+    let res = h.join().unwrap();
+    assert_eq!(res, Err(LockError::Aborted));
+    // n1 is still exclusively held by a; n2 free.
+    t.lock(a, &n2, x, LockClass::Long, false).unwrap();
+}
+
+#[test]
+fn timeout_fires() {
+    let reg = Arc::new(TxnRegistry::new());
+    let t = Arc::new(LockTable::new(
+        vec![sux()],
+        reg.clone(),
+        Duration::from_millis(120),
+    ));
+    let (a, b) = (reg.begin(), reg.begin());
+    let n = node("1.3");
+    let x = m(&t, "X");
+    t.lock(a, &n, x, LockClass::Long, false).unwrap();
+    let res = t.lock(b, &n, x, LockClass::Long, false);
+    assert_eq!(res, Err(LockError::Timeout));
+}
+
+#[test]
+fn update_mode_asymmetry_at_the_table() {
+    let (t, reg) = table();
+    let (a, b, c) = (reg.begin(), reg.begin(), reg.begin());
+    let n = node("1.3");
+    let (s, u) = (m(&t, "S"), m(&t, "U"));
+    t.lock(a, &n, s, LockClass::Long, false).unwrap();
+    // U joins an existing reader…
+    t.lock(b, &n, u, LockClass::Long, false).unwrap();
+    // …but a *new* reader is blocked behind the held U.
+    let t2 = t.clone();
+    let n2 = n.clone();
+    let h = std::thread::spawn(move || t2.lock(c, &n2, s, LockClass::Long, false));
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!h.is_finished(), "reader must queue behind held U");
+    t.release_all(b);
+    h.join().unwrap().unwrap();
+}
+
+#[test]
+fn end_of_operation_releases_only_short_locks() {
+    let (t, reg) = table();
+    let a = reg.begin();
+    let (n1, n2) = (node("1.3"), node("1.5"));
+    t.lock(a, &n1, m(&t, "S"), LockClass::Short, false).unwrap();
+    t.lock(a, &n2, m(&t, "X"), LockClass::Long, false).unwrap();
+    t.release_end_of_operation(a);
+    assert_eq!(t.held_mode(a, &n1), None);
+    assert_eq!(t.held_mode(a, &n2), Some(m(&t, "X")));
+    t.release_all(a);
+    assert_eq!(t.granted_count(), 0);
+}
+
+#[test]
+fn fifo_queue_blocks_later_compatible_conflicting_requests() {
+    // a holds X; b queues S; c queues X; after a releases, b gets S, c
+    // still waits (incompatible with b), then gets X after b releases.
+    let (t, reg) = table();
+    let (a, b, c) = (reg.begin(), reg.begin(), reg.begin());
+    let n = node("1.3");
+    let (s, x) = (m(&t, "S"), m(&t, "X"));
+    t.lock(a, &n, x, LockClass::Long, false).unwrap();
+    let (tb, nb) = (t.clone(), n.clone());
+    let hb = std::thread::spawn(move || tb.lock(b, &nb, s, LockClass::Long, false));
+    std::thread::sleep(Duration::from_millis(30));
+    let (tc, nc) = (t.clone(), n.clone());
+    let hc = std::thread::spawn(move || tc.lock(c, &nc, x, LockClass::Long, false));
+    std::thread::sleep(Duration::from_millis(30));
+    t.release_all(a);
+    hb.join().unwrap().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!hc.is_finished(), "X waits for the granted reader");
+    t.release_all(b);
+    hc.join().unwrap().unwrap();
+}
+
+#[test]
+fn many_threads_hammering_one_name_stay_consistent() {
+    let (t, reg) = table();
+    let n = node("1.3");
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let t = t.clone();
+            let reg = reg.clone();
+            let n = n.clone();
+            std::thread::spawn(move || {
+                let mut granted = 0;
+                for _ in 0..50 {
+                    let txn = reg.begin();
+                    let mode = if i % 2 == 0 { "S" } else { "X" };
+                    let mode = t.family(0).mode_named(mode).unwrap();
+                    match t.lock(txn, &n, mode, LockClass::Long, false) {
+                        Ok(_) => granted += 1,
+                        Err(e) => assert!(e.is_deadlock() || e == LockError::Timeout),
+                    }
+                    t.release_all(txn);
+                    reg.finish(txn);
+                }
+                granted
+            })
+        })
+        .collect();
+    let total: usize = threads.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+    assert_eq!(t.granted_count(), 0, "all locks released");
+    assert_eq!(reg.live(), 0);
+}
+
+/// Regression test for the exponential wait-for-graph DFS: dozens of
+/// transactions contending on a handful of names create dense graphs;
+/// detection must stay linear and the pile-up must resolve quickly
+/// (by grants and victim aborts) instead of spinning for hours.
+#[test]
+fn dense_contention_resolves_quickly() {
+    let reg = Arc::new(TxnRegistry::new());
+    let t = Arc::new(LockTable::new(
+        vec![sux()],
+        reg.clone(),
+        Duration::from_secs(10),
+    ));
+    let started = std::time::Instant::now();
+    let names: Vec<LockName> = ["1.3", "1.5", "1.7"].iter().map(|s| node(s)).collect();
+    let handles: Vec<_> = (0..40)
+        .map(|i| {
+            let (t, reg, names) = (t.clone(), reg.clone(), names.clone());
+            std::thread::spawn(move || {
+                let mut outcomes = (0u32, 0u32);
+                for round in 0..12 {
+                    let txn = reg.begin();
+                    let s = t.family(0).mode_named("S").unwrap();
+                    let x = t.family(0).mode_named("X").unwrap();
+                    let a = &names[(i + round) % names.len()];
+                    let b = &names[(i + round + 1) % names.len()];
+                    let r = t
+                        .lock(txn, a, s, LockClass::Long, false)
+                        .and_then(|_| t.lock(txn, b, s, LockClass::Long, false))
+                        .and_then(|_| t.lock(txn, a, x, LockClass::Long, false))
+                        .and_then(|_| t.lock(txn, b, x, LockClass::Long, false));
+                    if r.is_ok() {
+                        outcomes.0 += 1;
+                    } else {
+                        outcomes.1 += 1;
+                    }
+                    t.release_all(txn);
+                    reg.finish(txn);
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let (mut committed, mut aborted) = (0, 0);
+    for h in handles {
+        let (c, a) = h.join().unwrap();
+        committed += c;
+        aborted += a;
+    }
+    assert!(committed > 0, "progress required");
+    let _ = aborted;
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "dense contention took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(t.granted_count(), 0);
+}

@@ -1,0 +1,158 @@
+//! Property tests over generated mode tables: structural invariants every
+//! protocol's matrices must satisfy.
+
+use proptest::prelude::*;
+use xtc_lock::algebra::{compatible, AlgebraMode, CovNonNone, Region, SelfAcc};
+use xtc_lock::{Annex, ModeTable};
+
+fn arb_self() -> impl Strategy<Value = SelfAcc> {
+    prop_oneof![
+        Just(SelfAcc::None),
+        Just(SelfAcc::Traverse),
+        Just(SelfAcc::Read),
+        Just(SelfAcc::Update),
+        Just(SelfAcc::Excl),
+    ]
+}
+
+fn arb_region() -> impl Strategy<Value = Region> {
+    (
+        prop_oneof![
+            Just(None),
+            Just(Some(CovNonNone::Read)),
+            Just(Some(CovNonNone::Update)),
+            Just(Some(CovNonNone::Excl)),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(cov, r, w)| Region {
+            cov,
+            int_read: r,
+            int_write: w,
+        })
+}
+
+fn arb_mode() -> impl Strategy<Value = AlgebraMode> {
+    (arb_self(), arb_region(), arb_region())
+        .prop_map(|(s, c, b)| AlgebraMode::new(s, c, b))
+}
+
+proptest! {
+    /// Join is a least upper bound: commutative, idempotent, covering.
+    #[test]
+    fn join_is_lub(a in arb_mode(), b in arb_mode(), c in arb_mode()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert!(a.join(b).covers(a));
+        prop_assert!(a.join(b).covers(b));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    /// Covers is a partial order compatible with join.
+    #[test]
+    fn covers_is_partial_order(a in arb_mode(), b in arb_mode()) {
+        prop_assert!(a.covers(a));
+        if a.covers(b) && b.covers(a) {
+            // Antisymmetry holds only up to int-flag redundancy under
+            // full coverage; joins of equal-covering modes must coincide
+            // in observable behaviour:
+            let j = a.join(b);
+            prop_assert!(j.covers(a) && j.covers(b));
+        }
+    }
+
+    /// Compatibility is anti-monotone in strength: a stronger requested or
+    /// held mode conflicts with at least as much.
+    #[test]
+    fn compat_antimonotone(a in arb_mode(), b in arb_mode(), other in arb_mode()) {
+        if a.covers(b) {
+            if compatible(a, other) {
+                prop_assert!(compatible(b, other), "{a:?} covers {b:?} vs {other:?}");
+            }
+            if compatible(other, a) {
+                prop_assert!(compatible(other, b));
+            }
+        }
+    }
+
+    /// Exclusive self access conflicts with any non-traverse self access.
+    #[test]
+    fn exclusive_is_exclusive(b in arb_mode()) {
+        let x = AlgebraMode::new(SelfAcc::Excl, Region::NONE, Region::NONE);
+        if matches!(b.self_acc, SelfAcc::Read | SelfAcc::Update | SelfAcc::Excl) {
+            prop_assert!(!compatible(x, b));
+            prop_assert!(!compatible(b, x));
+        }
+    }
+}
+
+/// Table-level invariants for every protocol's generated family tables.
+#[test]
+fn generated_tables_satisfy_structural_invariants() {
+    for proto in [
+        "Node2PL", "NO2PL", "OO2PL", "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+",
+        "taDOM3", "taDOM3+",
+    ] {
+        let handle = xtc_protocols::build(proto).unwrap();
+        for table in &handle.families {
+            check_table(table);
+        }
+    }
+}
+
+fn check_table(t: &ModeTable) {
+    let n = t.len() as u8;
+    for held in 0..n {
+        for req in 0..n {
+            let conv = t.conversion(held, req);
+            // Conversion diagonal is identity.
+            if held == req {
+                assert_eq!(conv.result, held, "{}: diagonal", t.family());
+                assert_eq!(conv.annex, Annex::None);
+            }
+            // Conversion results never weaken the held mode's conflicts
+            // against *write* requests: anything exclusive that conflicted
+            // before still conflicts. Annex conversions are exempt — the
+            // per-child locks carry the delegated coverage (e.g. LR+IX →
+            // IX_NR admits CX on the node, but the NR child locks block
+            // the actual child write).
+            if conv.annex != Annex::None {
+                continue;
+            }
+            let res = conv.result;
+            for other in 0..n {
+                let other_alg = t.alg(other);
+                if other_alg.has_write() && !t.compatible(other, held) {
+                    assert!(
+                        !t.compatible(other, res),
+                        "{}: convert({},{}) = {} lets {} through",
+                        t.family(),
+                        t.name(held),
+                        t.name(req),
+                        t.name(res),
+                        t.name(other)
+                    );
+                }
+            }
+            // Annex child modes exist and are read-type.
+            if let Annex::ChildLocks(c) = conv.annex {
+                assert!(!t.alg(c).has_write(), "{}: annex must be a read", t.family());
+            }
+        }
+    }
+    // Compatibility must agree with the algebra (the matrix is not
+    // hand-edited).
+    for a in 0..n {
+        for b in 0..n {
+            assert_eq!(
+                t.compatible(a, b),
+                compatible(t.alg(a), t.alg(b)),
+                "{}: compat({}, {})",
+                t.family(),
+                t.name(a),
+                t.name(b)
+            );
+        }
+    }
+}

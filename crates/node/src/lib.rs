@@ -1,0 +1,31 @@
+//! # xtc-node — the taDOM storage model and node manager
+//!
+//! Implements §3.1 of *Contest of XML Lock Protocols* (VLDB 2006): XML
+//! documents are stored as **taDOM trees**, a slight internal extension of
+//! DOM trees that the lock manager exploits:
+//!
+//! * attributes are not attached directly to their element — a separate
+//!   **attribute root** connects the attribute nodes to the element,
+//! * the content of attribute and text nodes lives in dedicated **string
+//!   nodes**, so nodes can be accessed independently of their value.
+//!
+//! Five node kinds result: element, attribute root, attribute, text, and
+//! string. The extension is invisible through the DOM API (`xtc-core`
+//! hides it); it exists so that, e.g., reading a text node's *presence*
+//! does not conflict with a concurrent update of its *content*.
+//!
+//! The [`DocStore`] node manager persists a document in a single B\*-tree
+//! (`xtc-storage`) keyed by encoded SPLIDs, maintains the element index
+//! and the ID-attribute index (Figure 6), and offers navigational and IUD
+//! primitives. It performs **no locking** — transactional isolation is
+//! layered on top by `xtc-core` + `xtc-lock`.
+
+#![warn(missing_docs)]
+
+mod record;
+mod store;
+mod xml;
+
+pub use record::{NodeData, NodeKind, RecordError};
+pub use store::{AttrPlan, DocStore, DocStoreConfig, InsertPos, NodeError};
+pub use xml::{parse_into, serialize_subtree, XmlError};

@@ -1,0 +1,189 @@
+//! On-page node records: the byte representation of taDOM nodes stored as
+//! B\*-tree values.
+//!
+//! Layout: `[kind u8][payload]` where the payload is
+//! * element / attribute: the 2-byte vocabulary surrogate of the name,
+//! * string: the raw UTF-8 content bytes,
+//! * attribute root / text: empty.
+
+use std::fmt;
+use xtc_storage::VocId;
+
+/// The five taDOM node kinds (§3.1, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An element node.
+    Element,
+    /// The virtual root connecting an element to its attribute nodes.
+    AttributeRoot,
+    /// An attribute node (its value lives in a string child).
+    Attribute,
+    /// A text node (its content lives in a string child).
+    Text,
+    /// A string node holding actual content bytes.
+    String,
+}
+
+/// Decoded node record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeData {
+    /// Element with its interned name.
+    Element {
+        /// Vocabulary surrogate of the tag name.
+        name: VocId,
+    },
+    /// Attribute root (no payload).
+    AttributeRoot,
+    /// Attribute with its interned name.
+    Attribute {
+        /// Vocabulary surrogate of the attribute name.
+        name: VocId,
+    },
+    /// Text node (no payload).
+    Text,
+    /// String node with its content.
+    String {
+        /// Raw UTF-8 content bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl NodeData {
+    /// The record's kind tag.
+    pub fn kind(&self) -> NodeKind {
+        match self {
+            NodeData::Element { .. } => NodeKind::Element,
+            NodeData::AttributeRoot => NodeKind::AttributeRoot,
+            NodeData::Attribute { .. } => NodeKind::Attribute,
+            NodeData::Text => NodeKind::Text,
+            NodeData::String { .. } => NodeKind::String,
+        }
+    }
+
+    /// The interned name for element/attribute records.
+    pub fn name(&self) -> Option<VocId> {
+        match self {
+            NodeData::Element { name } | NodeData::Attribute { name } => Some(*name),
+            _ => None,
+        }
+    }
+
+    /// Serializes to the on-page byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            NodeData::Element { name } => {
+                let mut v = Vec::with_capacity(3);
+                v.push(1);
+                v.extend_from_slice(&name.to_bytes());
+                v
+            }
+            NodeData::AttributeRoot => vec![2],
+            NodeData::Attribute { name } => {
+                let mut v = Vec::with_capacity(3);
+                v.push(3);
+                v.extend_from_slice(&name.to_bytes());
+                v
+            }
+            NodeData::Text => vec![4],
+            NodeData::String { value } => {
+                let mut v = Vec::with_capacity(1 + value.len());
+                v.push(5);
+                v.extend_from_slice(value);
+                v
+            }
+        }
+    }
+
+    /// Parses the on-page byte form.
+    pub fn decode(bytes: &[u8]) -> Result<NodeData, RecordError> {
+        let (&kind, payload) = bytes.split_first().ok_or(RecordError::Empty)?;
+        match kind {
+            1 | 3 => {
+                let name: [u8; 2] = payload
+                    .try_into()
+                    .map_err(|_| RecordError::BadPayload(kind))?;
+                let name = VocId::from_bytes(name);
+                Ok(if kind == 1 {
+                    NodeData::Element { name }
+                } else {
+                    NodeData::Attribute { name }
+                })
+            }
+            2 => Ok(NodeData::AttributeRoot),
+            4 => Ok(NodeData::Text),
+            5 => Ok(NodeData::String {
+                value: payload.to_vec(),
+            }),
+            k => Err(RecordError::UnknownKind(k)),
+        }
+    }
+}
+
+/// Errors decoding a node record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Zero-length record.
+    Empty,
+    /// Unknown kind tag.
+    UnknownKind(u8),
+    /// Payload length mismatch for the kind.
+    BadPayload(u8),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Empty => write!(f, "empty node record"),
+            RecordError::UnknownKind(k) => write!(f, "unknown node kind {k}"),
+            RecordError::BadPayload(k) => write!(f, "bad payload for node kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_kinds() {
+        let records = [
+            NodeData::Element { name: VocId(7) },
+            NodeData::AttributeRoot,
+            NodeData::Attribute { name: VocId(300) },
+            NodeData::Text,
+            NodeData::String {
+                value: b"hello world".to_vec(),
+            },
+            NodeData::String { value: Vec::new() },
+        ];
+        for r in &records {
+            assert_eq!(&NodeData::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn kinds_and_names() {
+        assert_eq!(
+            NodeData::Element { name: VocId(1) }.kind(),
+            NodeKind::Element
+        );
+        assert_eq!(
+            NodeData::Attribute { name: VocId(2) }.name(),
+            Some(VocId(2))
+        );
+        assert_eq!(NodeData::Text.name(), None);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(NodeData::decode(&[]), Err(RecordError::Empty));
+        assert_eq!(NodeData::decode(&[9]), Err(RecordError::UnknownKind(9)));
+        assert_eq!(NodeData::decode(&[1, 0]), Err(RecordError::BadPayload(1)));
+        assert_eq!(
+            NodeData::decode(&[3, 0, 0, 0]),
+            Err(RecordError::BadPayload(3))
+        );
+    }
+}

@@ -1,0 +1,929 @@
+//! The node manager: navigational and IUD access to one taDOM document.
+
+use crate::record::{NodeData, NodeKind};
+use std::sync::Arc;
+use xtc_splid::{encode, subtree_upper_bound, LabelAllocator, SplId};
+use xtc_storage::{BTree, BTreeConfig, StorageError, StorageStats, VocId, Vocabulary};
+
+/// Configuration for a [`DocStore`].
+#[derive(Debug, Clone)]
+pub struct DocStoreConfig {
+    /// B\*-tree page size.
+    pub page_size: usize,
+    /// SPLID gap parameter (`dist`, §3.2).
+    pub dist: u32,
+    /// Simulated per-page-read latency (default zero): the stand-in for
+    /// the paper's disk accesses (CLUSTER2 uses it — see EXPERIMENTS.md).
+    pub read_latency: std::time::Duration,
+}
+
+impl Default for DocStoreConfig {
+    fn default() -> Self {
+        DocStoreConfig {
+            page_size: 8192,
+            dist: 16,
+            read_latency: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Where to place an inserted node relative to existing ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertPos {
+    /// As the first child (after the attribute root, if any).
+    FirstChild,
+    /// As the last child.
+    LastChild,
+    /// Immediately before this sibling.
+    Before(SplId),
+    /// Immediately after this sibling.
+    After(SplId),
+}
+
+/// Node-manager errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The addressed node does not exist.
+    NotFound(SplId),
+    /// Operation requires an element node.
+    NotElement(SplId),
+    /// Operation requires a text or attribute node.
+    NotTextual(SplId),
+    /// A root element already exists.
+    RootExists,
+    /// `Before`/`After` target is not a child of the given parent.
+    NotAChild(SplId),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Label allocation failed.
+    Alloc(xtc_splid::AllocError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::NotFound(id) => write!(f, "node {id} not found"),
+            NodeError::NotElement(id) => write!(f, "node {id} is not an element"),
+            NodeError::NotTextual(id) => write!(f, "node {id} has no string content"),
+            NodeError::RootExists => write!(f, "document already has a root element"),
+            NodeError::NotAChild(id) => write!(f, "node {id} is not a child of the parent"),
+            NodeError::Storage(e) => write!(f, "storage error: {e}"),
+            NodeError::Alloc(e) => write!(f, "label allocation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<StorageError> for NodeError {
+    fn from(e: StorageError) -> Self {
+        NodeError::Storage(e)
+    }
+}
+
+impl From<xtc_splid::AllocError> for NodeError {
+    fn from(e: xtc_splid::AllocError) -> Self {
+        NodeError::Alloc(e)
+    }
+}
+
+
+/// Result of [`DocStore::plan_attribute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrPlan {
+    /// The attribute already exists; setting it is a content update.
+    Existing(SplId),
+    /// A new attribute node would be created.
+    New {
+        /// Label of the (possibly not yet existing) attribute root.
+        attr_root: SplId,
+        /// Whether the attribute root already exists.
+        attr_root_exists: bool,
+        /// Label the new attribute node would receive.
+        label: SplId,
+        /// The current last attribute, if any.
+        last: Option<SplId>,
+    },
+}
+
+/// One stored taDOM document: document B\*-tree, element index, ID index,
+/// vocabulary, label allocator. Thread-safe (`&self` API); performs no
+/// transactional locking itself.
+pub struct DocStore {
+    doc: BTree,
+    /// `[voc 2B][encoded SPLID] -> ()` — the element index / node-reference
+    /// indexes of Figure 6b, folded into one tree.
+    elem_index: BTree,
+    /// `id value bytes -> encoded SPLID` of the owning element.
+    id_index: BTree,
+    vocab: Arc<Vocabulary>,
+    alloc: LabelAllocator,
+    stats: StorageStats,
+    /// Interned name of the ID attribute (`"id"`).
+    id_attr: VocId,
+}
+
+impl DocStore {
+    /// Creates an empty document store.
+    pub fn new(config: DocStoreConfig) -> Self {
+        let stats = StorageStats::default();
+        let btcfg = BTreeConfig {
+            page_size: config.page_size,
+            read_latency: config.read_latency,
+            ..BTreeConfig::default()
+        };
+        let vocab = Arc::new(Vocabulary::new());
+        let id_attr = vocab.intern("id");
+        DocStore {
+            doc: BTree::with_config(btcfg.clone(), stats.clone()),
+            elem_index: BTree::with_config(btcfg.clone(), stats.clone()),
+            id_index: BTree::with_config(btcfg, stats.clone()),
+            vocab,
+            alloc: LabelAllocator::new(config.dist),
+            stats,
+            id_attr,
+        }
+    }
+
+    /// Shared page-access statistics across document and indexes.
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    /// The vocabulary (shared with callers that pre-intern names).
+    pub fn vocab(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// The label allocator in use.
+    pub fn allocator(&self) -> LabelAllocator {
+        self.alloc
+    }
+
+    /// Total stored nodes (all five kinds).
+    pub fn node_count(&self) -> usize {
+        self.doc.len()
+    }
+
+    /// Occupancy report of the document tree (§3.1 claim).
+    pub fn occupancy(&self) -> xtc_storage::OccupancyReport {
+        self.doc.occupancy()
+    }
+
+    // ---- reads ----------------------------------------------------------
+
+    /// Fetches and decodes a node.
+    pub fn get(&self, id: &SplId) -> Option<NodeData> {
+        let bytes = self.doc.get(&encode(id))?;
+        Some(NodeData::decode(&bytes).expect("corrupt node record"))
+    }
+
+    /// `true` if the node exists.
+    pub fn exists(&self, id: &SplId) -> bool {
+        self.doc.contains(&encode(id))
+    }
+
+    /// Resolves an element or attribute name.
+    pub fn name_of(&self, id: &SplId) -> Option<String> {
+        self.get(id)?.name().and_then(|v| self.vocab.resolve(v))
+    }
+
+    /// First child in document order (the attribute root, if present,
+    /// sorts first).
+    pub fn first_child(&self, id: &SplId) -> Option<SplId> {
+        let (k, _) = self.doc.next_after(&encode(id))?;
+        let cand = xtc_splid::decode(&k).expect("corrupt key");
+        id.is_parent_of(&cand).then_some(cand)
+    }
+
+    /// Last child in document order.
+    pub fn last_child(&self, id: &SplId) -> Option<SplId> {
+        let (k, _) = self.doc.prev_before(&subtree_upper_bound(id))?;
+        let cand = xtc_splid::decode(&k).expect("corrupt key");
+        if !id.is_ancestor_of(&cand) {
+            return None;
+        }
+        // The last stored descendant lies inside the last child's subtree.
+        cand.ancestor_at_level(id.level() + 1)
+    }
+
+    /// Next sibling in document order.
+    pub fn next_sibling(&self, id: &SplId) -> Option<SplId> {
+        let (k, _) = self.doc.next_after(&subtree_upper_bound(id))?;
+        let cand = xtc_splid::decode(&k).expect("corrupt key");
+        id.is_sibling_of(&cand).then_some(cand)
+    }
+
+    /// Previous sibling in document order.
+    pub fn prev_sibling(&self, id: &SplId) -> Option<SplId> {
+        let parent = id.parent()?;
+        let (k, _) = self.doc.prev_before(&encode(id))?;
+        let cand = xtc_splid::decode(&k).expect("corrupt key");
+        if cand == parent {
+            return None;
+        }
+        // `cand` is the closest preceding node: either inside the previous
+        // sibling's subtree or the previous sibling itself.
+        let sib = cand.ancestor_at_level(id.level())?;
+        sib.is_sibling_of(id).then_some(sib)
+    }
+
+    /// Parent node (label arithmetic; verified to exist).
+    pub fn parent(&self, id: &SplId) -> Option<SplId> {
+        let p = id.parent()?;
+        self.exists(&p).then_some(p)
+    }
+
+    /// All direct children in document order (including the attribute
+    /// root). This is the `getChildNodes` fan-out the taDOM level locks
+    /// were invented for.
+    pub fn children(&self, id: &SplId) -> Vec<SplId> {
+        let mut out = Vec::new();
+        let mut cur = self.first_child(id);
+        while let Some(c) = cur {
+            cur = self.next_sibling(&c);
+            out.push(c);
+        }
+        out
+    }
+
+    /// Direct element children only.
+    pub fn element_children(&self, id: &SplId) -> Vec<SplId> {
+        self.children(id)
+            .into_iter()
+            .filter(|c| matches!(self.get(c), Some(NodeData::Element { .. })))
+            .collect()
+    }
+
+    /// The attribute root of an element, if it has attributes.
+    pub fn attribute_root(&self, elem: &SplId) -> Option<SplId> {
+        let ar = elem.reserved_child();
+        self.exists(&ar).then_some(ar)
+    }
+
+    /// `(attribute node, name)` pairs of an element.
+    pub fn attributes(&self, elem: &SplId) -> Vec<(SplId, VocId)> {
+        let Some(ar) = self.attribute_root(elem) else {
+            return Vec::new();
+        };
+        self.children(&ar)
+            .into_iter()
+            .filter_map(|a| match self.get(&a) {
+                Some(NodeData::Attribute { name }) => Some((a, name)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The attribute node of `elem` with the given name.
+    pub fn attribute_node(&self, elem: &SplId, name: &str) -> Option<SplId> {
+        let voc = self.vocab.lookup(name)?;
+        self.attributes(elem)
+            .into_iter()
+            .find(|(_, n)| *n == voc)
+            .map(|(a, _)| a)
+    }
+
+    /// The string value of an attribute of `elem`.
+    pub fn attribute_value(&self, elem: &SplId, name: &str) -> Option<String> {
+        let attr = self.attribute_node(elem, name)?;
+        self.text_of(&attr)
+    }
+
+    /// The content of a text or attribute node (its string child).
+    pub fn text_of(&self, node: &SplId) -> Option<String> {
+        match self.get(&node.reserved_child())? {
+            NodeData::String { value } => Some(String::from_utf8_lossy(&value).into_owned()),
+            _ => None,
+        }
+    }
+
+    /// Direct jump via the ID index (`getElementById`).
+    pub fn element_by_id(&self, id_value: &str) -> Option<SplId> {
+        let enc = self.id_index.get(id_value.as_bytes())?;
+        Some(xtc_splid::decode(&enc).expect("corrupt id index"))
+    }
+
+    /// All elements with the given name, in document order (the element
+    /// index / node-reference index of Figure 6b).
+    pub fn elements_named(&self, name: &str) -> Vec<SplId> {
+        let Some(voc) = self.vocab.lookup(name) else {
+            return Vec::new();
+        };
+        let lo = voc.to_bytes().to_vec();
+        // Exclusive upper bound: the next surrogate value (all index keys
+        // are strictly longer than `lo`, so `lo` itself is safely
+        // exclusive below).
+        let hi = match voc.0.checked_add(1) {
+            Some(n) => n.to_be_bytes().to_vec(),
+            None => {
+                let mut h = vec![0xFF, 0xFF];
+                h.extend_from_slice(&[0xFF; 140]);
+                h
+            }
+        };
+        self.elem_index
+            .scan_range(&lo, &hi)
+            .into_iter()
+            .map(|(k, _)| xtc_splid::decode(&k[2..]).expect("corrupt element index"))
+            .collect()
+    }
+
+    /// The whole subtree rooted at `id` (inclusive), in document order.
+    pub fn subtree(&self, id: &SplId) -> Vec<(SplId, NodeData)> {
+        let mut out = Vec::new();
+        if let Some(root) = self.get(id) {
+            out.push((id.clone(), root));
+        }
+        for (k, v) in self.doc.scan_range(&encode(id), &subtree_upper_bound(id)) {
+            out.push((
+                xtc_splid::decode(&k).expect("corrupt key"),
+                NodeData::decode(&v).expect("corrupt record"),
+            ));
+        }
+        out
+    }
+
+    /// SPLIDs of every node in the subtree rooted at `id` (inclusive),
+    /// in document order.
+    pub fn subtree_ids(&self, id: &SplId) -> Vec<SplId> {
+        let mut out = Vec::new();
+        if self.exists(id) {
+            out.push(id.clone());
+        }
+        self.doc
+            .for_each_in_range(&encode(id), &subtree_upper_bound(id), |k, _| {
+                out.push(xtc_splid::decode(k).expect("corrupt key"));
+                true
+            });
+        out
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (inclusive).
+    pub fn subtree_size(&self, id: &SplId) -> usize {
+        let mut n = usize::from(self.exists(id));
+        self.doc
+            .for_each_in_range(&encode(id), &subtree_upper_bound(id), |_, _| {
+                n += 1;
+                true
+            });
+        n
+    }
+
+    /// Elements inside the subtree (inclusive) that own an `id` attribute.
+    ///
+    /// This is the expensive location step the *-2PL group must perform
+    /// before deleting a subtree (IDX locks, §5.3/CLUSTER2): it traverses
+    /// the whole subtree via the node manager, paying page accesses per
+    /// node.
+    pub fn subtree_id_owners(&self, id: &SplId) -> Vec<SplId> {
+        // Deliberately *navigational*: the paper's point is that these
+        // "location steps have to be performed via the node manager and
+        // may include accesses to disks" — every element visit pays the
+        // node-manager lookups a navigating client would pay, instead of
+        // one bulk range scan.
+        let mut owners = Vec::new();
+        let mut stack = vec![id.clone()];
+        while let Some(n) = stack.pop() {
+            if !matches!(self.get(&n), Some(NodeData::Element { .. })) {
+                continue;
+            }
+            if self
+                .attributes(&n)
+                .iter()
+                .any(|(_, name)| *name == self.id_attr)
+            {
+                owners.push(n.clone());
+            }
+            let mut kids = self.element_children(&n);
+            kids.reverse();
+            stack.extend(kids);
+        }
+        owners.sort();
+        owners
+    }
+
+    // ---- writes ----------------------------------------------------------
+
+    /// Creates the document root element. Fails if one exists.
+    pub fn create_root(&self, name: &str) -> Result<SplId, NodeError> {
+        let root = SplId::root();
+        if self.exists(&root) {
+            return Err(NodeError::RootExists);
+        }
+        let name = self.vocab.intern(name);
+        self.put_node(&root, &NodeData::Element { name })?;
+        Ok(root)
+    }
+
+    /// Inserts a new element under `parent`.
+    pub fn insert_element(
+        &self,
+        parent: &SplId,
+        pos: InsertPos,
+        name: &str,
+    ) -> Result<SplId, NodeError> {
+        self.require_element(parent)?;
+        let label = self.place(parent, pos)?;
+        let name = self.vocab.intern(name);
+        self.put_node(&label, &NodeData::Element { name })?;
+        Ok(label)
+    }
+
+    /// Inserts a new text node (with its string child) under `parent`.
+    pub fn insert_text(
+        &self,
+        parent: &SplId,
+        pos: InsertPos,
+        content: &str,
+    ) -> Result<SplId, NodeError> {
+        self.require_element(parent)?;
+        let label = self.place(parent, pos)?;
+        self.put_node(&label, &NodeData::Text)?;
+        self.put_node(
+            &label.reserved_child(),
+            &NodeData::String {
+                value: content.as_bytes().to_vec(),
+            },
+        )?;
+        Ok(label)
+    }
+
+    /// Sets (creating or updating) an attribute of an element. Returns the
+    /// attribute node and the previous value, if any.
+    pub fn set_attribute(
+        &self,
+        elem: &SplId,
+        name: &str,
+        value: &str,
+    ) -> Result<(SplId, Option<String>), NodeError> {
+        self.require_element(elem)?;
+        if let Some(attr) = self.attribute_node(elem, name) {
+            let old = self.update_content(&attr, value)?;
+            return Ok((attr, old));
+        }
+        let ar = elem.reserved_child();
+        if !self.exists(&ar) {
+            self.put_node(&ar, &NodeData::AttributeRoot)?;
+        }
+        let attr = match self.last_child(&ar) {
+            Some(last) => self.alloc.next_sibling(&last)?,
+            None => self.alloc.first_child(&ar),
+        };
+        let voc = self.vocab.intern(name);
+        self.put_node(&attr, &NodeData::Attribute { name: voc })?;
+        self.put_node(
+            &attr.reserved_child(),
+            &NodeData::String {
+                value: value.as_bytes().to_vec(),
+            },
+        )?;
+        if voc == self.id_attr {
+            self.id_index.insert(value.as_bytes(), &encode(elem))?;
+        }
+        Ok((attr, None))
+    }
+
+    /// Replaces the content (string child) of a text or attribute node;
+    /// returns the previous content.
+    pub fn update_content(&self, node: &SplId, content: &str) -> Result<Option<String>, NodeError> {
+        let data = self.get(node).ok_or_else(|| NodeError::NotFound(node.clone()))?;
+        let is_id_attr = matches!(&data, NodeData::Attribute { name } if *name == self.id_attr);
+        if !matches!(data.kind(), NodeKind::Text | NodeKind::Attribute) {
+            return Err(NodeError::NotTextual(node.clone()));
+        }
+        let sc = node.reserved_child();
+        let old = self.doc.insert(
+            &encode(&sc),
+            &NodeData::String {
+                value: content.as_bytes().to_vec(),
+            }
+            .encode(),
+        )?;
+        let old = old.map(|b| match NodeData::decode(&b).expect("corrupt record") {
+            NodeData::String { value } => String::from_utf8_lossy(&value).into_owned(),
+            _ => unreachable!("string child must be a string node"),
+        });
+        if is_id_attr {
+            // Keep the ID index consistent under id-value updates.
+            let owner = node.parent().and_then(|ar| ar.parent());
+            if let (Some(owner), Some(old)) = (owner, &old) {
+                self.id_index.remove(old.as_bytes());
+                self.id_index.insert(content.as_bytes(), &encode(&owner))?;
+            }
+        }
+        Ok(old)
+    }
+
+    /// Renames an element; returns the previous name surrogate.
+    pub fn rename_element(&self, elem: &SplId, new_name: &str) -> Result<VocId, NodeError> {
+        let data = self.get(elem).ok_or_else(|| NodeError::NotFound(elem.clone()))?;
+        let NodeData::Element { name: old } = data else {
+            return Err(NodeError::NotElement(elem.clone()));
+        };
+        let new = self.vocab.intern(new_name);
+        self.doc
+            .insert(&encode(elem), &NodeData::Element { name: new }.encode())?;
+        let enc = encode(elem);
+        self.elem_index.remove(&index_key(old, &enc));
+        self.elem_index.insert(&index_key(new, &enc), &[])?;
+        Ok(old)
+    }
+
+    /// Deletes the subtree rooted at `id` (inclusive); returns the removed
+    /// nodes for undo.
+    pub fn delete_subtree(&self, id: &SplId) -> Result<Vec<(SplId, NodeData)>, NodeError> {
+        let nodes = self.subtree(id);
+        if nodes.is_empty() {
+            return Err(NodeError::NotFound(id.clone()));
+        }
+        self.unindex(&nodes);
+        self.doc.remove(&encode(id));
+        self.doc
+            .remove_range(&encode(id), &subtree_upper_bound(id));
+        Ok(nodes)
+    }
+
+    /// Re-inserts previously deleted nodes with their original labels
+    /// (undo of [`DocStore::delete_subtree`]).
+    pub fn insert_raw(&self, nodes: &[(SplId, NodeData)]) -> Result<(), NodeError> {
+        for (id, data) in nodes {
+            self.doc.insert(&encode(id), &data.encode())?;
+        }
+        self.reindex(nodes);
+        Ok(())
+    }
+
+
+    // ---- planning (for lock acquisition before mutation) ---------------
+
+    /// Computes, without mutating anything, the label a node inserted at
+    /// `pos` would receive together with its would-be left and right
+    /// siblings. Deterministic: re-planning under unchanged neighbours
+    /// yields the same label, so the transaction layer can lock first and
+    /// verify the plan afterwards.
+    pub fn plan_insert(
+        &self,
+        parent: &SplId,
+        pos: &InsertPos,
+    ) -> Result<(SplId, Option<SplId>, Option<SplId>), NodeError> {
+        self.require_element(parent)?;
+        let (left, right) = match pos {
+            InsertPos::FirstChild => {
+                let left = self.attribute_root(parent);
+                let right = match &left {
+                    Some(ar) => self.next_sibling(ar),
+                    None => self.first_child(parent),
+                };
+                (left, right)
+            }
+            InsertPos::LastChild => (self.last_child(parent), None),
+            InsertPos::Before(sib) => {
+                if sib.parent().as_ref() != Some(parent) || !self.exists(sib) {
+                    return Err(NodeError::NotAChild(sib.clone()));
+                }
+                (self.prev_sibling(sib), Some(sib.clone()))
+            }
+            InsertPos::After(sib) => {
+                if sib.parent().as_ref() != Some(parent) || !self.exists(sib) {
+                    return Err(NodeError::NotAChild(sib.clone()));
+                }
+                (Some(sib.clone()), self.next_sibling(sib))
+            }
+        };
+        let label = match (&left, &right) {
+            (None, None) => self.alloc.first_child(parent),
+            (l, r) => self.alloc.between(l.as_ref(), r.as_ref())?,
+        };
+        Ok((label, left, right))
+    }
+
+    /// How setting an attribute would change the tree (for locking).
+    pub fn plan_attribute(&self, elem: &SplId, name: &str) -> Result<AttrPlan, NodeError> {
+        self.require_element(elem)?;
+        if let Some(attr) = self.attribute_node(elem, name) {
+            return Ok(AttrPlan::Existing(attr));
+        }
+        let attr_root = elem.reserved_child();
+        let attr_root_exists = self.exists(&attr_root);
+        let last = if attr_root_exists {
+            self.last_child(&attr_root)
+        } else {
+            None
+        };
+        let label = match &last {
+            Some(l) => self.alloc.next_sibling(l)?,
+            None => self.alloc.first_child(&attr_root),
+        };
+        Ok(AttrPlan::New {
+            attr_root,
+            attr_root_exists,
+            label,
+            last,
+        })
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn require_element(&self, id: &SplId) -> Result<(), NodeError> {
+        match self.get(id) {
+            Some(NodeData::Element { .. }) => Ok(()),
+            Some(_) => Err(NodeError::NotElement(id.clone())),
+            None => Err(NodeError::NotFound(id.clone())),
+        }
+    }
+
+    /// Computes the label for a child inserted at `pos` under `parent`.
+    fn place(&self, parent: &SplId, pos: InsertPos) -> Result<SplId, NodeError> {
+        let label = match pos {
+            InsertPos::FirstChild => {
+                // Skip the attribute root: attributes always sort first.
+                let left = self.attribute_root(parent);
+                let right = match &left {
+                    Some(ar) => self.next_sibling(ar),
+                    None => self.first_child(parent),
+                };
+                match (left, right) {
+                    (None, None) => self.alloc.first_child(parent),
+                    (l, r) => self.alloc.between(l.as_ref(), r.as_ref())?,
+                }
+            }
+            InsertPos::LastChild => match self.last_child(parent) {
+                Some(last) => self.alloc.next_sibling(&last)?,
+                None => self.alloc.first_child(parent),
+            },
+            InsertPos::Before(sib) => {
+                if sib.parent().as_ref() != Some(parent) || !self.exists(&sib) {
+                    return Err(NodeError::NotAChild(sib));
+                }
+                let left = self.prev_sibling(&sib);
+                self.alloc.between(left.as_ref(), Some(&sib))?
+            }
+            InsertPos::After(sib) => {
+                if sib.parent().as_ref() != Some(parent) || !self.exists(&sib) {
+                    return Err(NodeError::NotAChild(sib));
+                }
+                let right = self.next_sibling(&sib);
+                self.alloc.between(Some(&sib), right.as_ref())?
+            }
+        };
+        Ok(label)
+    }
+
+    fn put_node(&self, id: &SplId, data: &NodeData) -> Result<(), NodeError> {
+        self.doc.insert(&encode(id), &data.encode())?;
+        if let NodeData::Element { name } = data {
+            self.elem_index.insert(&index_key(*name, &encode(id)), &[])?;
+        }
+        Ok(())
+    }
+
+    /// Removes index entries for a deleted node set.
+    fn unindex(&self, nodes: &[(SplId, NodeData)]) {
+        for (id, data) in nodes {
+            match data {
+                NodeData::Element { name } => {
+                    self.elem_index.remove(&index_key(*name, &encode(id)));
+                }
+                NodeData::Attribute { name } if *name == self.id_attr => {
+                    if let Some(val) = self.value_within(nodes, id) {
+                        self.id_index.remove(val.as_bytes());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Re-adds index entries for a restored node set.
+    fn reindex(&self, nodes: &[(SplId, NodeData)]) {
+        for (id, data) in nodes {
+            match data {
+                NodeData::Element { name } => {
+                    let _ = self.elem_index.insert(&index_key(*name, &encode(id)), &[]);
+                }
+                NodeData::Attribute { name } if *name == self.id_attr => {
+                    if let (Some(val), Some(owner)) = (
+                        self.value_within(nodes, id),
+                        id.parent().and_then(|ar| ar.parent()),
+                    ) {
+                        let _ = self.id_index.insert(val.as_bytes(), &encode(&owner));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Finds the string-child value of `node` inside an in-memory node set.
+    fn value_within(&self, nodes: &[(SplId, NodeData)], node: &SplId) -> Option<String> {
+        let sc = node.reserved_child();
+        nodes.iter().find_map(|(id, data)| match data {
+            NodeData::String { value } if *id == sc => {
+                Some(String::from_utf8_lossy(value).into_owned())
+            }
+            _ => None,
+        })
+    }
+}
+
+fn index_key(name: VocId, encoded_splid: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(2 + encoded_splid.len());
+    k.extend_from_slice(&name.to_bytes());
+    k.extend_from_slice(encoded_splid);
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocStore {
+        DocStore::new(DocStoreConfig::default())
+    }
+
+    /// Builds a small bib-like document and returns (store, book id).
+    fn sample() -> (DocStore, SplId) {
+        let s = store();
+        let bib = s.create_root("bib").unwrap();
+        let topics = s.insert_element(&bib, InsertPos::LastChild, "topics").unwrap();
+        let topic = s.insert_element(&topics, InsertPos::LastChild, "topic").unwrap();
+        s.set_attribute(&topic, "id", "t0").unwrap();
+        let book = s.insert_element(&topic, InsertPos::LastChild, "book").unwrap();
+        s.set_attribute(&book, "id", "b0").unwrap();
+        s.set_attribute(&book, "year", "2006").unwrap();
+        let title = s.insert_element(&book, InsertPos::LastChild, "title").unwrap();
+        s.insert_text(&title, InsertPos::LastChild, "Transaction Processing").unwrap();
+        let author = s.insert_element(&book, InsertPos::LastChild, "author").unwrap();
+        s.insert_text(&author, InsertPos::LastChild, "Gray").unwrap();
+        (s, book)
+    }
+
+    #[test]
+    fn create_root_once() {
+        let s = store();
+        let r = s.create_root("bib").unwrap();
+        assert!(r.is_root());
+        assert_eq!(s.name_of(&r).as_deref(), Some("bib"));
+        assert_eq!(s.create_root("other"), Err(NodeError::RootExists));
+    }
+
+    #[test]
+    fn navigation_matches_structure() {
+        let (s, book) = sample();
+        let kids = s.element_children(&book);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(s.name_of(&kids[0]).as_deref(), Some("title"));
+        assert_eq!(s.name_of(&kids[1]).as_deref(), Some("author"));
+        assert_eq!(s.next_sibling(&kids[0]), Some(kids[1].clone()));
+        assert_eq!(s.prev_sibling(&kids[1]), Some(kids[0].clone()));
+        assert_eq!(s.prev_sibling(&kids[0]).map(|p| s.get(&p).unwrap().kind()),
+            Some(NodeKind::AttributeRoot), "attribute root precedes elements");
+        assert_eq!(s.parent(&kids[0]), Some(book.clone()));
+        // first_child of book is the attribute root; last child is author.
+        assert_eq!(
+            s.get(&s.first_child(&book).unwrap()).unwrap().kind(),
+            NodeKind::AttributeRoot
+        );
+        assert_eq!(s.last_child(&book), Some(kids[1].clone()));
+    }
+
+    #[test]
+    fn attributes_and_id_jump() {
+        let (s, book) = sample();
+        assert_eq!(s.attribute_value(&book, "year").as_deref(), Some("2006"));
+        assert_eq!(s.attribute_value(&book, "missing"), None);
+        assert_eq!(s.element_by_id("b0"), Some(book.clone()));
+        assert_eq!(s.element_by_id("zzz"), None);
+        assert_eq!(s.attributes(&book).len(), 2);
+    }
+
+    #[test]
+    fn element_index_lists_in_document_order() {
+        let (s, book) = sample();
+        assert_eq!(s.elements_named("book"), vec![book.clone()]);
+        assert_eq!(s.elements_named("title").len(), 1);
+        assert_eq!(s.elements_named("nope"), Vec::<SplId>::new());
+        let all_elems = s.elements_named("topic");
+        assert_eq!(all_elems.len(), 1);
+    }
+
+    #[test]
+    fn text_content_update() {
+        let (s, book) = sample();
+        let title = s.element_children(&book)[0].clone();
+        let text = s
+            .children(&title)
+            .into_iter()
+            .find(|c| matches!(s.get(c), Some(NodeData::Text)))
+            .unwrap();
+        assert_eq!(s.text_of(&text).as_deref(), Some("Transaction Processing"));
+        let old = s.update_content(&text, "TP: Concepts").unwrap();
+        assert_eq!(old.as_deref(), Some("Transaction Processing"));
+        assert_eq!(s.text_of(&text).as_deref(), Some("TP: Concepts"));
+        // Updating a non-textual node fails.
+        assert!(matches!(
+            s.update_content(&book, "x"),
+            Err(NodeError::NotTextual(_))
+        ));
+    }
+
+    #[test]
+    fn rename_updates_element_index() {
+        let (s, book) = sample();
+        let topic = s.parent(&book).unwrap();
+        s.rename_element(&topic, "subject").unwrap();
+        assert_eq!(s.name_of(&topic).as_deref(), Some("subject"));
+        assert!(s.elements_named("topic").is_empty());
+        assert_eq!(s.elements_named("subject"), vec![topic]);
+    }
+
+    #[test]
+    fn delete_subtree_and_undo() {
+        let (s, book) = sample();
+        let before = s.node_count();
+        let removed = s.delete_subtree(&book).unwrap();
+        assert!(removed.len() >= 10, "book subtree has many nodes");
+        assert!(!s.exists(&book));
+        assert_eq!(s.element_by_id("b0"), None, "id index entry removed");
+        assert!(s.elements_named("book").is_empty());
+        assert_eq!(s.node_count(), before - removed.len());
+        // Undo restores everything, including indexes.
+        s.insert_raw(&removed).unwrap();
+        assert_eq!(s.node_count(), before);
+        assert_eq!(s.element_by_id("b0"), Some(book.clone()));
+        assert_eq!(s.elements_named("book"), vec![book]);
+    }
+
+    #[test]
+    fn subtree_id_owners_finds_nested_ids() {
+        let (s, book) = sample();
+        let topics = s.elements_named("topics")[0].clone();
+        let owners = s.subtree_id_owners(&topics);
+        assert_eq!(owners.len(), 2, "topic and book own id attributes");
+        assert!(owners.contains(&book));
+    }
+
+    #[test]
+    fn insert_positions() {
+        let s = store();
+        let root = s.create_root("r").unwrap();
+        let b = s.insert_element(&root, InsertPos::LastChild, "b").unwrap();
+        let a = s.insert_element(&root, InsertPos::FirstChild, "a").unwrap();
+        let d = s.insert_element(&root, InsertPos::LastChild, "d").unwrap();
+        let c = s
+            .insert_element(&root, InsertPos::Before(d.clone()), "c")
+            .unwrap();
+        let e = s
+            .insert_element(&root, InsertPos::After(d.clone()), "e")
+            .unwrap();
+        let names: Vec<_> = s
+            .element_children(&root)
+            .iter()
+            .map(|c| s.name_of(c).unwrap())
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d", "e"]);
+        assert!(a < b && b < c && c < d && d < e);
+        // Before/After with a non-child is rejected.
+        let err = s.insert_element(&a, InsertPos::Before(d), "x");
+        assert!(matches!(err, Err(NodeError::NotAChild(_))));
+    }
+
+    #[test]
+    fn first_child_insert_respects_attribute_root() {
+        let s = store();
+        let root = s.create_root("r").unwrap();
+        s.set_attribute(&root, "id", "r1").unwrap();
+        let x = s.insert_element(&root, InsertPos::FirstChild, "x").unwrap();
+        // Attribute root still sorts first.
+        let kids = s.children(&root);
+        assert_eq!(s.get(&kids[0]).unwrap().kind(), NodeKind::AttributeRoot);
+        assert_eq!(kids[1], x);
+    }
+
+    #[test]
+    fn id_attribute_value_update_moves_index_entry() {
+        let (s, book) = sample();
+        let attr = s.attribute_node(&book, "id").unwrap();
+        s.update_content(&attr, "b99").unwrap();
+        assert_eq!(s.element_by_id("b0"), None);
+        assert_eq!(s.element_by_id("b99"), Some(book));
+    }
+
+    #[test]
+    fn occupancy_matches_paper_claim_after_document_order_build() {
+        // §3.1: "a very high degree of storage occupancy (> 96%) for DOM
+        // trees is achieved" — document-order loading with B*-tree
+        // append-splits.
+        let s = store();
+        let root = s.create_root("r").unwrap();
+        for i in 0..2000 {
+            let e = s.insert_element(&root, InsertPos::LastChild, "item").unwrap();
+            s.set_attribute(&e, "id", &format!("i{i}")).unwrap();
+            s.insert_text(&e, InsertPos::LastChild, "some text content here")
+                .unwrap();
+        }
+        let rep = s.occupancy();
+        assert!(rep.occupancy() > 0.9, "occupancy {:.3}", rep.occupancy());
+    }
+}

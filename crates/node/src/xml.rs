@@ -1,0 +1,383 @@
+//! Minimal XML parsing and serialization for loading documents into a
+//! [`DocStore`] and dumping subtrees back out.
+//!
+//! Supports the subset the experiments need: elements, attributes,
+//! character data with the five predefined entities, comments (skipped),
+//! processing instructions and doctype (skipped). No namespaces, CDATA,
+//! or DTD validation — the benchmark documents are generated, and the
+//! parser exists for the examples and tests.
+
+use crate::store::{DocStore, InsertPos, NodeError};
+use crate::record::NodeData;
+use xtc_splid::SplId;
+
+/// XML parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Unexpected end of input.
+    UnexpectedEof,
+    /// Malformed markup at byte offset.
+    Malformed(usize, &'static str),
+    /// Mismatched end tag.
+    TagMismatch {
+        /// The open element's name.
+        expected: String,
+        /// The end tag actually found.
+        found: String,
+    },
+    /// Document has content outside a single root element.
+    NotSingleRooted,
+    /// Node-manager error while building.
+    Node(NodeError),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::Malformed(at, what) => write!(f, "malformed XML at byte {at}: {what}"),
+            XmlError::TagMismatch { expected, found } => {
+                write!(f, "end tag </{found}> does not match <{expected}>")
+            }
+            XmlError::NotSingleRooted => write!(f, "document must have a single root element"),
+            XmlError::Node(e) => write!(f, "node manager error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<NodeError> for XmlError {
+    fn from(e: NodeError) -> Self {
+        XmlError::Node(e)
+    }
+}
+
+/// Parses an XML document into an empty [`DocStore`]; returns the root
+/// element's SPLID.
+pub fn parse_into(store: &DocStore, input: &str) -> Result<SplId, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc();
+    let root = p.parse_element(store, None)?;
+    p.skip_misc();
+    if p.pos < p.bytes.len() {
+        return Err(XmlError::NotSingleRooted);
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, PIs, and doctype between markup.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->");
+            } else if self.starts_with("<?") {
+                self.skip_until("?>");
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_until(">");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) {
+        while self.pos < self.bytes.len() && !self.starts_with(end) {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + end.len()).min(self.bytes.len());
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::Malformed(start, "expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8, what: &'static str) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else if self.peek().is_none() {
+            Err(XmlError::UnexpectedEof)
+        } else {
+            Err(XmlError::Malformed(self.pos, what))
+        }
+    }
+
+    fn parse_element(
+        &mut self,
+        store: &DocStore,
+        parent: Option<&SplId>,
+    ) -> Result<SplId, XmlError> {
+        self.expect(b'<', "expected '<'")?;
+        let name = self.read_name()?;
+        let elem = match parent {
+            None => store.create_root(&name)?,
+            Some(p) => store.insert_element(p, InsertPos::LastChild, &name)?,
+        };
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "expected '>' after '/'")?;
+                    return Ok(elem);
+                }
+                Some(_) => {
+                    let aname = self.read_name()?;
+                    self.skip_ws();
+                    self.expect(b'=', "expected '=' in attribute")?;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or(XmlError::UnexpectedEof)?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(XmlError::Malformed(self.pos, "expected quoted value"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().map(|c| c != quote).unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.expect(quote, "unterminated attribute value")?;
+                    store.set_attribute(&elem, &aname, &unescape(&raw))?;
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_until("-->");
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end = self.read_name()?;
+                if end != name {
+                    return Err(XmlError::TagMismatch {
+                        expected: name,
+                        found: end,
+                    });
+                }
+                self.skip_ws();
+                self.expect(b'>', "expected '>' in end tag")?;
+                return Ok(elem);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    self.parse_element(store, Some(&elem))?;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().map(|c| c != b'<').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let text = unescape(&raw);
+                    if !text.trim().is_empty() {
+                        store.insert_text(&elem, InsertPos::LastChild, text.trim())?;
+                    }
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let (rep, len) = if rest.starts_with("&lt;") {
+            ('<', 4)
+        } else if rest.starts_with("&gt;") {
+            ('>', 4)
+        } else if rest.starts_with("&amp;") {
+            ('&', 5)
+        } else if rest.starts_with("&quot;") {
+            ('"', 6)
+        } else if rest.starts_with("&apos;") {
+            ('\'', 6)
+        } else {
+            ('&', 1)
+        };
+        out.push(rep);
+        rest = &rest[len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn escape(s: &str, attr: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the subtree rooted at `id` back to XML text.
+pub fn serialize_subtree(store: &DocStore, id: &SplId) -> String {
+    let mut out = String::new();
+    write_node(store, id, &mut out);
+    out
+}
+
+fn write_node(store: &DocStore, id: &SplId, out: &mut String) {
+    match store.get(id) {
+        Some(NodeData::Element { .. }) => {
+            let name = store.name_of(id).unwrap_or_default();
+            out.push('<');
+            out.push_str(&name);
+            for (attr, voc) in store.attributes(id) {
+                let aname = store.vocab().resolve(voc).unwrap_or_default();
+                let val = store.text_of(&attr).unwrap_or_default();
+                out.push(' ');
+                out.push_str(&aname);
+                out.push_str("=\"");
+                out.push_str(&escape(&val, true));
+                out.push('"');
+            }
+            let kids: Vec<SplId> = store
+                .children(id)
+                .into_iter()
+                .filter(|c| {
+                    !matches!(
+                        store.get(c),
+                        Some(NodeData::AttributeRoot) | None
+                    )
+                })
+                .collect();
+            if kids.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for k in kids {
+                write_node(store, &k, out);
+            }
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+        Some(NodeData::Text) => {
+            out.push_str(&escape(&store.text_of(id).unwrap_or_default(), false));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DocStoreConfig;
+
+    fn store() -> DocStore {
+        DocStore::new(DocStoreConfig::default())
+    }
+
+    #[test]
+    fn parse_and_serialize_round_trip() {
+        let s = store();
+        let xml = r#"<bib><book id="b1" year="2006"><title>Locks &amp; Trees</title><author>Haustein</author></book><book id="b2"><title>Empty</title></book></bib>"#;
+        let root = parse_into(&s, xml).unwrap();
+        assert_eq!(s.name_of(&root).as_deref(), Some("bib"));
+        assert_eq!(s.elements_named("book").len(), 2);
+        let b1 = s.element_by_id("b1").unwrap();
+        assert_eq!(s.attribute_value(&b1, "year").as_deref(), Some("2006"));
+        let out = serialize_subtree(&s, &root);
+        assert_eq!(out, xml);
+    }
+
+    #[test]
+    fn comments_pis_doctype_skipped() {
+        let s = store();
+        let xml = "<?xml version=\"1.0\"?>\n<!DOCTYPE bib>\n<!-- hi -->\n<bib><!-- inner --><x/></bib>";
+        let root = parse_into(&s, xml).unwrap();
+        assert_eq!(s.element_children(&root).len(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let s = store();
+        assert!(matches!(
+            parse_into(&s, "<a><b></a></b>"),
+            Err(XmlError::TagMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn self_closing_and_entities() {
+        let s = store();
+        let root = parse_into(&s, r#"<r a="x &lt; y"><empty/>t &gt; u</r>"#).unwrap();
+        assert_eq!(s.attribute_value(&root, "a").as_deref(), Some("x < y"));
+        let text = s
+            .children(&root)
+            .into_iter()
+            .find(|c| matches!(s.get(c), Some(NodeData::Text)))
+            .unwrap();
+        assert_eq!(s.text_of(&text).as_deref(), Some("t > u"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = store();
+        assert_eq!(parse_into(&s, "<a/><b/>"), Err(XmlError::NotSingleRooted));
+    }
+
+    #[test]
+    fn eof_detected() {
+        let s = store();
+        assert!(matches!(parse_into(&s, "<a><b>"), Err(XmlError::UnexpectedEof)));
+    }
+}

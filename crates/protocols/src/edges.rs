@@ -1,0 +1,48 @@
+//! The shared edge-lock family: three modes for virtual navigation edges
+//! (§3.3 — "edge locks (shared, update, exclusive) for previous sibling,
+//! next sibling, first child, and last child").
+
+use std::sync::Arc;
+use xtc_lock::algebra::{AlgebraMode, Region, SelfAcc};
+use xtc_lock::ModeTable;
+
+/// Edge mode names in table order.
+pub const ER: &str = "ER";
+/// Update edge mode.
+pub const EU: &str = "EU";
+/// Exclusive edge mode.
+pub const EX: &str = "EX";
+
+/// Builds the three-mode edge table (shared / update / exclusive with
+/// Gray's asymmetric U rules).
+pub fn edge_table() -> Arc<ModeTable> {
+    Arc::new(ModeTable::generate(
+        "edges",
+        &[
+            (ER, AlgebraMode::new(SelfAcc::Read, Region::NONE, Region::NONE)),
+            (EU, AlgebraMode::new(SelfAcc::Update, Region::NONE, Region::NONE)),
+            (EX, AlgebraMode::new(SelfAcc::Excl, Region::NONE, Region::NONE)),
+        ],
+        &[],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_modes_behave_like_sux() {
+        let t = edge_table();
+        let er = t.mode_named(ER).unwrap();
+        let eu = t.mode_named(EU).unwrap();
+        let ex = t.mode_named(EX).unwrap();
+        assert!(t.compatible(er, er));
+        assert!(t.compatible(eu, er), "U over existing readers");
+        assert!(!t.compatible(er, eu), "new readers blocked behind U");
+        assert!(!t.compatible(ex, er));
+        assert!(!t.compatible(er, ex));
+        assert_eq!(t.conversion(er, ex).result, ex);
+        assert_eq!(t.conversion(eu, er).result, eu);
+    }
+}

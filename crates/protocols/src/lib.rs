@@ -1,0 +1,152 @@
+//! # xtc-protocols — the eleven contestants
+//!
+//! All XML lock protocols compared in *Contest of XML Lock Protocols*
+//! (VLDB 2006), implemented against the meta-synchronization interface of
+//! `xtc-lock`:
+//!
+//! | group  | protocols |
+//! |--------|-----------|
+//! | *-2PL  | `Node2PL`, `NO2PL`, `OO2PL`, `Node2PLa` |
+//! | MGL*   | `IRX`, `IRIX`, `URIX` |
+//! | taDOM* | `taDOM2`, `taDOM2+`, `taDOM3`, `taDOM3+` |
+//!
+//! Each protocol is a set of mode families (generated from the region
+//! algebra of `xtc_lock::algebra`; the printed matrices of Figures 1–4
+//! are pinned by tests) plus mapping logic from [`MetaOp`]s to concrete
+//! lock acquisitions. Use [`build`] to obtain a protocol together with
+//! the family tables its lock table must be constructed with.
+//!
+//! [`MetaOp`]: xtc_lock::MetaOp
+
+#![warn(missing_docs)]
+
+mod edges;
+mod hier;
+mod mgl;
+mod node2pla;
+mod star2pl;
+mod tadom;
+
+use std::sync::Arc;
+use xtc_lock::{ModeTable, Protocol};
+
+pub use hier::Hierarchical;
+pub use node2pla::Node2PLa;
+pub use star2pl::{No2Pl, Node2Pl, Oo2Pl};
+
+/// Which of the paper's three groups a protocol belongs to (drives the
+/// grouping of Figures 8–11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolGroup {
+    /// Node2PL, NO2PL, OO2PL, Node2PLa.
+    Star2Pl,
+    /// IRX, IRIX, URIX.
+    Mgl,
+    /// taDOM2, taDOM2+, taDOM3, taDOM3+.
+    TaDom,
+}
+
+/// A protocol plus the mode-family tables its lock table needs.
+pub struct ProtocolHandle {
+    /// The protocol implementation (mapping logic).
+    pub protocol: Arc<dyn Protocol>,
+    /// Family tables, indexed by the `FamilyId`s the protocol uses.
+    pub families: Vec<Arc<ModeTable>>,
+    /// The paper's protocol group.
+    pub group: ProtocolGroup,
+}
+
+/// The eleven protocol names, in the paper's presentation order.
+pub const ALL_PROTOCOLS: [&str; 11] = [
+    "Node2PL", "NO2PL", "OO2PL", "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+",
+    "taDOM3", "taDOM3+",
+];
+
+/// Builds a protocol by its paper name. Returns `None` for unknown names.
+pub fn build(name: &str) -> Option<ProtocolHandle> {
+    match name {
+        "Node2PL" => Some(star2pl::node2pl()),
+        "NO2PL" => Some(star2pl::no2pl()),
+        "OO2PL" => Some(star2pl::oo2pl()),
+        "Node2PLa" => Some(node2pla::node2pla()),
+        "IRX" => Some(mgl::irx()),
+        "IRIX" => Some(mgl::irix()),
+        "URIX" => Some(mgl::urix()),
+        "taDOM2" => Some(tadom::tadom2()),
+        "taDOM2+" => Some(tadom::tadom2_plus()),
+        "taDOM3" => Some(tadom::tadom3()),
+        "taDOM3+" => Some(tadom::tadom3_plus()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eleven_protocols_build() {
+        for name in ALL_PROTOCOLS {
+            let h = build(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(h.protocol.name(), name);
+            assert!(!h.families.is_empty());
+        }
+        assert!(build("taDOM4").is_none());
+    }
+
+    #[test]
+    fn groups_match_the_paper() {
+        for (name, group) in [
+            ("Node2PL", ProtocolGroup::Star2Pl),
+            ("NO2PL", ProtocolGroup::Star2Pl),
+            ("OO2PL", ProtocolGroup::Star2Pl),
+            ("Node2PLa", ProtocolGroup::Star2Pl),
+            ("IRX", ProtocolGroup::Mgl),
+            ("IRIX", ProtocolGroup::Mgl),
+            ("URIX", ProtocolGroup::Mgl),
+            ("taDOM2", ProtocolGroup::TaDom),
+            ("taDOM2+", ProtocolGroup::TaDom),
+            ("taDOM3", ProtocolGroup::TaDom),
+            ("taDOM3+", ProtocolGroup::TaDom),
+        ] {
+            assert_eq!(build(name).unwrap().group, group, "{name}");
+        }
+    }
+
+    #[test]
+    fn depth_support_matches_the_paper() {
+        // The plain *-2PL protocols have no lock-depth parameter (§5.2);
+        // Node2PLa and everyone else do.
+        for name in ALL_PROTOCOLS {
+            let h = build(name).unwrap();
+            let expect = !matches!(name, "Node2PL" | "NO2PL" | "OO2PL");
+            assert_eq!(h.protocol.supports_lock_depth(), expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn tadom3_plus_has_twenty_node_modes_and_three_edge_modes() {
+        // §2.3: "taDOM3+ includes 20 lock modes and three modes for edges".
+        let h = build("taDOM3+").unwrap();
+        assert_eq!(h.families[0].len(), 20, "node modes");
+        assert_eq!(h.families[1].len(), 3, "edge modes");
+    }
+
+    #[test]
+    fn tadom2_has_the_eight_figure_3a_modes() {
+        let h = build("taDOM2").unwrap();
+        assert_eq!(h.families[0].len(), 8);
+        for m in ["IR", "NR", "LR", "SR", "IX", "CX", "SU", "SX"] {
+            assert!(h.families[0].mode_named(m).is_some(), "{m}");
+        }
+    }
+
+    #[test]
+    fn tadom2_plus_adds_the_four_combination_modes() {
+        let h = build("taDOM2+").unwrap();
+        assert_eq!(h.families[0].len(), 12);
+        for m in ["LRIX", "LRCX", "SRIX", "SRCX"] {
+            assert!(h.families[0].mode_named(m).is_some(), "{m}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The MGL* group (§2.2): multi-granularity locking adapted to XML trees.
+//!
+//! Differences to classical MGL, per the paper: intention locks play a
+//! double role (signal operations deeper in the tree *and* read-pin the
+//! node itself), conversions propagate along the ancestor path, and the
+//! protocols honour the lock-depth parameter. R/U/X are **subtree**
+//! locks. The group has no level locks (`getChildNodes` pays a per-child
+//! fan-out) and no node-only exclusive lock (renames escalate to subtree
+//! X — the TArenameTopic weakness of Fig. 10d).
+
+use crate::edges::edge_table;
+use crate::hier::{HierModes, Hierarchical};
+use crate::{ProtocolGroup, ProtocolHandle};
+use std::sync::Arc;
+use xtc_lock::algebra::{AlgebraMode, CovNonNone::*, Region, SelfAcc as S};
+use xtc_lock::ModeTable;
+
+const INT_R: Region = Region::intents(true, false);
+const INT_RW: Region = Region::intents(true, true);
+
+fn subtree(c: xtc_lock::algebra::CovNonNone, s: S) -> AlgebraMode {
+    AlgebraMode::new(s, Region::cov(c), Region::cov(c))
+}
+
+/// IRX: a single generic intention mode I plus subtree R and X. The
+/// coarse intention makes any subtree read block all deeper activity —
+/// the group's weakest member.
+pub fn irx() -> ProtocolHandle {
+    let t = Arc::new(ModeTable::generate(
+        "IRX",
+        &[
+            ("I", AlgebraMode::new(S::Read, INT_RW, INT_RW)),
+            ("R", subtree(Read, S::Read)),
+            ("X", subtree(Excl, S::Excl)),
+        ],
+        &[],
+    ));
+    let m = |n: &str| t.mode_named(n).unwrap();
+    let modes = HierModes {
+        intent_read: m("I"),
+        intent_write: m("I"),
+        child_excl: m("I"),
+        node_read: m("I"),
+        level_read: None,
+        tree_read: m("R"),
+        tree_update: None,
+        tree_write: m("X"),
+        rename: m("X"),
+    };
+    ProtocolHandle {
+        protocol: Arc::new(Hierarchical::new("IRX", modes)),
+        families: vec![t, edge_table()],
+        group: ProtocolGroup::Mgl,
+    }
+}
+
+/// IRIX: separate read/write intentions (classical IS/IX), subtree R/X.
+pub fn irix() -> ProtocolHandle {
+    let t = Arc::new(ModeTable::generate(
+        "IRIX",
+        &[
+            ("IR", AlgebraMode::new(S::Read, INT_R, INT_R)),
+            ("IX", AlgebraMode::new(S::Read, INT_RW, INT_RW)),
+            ("R", subtree(Read, S::Read)),
+            ("X", subtree(Excl, S::Excl)),
+        ],
+        &[],
+    ));
+    let m = |n: &str| t.mode_named(n).unwrap();
+    let modes = HierModes {
+        intent_read: m("IR"),
+        intent_write: m("IX"),
+        child_excl: m("IX"),
+        node_read: m("IR"),
+        level_read: None,
+        tree_read: m("R"),
+        tree_update: None,
+        tree_write: m("X"),
+        rename: m("X"),
+    };
+    ProtocolHandle {
+        protocol: Arc::new(Hierarchical::new("IRIX", modes)),
+        families: vec![t, edge_table()],
+        group: ProtocolGroup::Mgl,
+    }
+}
+
+/// URIX: IRIX enhanced by RIX and U modes (Figure 2).
+pub fn urix() -> ProtocolHandle {
+    let t = Arc::new(ModeTable::generate(
+        "URIX",
+        &[
+            ("IR", AlgebraMode::new(S::Read, INT_R, INT_R)),
+            ("IX", AlgebraMode::new(S::Read, INT_RW, INT_RW)),
+            ("R", subtree(Read, S::Read)),
+            (
+                "RIX",
+                AlgebraMode::new(
+                    S::Read,
+                    Region {
+                        cov: Some(Read),
+                        int_read: true,
+                        int_write: true,
+                    },
+                    Region {
+                        cov: Some(Read),
+                        int_read: true,
+                        int_write: true,
+                    },
+                ),
+            ),
+            ("U", subtree(Update, S::Update)),
+            ("X", subtree(Excl, S::Excl)),
+        ],
+        &[],
+    ));
+    let m = |n: &str| t.mode_named(n).unwrap();
+    let modes = HierModes {
+        intent_read: m("IR"),
+        intent_write: m("IX"),
+        child_excl: m("IX"),
+        node_read: m("IR"),
+        level_read: None,
+        tree_read: m("R"),
+        tree_update: Some(m("U")),
+        tree_write: m("X"),
+        rename: m("X"),
+    };
+    ProtocolHandle {
+        protocol: Arc::new(Hierarchical::new("URIX", modes)),
+        families: vec![t, edge_table()],
+        group: ProtocolGroup::Mgl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's compatibility matrix (rows = requested, cols = held) —
+    /// already pinned structurally in xtc-lock; re-pinned here on the
+    /// actual URIX protocol table.
+    #[test]
+    fn urix_figure_2_compatibility() {
+        let h = urix();
+        let t = &h.families[0];
+        let order = ["IR", "IX", "R", "RIX", "U", "X"];
+        let expected: [[u8; 6]; 6] = [
+            [1, 1, 1, 1, 0, 0],
+            [1, 1, 0, 0, 0, 0],
+            [1, 0, 1, 0, 0, 0],
+            [1, 0, 0, 0, 0, 0],
+            [1, 0, 1, 0, 0, 0],
+            [0, 0, 0, 0, 0, 0],
+        ];
+        for (i, req) in order.iter().enumerate() {
+            for (j, held) in order.iter().enumerate() {
+                assert_eq!(
+                    t.compatible(t.mode_named(req).unwrap(), t.mode_named(held).unwrap()),
+                    expected[i][j] == 1,
+                    "compat({req}, {held})"
+                );
+            }
+        }
+    }
+
+    /// Figure 2's conversion matrix (rows = held, cols = requested).
+    #[test]
+    fn urix_figure_2_conversion() {
+        let h = urix();
+        let t = &h.families[0];
+        let order = ["IR", "IX", "R", "RIX", "U", "X"];
+        let expected: [[&str; 6]; 6] = [
+            ["IR", "IX", "R", "RIX", "U", "X"],
+            ["IX", "IX", "RIX", "RIX", "X", "X"],
+            ["R", "RIX", "R", "RIX", "R", "X"],
+            ["RIX", "RIX", "RIX", "RIX", "X", "X"],
+            ["U", "X", "U", "X", "U", "X"],
+            ["X", "X", "X", "X", "X", "X"],
+        ];
+        for (i, held) in order.iter().enumerate() {
+            for (j, req) in order.iter().enumerate() {
+                let conv = t.conversion(t.mode_named(held).unwrap(), t.mode_named(req).unwrap());
+                assert_eq!(t.name(conv.result), expected[i][j], "convert({held}, {req})");
+                assert_eq!(conv.annex, xtc_lock::Annex::None);
+            }
+        }
+    }
+
+    #[test]
+    fn irx_single_intention_blocks_subtree_reads() {
+        let h = irx();
+        let t = &h.families[0];
+        let (i, r) = (t.mode_named("I").unwrap(), t.mode_named("R").unwrap());
+        assert!(t.compatible(i, i), "intentions coexist");
+        assert!(!t.compatible(i, r), "any intention conflicts with subtree R");
+        assert!(!t.compatible(r, i));
+        assert!(t.compatible(r, r));
+    }
+
+    #[test]
+    fn irix_intentions_are_finer_than_irx() {
+        let h = irix();
+        let t = &h.families[0];
+        let ir = t.mode_named("IR").unwrap();
+        let ix = t.mode_named("IX").unwrap();
+        let r = t.mode_named("R").unwrap();
+        assert!(t.compatible(ir, r), "read intention under subtree read");
+        assert!(!t.compatible(ix, r));
+        assert!(t.compatible(ir, ix));
+        // IRIX lacks RIX: holding R and requesting IX escalates to X.
+        let conv = t.conversion(r, ix);
+        assert_eq!(t.name(conv.result), "X");
+    }
+}

@@ -1,0 +1,503 @@
+//! The plain *-2PL group (§2.1): Node2PL, NO2PL, OO2PL.
+//!
+//! The group strictly separates lock types: **structure locks** (node
+//! level), **content locks** (S/X on a node's value), and **jump locks**
+//! (IDR/IDX for direct jumps via ID attributes) — the three independent
+//! matrices of Figure 1. None of the three supports the lock-depth
+//! parameter or intention locks. The missing intentions are the group's
+//! downfall in CLUSTER2: before deleting a subtree they "need to search
+//! the entire subtree for elements owning ID attributes" and IDX-lock
+//! each one (§5.3).
+
+use crate::edges::{self, edge_table};
+use crate::{ProtocolGroup, ProtocolHandle};
+use std::sync::Arc;
+use xtc_lock::algebra::{AlgebraMode, CovNonNone, Region, SelfAcc as S};
+use xtc_lock::{
+    EdgeKind, LockCtx, LockError, MetaOp, ModeIdx, ModeTable, Protocol,
+};
+use xtc_splid::SplId;
+
+/// Structure family index (Node2PL: T/M on nodes; NO2PL: NS/NX on nodes;
+/// OO2PL: edge modes on navigation edges).
+const STRUCTURE: u8 = 0;
+/// Content family index (S/X).
+const CONTENT: u8 = 1;
+/// Jump family index (IDR/IDX).
+const JUMP: u8 = 2;
+
+fn content_table() -> Arc<ModeTable> {
+    Arc::new(ModeTable::generate(
+        "content",
+        &[
+            ("S", AlgebraMode::new(S::Read, Region::NONE, Region::NONE)),
+            ("X", AlgebraMode::new(S::Excl, Region::NONE, Region::NONE)),
+        ],
+        &[],
+    ))
+}
+
+fn jump_table() -> Arc<ModeTable> {
+    Arc::new(ModeTable::generate(
+        "jump",
+        &[
+            ("IDR", AlgebraMode::new(S::Read, Region::NONE, Region::NONE)),
+            ("IDX", AlgebraMode::new(S::Excl, Region::NONE, Region::NONE)),
+        ],
+        &[],
+    ))
+}
+
+/// Content/jump lock helpers shared by the three protocols.
+struct Star2PlCommon {
+    s: ModeIdx,
+    x: ModeIdx,
+    idr: ModeIdx,
+    idx: ModeIdx,
+}
+
+impl Star2PlCommon {
+    fn new(content: &ModeTable, jump: &ModeTable) -> Self {
+        Star2PlCommon {
+            s: content.mode_named("S").unwrap(),
+            x: content.mode_named("X").unwrap(),
+            idr: jump.mode_named("IDR").unwrap(),
+            idx: jump.mode_named("IDX").unwrap(),
+        }
+    }
+
+    fn content_read(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        match cx.read_class() {
+            Some(class) => cx.lock_node(CONTENT, n, self.s, class),
+            None => Ok(()),
+        }
+    }
+
+    fn content_write(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        match cx.write_class() {
+            Some(class) => cx.lock_node(CONTENT, n, self.x, class),
+            None => Ok(()),
+        }
+    }
+
+    fn jump_read(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        match cx.read_class() {
+            Some(class) => cx.lock_node(JUMP, n, self.idr, class),
+            None => Ok(()),
+        }
+    }
+
+
+    /// Serializable jump-phantom protection rides on the jump family.
+    fn key_read(&self, cx: &LockCtx<'_>, key: &[u8]) -> Result<(), LockError> {
+        match cx.read_class() {
+            Some(class) => cx.lock_index_key(JUMP, key, self.idr, class),
+            None => Ok(()),
+        }
+    }
+
+    fn key_write(&self, cx: &LockCtx<'_>, key: &[u8]) -> Result<(), LockError> {
+        match cx.write_class() {
+            Some(class) => cx.lock_index_key(JUMP, key, self.idx, class),
+            None => Ok(()),
+        }
+    }
+
+    /// The §5.3 penalty: IDX locks on every ID-attribute owner inside the
+    /// doomed subtree, located by scanning the subtree through the node
+    /// manager.
+    fn idx_scan(&self, cx: &LockCtx<'_>, subtree: &SplId) -> Result<(), LockError> {
+        let Some(class) = cx.write_class() else {
+            return Ok(());
+        };
+        for owner in cx.doc.subtree_id_owners(subtree) {
+            cx.lock_node(JUMP, &owner, self.idx, class)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node2PL
+// ---------------------------------------------------------------------
+
+/// Node2PL: structure locks T (traverse) / M (modify) on the **parent**
+/// of the context node — "unnecessarily restrictive because, by locking
+/// the parent, it blocks the entire level of the context node".
+pub struct Node2Pl {
+    t: ModeIdx,
+    m: ModeIdx,
+    common: Star2PlCommon,
+}
+
+/// Builds the Node2PL handle.
+pub fn node2pl() -> ProtocolHandle {
+    let structure = Arc::new(ModeTable::generate(
+        "node2pl-structure",
+        &[
+            // T read-pins the parent and covers the child level shared;
+            // M covers the child level exclusively.
+            ("T", AlgebraMode::new(S::Read, Region::cov(CovNonNone::Read), Region::NONE)),
+            ("M", AlgebraMode::new(S::Read, Region::cov(CovNonNone::Excl), Region::NONE)),
+        ],
+        &[],
+    ));
+    let content = content_table();
+    let jump = jump_table();
+    let p = Node2Pl {
+        t: structure.mode_named("T").unwrap(),
+        m: structure.mode_named("M").unwrap(),
+        common: Star2PlCommon::new(&content, &jump),
+    };
+    ProtocolHandle {
+        protocol: Arc::new(p),
+        families: vec![structure, content, jump],
+        group: ProtocolGroup::Star2Pl,
+    }
+}
+
+impl Node2Pl {
+    /// T on the parent of `n` (or on `n` itself for the root).
+    fn traverse(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        let Some(class) = cx.read_class() else {
+            return Ok(());
+        };
+        let target = n.parent().unwrap_or_else(|| n.clone());
+        cx.lock_node(STRUCTURE, &target, self.t, class)
+    }
+
+    /// M on the parent of `n` (structure modification at `n`).
+    fn modify(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        let Some(class) = cx.write_class() else {
+            return Ok(());
+        };
+        let target = n.parent().unwrap_or_else(|| n.clone());
+        cx.lock_node(STRUCTURE, &target, self.m, class)
+    }
+}
+
+impl Protocol for Node2Pl {
+    fn name(&self) -> &'static str {
+        "Node2PL"
+    }
+
+    fn supports_lock_depth(&self) -> bool {
+        false
+    }
+
+    fn acquire(&self, cx: &LockCtx<'_>, op: &MetaOp<'_>) -> Result<(), LockError> {
+        match *op {
+            MetaOp::ReadNode(n) => {
+                self.traverse(cx, n)?;
+                self.common.content_read(cx, n)
+            }
+            MetaOp::Navigate { to, .. } => match to {
+                Some(to) => self.traverse(cx, to),
+                None => Ok(()),
+            },
+            MetaOp::ReadLevel(n) => {
+                if let Some(class) = cx.read_class() {
+                    cx.lock_node(STRUCTURE, n, self.t, class)?;
+                }
+                Ok(())
+            }
+            MetaOp::ReadTree(n) => {
+                let Some(class) = cx.read_class() else {
+                    return Ok(());
+                };
+                self.traverse(cx, n)?;
+                // Reading every node of the subtree leaves T locks on all
+                // inner nodes (each is the parent of something read).
+                for node in cx.doc.subtree_nodes(n) {
+                    cx.lock_node(STRUCTURE, &node, self.t, class)?;
+                }
+                Ok(())
+            }
+            MetaOp::UpdateTree(n) => self.modify(cx, n),
+            MetaOp::WriteContent(n) => self.common.content_write(cx, n),
+            MetaOp::Rename(n) => {
+                self.modify(cx, n)?;
+                self.common.content_write(cx, n)
+            }
+            MetaOp::InsertNode { node, .. } => self.modify(cx, node),
+            MetaOp::DeleteTree { node, .. } => {
+                self.modify(cx, node)?;
+                self.common.idx_scan(cx, node)
+            }
+            MetaOp::JumpRead(n) => self.common.jump_read(cx, n),
+            MetaOp::IndexKeyRead(key) => self.common.key_read(cx, key),
+            MetaOp::IndexKeyWrite(key) => self.common.key_write(cx, key),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// NO2PL
+// ---------------------------------------------------------------------
+
+/// NO2PL: locks the accessed nodes themselves (and, for updates, only the
+/// nodes *reachable from* the context node) — finer than Node2PL's
+/// whole-level parent locks.
+pub struct No2Pl {
+    ns: ModeIdx,
+    nx: ModeIdx,
+    common: Star2PlCommon,
+}
+
+/// Builds the NO2PL handle.
+pub fn no2pl() -> ProtocolHandle {
+    let structure = Arc::new(ModeTable::generate(
+        "no2pl-structure",
+        &[
+            ("NS", AlgebraMode::new(S::Read, Region::NONE, Region::NONE)),
+            ("NX", AlgebraMode::new(S::Excl, Region::NONE, Region::NONE)),
+        ],
+        &[],
+    ));
+    let content = content_table();
+    let jump = jump_table();
+    let p = No2Pl {
+        ns: structure.mode_named("NS").unwrap(),
+        nx: structure.mode_named("NX").unwrap(),
+        common: Star2PlCommon::new(&content, &jump),
+    };
+    ProtocolHandle {
+        protocol: Arc::new(p),
+        families: vec![structure, content, jump],
+        group: ProtocolGroup::Star2Pl,
+    }
+}
+
+impl No2Pl {
+    fn share(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        match cx.read_class() {
+            Some(class) => cx.lock_node(STRUCTURE, n, self.ns, class),
+            None => Ok(()),
+        }
+    }
+
+    fn exclusive(&self, cx: &LockCtx<'_>, n: &SplId) -> Result<(), LockError> {
+        match cx.write_class() {
+            Some(class) => cx.lock_node(STRUCTURE, n, self.nx, class),
+            None => Ok(()),
+        }
+    }
+
+    /// NX on the context node and its reachable neighbourhood.
+    fn exclusive_neighbourhood(
+        &self,
+        cx: &LockCtx<'_>,
+        n: &SplId,
+        left: Option<&SplId>,
+        right: Option<&SplId>,
+    ) -> Result<(), LockError> {
+        self.exclusive(cx, n)?;
+        if let Some(p) = n.parent() {
+            self.exclusive(cx, &p)?;
+        }
+        if let Some(l) = left {
+            self.exclusive(cx, l)?;
+        }
+        if let Some(r) = right {
+            self.exclusive(cx, r)?;
+        }
+        Ok(())
+    }
+}
+
+impl Protocol for No2Pl {
+    fn name(&self) -> &'static str {
+        "NO2PL"
+    }
+
+    fn supports_lock_depth(&self) -> bool {
+        false
+    }
+
+    fn acquire(&self, cx: &LockCtx<'_>, op: &MetaOp<'_>) -> Result<(), LockError> {
+        match *op {
+            MetaOp::ReadNode(n) => {
+                self.share(cx, n)?;
+                self.common.content_read(cx, n)
+            }
+            MetaOp::Navigate { from, to, .. } => {
+                self.share(cx, from)?;
+                match to {
+                    Some(to) => self.share(cx, to),
+                    None => Ok(()),
+                }
+            }
+            MetaOp::ReadLevel(n) => {
+                self.share(cx, n)?;
+                for c in cx.doc.children(n) {
+                    self.share(cx, &c)?;
+                }
+                Ok(())
+            }
+            MetaOp::ReadTree(n) | MetaOp::UpdateTree(n) => {
+                let Some(class) = cx.read_class().or_else(|| cx.write_class()) else {
+                    return Ok(());
+                };
+                for node in cx.doc.subtree_nodes(n) {
+                    cx.lock_node(STRUCTURE, &node, self.ns, class)?;
+                }
+                Ok(())
+            }
+            MetaOp::WriteContent(n) => {
+                self.share(cx, n)?;
+                self.common.content_write(cx, n)
+            }
+            MetaOp::Rename(n) => self.exclusive(cx, n),
+            MetaOp::InsertNode {
+                parent: _,
+                node,
+                left,
+                right,
+            } => self.exclusive_neighbourhood(cx, node, left, right),
+            MetaOp::DeleteTree { node, left, right } => {
+                self.exclusive_neighbourhood(cx, node, left, right)?;
+                if cx.write_class().is_some() {
+                    let class = cx.write_class().unwrap();
+                    for inner in cx.doc.subtree_nodes(node) {
+                        cx.lock_node(STRUCTURE, &inner, self.nx, class)?;
+                    }
+                }
+                self.common.idx_scan(cx, node)
+            }
+            MetaOp::JumpRead(n) => {
+                self.common.jump_read(cx, n)?;
+                self.share(cx, n)
+            }
+            MetaOp::IndexKeyRead(key) => self.common.key_read(cx, key),
+            MetaOp::IndexKeyWrite(key) => self.common.key_write(cx, key),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// OO2PL
+// ---------------------------------------------------------------------
+
+/// OO2PL: locks the traversed / affected **navigation edges** — the
+/// finest granularity of the group. "OO2PL implies the acquisition of
+/// finer and, therefore, a larger number of locks; the advantage of
+/// higher parallelism, however, clearly outweighs this processing
+/// overhead" (§5.2).
+pub struct Oo2Pl {
+    er: ModeIdx,
+    ex: ModeIdx,
+    common: Star2PlCommon,
+}
+
+/// Builds the OO2PL handle.
+pub fn oo2pl() -> ProtocolHandle {
+    let structure = edge_table();
+    let content = content_table();
+    let jump = jump_table();
+    let p = Oo2Pl {
+        er: structure.mode_named(edges::ER).unwrap(),
+        ex: structure.mode_named(edges::EX).unwrap(),
+        common: Star2PlCommon::new(&content, &jump),
+    };
+    ProtocolHandle {
+        protocol: Arc::new(p),
+        families: vec![structure, content, jump],
+        group: ProtocolGroup::Star2Pl,
+    }
+}
+
+impl Oo2Pl {
+    fn edge(
+        &self,
+        cx: &LockCtx<'_>,
+        n: &SplId,
+        kind: EdgeKind,
+        exclusive: bool,
+    ) -> Result<(), LockError> {
+        let class = if exclusive {
+            cx.write_class()
+        } else {
+            cx.read_class()
+        };
+        let Some(class) = class else { return Ok(()) };
+        let mode = if exclusive { self.ex } else { self.er };
+        cx.lock_edge(STRUCTURE, n, kind, mode, class)
+    }
+
+    /// Exclusive locks on the edges affected by a structure change at the
+    /// position (`parent`, `left`, `right`).
+    fn boundary_edges(
+        &self,
+        cx: &LockCtx<'_>,
+        parent: &SplId,
+        left: Option<&SplId>,
+        right: Option<&SplId>,
+    ) -> Result<(), LockError> {
+        match left {
+            Some(l) => self.edge(cx, l, EdgeKind::NextSibling, true)?,
+            None => self.edge(cx, parent, EdgeKind::FirstChild, true)?,
+        }
+        match right {
+            Some(r) => self.edge(cx, r, EdgeKind::PrevSibling, true)?,
+            None => self.edge(cx, parent, EdgeKind::LastChild, true)?,
+        }
+        Ok(())
+    }
+}
+
+impl Protocol for Oo2Pl {
+    fn name(&self) -> &'static str {
+        "OO2PL"
+    }
+
+    fn supports_lock_depth(&self) -> bool {
+        false
+    }
+
+    fn acquire(&self, cx: &LockCtx<'_>, op: &MetaOp<'_>) -> Result<(), LockError> {
+        match *op {
+            MetaOp::ReadNode(n) => self.common.content_read(cx, n),
+            MetaOp::Navigate { from, edge, .. } => self.edge(cx, from, edge, false),
+            MetaOp::ReadLevel(n) => {
+                self.edge(cx, n, EdgeKind::FirstChild, false)?;
+                for c in cx.doc.children(n) {
+                    self.edge(cx, &c, EdgeKind::NextSibling, false)?;
+                }
+                Ok(())
+            }
+            MetaOp::ReadTree(n) | MetaOp::UpdateTree(n) => {
+                // Traversing the subtree touches every first-child /
+                // next-sibling edge in it.
+                for node in cx.doc.subtree_nodes(n) {
+                    self.edge(cx, &node, EdgeKind::FirstChild, false)?;
+                    self.edge(cx, &node, EdgeKind::NextSibling, false)?;
+                    self.common.content_read(cx, &node)?;
+                }
+                Ok(())
+            }
+            MetaOp::WriteContent(n) | MetaOp::Rename(n) => self.common.content_write(cx, n),
+            MetaOp::InsertNode {
+                parent,
+                node: _,
+                left,
+                right,
+            } => self.boundary_edges(cx, parent, left, right),
+            MetaOp::DeleteTree { node, left, right } => {
+                if let Some(parent) = node.parent() {
+                    self.boundary_edges(cx, &parent, left, right)?;
+                }
+                // Invalidate navigation anchored at the vanishing nodes.
+                for inner in cx.doc.subtree_nodes(node) {
+                    self.edge(cx, &inner, EdgeKind::FirstChild, true)?;
+                    self.edge(cx, &inner, EdgeKind::NextSibling, true)?;
+                    self.edge(cx, &inner, EdgeKind::PrevSibling, true)?;
+                    self.common.content_write(cx, &inner)?;
+                }
+                self.common.idx_scan(cx, node)
+            }
+            MetaOp::JumpRead(n) => self.common.jump_read(cx, n),
+            MetaOp::IndexKeyRead(key) => self.common.key_read(cx, key),
+            MetaOp::IndexKeyWrite(key) => self.common.key_write(cx, key),
+        }
+    }
+}

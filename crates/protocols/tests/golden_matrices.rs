@@ -1,0 +1,79 @@
+//! Golden snapshot of every protocol's generated compatibility and
+//! conversion matrices.
+//!
+//! The printed matrices of the paper (Figures 1–4) are pinned cell-by-cell
+//! in the unit tests; this test additionally freezes the *reconstructed*
+//! ones (taDOM2+/3/3+ and the flat families) so any change to the region
+//! algebra or the conversion rules shows up as a reviewable diff.
+//!
+//! Regenerate after an intentional change with:
+//! `XTC_BLESS=1 cargo test -p xtc-protocols --test golden_matrices`
+
+use std::fmt::Write as _;
+use xtc_lock::Annex;
+
+fn render_all() -> String {
+    let mut out = String::new();
+    for proto in xtc_protocols::ALL_PROTOCOLS {
+        let handle = xtc_protocols::build(proto).unwrap();
+        for table in &handle.families {
+            let n = table.len() as u8;
+            let _ = writeln!(out, "== {} / {} ({} modes) ==", proto, table.family(), n);
+            let _ = writeln!(out, "-- compatibility (rows requested, cols held) --");
+            let _ = write!(out, "{:>6}", "");
+            for h in 0..n {
+                let _ = write!(out, "{:>6}", table.name(h));
+            }
+            out.push('\n');
+            for r in 0..n {
+                let _ = write!(out, "{:>6}", table.name(r));
+                for h in 0..n {
+                    let _ = write!(out, "{:>6}", if table.compatible(r, h) { "+" } else { "-" });
+                }
+                out.push('\n');
+            }
+            let _ = writeln!(out, "-- conversion (rows held, cols requested) --");
+            let _ = write!(out, "{:>6}", "");
+            for r in 0..n {
+                let _ = write!(out, "{:>9}", table.name(r));
+            }
+            out.push('\n');
+            for h in 0..n {
+                let _ = write!(out, "{:>6}", table.name(h));
+                for r in 0..n {
+                    let conv = table.conversion(h, r);
+                    let cell = match conv.annex {
+                        Annex::None => table.name(conv.result).to_string(),
+                        Annex::ChildLocks(c) => {
+                            format!("{}_{}", table.name(conv.result), table.name(c))
+                        }
+                    };
+                    let _ = write!(out, "{cell:>9}");
+                }
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn matrices_match_golden_snapshot() {
+    let got = render_all();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/matrices.txt");
+    if std::env::var_os("XTC_BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run with XTC_BLESS=1 to create it");
+    if got != want {
+        // Locate the first differing line for a useful failure message.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "first difference at line {}", i + 1);
+        }
+        assert_eq!(got.lines().count(), want.lines().count(), "length differs");
+    }
+}

@@ -1,0 +1,276 @@
+//! Transactional evaluation of path expressions.
+//!
+//! Every document access is performed through the [`Transaction`] API, so
+//! the active lock protocol isolates declarative readers exactly like
+//! navigational ones:
+//!
+//! * child steps read the level (`getChildNodes` → level locks),
+//! * descendant steps with a name test use the **element index** — the
+//!   "large number of direct jumps" of §6, each protected as a jump
+//!   (intention paths / IDR, depending on the protocol),
+//! * attribute predicates and selections read via the attribute-root
+//!   level locks.
+
+use crate::parse::{Axis, NodeTest, PathExpr, Predicate};
+use xtc_core::{SplId, Transaction, XtcError};
+
+/// Result of evaluating a path with a trailing attribute selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryValue {
+    /// Element results (no `/@attr` suffix).
+    Nodes(Vec<SplId>),
+    /// Attribute string values, one entry per matched element that has
+    /// the attribute.
+    Strings(Vec<String>),
+}
+
+impl QueryValue {
+    /// The node results; empty for attribute selections.
+    pub fn nodes(self) -> Vec<SplId> {
+        match self {
+            QueryValue::Nodes(n) => n,
+            QueryValue::Strings(_) => Vec::new(),
+        }
+    }
+
+    /// The string results; empty for node results.
+    pub fn strings(self) -> Vec<String> {
+        match self {
+            QueryValue::Strings(s) => s,
+            QueryValue::Nodes(_) => Vec::new(),
+        }
+    }
+}
+
+impl PathExpr {
+    /// Evaluates the path against the document root, returning matching
+    /// elements in document order (deduplicated).
+    pub fn eval(&self, txn: &Transaction<'_>) -> Result<Vec<SplId>, XtcError> {
+        let Some(root) = txn.root()? else {
+            return Ok(Vec::new());
+        };
+        // The first step matches against a virtual context *above* the
+        // root: `/bib` tests the root element itself.
+        let mut context: Vec<SplId> = vec![root];
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next = Vec::new();
+            for cx in &context {
+                let candidates: Vec<SplId> = if i == 0 {
+                    // Virtual document node: the child axis yields the
+                    // root element; the descendant axis yields everything.
+                    match step.axis {
+                        Axis::Child => vec![cx.clone()],
+                        Axis::Descendant => descendant_candidates(txn, cx, &step.test, true)?,
+                    }
+                } else {
+                    match step.axis {
+                        Axis::Child => txn.element_children(cx)?,
+                        Axis::Descendant => {
+                            descendant_candidates(txn, cx, &step.test, false)?
+                        }
+                    }
+                };
+                let mut position = 0usize;
+                for cand in candidates {
+                    if !test_matches(txn, &cand, &step.test)? {
+                        continue;
+                    }
+                    position += 1;
+                    if predicates_match(txn, &cand, &step.predicates, position)? {
+                        next.push(cand);
+                    }
+                }
+            }
+            next.sort();
+            next.dedup();
+            context = next;
+            if context.is_empty() {
+                break;
+            }
+        }
+        Ok(context)
+    }
+
+    /// Evaluates the full expression including a trailing `/@attr`.
+    pub fn eval_values(&self, txn: &Transaction<'_>) -> Result<QueryValue, XtcError> {
+        let nodes = self.eval(txn)?;
+        match &self.attribute {
+            None => Ok(QueryValue::Nodes(nodes)),
+            Some(attr) => {
+                let mut out = Vec::new();
+                for n in nodes {
+                    if let Some(v) = txn.attribute(&n, attr)? {
+                        out.push(v);
+                    }
+                }
+                Ok(QueryValue::Strings(out))
+            }
+        }
+    }
+}
+
+/// Candidates for a descendant step: named tests go through the element
+/// index (direct jumps, §6); wildcards scan the subtree.
+fn descendant_candidates(
+    txn: &Transaction<'_>,
+    cx: &SplId,
+    test: &NodeTest,
+    include_self_region: bool,
+) -> Result<Vec<SplId>, XtcError> {
+    match test {
+        NodeTest::Name(name) => {
+            let all = txn.elements_named(name)?;
+            Ok(all
+                .into_iter()
+                .filter(|n| {
+                    cx.is_ancestor_of(n) || (include_self_region && n == cx)
+                })
+                .collect())
+        }
+        NodeTest::Any => {
+            let nodes = txn.subtree(cx)?;
+            Ok(nodes
+                .into_iter()
+                .filter(|(n, data)| {
+                    matches!(data, xtc_core::NodeData::Element { .. })
+                        && (include_self_region || n != cx)
+                })
+                .map(|(n, _)| n)
+                .collect())
+        }
+    }
+}
+
+fn test_matches(
+    txn: &Transaction<'_>,
+    node: &SplId,
+    test: &NodeTest,
+) -> Result<bool, XtcError> {
+    match test {
+        NodeTest::Any => Ok(true),
+        NodeTest::Name(name) => Ok(txn.name(node)?.as_deref() == Some(name.as_str())),
+    }
+}
+
+fn predicates_match(
+    txn: &Transaction<'_>,
+    node: &SplId,
+    predicates: &[Predicate],
+    position: usize,
+) -> Result<bool, XtcError> {
+    for p in predicates {
+        let ok = match p {
+            Predicate::AttrEquals(name, value) => {
+                txn.attribute(node, name)?.as_deref() == Some(value.as_str())
+            }
+            Predicate::Position(n) => *n == position,
+        };
+        if !ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtc_core::{XtcConfig, XtcDb};
+
+    fn db() -> XtcDb {
+        let db = XtcDb::new(XtcConfig::default());
+        db.load_xml(
+            r#"<bib><topics>
+                 <topic id="t0"><book id="b0" year="2004"><title>A</title></book>
+                                <book id="b1" year="2006"><title>B</title></book></topic>
+                 <topic id="t1"><book id="b2" year="2006"><title>C</title></book></topic>
+               </topics></bib>"#,
+        )
+        .unwrap();
+        db
+    }
+
+    fn eval(db: &XtcDb, path: &str) -> Vec<String> {
+        let txn = db.begin();
+        let expr = PathExpr::parse(path).unwrap();
+        let out = match expr.eval_values(&txn).unwrap() {
+            QueryValue::Nodes(nodes) => nodes
+                .iter()
+                .map(|n| {
+                    let name = txn.name(n).unwrap().unwrap();
+                    let text = txn.element_text(n).unwrap();
+                    if text.is_empty() {
+                        name
+                    } else {
+                        format!("{name}:{text}")
+                    }
+                })
+                .collect(),
+            QueryValue::Strings(s) => s,
+        };
+        txn.commit().unwrap();
+        out
+    }
+
+    #[test]
+    fn absolute_child_paths() {
+        let db = db();
+        assert_eq!(eval(&db, "/bib"), ["bib"]);
+        assert_eq!(eval(&db, "/bib/topics/topic"), ["topic", "topic"]);
+        assert_eq!(
+            eval(&db, "/bib/topics/topic/book/title"),
+            ["title:A", "title:B", "title:C"]
+        );
+        assert_eq!(eval(&db, "/wrong"), Vec::<String>::new());
+        assert_eq!(eval(&db, "/bib/book"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn descendant_axis_uses_index() {
+        let db = db();
+        assert_eq!(eval(&db, "//title"), ["title:A", "title:B", "title:C"]);
+        assert_eq!(eval(&db, "//topic//title"), ["title:A", "title:B", "title:C"]);
+        assert_eq!(eval(&db, "/bib//book/title"), ["title:A", "title:B", "title:C"]);
+    }
+
+    #[test]
+    fn predicates() {
+        let db = db();
+        assert_eq!(
+            eval(&db, "//topic[@id='t0']/book/title"),
+            ["title:A", "title:B"]
+        );
+        assert_eq!(eval(&db, "//book[@year='2006']/title"), ["title:B", "title:C"]);
+        assert_eq!(eval(&db, "/bib/topics/topic[2]/book/title"), ["title:C"]);
+        assert_eq!(eval(&db, "//topic[@id='t0']/book[2]/title"), ["title:B"]);
+        assert_eq!(
+            eval(&db, "//book[@year='2006'][@id='b2']/title"),
+            ["title:C"]
+        );
+    }
+
+    #[test]
+    fn wildcard_and_attribute_selection() {
+        let db = db();
+        assert_eq!(eval(&db, "/bib/*/topic"), ["topic", "topic"]);
+        assert_eq!(eval(&db, "//book/@year"), ["2004", "2006", "2006"]);
+        assert_eq!(eval(&db, "//topic/@id"), ["t0", "t1"]);
+    }
+
+    #[test]
+    fn results_are_document_ordered_and_deduplicated() {
+        let db = db();
+        // `//*//title` reaches each title through several ancestors.
+        assert_eq!(eval(&db, "//*//title"), ["title:A", "title:B", "title:C"]);
+    }
+
+    #[test]
+    fn queries_take_locks() {
+        let db = db();
+        let txn = db.begin();
+        let _ = PathExpr::parse("//book/title").unwrap().eval(&txn).unwrap();
+        assert!(txn.held_locks() > 0, "declarative readers must lock");
+        txn.commit().unwrap();
+        assert_eq!(db.lock_table().granted_count(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Structural joins and set operations over SPLID streams (§6: "SPLIDs
+//! allow structural joins and set-theoretic operations such that they
+//! become more useful than TIDs in relational DBMSs").
+//!
+//! The stack-based merge is the classical structural-join algorithm
+//! (Al-Khalifa et al., ICDE 2002 — the paper's reference [1]) specialized
+//! to SPLIDs: because an ancestor's label is a prefix of its descendants'
+//! labels and document order is label order, one synchronized pass over
+//! two document-ordered streams produces all ancestor–descendant pairs in
+//! `O(|A| + |D| + |output|)`.
+
+use xtc_splid::SplId;
+
+/// All `(ancestor, descendant)` pairs with `a` a proper ancestor of `d`.
+///
+/// Inputs must be in document order (deduplicated); the output is ordered
+/// by descendant. This is the *stack-tree* join: ancestors whose subtree
+/// region has been passed are popped and never revisited.
+pub fn ancestor_descendant(ancestors: &[SplId], descendants: &[SplId]) -> Vec<(SplId, SplId)> {
+    debug_assert!(ancestors.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(descendants.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::new();
+    let mut stack: Vec<&SplId> = Vec::new();
+    let mut ai = 0;
+    for d in descendants {
+        // Push every ancestor that starts before `d` in document order.
+        while ai < ancestors.len() && ancestors[ai] < *d {
+            // Pop stack entries whose subtree region ended before this
+            // ancestor begins (they cannot cover anything later either).
+            while let Some(top) = stack.last() {
+                if top.is_ancestor_of(&ancestors[ai]) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(&ancestors[ai]);
+            ai += 1;
+        }
+        // Pop entries that do not cover `d`.
+        while let Some(top) = stack.last() {
+            if top.is_ancestor_of(d) {
+                break;
+            }
+            stack.pop();
+        }
+        // Every remaining stack entry is an ancestor of `d` (the stack is
+        // a chain: each entry is an ancestor of the one above it).
+        for a in &stack {
+            out.push(((*a).clone(), d.clone()));
+        }
+    }
+    out
+}
+
+/// All `(parent, child)` pairs — the ancestor–descendant join restricted
+/// to distance 1 (computed directly from the labels).
+pub fn parent_child(parents: &[SplId], children: &[SplId]) -> Vec<(SplId, SplId)> {
+    ancestor_descendant(parents, children)
+        .into_iter()
+        .filter(|(p, c)| p.is_parent_of(c))
+        .collect()
+}
+
+/// The descendants (from `nodes`) that fall inside any subtree rooted in
+/// `roots` — a semi-join, e.g. "all `lend` elements inside topic t3".
+pub fn contained_in(roots: &[SplId], nodes: &[SplId]) -> Vec<SplId> {
+    debug_assert!(roots.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::new();
+    let mut ri = 0;
+    let mut current: Option<&SplId> = None;
+    for n in nodes {
+        while ri < roots.len() && roots[ri] <= *n {
+            current = Some(&roots[ri]);
+            ri += 1;
+        }
+        // The covering root, if any, is the last root starting before n
+        // that is also its ancestor — roots are disjoint-or-nested; for
+        // nested roots any cover suffices for the semi-join.
+        if let Some(r) = current {
+            if r.is_ancestor_of(n) || r == n {
+                out.push(n.clone());
+                continue;
+            }
+        }
+        // Walk back for a nested-roots cover (rare; keeps correctness
+        // when one root contains another).
+        if roots[..ri].iter().rev().any(|r| r.is_ancestor_of(n)) {
+            out.push(n.clone());
+        }
+    }
+    out
+}
+
+/// Document-order union of two ordered, deduplicated streams.
+pub fn union(a: &[SplId], b: &[SplId]) -> Vec<SplId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) if x == y => {
+                out.push(x.clone());
+                i += 1;
+                j += 1;
+            }
+            (Some(x), Some(y)) if x < y => {
+                out.push(x.clone());
+                i += 1;
+            }
+            (Some(_), Some(y)) => {
+                out.push(y.clone());
+                j += 1;
+            }
+            (Some(x), None) => {
+                out.push(x.clone());
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push(y.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Document-order intersection of two ordered, deduplicated streams.
+pub fn intersect(a: &[SplId], b: &[SplId]) -> Vec<SplId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtc_splid::SplId;
+
+    fn ids(labels: &[&str]) -> Vec<SplId> {
+        let mut v: Vec<SplId> = labels.iter().map(|s| SplId::parse(s).unwrap()).collect();
+        v.sort();
+        v
+    }
+
+    /// Reference implementation: nested loops.
+    fn naive(a: &[SplId], d: &[SplId]) -> Vec<(SplId, SplId)> {
+        let mut out = Vec::new();
+        for desc in d {
+            for anc in a {
+                if anc.is_ancestor_of(desc) {
+                    out.push((anc.clone(), desc.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stack_join_matches_naive() {
+        let ancestors = ids(&["1.3", "1.3.3", "1.5", "1.5.3.3", "1.7"]);
+        let descendants = ids(&[
+            "1.3.3.3", "1.3.3.5.3", "1.3.5", "1.5.3.3.7", "1.5.5", "1.9",
+        ]);
+        let mut got = ancestor_descendant(&ancestors, &descendants);
+        let mut want = naive(&ancestors, &descendants);
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_ancestors_all_reported() {
+        // 1.3 and 1.3.3 both cover 1.3.3.5.
+        let got = ancestor_descendant(&ids(&["1.3", "1.3.3"]), &ids(&["1.3.3.5"]));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn parent_child_filters_distance() {
+        let got = parent_child(&ids(&["1.3", "1.3.3"]), &ids(&["1.3.3.5", "1.3.5"]));
+        assert_eq!(
+            got,
+            vec![
+                (SplId::parse("1.3.3").unwrap(), SplId::parse("1.3.3.5").unwrap()),
+                (SplId::parse("1.3").unwrap(), SplId::parse("1.3.5").unwrap()),
+            ]
+        );
+    }
+
+    #[test]
+    fn contained_in_semi_join() {
+        let roots = ids(&["1.3", "1.7"]);
+        let nodes = ids(&["1.3.3", "1.5.3", "1.7.9.3", "1.9"]);
+        assert_eq!(contained_in(&roots, &nodes), ids(&["1.3.3", "1.7.9.3"]));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = ids(&["1.3", "1.5", "1.7"]);
+        let b = ids(&["1.5", "1.9"]);
+        assert_eq!(union(&a, &b), ids(&["1.3", "1.5", "1.7", "1.9"]));
+        assert_eq!(intersect(&a, &b), ids(&["1.5"]));
+        assert_eq!(intersect(&a, &[]), Vec::<SplId>::new());
+        assert_eq!(union(&[], &b), b);
+    }
+}

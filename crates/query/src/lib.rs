@@ -1,0 +1,44 @@
+//! # xtc-query — declarative access over the navigational model
+//!
+//! The paper's conclusions (§6) motivate exactly this layer: "Queries
+//! specified by declarative languages are frequently processed via
+//! indexes which will require a large number of direct jumps. On the
+//! other hand, SPLIDs allow structural joins and set-theoretic operations
+//! such that they become more useful than TIDs in relational DBMSs."
+//!
+//! Two pieces:
+//!
+//! * [`PathExpr`] — a compact XPath-like path language (`child` and
+//!   `descendant` axes, name and wildcard tests, attribute and position
+//!   predicates, attribute selection) evaluated **transactionally**: every
+//!   navigation step, level read, index jump, and subtree scan goes
+//!   through the active lock protocol, so declarative readers are
+//!   isolated exactly like navigational ones (§1's requirement that
+//!   declarative requests map onto the navigational access model).
+//! * [`join`] — stack-based **structural joins** over SPLID streams
+//!   (ancestor–descendant and parent–child matching in one merge pass)
+//!   plus document-order set operations, the §6 payoff of prefix-based
+//!   labels.
+//!
+//! ```
+//! use xtc_core::{XtcConfig, XtcDb};
+//! use xtc_query::PathExpr;
+//!
+//! let db = XtcDb::new(XtcConfig::default());
+//! db.load_xml(r#"<bib><book id="b1"><title>XML</title></book>
+//!                <book id="b2"><title>Locks</title></book></bib>"#).unwrap();
+//! let txn = db.begin();
+//! let titles = PathExpr::parse("//book/title").unwrap()
+//!     .eval(&txn).unwrap();
+//! assert_eq!(titles.len(), 2);
+//! txn.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod eval;
+pub mod join;
+mod parse;
+
+pub use eval::QueryValue;
+pub use parse::{Axis, NodeTest, ParseError, PathExpr, Predicate, Step};

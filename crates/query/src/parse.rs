@@ -1,0 +1,288 @@
+//! The path-expression language and its parser.
+//!
+//! Grammar (a pragmatic XPath subset — the operations TaMix-style
+//! applications issue):
+//!
+//! ```text
+//! path      := ('/' | '//') step (('/' | '//') step)* ('/@' name)?
+//! step      := nodetest predicate*
+//! nodetest  := name | '*'
+//! predicate := '[' '@' name '=' '\'' value '\'' ']'
+//!            | '[' number ']'                       (1-based position)
+//! ```
+//!
+//! Examples: `/bib/topics/topic[@id='t3']/book[2]/title`,
+//! `//book/@year`, `//topic/book//lend[@person='p7']`.
+
+use std::fmt;
+
+/// Navigation axis of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children (`/`).
+    Child,
+    /// All descendants (`//`).
+    Descendant,
+}
+
+/// Element-name test of one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A specific element name.
+    Name(String),
+    /// Any element (`*`).
+    Any,
+}
+
+/// A step predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `[@name='value']`.
+    AttrEquals(String, String),
+    /// `[n]` — 1-based position among the step's matches per context node.
+    Position(usize),
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis this step navigates.
+    pub axis: Axis,
+    /// The name test.
+    pub test: NodeTest,
+    /// Conjunction of predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathExpr {
+    /// The location steps, outermost first.
+    pub steps: Vec<Step>,
+    /// Trailing `/@name` attribute selection, if any.
+    pub attribute: Option<String>,
+}
+
+/// Path parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What was expected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl PathExpr {
+    /// Parses a path expression.
+    pub fn parse(input: &str) -> Result<PathExpr, ParseError> {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+        .parse()
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            f.write_str(match s.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            })?;
+            match &s.test {
+                NodeTest::Name(n) => f.write_str(n)?,
+                NodeTest::Any => f.write_str("*")?,
+            }
+            for p in &s.predicates {
+                match p {
+                    Predicate::AttrEquals(n, v) => write!(f, "[@{n}='{v}']")?,
+                    Predicate::Position(i) => write!(f, "[{i}]")?,
+                }
+            }
+        }
+        if let Some(a) = &self.attribute {
+            write!(f, "/@{a}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse(mut self) -> Result<PathExpr, ParseError> {
+        let mut steps = Vec::new();
+        let mut attribute = None;
+        if self.peek() != Some(b'/') {
+            return Err(self.err("paths start with '/' or '//'"));
+        }
+        while self.peek() == Some(b'/') {
+            self.pos += 1;
+            let axis = if self.eat(b'/') {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            };
+            if self.eat(b'@') {
+                attribute = Some(self.name()?);
+                if axis == Axis::Descendant {
+                    return Err(self.err("'//@' is not supported"));
+                }
+                break;
+            }
+            let test = if self.eat(b'*') {
+                NodeTest::Any
+            } else {
+                NodeTest::Name(self.name()?)
+            };
+            let mut predicates = Vec::new();
+            while self.eat(b'[') {
+                predicates.push(self.predicate()?);
+            }
+            steps.push(Step {
+                axis,
+                test,
+                predicates,
+            });
+        }
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing input"));
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty path"));
+        }
+        Ok(PathExpr { steps, attribute })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let p = if self.eat(b'@') {
+            let name = self.name()?;
+            if !self.eat(b'=') {
+                return Err(self.err("expected '=' in attribute predicate"));
+            }
+            if !self.eat(b'\'') {
+                return Err(self.err("expected quoted value"));
+            }
+            let start = self.pos;
+            while self.peek().map(|c| c != b'\'').unwrap_or(false) {
+                self.pos += 1;
+            }
+            let value = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            if !self.eat(b'\'') {
+                return Err(self.err("unterminated value"));
+            }
+            Predicate::AttrEquals(name, value)
+        } else {
+            let start = self.pos;
+            while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return Err(self.err("expected '@name=...' or a position number"));
+            }
+            let n: usize = std::str::from_utf8(&self.bytes[start..self.pos])
+                .unwrap()
+                .parse()
+                .map_err(|_| self.err("bad position"))?;
+            if n == 0 {
+                return Err(self.err("positions are 1-based"));
+            }
+            Predicate::Position(n)
+        };
+        if !self.eat(b']') {
+            return Err(self.err("expected ']'"));
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_child_path() {
+        let p = PathExpr::parse("/bib/topics/topic").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Child));
+        assert_eq!(p.steps[2].test, NodeTest::Name("topic".into()));
+        assert_eq!(p.attribute, None);
+    }
+
+    #[test]
+    fn parses_descendant_axis_and_predicates() {
+        let p = PathExpr::parse("//topic[@id='t3']/book[2]//lend[@person='p7']").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(
+            p.steps[0].predicates,
+            vec![Predicate::AttrEquals("id".into(), "t3".into())]
+        );
+        assert_eq!(p.steps[1].predicates, vec![Predicate::Position(2)]);
+        assert_eq!(p.steps[2].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn parses_attribute_selection_and_wildcard() {
+        let p = PathExpr::parse("/bib/*/topic/@id").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Any);
+        assert_eq!(p.attribute.as_deref(), Some("id"));
+    }
+
+    #[test]
+    fn rejects_malformed_paths() {
+        for bad in [
+            "", "bib", "/", "/bib/", "/bib[", "/bib[@]", "/bib[@a=b]", "/bib[0]",
+            "/bib/@id/x", "//@id",
+        ] {
+            assert!(PathExpr::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the stack-based structural join agrees with the naive
+//! quadratic reference on arbitrary label populations.
+
+use proptest::prelude::*;
+use xtc_query::join;
+use xtc_splid::{LabelAllocator, SplId};
+
+/// Random population of document-ordered labels (tree shaped).
+fn arb_labels(max: usize) -> impl Strategy<Value = Vec<SplId>> {
+    prop::collection::vec((0u8..3, 0u8..4), 0..max).prop_map(|steps| {
+        let alloc = LabelAllocator::new(2);
+        let mut frontier = vec![SplId::root()];
+        let mut all = vec![SplId::root()];
+        for (op, _salt) in steps {
+            let cur = frontier.last().unwrap().clone();
+            let next = match op {
+                0 => alloc.first_child(&cur),
+                1 => match alloc.next_sibling(&cur) {
+                    Ok(s) => s,
+                    Err(_) => alloc.first_child(&cur),
+                },
+                _ => {
+                    if frontier.len() > 1 {
+                        frontier.pop();
+                        continue;
+                    }
+                    alloc.first_child(&cur)
+                }
+            };
+            all.push(next.clone());
+            frontier.push(next);
+        }
+        all.sort();
+        all.dedup();
+        all
+    })
+}
+
+fn naive_join(a: &[SplId], d: &[SplId]) -> Vec<(SplId, SplId)> {
+    let mut out = Vec::new();
+    for desc in d {
+        for anc in a {
+            if anc.is_ancestor_of(desc) {
+                out.push((anc.clone(), desc.clone()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn stack_join_equals_naive(pop in arb_labels(60), split in any::<u64>()) {
+        // Partition the population pseudo-randomly into ancestor and
+        // descendant candidate sets (they may overlap).
+        let mut ancestors = Vec::new();
+        let mut descendants = Vec::new();
+        for (i, l) in pop.iter().enumerate() {
+            if (split >> (i % 64)) & 1 == 0 {
+                ancestors.push(l.clone());
+            }
+            if (split.rotate_left(17) >> (i % 64)) & 1 == 0 {
+                descendants.push(l.clone());
+            }
+        }
+        let mut got = join::ancestor_descendant(&ancestors, &descendants);
+        got.sort();
+        prop_assert_eq!(got, naive_join(&ancestors, &descendants));
+    }
+
+    #[test]
+    fn contained_in_equals_naive(pop in arb_labels(50), split in any::<u64>()) {
+        let roots: Vec<SplId> = pop.iter().enumerate()
+            .filter(|(i, _)| (split >> (i % 64)) & 1 == 0)
+            .map(|(_, l)| l.clone()).collect();
+        let nodes = pop.clone();
+        let got = join::contained_in(&roots, &nodes);
+        let want: Vec<SplId> = nodes.iter()
+            .filter(|n| roots.iter().any(|r| r.is_ancestor_of(n) || r == *n))
+            .cloned().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_intersect_are_set_ops(pop in arb_labels(40), split in any::<u64>()) {
+        use std::collections::BTreeSet;
+        let a: Vec<SplId> = pop.iter().enumerate()
+            .filter(|(i, _)| (split >> (i % 64)) & 1 == 0)
+            .map(|(_, l)| l.clone()).collect();
+        let b: Vec<SplId> = pop.iter().enumerate()
+            .filter(|(i, _)| (split >> ((i + 13) % 64)) & 1 == 0)
+            .map(|(_, l)| l.clone()).collect();
+        let sa: BTreeSet<_> = a.iter().cloned().collect();
+        let sb: BTreeSet<_> = b.iter().cloned().collect();
+        let u: Vec<SplId> = sa.union(&sb).cloned().collect();
+        let i: Vec<SplId> = sa.intersection(&sb).cloned().collect();
+        prop_assert_eq!(join::union(&a, &b), u);
+        prop_assert_eq!(join::intersect(&a, &b), i);
+    }
+}

@@ -1,0 +1,341 @@
+//! Label allocation: producing new SPLIDs for inserted nodes without ever
+//! relabeling existing ones.
+//!
+//! The paper (§3.2): upon initial storage only odd division values are
+//! assigned with gaps of `dist` (`dist+1`, `2*dist+1`, …); later insertions
+//! first consume the gaps and then resort to the even-division *overflow
+//! mechanism* (`1.3.3`, `1.3.5` → insert before `1.3.5` yields `1.3.4.3`).
+//! A sibling tail relative to the parent label therefore always has the
+//! shape `even* odd` — any number of even connectors followed by exactly
+//! one odd division — which keeps the level computable by counting odd
+//! divisions.
+
+use crate::label::SplId;
+
+/// Errors from label allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// `between` requires at least one bound.
+    NoBounds,
+    /// The two bounds are not siblings (different parents).
+    NotSiblings,
+    /// Division values would exceed `u32::MAX` (practically unreachable).
+    LabelSpaceExhausted,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::NoBounds => write!(f, "between() needs at least one sibling bound"),
+            AllocError::NotSiblings => write!(f, "bounds must share the same parent"),
+            AllocError::LabelSpaceExhausted => write!(f, "division value space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocates sibling labels with a configurable gap parameter.
+///
+/// `dist` governs the initial gap between consecutive sibling divisions
+/// (must be even, ≥ 2). The paper: "the minimum value dist=2 should be
+/// applied to almost static XML documents whereas larger dist values avoid
+/// resorting too frequently to overflow values."
+#[derive(Debug, Clone, Copy)]
+pub struct LabelAllocator {
+    dist: u32,
+}
+
+impl LabelAllocator {
+    /// Creates an allocator; `dist` is rounded up to the next even value
+    /// and clamped to at least 2.
+    pub fn new(dist: u32) -> Self {
+        let dist = dist.max(2);
+        LabelAllocator {
+            dist: dist + (dist % 2),
+        }
+    }
+
+    /// The configured gap parameter.
+    pub fn dist(&self) -> u32 {
+        self.dist
+    }
+
+    /// Label for the first child of a node with no existing children:
+    /// `parent.(dist+1)`.
+    pub fn first_child(&self, parent: &SplId) -> SplId {
+        parent.child_with_tail(&[self.dist + 1])
+    }
+
+    /// Label for a new sibling immediately after `node` (no right
+    /// neighbour).
+    pub fn next_sibling(&self, node: &SplId) -> Result<SplId, AllocError> {
+        self.between(Some(node), None)
+    }
+
+    /// Label for a new sibling immediately before `node` (no left
+    /// neighbour).
+    pub fn prev_sibling(&self, node: &SplId) -> Result<SplId, AllocError> {
+        self.between(None, Some(node))
+    }
+
+    /// Label strictly between two siblings (either bound may be absent,
+    /// but not both). The result is a sibling of the bounds: same parent,
+    /// same level, ordered strictly between them — and no existing label
+    /// is touched.
+    pub fn between(
+        &self,
+        left: Option<&SplId>,
+        right: Option<&SplId>,
+    ) -> Result<SplId, AllocError> {
+        let parent = match (left, right) {
+            (Some(l), Some(r)) => {
+                let p = l.parent().ok_or(AllocError::NotSiblings)?;
+                if r.parent().as_ref() != Some(&p) {
+                    return Err(AllocError::NotSiblings);
+                }
+                p
+            }
+            (Some(l), None) => l.parent().ok_or(AllocError::NotSiblings)?,
+            (None, Some(r)) => r.parent().ok_or(AllocError::NotSiblings)?,
+            (None, None) => return Err(AllocError::NoBounds),
+        };
+        let plen = parent.divisions().len();
+        let ltail = left.map(|l| &l.divisions()[plen..]).unwrap_or(&[]);
+        let rtail = right.map(|r| &r.divisions()[plen..]).unwrap_or(&[]);
+        let tail = self.between_tails(ltail, rtail)?;
+        Ok(parent.child_with_tail(&tail))
+    }
+
+    /// Core recursion on sibling tails (shape `even* odd`). Produces a tail
+    /// strictly between `l` and `r` in lexicographic division order; an
+    /// empty slice is an open bound.
+    fn between_tails(&self, l: &[u32], r: &[u32]) -> Result<Vec<u32>, AllocError> {
+        match (l.first().copied(), r.first().copied()) {
+            (None, None) => Ok(vec![self.dist + 1]),
+            (Some(a), Some(b)) if a == b => {
+                // Shared first division (an even connector region): descend.
+                let mut tail = self.between_tails(&l[1..], &r[1..])?;
+                tail.insert(0, a);
+                Ok(tail)
+            }
+            (None, Some(b)) => {
+                // Insert before the first sibling. Odd candidates live in
+                // (1, b) — division 1 is reserved for attribute regions.
+                if b > 3 {
+                    let o = if b > self.dist + 2 {
+                        self.dist + 1
+                    } else {
+                        largest_odd_below(b)
+                    };
+                    Ok(vec![o])
+                } else if b == 3 {
+                    // No odd ≥ 3 below 3: open an overflow region at 2.
+                    Ok(vec![2, self.dist + 1])
+                } else {
+                    // b == 2: descend into the overflow region.
+                    debug_assert!(!r[1..].is_empty(), "tails end in an odd division");
+                    let mut tail = self.between_tails(&[], &r[1..])?;
+                    tail.insert(0, b);
+                    Ok(tail)
+                }
+            }
+            (Some(a), None) => {
+                // Append after the last sibling.
+                let o = if a % 2 == 1 {
+                    a.checked_add(self.dist)
+                        .or_else(|| a.checked_add(2))
+                        .ok_or(AllocError::LabelSpaceExhausted)?
+                } else {
+                    a + 1 // a even → a+1 odd, and a < u32::MAX for even a
+                };
+                Ok(vec![o])
+            }
+            (Some(a), Some(b)) => {
+                debug_assert!(a < b, "left bound must precede right bound");
+                let so = smallest_odd_above(a);
+                if so < b {
+                    // An odd division fits strictly between: prefer the
+                    // middle to keep future gaps balanced.
+                    Ok(vec![odd_near_middle(a, b)])
+                } else if a + 1 < b {
+                    // Only the even value a+1 fits: open an overflow region.
+                    Ok(vec![a + 1, self.dist + 1])
+                } else if a % 2 == 0 {
+                    // b == a+1 with a even: descend into l's overflow region.
+                    let mut tail = self.between_tails(&l[1..], &[])?;
+                    tail.insert(0, a);
+                    Ok(tail)
+                } else {
+                    // b == a+1 with a odd (so b even): descend into r's
+                    // overflow region.
+                    debug_assert!(!r[1..].is_empty(), "tails end in an odd division");
+                    let mut tail = self.between_tails(&[], &r[1..])?;
+                    tail.insert(0, b);
+                    Ok(tail)
+                }
+            }
+        }
+    }
+}
+
+impl Default for LabelAllocator {
+    /// The paper's recommended general-purpose configuration: a moderate
+    /// gap (`dist = 16`) trading label size against overflow frequency.
+    fn default() -> Self {
+        LabelAllocator::new(16)
+    }
+}
+
+fn largest_odd_below(b: u32) -> u32 {
+    debug_assert!(b > 3);
+    if b.is_multiple_of(2) {
+        b - 1
+    } else {
+        b - 2
+    }
+}
+
+fn smallest_odd_above(a: u32) -> u32 {
+    if a.is_multiple_of(2) {
+        a + 1
+    } else {
+        a + 2
+    }
+}
+
+fn odd_near_middle(a: u32, b: u32) -> u32 {
+    let mid = a + (b - a) / 2;
+    let m = if mid % 2 == 1 { mid } else { mid + 1 };
+    let m = if m >= b { m - 2 } else { m };
+    debug_assert!(a < m && m < b && m % 2 == 1);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> SplId {
+        SplId::parse(s).unwrap()
+    }
+
+    #[test]
+    fn paper_overflow_example() {
+        // d1 = 1.3.3, d2 = 1.3.5: a node inserted before d2 must land
+        // between them via the overflow mechanism — the paper's d3 is
+        // 1.3.4.3; dist=2 reproduces it exactly.
+        let alloc = LabelAllocator::new(2);
+        let d1 = id("1.3.3");
+        let d2 = id("1.3.5");
+        let d3 = alloc.between(Some(&d1), Some(&d2)).unwrap();
+        assert_eq!(d3, id("1.3.4.3"));
+        assert_eq!(d3.level(), d1.level());
+        assert_eq!(d3.parent().unwrap(), id("1.3"));
+    }
+
+    #[test]
+    fn initial_children_use_gapped_odds() {
+        let alloc = LabelAllocator::new(16);
+        let p = id("1.3");
+        let c1 = alloc.first_child(&p);
+        assert_eq!(c1, id("1.3.17")); // dist+1
+        let c2 = alloc.next_sibling(&c1).unwrap();
+        assert_eq!(c2, id("1.3.33")); // 2*dist+1
+    }
+
+    #[test]
+    fn dist_is_normalized() {
+        assert_eq!(LabelAllocator::new(0).dist(), 2);
+        assert_eq!(LabelAllocator::new(3).dist(), 4);
+        assert_eq!(LabelAllocator::new(16).dist(), 16);
+    }
+
+    #[test]
+    fn insert_before_first_child() {
+        let alloc = LabelAllocator::new(2);
+        let c = id("1.3.3");
+        let before = alloc.prev_sibling(&c).unwrap();
+        assert!(before < c);
+        assert_eq!(before.parent().unwrap(), id("1.3"));
+        assert_eq!(before.level(), c.level());
+        // And again, repeatedly.
+        let mut right = before;
+        for _ in 0..50 {
+            let nb = alloc.prev_sibling(&right).unwrap();
+            assert!(nb < right);
+            assert_eq!(nb.level(), right.level());
+            assert_eq!(nb.parent().unwrap(), id("1.3"));
+            right = nb;
+        }
+    }
+
+    #[test]
+    fn repeated_insertion_at_same_point_never_relabels() {
+        let alloc = LabelAllocator::new(2);
+        let l = id("1.3.3");
+        let r = id("1.3.5");
+        let mut left = l.clone();
+        for _ in 0..200 {
+            let m = alloc.between(Some(&left), Some(&r)).unwrap();
+            assert!(left < m && m < r, "{left} < {m} < {r}");
+            assert_eq!(m.level(), l.level());
+            assert_eq!(m.parent().unwrap(), id("1.3"));
+            left = m;
+        }
+    }
+
+    #[test]
+    fn alternating_insertions_converge_without_error() {
+        let alloc = LabelAllocator::new(4);
+        let mut left = id("1.5");
+        let mut right = alloc.next_sibling(&left).unwrap();
+        for i in 0..100 {
+            let m = alloc.between(Some(&left), Some(&right)).unwrap();
+            assert!(left < m && m < right);
+            assert_eq!(m.level(), 1);
+            if i % 2 == 0 {
+                left = m;
+            } else {
+                right = m;
+            }
+        }
+    }
+
+    #[test]
+    fn not_siblings_detected() {
+        let alloc = LabelAllocator::default();
+        assert_eq!(
+            alloc.between(Some(&id("1.3.3")), Some(&id("1.5.3"))),
+            Err(AllocError::NotSiblings)
+        );
+        assert_eq!(alloc.between(None, None), Err(AllocError::NoBounds));
+        assert_eq!(
+            alloc.next_sibling(&SplId::root()),
+            Err(AllocError::NotSiblings),
+            "the root has no siblings"
+        );
+    }
+
+    #[test]
+    fn append_after_overflow_label() {
+        let alloc = LabelAllocator::new(2);
+        // Appending after 1.3.4.3 (an overflow label) stays a sibling.
+        let l = id("1.3.4.3");
+        let n = alloc.next_sibling(&l).unwrap();
+        assert!(l < n);
+        assert_eq!(n.parent().unwrap(), id("1.3"));
+        assert_eq!(n.level(), 2);
+    }
+
+    #[test]
+    fn between_adjacent_minimal_odds() {
+        let alloc = LabelAllocator::new(2);
+        // 3 and 5 leave no odd in between → overflow 4.x.
+        let m = alloc.between(Some(&id("1.3")), Some(&id("1.5"))).unwrap();
+        assert_eq!(m, id("1.4.3"));
+        // before 1.3 → 2.x region (no odd in (1,3)).
+        let b = alloc.prev_sibling(&id("1.3")).unwrap();
+        assert_eq!(b, id("1.2.3"));
+    }
+}

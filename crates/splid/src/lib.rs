@@ -1,0 +1,51 @@
+//! # xtc-splid — Stable Path Labeling Identifiers
+//!
+//! Prefix-based (Dewey-order) node labels for XML trees, as described in
+//! Section 3.2 of *Contest of XML Lock Protocols* (VLDB 2006) and the
+//! companion labeling study (Härder et al., DKE 2006). SPLIDs refine the
+//! ORDPATH proposal and have the properties that make fine-grained XML
+//! locking feasible:
+//!
+//! * **Immutability** — inserting a node anywhere never relabels existing
+//!   nodes (an even-division *overflow mechanism* creates room between any
+//!   two consecutive labels).
+//! * **Ancestor derivation without document access** — the label of every
+//!   ancestor is a computable prefix of a node's label, so intention locks
+//!   on the whole ancestor path can be requested from the label alone.
+//! * **Document order** — comparing two labels orders the underlying nodes
+//!   in document order; the byte encoding is order-preserving, so a B*-tree
+//!   keyed on encoded SPLIDs stores the document in document order.
+//!
+//! ## Label structure
+//!
+//! A label is a sequence of *divisions* (`u32`), e.g. `1.3.4.3`. Odd
+//! division values indicate a level transition; even values are overflow
+//! connectors that do not add a level. The root is always `1`. The division
+//! value `1` at levels below the root is reserved for attribute roots and
+//! string nodes (where sibling order does not matter; see the taDOM storage
+//! model in `xtc-node`).
+//!
+//! ```
+//! use xtc_splid::{SplId, LabelAllocator};
+//!
+//! let root = SplId::root();
+//! let alloc = LabelAllocator::new(2);
+//! let a = alloc.first_child(&root);              // 1.3
+//! let b = alloc.next_sibling(&a).unwrap();       // 1.5
+//! let between = alloc.between(Some(&a), Some(&b)).unwrap();
+//! assert!(a < between && between < b);
+//! assert_eq!(between.parent().unwrap(), root);   // still a child of the root
+//! assert_eq!(between.level(), 1);                // still on level 1
+//! ```
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod codec;
+mod label;
+
+pub use alloc::{AllocError, LabelAllocator};
+pub use codec::{
+    decode, encode, encode_divisions, encode_into, subtree_upper_bound, DecodeError,
+};
+pub use label::{Relationship, SplId, SplIdError, ATTRIBUTE_DIVISION};

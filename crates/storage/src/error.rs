@@ -1,0 +1,38 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Key longer than the per-page maximum (the paper notes the analogous
+    /// B-tree restriction: "key length < 128B in B-trees").
+    KeyTooLarge {
+        /// Offending key length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Value longer than the per-page maximum cell payload.
+    ValueTooLarge {
+        /// Offending value length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::KeyTooLarge { len, max } => {
+                write!(f, "key of {len} bytes exceeds maximum of {max}")
+            }
+            StorageError::ValueTooLarge { len, max } => {
+                write!(f, "value of {len} bytes exceeds maximum of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

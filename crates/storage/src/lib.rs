@@ -1,0 +1,32 @@
+//! # xtc-storage — page-based document storage for XTC
+//!
+//! Implements the storage layer sketched in §3.1/§3.2 and Figure 6 of
+//! *Contest of XML Lock Protocols* (VLDB 2006):
+//!
+//! * a **B\*-tree** over variable-length byte keys with per-leaf common
+//!   **prefix compression** — keyed on encoded SPLIDs it stores an XML
+//!   document in left-most depth-first (document) order, acting as both
+//!   *document index* and *document container* (the chained leaf pages),
+//! * an **element index**: a name directory over element names, each entry
+//!   owning a node-reference index of SPLIDs,
+//! * a **vocabulary** replacing tag names by ≤ 2-byte surrogates inside
+//!   node records,
+//! * **access statistics** (logical page reads/writes) standing in for the
+//!   disk-I/O counts of the paper's testbed (see DESIGN.md, substitutions).
+//!
+//! The trees are safe for concurrent use (`&self` API, tree-level
+//! reader-writer latch). Transactional isolation is *not* this layer's
+//! job — the lock manager (`xtc-lock`) serializes logical access.
+
+#![warn(missing_docs)]
+
+mod btree;
+mod error;
+mod page;
+mod pool;
+mod vocab;
+
+pub use btree::{BTree, BTreeConfig, OccupancyReport};
+pub use error::StorageError;
+pub use pool::{PagePool, StorageStats};
+pub use vocab::{VocId, Vocabulary};

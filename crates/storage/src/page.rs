@@ -1,0 +1,458 @@
+//! Slotted-page layout for B*-tree nodes.
+//!
+//! Two page kinds share a common header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     page type (1 = leaf, 2 = inner)
+//! 1       2     cell count (u16 LE)
+//! 3       2     cell area start: lowest cell offset (u16 LE)
+//! 5       4     leaf: next-leaf page id / inner: leftmost child (u32 LE)
+//! 9       4     leaf: previous-leaf page id (u32 LE)
+//! 13      2     leaf: common key prefix length (u16 LE)
+//! 15      —     leaf: prefix bytes, then the slot array (u16 offsets);
+//!               inner: slot array directly. Cells grow down from the end.
+//! ```
+//!
+//! Leaf cell:  `[suffix_len u16][val_len u16][key suffix][value]`
+//! Inner cell: `[key_len u16][key][child u32]`
+//!
+//! Leaves store only the key *suffix* after the page-wide common prefix —
+//! the prefix compression the paper credits for shrinking stored SPLIDs to
+//! 2–3 bytes on average.
+
+use crate::pool::PageId;
+use std::cmp::Ordering;
+
+pub const HEADER: usize = 15;
+pub const TYPE_LEAF: u8 = 1;
+pub const TYPE_INNER: u8 = 2;
+
+// ---- header accessors ------------------------------------------------
+
+pub fn page_type(p: &[u8]) -> u8 {
+    p[0]
+}
+
+pub fn count(p: &[u8]) -> usize {
+    u16::from_le_bytes([p[1], p[2]]) as usize
+}
+
+fn set_count(p: &mut [u8], n: usize) {
+    p[1..3].copy_from_slice(&(n as u16).to_le_bytes());
+}
+
+fn cell_start(p: &[u8]) -> usize {
+    u16::from_le_bytes([p[3], p[4]]) as usize
+}
+
+fn set_cell_start(p: &mut [u8], off: usize) {
+    p[3..5].copy_from_slice(&(off as u16).to_le_bytes());
+}
+
+/// Leaf: next leaf in the chain. Inner: leftmost child.
+pub fn link(p: &[u8]) -> PageId {
+    u32::from_le_bytes([p[5], p[6], p[7], p[8]])
+}
+
+pub fn set_link(p: &mut [u8], id: PageId) {
+    p[5..9].copy_from_slice(&id.to_le_bytes());
+}
+
+/// Leaf: previous leaf in the chain.
+pub fn prev_link(p: &[u8]) -> PageId {
+    u32::from_le_bytes([p[9], p[10], p[11], p[12]])
+}
+
+pub fn set_prev_link(p: &mut [u8], id: PageId) {
+    p[9..13].copy_from_slice(&id.to_le_bytes());
+}
+
+fn prefix_len(p: &[u8]) -> usize {
+    u16::from_le_bytes([p[13], p[14]]) as usize
+}
+
+pub fn prefix(p: &[u8]) -> &[u8] {
+    &p[HEADER..HEADER + prefix_len(p)]
+}
+
+fn slots_off(p: &[u8]) -> usize {
+    match page_type(p) {
+        TYPE_LEAF => HEADER + prefix_len(p),
+        _ => HEADER,
+    }
+}
+
+fn slot(p: &[u8], i: usize) -> usize {
+    let off = slots_off(p) + i * 2;
+    u16::from_le_bytes([p[off], p[off + 1]]) as usize
+}
+
+fn set_slot(p: &mut [u8], i: usize, cell: usize) {
+    let off = slots_off(p) + i * 2;
+    p[off..off + 2].copy_from_slice(&(cell as u16).to_le_bytes());
+}
+
+/// Free bytes between the slot array and the cell area.
+pub fn free_space(p: &[u8]) -> usize {
+    cell_start(p) - (slots_off(p) + count(p) * 2)
+}
+
+/// Bytes of payload currently stored (cells + slots + header + prefix) —
+/// used for occupancy reporting.
+pub fn used_bytes(p: &[u8]) -> usize {
+    p.len() - free_space(p)
+}
+
+// ---- leaf pages --------------------------------------------------------
+
+pub fn init_leaf(p: &mut [u8], prefix: &[u8], next: PageId, prev: PageId) {
+    let len = p.len();
+    p[0] = TYPE_LEAF;
+    set_count(p, 0);
+    set_cell_start(p, len);
+    set_link(p, next);
+    set_prev_link(p, prev);
+    p[13..15].copy_from_slice(&(prefix.len() as u16).to_le_bytes());
+    p[HEADER..HEADER + prefix.len()].copy_from_slice(prefix);
+}
+
+/// Key suffix and value of leaf cell `i`.
+pub fn leaf_cell(p: &[u8], i: usize) -> (&[u8], &[u8]) {
+    let off = slot(p, i);
+    let slen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+    let vlen = u16::from_le_bytes([p[off + 2], p[off + 3]]) as usize;
+    let suffix = &p[off + 4..off + 4 + slen];
+    let val = &p[off + 4 + slen..off + 4 + slen + vlen];
+    (suffix, val)
+}
+
+/// Full key of leaf cell `i` (prefix + suffix).
+pub fn leaf_key(p: &[u8], i: usize) -> Vec<u8> {
+    let (suffix, _) = leaf_cell(p, i);
+    let mut k = Vec::with_capacity(prefix(p).len() + suffix.len());
+    k.extend_from_slice(prefix(p));
+    k.extend_from_slice(suffix);
+    k
+}
+
+/// Compares a search key against `prefix ++ suffix` without materializing
+/// the concatenation.
+fn cmp_key(key: &[u8], prefix: &[u8], suffix: &[u8]) -> Ordering {
+    let n = key.len().min(prefix.len());
+    match key[..n].cmp(&prefix[..n]) {
+        Ordering::Equal => {
+            if key.len() < prefix.len() {
+                Ordering::Less
+            } else {
+                key[prefix.len()..].cmp(suffix)
+            }
+        }
+        ord => ord,
+    }
+}
+
+/// Binary search in a leaf: `Ok(i)` if `key` is at slot `i`, `Err(i)` for
+/// the insertion position.
+pub fn leaf_search(p: &[u8], key: &[u8]) -> Result<usize, usize> {
+    let pfx = prefix(p);
+    let mut lo = 0usize;
+    let mut hi = count(p);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (suffix, _) = leaf_cell(p, mid);
+        match cmp_key(key, pfx, suffix) {
+            Ordering::Equal => return Ok(mid),
+            Ordering::Greater => lo = mid + 1,
+            Ordering::Less => hi = mid,
+        }
+    }
+    Err(lo)
+}
+
+/// Whether a leaf insert of `key`/`val` fits in place (key must share the
+/// page prefix). Returns the required cell size on success.
+pub fn leaf_fits(p: &[u8], key: &[u8], val: &[u8]) -> Option<usize> {
+    let pfx = prefix(p);
+    if !key.starts_with(pfx) {
+        return None;
+    }
+    let cell = 4 + (key.len() - pfx.len()) + val.len();
+    if free_space(p) >= cell + 2 {
+        Some(cell)
+    } else {
+        None
+    }
+}
+
+/// In-place leaf insert at slot position `i` (caller checked [`leaf_fits`]).
+pub fn leaf_insert_at(p: &mut [u8], i: usize, key: &[u8], val: &[u8]) {
+    let pfx_len = prefix(p).len();
+    let suffix_start = pfx_len;
+    let slen = key.len() - suffix_start;
+    let cell = 4 + slen + val.len();
+    let off = cell_start(p) - cell;
+    p[off..off + 2].copy_from_slice(&(slen as u16).to_le_bytes());
+    p[off + 2..off + 4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+    p[off + 4..off + 4 + slen].copy_from_slice(&key[suffix_start..]);
+    p[off + 4 + slen..off + cell].copy_from_slice(val);
+    set_cell_start(p, off);
+    let n = count(p);
+    // Shift slots [i..n) up by one.
+    let base = slots_off(p);
+    p.copy_within(base + i * 2..base + n * 2, base + i * 2 + 2);
+    set_count(p, n + 1);
+    set_slot(p, i, off);
+}
+
+/// Replaces the value of slot `i` in place when the new value fits in the
+/// old cell footprint; returns false otherwise (caller rebuilds).
+pub fn leaf_replace_val_at(p: &mut [u8], i: usize, val: &[u8]) -> bool {
+    let off = slot(p, i);
+    let slen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+    let vlen = u16::from_le_bytes([p[off + 2], p[off + 3]]) as usize;
+    if val.len() > vlen {
+        return false;
+    }
+    p[off + 2..off + 4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+    p[off + 4 + slen..off + 4 + slen + val.len()].copy_from_slice(val);
+    true
+}
+
+/// Removes slot `i` (cell space is reclaimed only on rebuild — classic
+/// slotted-page laziness; `leaf_entries` + rebuild compacts).
+pub fn leaf_remove_at(p: &mut [u8], i: usize) {
+    let n = count(p);
+    let base = slots_off(p);
+    p.copy_within(base + (i + 1) * 2..base + n * 2, base + i * 2);
+    set_count(p, n - 1);
+}
+
+/// Decodes all (full key, value) pairs of a leaf.
+pub fn leaf_entries(p: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..count(p))
+        .map(|i| {
+            let (_, v) = leaf_cell(p, i);
+            (leaf_key(p, i), v.to_vec())
+        })
+        .collect()
+}
+
+/// Longest common prefix of a sorted entry run.
+pub fn common_prefix(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    match entries {
+        [] => Vec::new(),
+        [(first, _), rest @ ..] => {
+            let mut n = first.len();
+            for (k, _) in rest {
+                let m = first
+                    .iter()
+                    .zip(k.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                n = n.min(m);
+            }
+            first[..n].to_vec()
+        }
+    }
+}
+
+/// Rebuilds a leaf from sorted entries with a freshly computed prefix.
+/// Caller guarantees the entries fit (see [`leaf_build_size`]).
+pub fn leaf_rebuild(p: &mut [u8], entries: &[(Vec<u8>, Vec<u8>)], next: PageId, prev: PageId) {
+    let pfx = common_prefix(entries);
+    init_leaf(p, &pfx, next, prev);
+    for (i, (k, v)) in entries.iter().enumerate() {
+        debug_assert!(leaf_fits(p, k, v).is_some(), "rebuild overflow");
+        leaf_insert_at(p, i, k, v);
+    }
+}
+
+/// Bytes a rebuilt leaf would occupy for these entries.
+pub fn leaf_build_size(entries: &[(Vec<u8>, Vec<u8>)]) -> usize {
+    let pfx = common_prefix(entries);
+    HEADER
+        + pfx.len()
+        + entries
+            .iter()
+            .map(|(k, v)| 2 + 4 + (k.len() - pfx.len()) + v.len())
+            .sum::<usize>()
+}
+
+// ---- inner pages -------------------------------------------------------
+
+pub fn init_inner(p: &mut [u8], leftmost: PageId) {
+    let len = p.len();
+    p[0] = TYPE_INNER;
+    set_count(p, 0);
+    set_cell_start(p, len);
+    set_link(p, leftmost);
+    set_prev_link(p, 0);
+    p[13..15].copy_from_slice(&0u16.to_le_bytes());
+}
+
+/// Separator key and right-child of inner cell `i`.
+pub fn inner_cell(p: &[u8], i: usize) -> (&[u8], PageId) {
+    let off = slot(p, i);
+    let klen = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+    let key = &p[off + 2..off + 2 + klen];
+    let c = off + 2 + klen;
+    let child = u32::from_le_bytes([p[c], p[c + 1], p[c + 2], p[c + 3]]);
+    (key, child)
+}
+
+/// Child page to descend into for `key`: the child of the greatest
+/// separator `<= key`, or the leftmost child. Returns (child, separator
+/// slot index or None for leftmost).
+pub fn inner_descend(p: &[u8], key: &[u8]) -> (PageId, Option<usize>) {
+    let n = count(p);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (sep, _) = inner_cell(p, mid);
+        if sep <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        (link(p), None)
+    } else {
+        (inner_cell(p, lo - 1).1, Some(lo - 1))
+    }
+}
+
+/// Whether a separator insert fits.
+pub fn inner_fits(p: &[u8], key: &[u8]) -> bool {
+    free_space(p) >= 2 + 2 + key.len() + 4
+}
+
+/// Inserts separator `key` → `child` keeping separator order.
+pub fn inner_insert(p: &mut [u8], key: &[u8], child: PageId) {
+    let n = count(p);
+    let mut i = 0;
+    while i < n && inner_cell(p, i).0 < key {
+        i += 1;
+    }
+    let cell = 2 + key.len() + 4;
+    let off = cell_start(p) - cell;
+    p[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    p[off + 2..off + 2 + key.len()].copy_from_slice(key);
+    p[off + 2 + key.len()..off + cell].copy_from_slice(&child.to_le_bytes());
+    set_cell_start(p, off);
+    let base = slots_off(p);
+    p.copy_within(base + i * 2..base + n * 2, base + i * 2 + 2);
+    set_count(p, n + 1);
+    set_slot(p, i, off);
+}
+
+/// Removes separator slot `i`.
+pub fn inner_remove_at(p: &mut [u8], i: usize) {
+    let n = count(p);
+    let base = slots_off(p);
+    p.copy_within(base + (i + 1) * 2..base + n * 2, base + i * 2);
+    set_count(p, n - 1);
+}
+
+/// All (separator, child) pairs.
+pub fn inner_entries(p: &[u8]) -> Vec<(Vec<u8>, PageId)> {
+    (0..count(p))
+        .map(|i| {
+            let (k, c) = inner_cell(p, i);
+            (k.to_vec(), c)
+        })
+        .collect()
+}
+
+/// Rebuilds an inner page from a leftmost child and sorted separators.
+pub fn inner_rebuild(p: &mut [u8], leftmost: PageId, entries: &[(Vec<u8>, PageId)]) {
+    init_inner(p, leftmost);
+    for (k, c) in entries {
+        debug_assert!(inner_fits(p, k));
+        inner_insert(p, k, *c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Vec<u8> {
+        vec![0u8; 512]
+    }
+
+    #[test]
+    fn leaf_insert_search_remove() {
+        let mut p = page();
+        init_leaf(&mut p, b"xy", 7, 9);
+        assert_eq!(link(&p), 7);
+        assert_eq!(prev_link(&p), 9);
+        for (i, k) in [b"xya", b"xyc", b"xye"].iter().enumerate() {
+            let pos = leaf_search(&p, *k).unwrap_err();
+            assert_eq!(pos, i);
+            leaf_insert_at(&mut p, pos, *k, &[i as u8]);
+        }
+        assert_eq!(count(&p), 3);
+        assert_eq!(leaf_search(&p, b"xyc"), Ok(1));
+        assert_eq!(leaf_search(&p, b"xyb"), Err(1));
+        assert_eq!(leaf_search(&p, b"xx"), Err(0));
+        assert_eq!(leaf_search(&p, b"xz"), Err(3));
+        let (suffix, val) = leaf_cell(&p, 1);
+        assert_eq!(suffix, b"c");
+        assert_eq!(val, &[1]);
+        assert_eq!(leaf_key(&p, 2), b"xye");
+        leaf_remove_at(&mut p, 1);
+        assert_eq!(count(&p), 2);
+        assert_eq!(leaf_search(&p, b"xyc"), Err(1));
+    }
+
+    #[test]
+    fn leaf_value_replace() {
+        let mut p = page();
+        init_leaf(&mut p, b"", 0, 0);
+        leaf_insert_at(&mut p, 0, b"k", b"hello");
+        assert!(leaf_replace_val_at(&mut p, 0, b"hi"));
+        assert_eq!(leaf_cell(&p, 0).1, b"hi");
+        assert!(!leaf_replace_val_at(&mut p, 0, b"toolongnow"));
+    }
+
+    #[test]
+    fn leaf_rebuild_computes_prefix() {
+        let mut p = page();
+        let entries = vec![
+            (b"abc1".to_vec(), b"v1".to_vec()),
+            (b"abc2".to_vec(), b"v2".to_vec()),
+            (b"abd".to_vec(), b"v3".to_vec()),
+        ];
+        leaf_rebuild(&mut p, &entries, 0, 0);
+        assert_eq!(prefix(&p), b"ab");
+        assert_eq!(leaf_entries(&p), entries);
+        assert!(used_bytes(&p) <= leaf_build_size(&entries) + 3 * 2);
+    }
+
+    #[test]
+    fn inner_descend_picks_ranges() {
+        let mut p = page();
+        init_inner(&mut p, 10);
+        inner_insert(&mut p, b"m", 20);
+        inner_insert(&mut p, b"t", 30);
+        assert_eq!(inner_descend(&p, b"a"), (10, None));
+        assert_eq!(inner_descend(&p, b"m"), (20, Some(0)));
+        assert_eq!(inner_descend(&p, b"p"), (20, Some(0)));
+        assert_eq!(inner_descend(&p, b"t"), (30, Some(1)));
+        assert_eq!(inner_descend(&p, b"z"), (30, Some(1)));
+        inner_remove_at(&mut p, 0);
+        assert_eq!(inner_descend(&p, b"p"), (10, None));
+    }
+
+    #[test]
+    fn empty_key_and_value_edge_cases() {
+        let mut p = page();
+        init_leaf(&mut p, b"", 0, 0);
+        leaf_insert_at(&mut p, 0, b"", b"");
+        assert_eq!(leaf_search(&p, b""), Ok(0));
+        assert_eq!(leaf_cell(&p, 0), (&b""[..], &b""[..]));
+    }
+}

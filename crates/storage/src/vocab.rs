@@ -1,0 +1,129 @@
+//! The vocabulary: tag/attribute names ↔ ≤ 2-byte surrogates.
+//!
+//! "Stored tree nodes are additionally compressed by a vocabulary. Instead
+//! of storing their names, surrogates (<= 2 bytes) are used to identify
+//! them" (§3.2). Name sets of real documents are tiny (the bib document
+//! has ~25 distinct names), so a `u16` surrogate is ample.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A vocabulary surrogate for an element or attribute name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VocId(pub u16);
+
+impl VocId {
+    /// Big-endian byte form, used as an index-key component.
+    pub fn to_bytes(self) -> [u8; 2] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses the big-endian byte form.
+    pub fn from_bytes(b: [u8; 2]) -> Self {
+        VocId(u16::from_be_bytes(b))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_name: HashMap<String, VocId>,
+    by_id: Vec<String>,
+}
+
+/// Thread-safe interning table of names.
+#[derive(Debug, Default)]
+pub struct Vocabulary {
+    inner: RwLock<Inner>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Interns `name`, returning its (possibly fresh) surrogate.
+    ///
+    /// # Panics
+    /// If more than `u16::MAX + 1` distinct names are interned.
+    pub fn intern(&self, name: &str) -> VocId {
+        if let Some(id) = self.inner.read().by_name.get(name) {
+            return *id;
+        }
+        let mut g = self.inner.write();
+        if let Some(id) = g.by_name.get(name) {
+            return *id;
+        }
+        let id = VocId(u16::try_from(g.by_id.len()).expect("vocabulary overflow"));
+        g.by_id.push(name.to_string());
+        g.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a surrogate without interning.
+    pub fn lookup(&self, name: &str) -> Option<VocId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Resolves a surrogate back to its name.
+    pub fn resolve(&self, id: VocId) -> Option<String> {
+        self.inner.read().by_id.get(id.0 as usize).cloned()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// `true` when no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let v = Vocabulary::new();
+        let a = v.intern("book");
+        let b = v.intern("title");
+        let a2 = v.intern("book");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.resolve(a).as_deref(), Some("book"));
+        assert_eq!(v.lookup("title"), Some(b));
+        assert_eq!(v.lookup("missing"), None);
+        assert_eq!(v.resolve(VocId(99)), None);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let id = VocId(0x1234);
+        assert_eq!(VocId::from_bytes(id.to_bytes()), id);
+        // Big-endian ordering matches numeric ordering for index keys.
+        assert!(VocId(1).to_bytes() < VocId(256).to_bytes());
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let v = std::sync::Arc::new(Vocabulary::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let v = v.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|i| v.intern(&format!("name-{}", i % 10)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<VocId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(v.len(), 10);
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+}

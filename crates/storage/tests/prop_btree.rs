@@ -1,0 +1,95 @@
+//! Property test: the B*-tree behaves like a `BTreeMap` under arbitrary
+//! operation sequences with SPLID-shaped keys.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xtc_splid::{encode, LabelAllocator, SplId};
+use xtc_storage::{BTree, BTreeConfig, StorageStats};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, Vec<u8>),
+    Remove(usize),
+    ScanAll,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..400, prop::collection::vec(any::<u8>(), 0..24))
+                .prop_map(|(k, v)| Op::Insert(k, v)),
+            (0usize..400).prop_map(Op::Remove),
+            Just(Op::ScanAll),
+        ],
+        1..300,
+    )
+}
+
+/// A pool of SPLID-encoded keys: sequential children of the root with
+/// nested children — the shape real document keys have.
+fn key_pool() -> Vec<Vec<u8>> {
+    let alloc = LabelAllocator::new(2);
+    let root = SplId::root();
+    let mut keys = Vec::new();
+    let mut cur = alloc.first_child(&root);
+    for _ in 0..40 {
+        keys.push(encode(&cur));
+        let mut child = alloc.first_child(&cur);
+        for _ in 0..9 {
+            keys.push(encode(&child));
+            child = alloc.next_sibling(&child).unwrap();
+        }
+        cur = alloc.next_sibling(&cur).unwrap();
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn btree_matches_model(ops in arb_ops()) {
+        let keys = key_pool();
+        let tree = BTree::with_config(
+            BTreeConfig { page_size: 256, max_key: 64, ..BTreeConfig::default() },
+            StorageStats::default(),
+        );
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let k = &keys[k % keys.len()];
+                    let a = tree.insert(k, &v).unwrap();
+                    let b = model.insert(k.clone(), v);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Remove(k) => {
+                    let k = &keys[k % keys.len()];
+                    prop_assert_eq!(tree.remove(k), model.remove(k));
+                }
+                Op::ScanAll => {
+                    let got = tree.scan_range(&[], &[0xFF; 8]);
+                    let want: Vec<_> = model.iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        // next_after / prev_before agree with the model at every key.
+        for k in &keys {
+            let got = tree.next_after(k);
+            let want = model.range::<Vec<u8>, _>((
+                std::ops::Bound::Excluded(k.clone()),
+                std::ops::Bound::Unbounded,
+            )).next().map(|(k, v)| (k.clone(), v.clone()));
+            prop_assert_eq!(got, want);
+            let got = tree.prev_before(k);
+            let want = model.range::<Vec<u8>, _>((
+                std::ops::Bound::Unbounded,
+                std::ops::Bound::Excluded(k.clone()),
+            )).next_back().map(|(k, v)| (k.clone(), v.clone()));
+            prop_assert_eq!(got, want);
+        }
+    }
+}

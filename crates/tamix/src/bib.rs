@@ -1,0 +1,320 @@
+//! The scalable `bib` library document of §4.3 / Figure 5.
+//!
+//! "All transactions … operate on a bib document which itself can be
+//! configured to the size desired; it is highly scalable and may range
+//! from a few Kbytes to several hundred Mbytes." The paper's runs used:
+//! 1000 person and 100 author elements, 2000 book elements equally
+//! distributed across 100 topics (20 per topic), 5–10 chapters per book,
+//! and a history of 9 or 10 lend elements.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xtc_core::XtcDb;
+use xtc_node::{DocStore, InsertPos};
+use xtc_splid::SplId;
+
+/// Size parameters of the generated document.
+#[derive(Debug, Clone)]
+pub struct BibConfig {
+    /// `person` elements under `persons` (paper: 1000).
+    pub persons: usize,
+    /// `author` elements drawn from for books (paper: 100).
+    pub authors: usize,
+    /// `topic` elements under `topics` (paper: 100).
+    pub topics: usize,
+    /// `book` elements, distributed evenly across topics (paper: 2000).
+    pub books: usize,
+    /// Chapter range per book (paper: 5–10).
+    pub chapters: (usize, usize),
+    /// Lend range per history (paper: 9–10, equal probability).
+    pub lends: (usize, usize),
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl BibConfig {
+    /// The paper's full-size document.
+    pub fn paper() -> Self {
+        BibConfig {
+            persons: 1000,
+            authors: 100,
+            topics: 100,
+            books: 2000,
+            chapters: (5, 10),
+            lends: (9, 10),
+            seed: 42,
+        }
+    }
+
+    /// A scaled-down document for fast experiment sweeps (the default for
+    /// the figure binaries; see EXPERIMENTS.md).
+    pub fn scaled() -> Self {
+        BibConfig {
+            persons: 100,
+            authors: 20,
+            topics: 20,
+            books: 200,
+            chapters: (3, 5),
+            lends: (4, 5),
+            seed: 42,
+        }
+    }
+
+    /// A tiny document for unit tests.
+    pub fn tiny() -> Self {
+        BibConfig {
+            persons: 5,
+            authors: 3,
+            topics: 2,
+            books: 6,
+            chapters: (2, 3),
+            lends: (2, 3),
+            seed: 42,
+        }
+    }
+
+    /// Books per topic (books are distributed evenly).
+    pub fn books_per_topic(&self) -> usize {
+        self.books / self.topics.max(1)
+    }
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig::scaled()
+    }
+}
+
+/// Generates the bib document into an (empty) store. Returns the root.
+///
+/// IDs follow a fixed scheme the transaction types rely on: persons
+/// `p0..`, topics `t0..`, books `b0..`.
+pub fn generate(store: &DocStore, cfg: &BibConfig) -> SplId {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let root = store.create_root("bib").expect("empty store");
+
+    // persons
+    let persons = store
+        .insert_element(&root, InsertPos::LastChild, "persons")
+        .unwrap();
+    for i in 0..cfg.persons {
+        let p = store
+            .insert_element(&persons, InsertPos::LastChild, "person")
+            .unwrap();
+        store.set_attribute(&p, "id", &format!("p{i}")).unwrap();
+        let name = store.insert_element(&p, InsertPos::LastChild, "name").unwrap();
+        let first = store
+            .insert_element(&name, InsertPos::LastChild, "first")
+            .unwrap();
+        store
+            .insert_text(&first, InsertPos::LastChild, FIRST_NAMES[i % FIRST_NAMES.len()])
+            .unwrap();
+        let last = store
+            .insert_element(&name, InsertPos::LastChild, "last")
+            .unwrap();
+        store
+            .insert_text(&last, InsertPos::LastChild, LAST_NAMES[i % LAST_NAMES.len()])
+            .unwrap();
+        let addr = store.insert_element(&p, InsertPos::LastChild, "addr").unwrap();
+        store
+            .insert_text(&addr, InsertPos::LastChild, "67663 Kaiserslautern")
+            .unwrap();
+        let phone = store
+            .insert_element(&p, InsertPos::LastChild, "phone")
+            .unwrap();
+        store
+            .insert_text(&phone, InsertPos::LastChild, &format!("+49-631-{:06}", i))
+            .unwrap();
+    }
+
+    // topics with books
+    let topics = store
+        .insert_element(&root, InsertPos::LastChild, "topics")
+        .unwrap();
+    let per_topic = cfg.books_per_topic();
+    let mut book_no = 0usize;
+    for t in 0..cfg.topics {
+        let topic = store
+            .insert_element(&topics, InsertPos::LastChild, "topic")
+            .unwrap();
+        store.set_attribute(&topic, "id", &format!("t{t}")).unwrap();
+        let in_topic = if t + 1 == cfg.topics {
+            cfg.books - book_no // remainder goes to the last topic
+        } else {
+            per_topic
+        };
+        for _ in 0..in_topic {
+            generate_book(store, &topic, book_no, cfg, &mut rng);
+            book_no += 1;
+        }
+    }
+    root
+}
+
+fn generate_book(store: &DocStore, topic: &SplId, no: usize, cfg: &BibConfig, rng: &mut SmallRng) {
+    let book = store
+        .insert_element(topic, InsertPos::LastChild, "book")
+        .unwrap();
+    store.set_attribute(&book, "id", &format!("b{no}")).unwrap();
+    store
+        .set_attribute(&book, "year", &format!("{}", 1990 + (no % 17)))
+        .unwrap();
+
+    let title = store
+        .insert_element(&book, InsertPos::LastChild, "title")
+        .unwrap();
+    store
+        .insert_text(
+            &title,
+            InsertPos::LastChild,
+            &format!("{} Vol. {}", TITLES[no % TITLES.len()], no),
+        )
+        .unwrap();
+
+    let author = store
+        .insert_element(&book, InsertPos::LastChild, "author")
+        .unwrap();
+    store
+        .insert_text(
+            &author,
+            InsertPos::LastChild,
+            LAST_NAMES[no % cfg.authors.max(1) % LAST_NAMES.len()],
+        )
+        .unwrap();
+
+    let price = store
+        .insert_element(&book, InsertPos::LastChild, "price")
+        .unwrap();
+    store
+        .insert_text(&price, InsertPos::LastChild, &format!("{}.95", 9 + no % 90))
+        .unwrap();
+
+    // chapters
+    let chapters = store
+        .insert_element(&book, InsertPos::LastChild, "chapters")
+        .unwrap();
+    let n_chapters = rng.random_range(cfg.chapters.0..=cfg.chapters.1);
+    for c in 0..n_chapters {
+        let chapter = store
+            .insert_element(&chapters, InsertPos::LastChild, "chapter")
+            .unwrap();
+        let ctitle = store
+            .insert_element(&chapter, InsertPos::LastChild, "title")
+            .unwrap();
+        store
+            .insert_text(&ctitle, InsertPos::LastChild, &format!("Chapter {}", c + 1))
+            .unwrap();
+        let summary = store
+            .insert_element(&chapter, InsertPos::LastChild, "summary")
+            .unwrap();
+        store
+            .insert_text(
+                &summary,
+                InsertPos::LastChild,
+                "A summary of locks, trees, and the transactions between them.",
+            )
+            .unwrap();
+    }
+
+    // history with lends
+    let history = store
+        .insert_element(&book, InsertPos::LastChild, "history")
+        .unwrap();
+    let n_lends = rng.random_range(cfg.lends.0..=cfg.lends.1);
+    for l in 0..n_lends {
+        let lend = store
+            .insert_element(&history, InsertPos::LastChild, "lend")
+            .unwrap();
+        store
+            .set_attribute(&lend, "person", &format!("p{}", (no + l) % cfg.persons.max(1)))
+            .unwrap();
+        store
+            .set_attribute(&lend, "return", &format!("2005-{:02}-{:02}", 1 + l % 12, 1 + l % 28))
+            .unwrap();
+    }
+}
+
+/// Generates the bib document into a database's store (unlocked bulk
+/// load).
+pub fn generate_into(db: &XtcDb, cfg: &BibConfig) -> SplId {
+    generate(db.store(), cfg)
+}
+
+const FIRST_NAMES: [&str; 8] = [
+    "Theo", "Michael", "Konstantin", "Jim", "Andreas", "Erhard", "Stefan", "Guido",
+];
+const LAST_NAMES: [&str; 8] = [
+    "Haerder", "Haustein", "Luttenberger", "Gray", "Reuter", "Rahm", "Dessloch", "Moerkotte",
+];
+const TITLES: [&str; 6] = [
+    "Transaction Processing",
+    "XML Data Management",
+    "Concurrency Control",
+    "Database Implementation",
+    "Tree Locking",
+    "Storage Structures",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtc_node::DocStoreConfig;
+
+    #[test]
+    fn generated_structure_matches_spec() {
+        let store = DocStore::new(DocStoreConfig::default());
+        let cfg = BibConfig::tiny();
+        let root = generate(&store, &cfg);
+        assert_eq!(store.name_of(&root).as_deref(), Some("bib"));
+        assert_eq!(store.elements_named("person").len(), cfg.persons);
+        assert_eq!(store.elements_named("topic").len(), cfg.topics);
+        assert_eq!(store.elements_named("book").len(), cfg.books);
+        // Every book is reachable by id and owns title/author/price/
+        // chapters/history.
+        for b in 0..cfg.books {
+            let book = store.element_by_id(&format!("b{b}")).unwrap();
+            let kids: Vec<String> = store
+                .element_children(&book)
+                .iter()
+                .map(|c| store.name_of(c).unwrap())
+                .collect();
+            assert_eq!(kids, ["title", "author", "price", "chapters", "history"]);
+            let history = store.element_children(&book)[4].clone();
+            let lends = store.element_children(&history).len();
+            assert!((cfg.lends.0..=cfg.lends.1).contains(&lends));
+            let chapters = store.element_children(&store.element_children(&book)[3].clone());
+            assert!((cfg.chapters.0..=cfg.chapters.1).contains(&chapters.len()));
+        }
+        // Topics resolvable by id.
+        for t in 0..cfg.topics {
+            assert!(store.element_by_id(&format!("t{t}")).is_some());
+        }
+    }
+
+    #[test]
+    fn book_distribution_is_even_with_remainder_in_last_topic() {
+        let store = DocStore::new(DocStoreConfig::default());
+        let cfg = BibConfig {
+            topics: 3,
+            books: 10,
+            ..BibConfig::tiny()
+        };
+        generate(&store, &cfg);
+        let counts: Vec<usize> = (0..3)
+            .map(|t| {
+                let topic = store.element_by_id(&format!("t{t}")).unwrap();
+                store.element_children(&topic).len()
+            })
+            .collect();
+        assert_eq!(counts, [3, 3, 4]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DocStore::new(DocStoreConfig::default());
+        let b = DocStore::new(DocStoreConfig::default());
+        generate(&a, &BibConfig::tiny());
+        generate(&b, &BibConfig::tiny());
+        assert_eq!(a.node_count(), b.node_count());
+    }
+}

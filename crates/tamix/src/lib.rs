@@ -1,0 +1,28 @@
+//! # xtc-tamix — the TaMix framework for XML benchmarks
+//!
+//! Reproduction of §4 of *Contest of XML Lock Protocols* (VLDB 2006):
+//! a benchmark framework stretching the lock manager's behaviour with
+//! multi-user operation mixes over a scalable `bib` library document.
+//!
+//! * [`bib`] — the document generator of §4.3 (persons, authors, topics,
+//!   books with chapters and lend histories),
+//! * [`txns`] — the five transaction types of §4.2 (`TAqueryBook`,
+//!   `TAchapter`, `TAdelBook`, `TAlendAndReturn`, `TArenameTopic`),
+//! * [`driver`] — the TaMix coordinator: concurrently active transaction
+//!   slots with the paper's think times (waitAfterCommit,
+//!   waitAfterOperation, random initial wait), CLUSTER1 and CLUSTER2,
+//! * [`metrics`] — the §4.1 performance metrics: committed/aborted
+//!   transactions per type and lock depth, min/avg/max durations, and
+//!   deadlock counts classified by cause.
+
+#![warn(missing_docs)]
+
+pub mod bib;
+pub mod driver;
+pub mod metrics;
+pub mod txns;
+
+pub use bib::BibConfig;
+pub use driver::{run_cluster1, run_cluster2, Cluster2Report, TamixParams};
+pub use metrics::{RunReport, TxnOutcome, TypeStats};
+pub use txns::TxnKind;

@@ -1,0 +1,183 @@
+//! The §4.1 performance metrics: "number of committed and aborted
+//! transactions for a pre-specified lock depth and isolation level;
+//! average, maximal, and minimal duration of a transaction of a given
+//! type; number and type of deadlocks for a lock protocol."
+
+use crate::txns::TxnKind;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Outcome of one transaction slot iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed having done its work.
+    Committed,
+    /// Committed trivially (target vanished under concurrent deletes).
+    Empty,
+    /// Aborted as a deadlock victim.
+    AbortedDeadlock,
+    /// Aborted for another reason (timeout, plan races, logical error).
+    AbortedOther,
+}
+
+/// Aggregated statistics for one transaction type.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TypeStats {
+    /// Committed transactions (including trivial commits).
+    pub committed: u64,
+    /// Commits that found their target vanished.
+    pub empty: u64,
+    /// Deadlock-victim aborts.
+    pub aborted_deadlock: u64,
+    /// Other aborts.
+    pub aborted_other: u64,
+    /// Total duration of committed transactions (µs).
+    total_us: u128,
+    /// Minimum duration (µs) of a committed transaction.
+    min_us: u128,
+    /// Maximum duration (µs).
+    max_us: u128,
+}
+
+impl TypeStats {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: TxnOutcome, duration: Duration) {
+        match outcome {
+            TxnOutcome::Committed | TxnOutcome::Empty => {
+                if outcome == TxnOutcome::Empty {
+                    self.empty += 1;
+                }
+                self.committed += 1;
+                let us = duration.as_micros();
+                self.total_us += us;
+                self.max_us = self.max_us.max(us);
+                self.min_us = if self.min_us == 0 {
+                    us
+                } else {
+                    self.min_us.min(us)
+                };
+            }
+            TxnOutcome::AbortedDeadlock => self.aborted_deadlock += 1,
+            TxnOutcome::AbortedOther => self.aborted_other += 1,
+        }
+    }
+
+    /// All aborts.
+    pub fn aborted(&self) -> u64 {
+        self.aborted_deadlock + self.aborted_other
+    }
+
+    /// Average committed-transaction duration.
+    pub fn avg(&self) -> Duration {
+        if self.committed == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.total_us / self.committed as u128) as u64)
+    }
+
+    /// Minimum committed-transaction duration.
+    pub fn min(&self) -> Duration {
+        Duration::from_micros(self.min_us as u64)
+    }
+
+    /// Maximum committed-transaction duration.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us as u64)
+    }
+
+    /// Merges another accumulator (per-thread → global).
+    pub fn merge(&mut self, other: &TypeStats) {
+        self.committed += other.committed;
+        self.empty += other.empty;
+        self.aborted_deadlock += other.aborted_deadlock;
+        self.aborted_other += other.aborted_other;
+        self.total_us += other.total_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = match (self.min_us, other.min_us) {
+            (0, m) | (m, 0) => m,
+            (a, b) => a.min(b),
+        };
+    }
+}
+
+/// Report of one benchmark run (one protocol, isolation level, depth).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Protocol name.
+    pub protocol: String,
+    /// Isolation level name.
+    pub isolation: String,
+    /// Lock depth used.
+    pub lock_depth: u32,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-type statistics.
+    pub per_type: BTreeMap<&'static str, TypeStats>,
+    /// Deadlocks resolved (victim count).
+    pub deadlocks: u64,
+    /// Deadlocks classified as conversion-caused.
+    pub conversion_deadlocks: u64,
+    /// Lock requests served (lock-manager overhead).
+    pub lock_requests: u64,
+    /// Logical page reads during the run.
+    pub page_reads: u64,
+}
+
+impl RunReport {
+    /// Total committed transactions across types.
+    pub fn committed(&self) -> u64 {
+        self.per_type.values().map(|s| s.committed).sum()
+    }
+
+    /// Total aborted transactions across types.
+    pub fn aborted(&self) -> u64 {
+        self.per_type.values().map(|s| s.aborted()).sum()
+    }
+
+    /// Committed count for a single type.
+    pub fn committed_of(&self, kind: TxnKind) -> u64 {
+        self.per_type
+            .get(kind.name())
+            .map(|s| s.committed)
+            .unwrap_or(0)
+    }
+
+    /// Throughput normalized to the paper's unit: committed transactions
+    /// per 5-minute run (the runs here are shorter; see EXPERIMENTS.md).
+    pub fn throughput_per_5min(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.committed() as f64 * 300.0 / self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut a = TypeStats::default();
+        a.record(TxnOutcome::Committed, Duration::from_millis(10));
+        a.record(TxnOutcome::Committed, Duration::from_millis(30));
+        a.record(TxnOutcome::AbortedDeadlock, Duration::from_millis(5));
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.aborted(), 1);
+        assert_eq!(a.avg(), Duration::from_millis(20));
+        assert_eq!(a.min(), Duration::from_millis(10));
+        assert_eq!(a.max(), Duration::from_millis(30));
+
+        let mut b = TypeStats::default();
+        b.record(TxnOutcome::Empty, Duration::from_millis(2));
+        b.record(TxnOutcome::AbortedOther, Duration::ZERO);
+        b.merge(&a);
+        assert_eq!(b.committed, 3);
+        assert_eq!(b.empty, 1);
+        assert_eq!(b.aborted_deadlock, 1);
+        assert_eq!(b.aborted_other, 1);
+        assert_eq!(b.min(), Duration::from_millis(2));
+        assert_eq!(b.max(), Duration::from_millis(30));
+    }
+}

@@ -1,0 +1,355 @@
+//! The five TaMix transaction types of §4.2.
+//!
+//! "The role of the reader transactions (TAqueryBook) is to provide a
+//! continuous system load under which the remaining IUD transactions have
+//! to compete for data sources. They provoke together with the readers
+//! wait relationships and deadlocks, which, in turn, determine the
+//! transaction throughput."
+
+use crate::bib::BibConfig;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::Duration;
+use xtc_core::{InsertPos, NodeData, SplId, Transaction, XtcDb, XtcError};
+
+/// The five transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TxnKind {
+    /// Select a book by random ID, read its whole subtree navigationally.
+    QueryBook,
+    /// Same read profile, then update a chapter text node.
+    Chapter,
+    /// Read profile on a random topic, then delete a book subtree.
+    DelBook,
+    /// Locate a book, navigate to its history, lend or return it.
+    LendAndReturn,
+    /// Locate a topic by ID and rename it.
+    RenameTopic,
+}
+
+impl TxnKind {
+    /// Paper name ("TAqueryBook" …).
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnKind::QueryBook => "TAqueryBook",
+            TxnKind::Chapter => "TAchapter",
+            TxnKind::DelBook => "TAdelBook",
+            TxnKind::LendAndReturn => "TAlendAndReturn",
+            TxnKind::RenameTopic => "TArenameTopic",
+        }
+    }
+
+    /// Whether the type performs updates (everything but `QueryBook`).
+    pub fn is_writer(self) -> bool {
+        !matches!(self, TxnKind::QueryBook)
+    }
+
+    /// All types, in the paper's presentation order.
+    pub const ALL: [TxnKind; 5] = [
+        TxnKind::QueryBook,
+        TxnKind::Chapter,
+        TxnKind::DelBook,
+        TxnKind::LendAndReturn,
+        TxnKind::RenameTopic,
+    ];
+}
+
+/// Per-operation think time inside a transaction (the paper's
+/// waitAfterOperation).
+#[derive(Debug, Clone, Copy)]
+pub struct Pacing {
+    /// Sleep after each DOM operation.
+    pub wait_after_operation: Duration,
+}
+
+impl Pacing {
+    fn think(&self) {
+        if !self.wait_after_operation.is_zero() {
+            std::thread::sleep(self.wait_after_operation);
+        }
+    }
+}
+
+/// Runs one transaction of the given kind against the database. Returns
+/// `Ok(true)` on commit, `Ok(false)` when the target vanished (trivial
+/// commit), `Err` on abort.
+pub fn run_txn(
+    db: &XtcDb,
+    kind: TxnKind,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    let txn = db.begin();
+    let result = match kind {
+        TxnKind::QueryBook => ta_query_book(&txn, cfg, rng, pacing),
+        TxnKind::Chapter => ta_chapter(&txn, cfg, rng, pacing),
+        TxnKind::DelBook => ta_del_book(&txn, cfg, rng, pacing),
+        TxnKind::LendAndReturn => ta_lend_and_return(&txn, cfg, rng, pacing),
+        TxnKind::RenameTopic => ta_rename_topic(&txn, cfg, rng, pacing),
+    };
+    match result {
+        Ok(did_work) => {
+            txn.commit()?;
+            Ok(did_work)
+        }
+        Err(e) => {
+            txn.abort();
+            Err(e)
+        }
+    }
+}
+
+/// Navigational depth-first read of a subtree: `getFirstChild` /
+/// `getNextSibling` steps with node reads, exactly the DOM access model
+/// the protocols must isolate.
+fn navigational_read(
+    txn: &Transaction<'_>,
+    root: &SplId,
+    pacing: Pacing,
+) -> Result<usize, XtcError> {
+    let mut visited = 0usize;
+    let mut stack = vec![root.clone()];
+    // Iterative DFS using only navigation operations.
+    while let Some(n) = stack.pop() {
+        let data = txn.node(&n)?;
+        visited += 1;
+        pacing.think();
+        if matches!(
+            data,
+            Some(NodeData::Element { .. }) | Some(NodeData::AttributeRoot)
+        ) {
+            // Children right-to-left so the leftmost is visited first.
+            let mut kids = Vec::new();
+            let mut c = txn.first_child(&n)?;
+            while let Some(cur) = c {
+                c = txn.next_sibling(&cur)?;
+                kids.push(cur);
+                pacing.think();
+            }
+            stack.extend(kids.into_iter().rev());
+        }
+    }
+    Ok(visited)
+}
+
+/// TAqueryBook: "selects a book element by random ID and provides details
+/// of the book. It uses a direct jump via an ID attribute into the tree
+/// (using an index) and traverses the subtree by navigational read
+/// operations."
+fn ta_query_book(
+    txn: &Transaction<'_>,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    let id = format!("b{}", rng.random_range(0..cfg.books));
+    let Some(book) = txn.element_by_id(&id)? else {
+        return Ok(false); // concurrently deleted
+    };
+    pacing.think();
+    let _ = txn.attributes(&book)?;
+    navigational_read(txn, &book, pacing)?;
+    Ok(true)
+}
+
+/// TAchapter: "same operational read profile followed by an update of a
+/// text node."
+fn ta_chapter(
+    txn: &Transaction<'_>,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    let id = format!("b{}", rng.random_range(0..cfg.books));
+    let Some(book) = txn.element_by_id(&id)? else {
+        return Ok(false);
+    };
+    pacing.think();
+    navigational_read(txn, &book, pacing)?;
+    // Find a chapter summary text node and update it.
+    let kids = txn.element_children(&book)?;
+    let Some(chapters) = kids
+        .iter()
+        .find(|k| txn.name(k).ok().flatten().as_deref() == Some("chapters"))
+        .cloned()
+    else {
+        return Ok(false);
+    };
+    let chapter_list = txn.element_children(&chapters)?;
+    if chapter_list.is_empty() {
+        return Ok(false);
+    }
+    let chapter = &chapter_list[rng.random_range(0..chapter_list.len())];
+    let summary = txn.element_children(chapter)?;
+    let Some(summary) = summary.last() else {
+        return Ok(false);
+    };
+    let Some(text) = txn.first_child(summary)? else {
+        return Ok(false);
+    };
+    pacing.think();
+    txn.update_text(&text, "An updated summary, rewritten under locks.")?;
+    Ok(true)
+}
+
+/// TAdelBook: "same operational read profile, but on a random topic
+/// element followed by a deletion of a book subtree."
+fn ta_del_book(
+    txn: &Transaction<'_>,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    let id = format!("t{}", rng.random_range(0..cfg.topics));
+    let Some(topic) = txn.element_by_id(&id)? else {
+        return Ok(false);
+    };
+    pacing.think();
+    let books = txn.element_children(&topic)?;
+    if books.is_empty() {
+        return Ok(false);
+    }
+    let book = books[rng.random_range(0..books.len())].clone();
+    navigational_read(txn, &book, pacing)?;
+    pacing.think();
+    txn.delete_subtree(&book)?;
+    Ok(true)
+}
+
+/// TAlendAndReturn: "direct location of a randomly chosen book element
+/// followed by complex navigational steps with updates, deletions, and
+/// insertions of elements." This is the Figure 3b scenario: subtree
+/// read (update intent) on the history, then a conversion to exclusive
+/// when the lend decision is made.
+fn ta_lend_and_return(
+    txn: &Transaction<'_>,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    let id = format!("b{}", rng.random_range(0..cfg.books));
+    let Some(book) = txn.element_by_id(&id)? else {
+        return Ok(false);
+    };
+    pacing.think();
+    // Navigate to the last child: the history element.
+    let Some(history) = txn.last_child(&book)? else {
+        return Ok(false);
+    };
+    if txn.name(&history)?.as_deref() != Some("history") {
+        return Ok(false); // concurrent structural change
+    }
+    // Read the history with update intent (SU → SX conversion path).
+    let _ = txn.subtree_for_update(&history)?;
+    pacing.think();
+    if rng.random_bool(0.5) {
+        // Lend: attach a new lend element with person and return.
+        let lend = txn.insert_element(&history, InsertPos::LastChild, "lend")?;
+        pacing.think();
+        txn.set_attribute(&lend, "person", &format!("p{}", rng.random_range(0..cfg.persons)))?;
+        txn.set_attribute(&lend, "return", "2006-09-15")?;
+    } else {
+        // Return: drop the oldest lend entry, if any.
+        let lends = txn.element_children(&history)?;
+        if let Some(first) = lends.first() {
+            pacing.think();
+            txn.delete_subtree(first)?;
+        }
+    }
+    Ok(true)
+}
+
+/// TArenameTopic: "locates a topic element by a random ID and renames
+/// it." The taDOM3+ NX showcase — and the MGL*/Node2PLa stress case.
+fn ta_rename_topic(
+    txn: &Transaction<'_>,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    let id = format!("t{}", rng.random_range(0..cfg.topics));
+    let Some(topic) = txn.element_by_id(&id)? else {
+        return Ok(false);
+    };
+    pacing.think();
+    let new_name = if rng.random_bool(0.5) { "topic" } else { "subject" };
+    txn.rename(&topic, new_name)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bib;
+    use rand::SeedableRng;
+    use std::time::Duration;
+    use xtc_core::{IsolationLevel, XtcConfig};
+
+    fn db(protocol: &str) -> (XtcDb, BibConfig) {
+        let cfg = BibConfig::tiny();
+        let db = XtcDb::new(XtcConfig {
+            protocol: protocol.into(),
+            isolation: IsolationLevel::Repeatable,
+            lock_depth: 4,
+            lock_timeout: Duration::from_secs(5),
+            ..XtcConfig::default()
+        });
+        bib::generate_into(&db, &cfg);
+        (db, cfg)
+    }
+
+    #[test]
+    fn every_kind_commits_single_user_under_every_protocol() {
+        let pacing = Pacing {
+            wait_after_operation: Duration::ZERO,
+        };
+        for proto in xtc_protocols::ALL_PROTOCOLS {
+            let (db, cfg) = db(proto);
+            let mut rng = SmallRng::seed_from_u64(7);
+            for kind in TxnKind::ALL {
+                let before = db.store().node_count();
+                let r = run_txn(&db, kind, &cfg, &mut rng, pacing);
+                assert!(r.is_ok(), "{proto}/{}: {r:?}", kind.name());
+                if kind == TxnKind::DelBook && r == Ok(true) {
+                    assert!(db.store().node_count() < before, "{proto}: delete happened");
+                }
+                assert_eq!(db.lock_table().granted_count(), 0, "{proto}: lock leak");
+            }
+        }
+    }
+
+    #[test]
+    fn lend_and_return_changes_history() {
+        let (db, cfg) = db("taDOM3+");
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pacing = Pacing {
+            wait_after_operation: Duration::ZERO,
+        };
+        for _ in 0..10 {
+            run_txn(&db, TxnKind::LendAndReturn, &cfg, &mut rng, pacing).unwrap();
+        }
+        // Histories still structurally sound.
+        for b in 0..cfg.books {
+            let book = db.store().element_by_id(&format!("b{b}")).unwrap();
+            let kids = db.store().element_children(&book);
+            let history = kids.last().unwrap();
+            assert_eq!(db.store().name_of(history).as_deref(), Some("history"));
+        }
+    }
+
+    #[test]
+    fn rename_topic_flips_names() {
+        let (db, cfg) = db("taDOM3+");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pacing = Pacing {
+            wait_after_operation: Duration::ZERO,
+        };
+        for _ in 0..8 {
+            run_txn(&db, TxnKind::RenameTopic, &cfg, &mut rng, pacing).unwrap();
+        }
+        let topics = db.store().elements_named("topic").len()
+            + db.store().elements_named("subject").len();
+        assert_eq!(topics, cfg.topics);
+    }
+}

@@ -1,0 +1,133 @@
+//! A concurrent library application: many clients lending, returning,
+//! and querying books at once — the workload the paper's introduction
+//! motivates ("collaborative XML document processing").
+//!
+//! Deadlock victims retry with fresh transactions, the standard pattern
+//! for 2PL systems.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_library
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xtc::core::{InsertPos, IsolationLevel, XtcConfig, XtcDb, XtcError};
+use xtc::tamix::{bib, BibConfig};
+
+fn main() {
+    let db = Arc::new(XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".into(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 5,
+        ..XtcConfig::default()
+    }));
+    let cfg = BibConfig {
+        books: 40,
+        topics: 4,
+        persons: 20,
+        ..BibConfig::scaled()
+    };
+    bib::generate_into(&db, &cfg);
+    println!(
+        "library loaded: {} nodes, {} books",
+        db.store().node_count(),
+        cfg.books
+    );
+
+    let lends = Arc::new(AtomicU64::new(0));
+    let queries = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for client in 0..8u64 {
+        let db = db.clone();
+        let (lends, queries, retries) = (lends.clone(), queries.clone(), retries.clone());
+        let books = cfg.books;
+        handles.push(std::thread::spawn(move || {
+            let mut state = client.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut rand = move |m: u64| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % m
+            };
+            for _ in 0..50 {
+                let book_id = format!("b{}", rand(books as u64));
+                if rand(2) == 0 {
+                    // Query: read the book's details.
+                    if with_retries(&db, &retries, |txn| {
+                        let Some(book) = txn.element_by_id(&book_id)? else {
+                            return Ok(());
+                        };
+                        let _ = txn.attributes(&book)?;
+                        let _ = txn.subtree(&book)?;
+                        Ok(())
+                    }) {
+                        queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    // Lend: append a lend record to the history.
+                    let person = format!("p{}", rand(20));
+                    if with_retries(&db, &retries, |txn| {
+                        let Some(book) = txn.element_by_id(&book_id)? else {
+                            return Ok(());
+                        };
+                        let Some(history) = txn.last_child(&book)? else {
+                            return Ok(());
+                        };
+                        let lend =
+                            txn.insert_element(&history, InsertPos::LastChild, "lend")?;
+                        txn.set_attribute(&lend, "person", &person)?;
+                        txn.set_attribute(&lend, "return", "2006-09-15")?;
+                        Ok(())
+                    }) {
+                        lends.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let dl = db.lock_table().deadlocks();
+    println!(
+        "done: {} queries, {} lends, {} retries, {} deadlocks resolved \
+         ({} conversion-caused)",
+        queries.load(Ordering::Relaxed),
+        lends.load(Ordering::Relaxed),
+        retries.load(Ordering::Relaxed),
+        dl.total(),
+        dl.conversion_caused(),
+    );
+    assert_eq!(db.lock_table().granted_count(), 0, "no locks leaked");
+}
+
+/// Runs `body` in a fresh transaction, retrying on deadlock aborts.
+fn with_retries(
+    db: &XtcDb,
+    retries: &AtomicU64,
+    body: impl Fn(&xtc::core::Transaction<'_>) -> Result<(), XtcError>,
+) -> bool {
+    for _ in 0..10 {
+        let txn = db.begin();
+        match body(&txn) {
+            Ok(()) => {
+                if txn.commit().is_ok() {
+                    return true;
+                }
+            }
+            Err(e) if e.is_retryable() => {
+                txn.abort();
+                retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Err(_) => {
+                txn.abort();
+                return false;
+            }
+        }
+    }
+    false
+}

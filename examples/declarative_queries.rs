@@ -1,0 +1,70 @@
+//! Declarative access over the navigational model (§6): path
+//! expressions evaluated under the lock protocol, and SPLID structural
+//! joins combining index streams without touching the document.
+//!
+//! ```sh
+//! cargo run --release --example declarative_queries
+//! ```
+
+use xtc::core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc::query::{join, PathExpr};
+use xtc::tamix::{bib, BibConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".into(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 5,
+        ..XtcConfig::default()
+    });
+    let cfg = BibConfig {
+        books: 30,
+        topics: 3,
+        ..BibConfig::scaled()
+    };
+    bib::generate_into(&db, &cfg);
+
+    let txn = db.begin();
+
+    // Path expressions: every step locks through the protocol.
+    for path in [
+        "/bib/topics/topic[@id='t1']/book[1]/title",
+        "//book[@year='1995']/title",
+        "//topic[2]/book/@id",
+    ] {
+        let expr = PathExpr::parse(path)?;
+        match expr.eval_values(&txn)? {
+            xtc::query::QueryValue::Nodes(nodes) => {
+                println!("{path}");
+                for n in &nodes {
+                    println!("    {n}  {:?}", txn.element_text(n)?);
+                }
+            }
+            xtc::query::QueryValue::Strings(values) => {
+                println!("{path}\n    {values:?}");
+            }
+        }
+    }
+
+    // Structural joins: combine element-index streams by SPLID arithmetic
+    // alone — no document access at all.
+    let topics = txn.elements_named("topic")?;
+    let lends = txn.elements_named("lend")?;
+    let pairs = join::ancestor_descendant(&topics, &lends);
+    println!(
+        "\nstructural join: {} (topic, lend) pairs from {} topics x {} lends",
+        pairs.len(),
+        topics.len(),
+        lends.len()
+    );
+    let in_first_topic = join::contained_in(&topics[..1], &lends);
+    println!(
+        "semi-join: {} lends inside topic {}",
+        in_first_topic.len(),
+        topics[0]
+    );
+
+    println!("\nlocks held during the query transaction: {}", txn.held_locks());
+    txn.commit()?;
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! A miniature re-run of the paper's contest: CLUSTER1 throughput for one
+//! representative of each protocol group, plus the CLUSTER2 deletion
+//! experiment — in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example protocol_contest
+//! ```
+//!
+//! For the full sweeps behind Figures 7–11 use the `fig7`…`fig11`
+//! binaries in `crates/bench` (see EXPERIMENTS.md).
+
+use std::time::Duration;
+use xtc::core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc::tamix::{bib as bibgen, run_cluster1, run_cluster2, BibConfig, TamixParams};
+
+fn main() {
+    let bib = BibConfig::scaled();
+    let contestants = ["Node2PLa", "URIX", "taDOM3+"];
+
+    println!("CLUSTER1 (72 active transactions, repeatable read, lock depth 4):\n");
+    println!(
+        "{:>10} {:>10} {:>9} {:>10} {:>12} {:>14}",
+        "protocol", "committed", "aborted", "deadlocks", "conversions", "lock requests"
+    );
+    for proto in contestants {
+        let mut params = TamixParams::cluster1(proto, IsolationLevel::Repeatable, 4);
+        params.duration = Duration::from_millis(2000);
+        let r = run_cluster1(&params, &bib);
+        println!(
+            "{:>10} {:>10} {:>9} {:>10} {:>12} {:>14}",
+            r.protocol,
+            r.committed(),
+            r.aborted(),
+            r.deadlocks,
+            r.conversion_deadlocks,
+            r.lock_requests
+        );
+        // §4.1 metric: min/avg/max duration per transaction type.
+        for (name, stats) in &r.per_type {
+            println!(
+                "{:>22} min {:>6?}  avg {:>6?}  max {:>6?}",
+                name,
+                stats.min(),
+                stats.avg(),
+                stats.max()
+            );
+        }
+    }
+
+    println!("\nCLUSTER2 (single TAdelBook, repeatable read):\n");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "protocol", "time [µs]", "lock requests", "page reads"
+    );
+    for proto in ["Node2PL", "NO2PL", "OO2PL", "Node2PLa", "URIX", "taDOM3+"] {
+        let r = run_cluster2(proto, &bib, 2);
+        println!(
+            "{:>10} {:>12} {:>14} {:>12}",
+            r.protocol,
+            r.duration.as_micros(),
+            r.lock_requests,
+            r.page_reads
+        );
+    }
+    // Per-mode lock-request histogram for one TAqueryBook under taDOM3+ —
+    // the §4.1 lock-manager metric.
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".into(),
+        ..XtcConfig::default()
+    });
+    bibgen::generate_into(&db, &bib);
+    {
+        let txn = db.begin();
+        let book = txn.element_by_id("b0").unwrap().unwrap();
+        let _ = txn.subtree(&book).unwrap();
+        txn.commit().unwrap();
+    }
+    println!("\nlock requests by mode for one book read under taDOM3+:");
+    for (family, mode, count) in db.lock_table().requests_by_mode() {
+        println!("    {family:>8} {mode:>5} {count:>6}");
+    }
+
+    println!(
+        "\nExpected shapes (paper §5): taDOM* > MGL* > *-2PL in CLUSTER1\n\
+         throughput; the plain *-2PL group pays roughly double in CLUSTER2\n\
+         (IDX location steps through the node manager)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: open a database, load XML, and run transactions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xtc::core::{InsertPos, IsolationLevel, XtcConfig, XtcDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An embedded XTC database: pick any of the paper's eleven lock
+    // protocols by name — the winning group's taDOM3+ is the default.
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".into(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        ..XtcConfig::default()
+    });
+
+    // Bulk-load a document (unlocked; do this before going concurrent).
+    db.load_xml(
+        r#"<bib>
+             <book id="b1" year="2006"><title>Contest of XML Lock Protocols</title></book>
+             <book id="b2" year="1993"><title>Transaction Processing</title></book>
+           </bib>"#,
+    )?;
+
+    // A read transaction: direct jump via the ID index, then navigation.
+    let txn = db.begin();
+    let book = txn.element_by_id("b1")?.expect("b1 exists");
+    println!("found   <{}> year={}",
+        txn.name(&book)?.unwrap(),
+        txn.attribute(&book, "year")?.unwrap());
+    let title = txn.element_children(&book)?[0].clone();
+    println!("title   {:?}", txn.element_text(&title)?);
+    txn.commit()?;
+
+    // A writer: insert a chapter, update it, then change our mind.
+    let txn = db.begin();
+    let book = txn.element_by_id("b2")?.unwrap();
+    let chapter = txn.insert_element(&book, InsertPos::LastChild, "chapter")?;
+    txn.insert_text(&chapter, InsertPos::LastChild, "draft text")?;
+    txn.set_attribute(&chapter, "num", "1")?;
+    txn.abort(); // rolls the whole thing back
+
+    let txn = db.begin();
+    let book = txn.element_by_id("b2")?.unwrap();
+    println!(
+        "after abort, b2 has {} element children (unchanged)",
+        txn.element_children(&book)?.len()
+    );
+    txn.commit()?;
+
+    // Serialize the document back out.
+    println!(
+        "\n{}",
+        xtc::node::serialize_subtree(db.store(), &xtc::splid::SplId::root())
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the xtc-rs workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can use a single dependency. Library users normally
+//! depend on [`xtc_core`] directly.
+
+pub use xtc_core as core;
+pub use xtc_lock as lock;
+pub use xtc_node as node;
+pub use xtc_protocols as protocols;
+pub use xtc_query as query;
+pub use xtc_splid as splid;
+pub use xtc_storage as storage;
+pub use xtc_tamix as tamix;

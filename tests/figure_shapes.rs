@@ -1,0 +1,107 @@
+//! Smoke tests asserting the *shapes* of the paper's evaluation figures
+//! at miniature scale (the full sweeps live in `crates/bench`). These are
+//! deliberately coarse (who wins, roughly by how much) so they stay
+//! robust across machines.
+
+use std::time::Duration;
+use xtc::core::IsolationLevel;
+use xtc::tamix::{run_cluster1, run_cluster2, BibConfig, TamixParams};
+
+fn params(protocol: &str, depth: u32) -> TamixParams {
+    let mut p = TamixParams::cluster1(protocol, IsolationLevel::Repeatable, depth);
+    p.duration = Duration::from_millis(800);
+    p.wait_after_commit = Duration::from_millis(5);
+    p.wait_after_operation = Duration::from_micros(500);
+    p.initial_wait_max = Duration::from_millis(10);
+    p
+}
+
+/// Figure 7 shape: *writer* throughput at a healthy depth beats the
+/// document-lock edge (depth 0) under repeatable read. Readers share the
+/// document lock just fine, so the depth effect shows in the writers —
+/// and only once lock-hold times are non-trivial (think time per op).
+#[test]
+fn fig7_shape_depth_helps_repeatable() {
+    let bib = BibConfig::tiny();
+    let mut p0 = params("taDOM3+", 0);
+    p0.wait_after_operation = Duration::from_millis(1);
+    let mut p4 = params("taDOM3+", 4);
+    p4.wait_after_operation = Duration::from_millis(1);
+    let r0 = run_cluster1(&p0, &bib);
+    let r4 = run_cluster1(&p4, &bib);
+    let writers = |r: &xtc::tamix::RunReport| {
+        r.committed() - r.committed_of(xtc::tamix::TxnKind::QueryBook)
+    };
+    assert!(
+        writers(&r4) > writers(&r0),
+        "depth 4 writers ({}) must beat depth 0 writers ({})",
+        writers(&r4),
+        writers(&r0)
+    );
+}
+
+/// Figure 9 shape: the taDOM group beats the *-2PL representative at a
+/// fine lock depth. Writers only, with per-op think time, so the signal
+/// (Node2PLa's whole-level parent locks) survives a loaded machine.
+#[test]
+fn fig9_shape_tadom_beats_node2pla() {
+    let bib = BibConfig::tiny();
+    let mut pt = params("taDOM3+", 4);
+    pt.wait_after_operation = Duration::from_millis(1);
+    let mut ps = params("Node2PLa", 4);
+    ps.wait_after_operation = Duration::from_millis(1);
+    let tadom = run_cluster1(&pt, &bib);
+    let star = run_cluster1(&ps, &bib);
+    let writers = |r: &xtc::tamix::RunReport| {
+        r.committed() - r.committed_of(xtc::tamix::TxnKind::QueryBook)
+    };
+    assert!(
+        writers(&tadom) > writers(&star),
+        "taDOM3+ writers ({}) must beat Node2PLa writers ({})",
+        writers(&tadom),
+        writers(&star)
+    );
+}
+
+/// Figure 11 shape: the plain *-2PL group pays a clear premium for the
+/// IDX location steps; intention protocols (incl. Node2PLa) do not.
+#[test]
+fn fig11_shape_star2pl_pays_for_idx_scans() {
+    let bib = BibConfig::tiny();
+    let node2pl = run_cluster2("Node2PL", &bib, 2);
+    let node2pla = run_cluster2("Node2PLa", &bib, 2);
+    let tadom = run_cluster2("taDOM3+", &bib, 2);
+    assert!(
+        node2pl.page_reads as f64 > 1.2 * tadom.page_reads as f64,
+        "Node2PL must re-read the subtree: {} vs {} page reads",
+        node2pl.page_reads,
+        tadom.page_reads
+    );
+    assert!(
+        node2pla.page_reads < node2pl.page_reads,
+        "intention locks spare Node2PLa the scan"
+    );
+    assert!(
+        node2pl.duration > tadom.duration,
+        "scan time must show up: {:?} vs {:?}",
+        node2pl.duration,
+        tadom.duration
+    );
+}
+
+/// Deadlock classification: CLUSTER1 deadlocks are predominantly
+/// conversion-caused, as the paper's TaMix analysis reports.
+#[test]
+fn deadlocks_are_mostly_conversion_caused() {
+    let bib = BibConfig::tiny();
+    // Depth 2 on the tiny doc produces contention and conversions.
+    let r = run_cluster1(&params("taDOM2", 1), &bib);
+    if r.deadlocks > 5 {
+        assert!(
+            r.conversion_deadlocks * 2 >= r.deadlocks,
+            "expected conversion deadlocks to dominate: {} of {}",
+            r.conversion_deadlocks,
+            r.deadlocks
+        );
+    }
+}
