@@ -2,11 +2,12 @@
 //! creation.
 
 use crate::error::XtcError;
+use crate::retry::{RetryPolicy, RetryStats};
 use crate::txn::Transaction;
 use crate::view::StoreView;
 use std::sync::Arc;
-use std::time::Duration;
-use xtc_lock::{IsolationLevel, LockTable, Protocol, TxnRegistry};
+use std::time::{Duration, Instant};
+use xtc_lock::{IsolationLevel, LockTable, Protocol, TxnRegistry, VictimPolicy};
 use xtc_node::{DocStore, DocStoreConfig};
 use xtc_splid::SplId;
 
@@ -21,6 +22,16 @@ pub struct XtcConfig {
     pub lock_depth: u32,
     /// Lock-wait timeout (safety valve; counted as an abort).
     pub lock_timeout: Duration,
+    /// Deadlock victim selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Lock escalation threshold: when a transaction's held-lock count
+    /// reaches this value, its subsequent requests use
+    /// [`escalated_depth`](XtcConfig::escalated_depth) as the effective
+    /// lock depth (coarser subtree locks). `None` disables escalation.
+    pub escalation_threshold: Option<usize>,
+    /// Effective lock depth after escalation (only depths *shallower*
+    /// than the transaction's own depth take effect).
+    pub escalated_depth: u32,
     /// Storage configuration.
     pub store: DocStoreConfig,
 }
@@ -32,6 +43,9 @@ impl Default for XtcConfig {
             isolation: IsolationLevel::Repeatable,
             lock_depth: 4,
             lock_timeout: Duration::from_secs(10),
+            victim_policy: VictimPolicy::Youngest,
+            escalation_threshold: None,
+            escalated_depth: 1,
             store: DocStoreConfig::default(),
         }
     }
@@ -46,6 +60,8 @@ pub struct XtcDb {
     protocol: Arc<dyn Protocol>,
     isolation: IsolationLevel,
     lock_depth: u32,
+    escalation_threshold: Option<usize>,
+    escalated_depth: u32,
 }
 
 impl XtcDb {
@@ -63,11 +79,14 @@ impl XtcDb {
             .ok_or_else(|| XtcError::UnknownProtocol(config.protocol.clone()))?;
         let store = Arc::new(DocStore::new(config.store.clone()));
         let registry = Arc::new(TxnRegistry::new());
-        let table = Arc::new(LockTable::new(
-            handle.families.clone(),
-            registry.clone(),
-            config.lock_timeout,
-        ));
+        let table = Arc::new(
+            LockTable::new(
+                handle.families.clone(),
+                registry.clone(),
+                config.lock_timeout,
+            )
+            .with_victim_policy(config.victim_policy),
+        );
         Ok(XtcDb {
             view: Arc::new(StoreView(store.clone())),
             store,
@@ -76,6 +95,8 @@ impl XtcDb {
             protocol: handle.protocol,
             isolation: config.isolation,
             lock_depth: config.lock_depth,
+            escalation_threshold: config.escalation_threshold,
+            escalated_depth: config.escalated_depth,
         })
     }
 
@@ -131,5 +152,65 @@ impl XtcDb {
     /// Default isolation level.
     pub fn isolation(&self) -> IsolationLevel {
         self.isolation
+    }
+
+    /// Held-lock count at which transactions escalate to coarser locks
+    /// (`None` = escalation disabled).
+    pub fn escalation_threshold(&self) -> Option<usize> {
+        self.escalation_threshold
+    }
+
+    /// Effective lock depth after escalation.
+    pub fn escalated_depth(&self) -> u32 {
+        self.escalated_depth
+    }
+
+    /// Runs a transaction closure under the retry policy: begins a fresh
+    /// transaction per attempt, commits on `Ok`, aborts on `Err`, and
+    /// retries [retryable](XtcError::is_retryable) failures (deadlock
+    /// victim, lock timeout, plan races, injected faults) after a
+    /// jittered exponential backoff, until the policy's attempt or
+    /// deadline budget runs out.
+    ///
+    /// The closure must be restartable: it sees a brand-new transaction
+    /// each attempt, and any side effects outside the transaction (its
+    /// captured state) survive aborted attempts.
+    pub fn run_retrying<T>(
+        &self,
+        policy: &RetryPolicy,
+        mut body: impl FnMut(&Transaction<'_>) -> Result<T, XtcError>,
+    ) -> (Result<T, XtcError>, RetryStats) {
+        let started = Instant::now();
+        let mut stats = RetryStats::default();
+        loop {
+            stats.attempts += 1;
+            let txn = self.begin();
+            let salt = txn.id();
+            let result = match body(&txn) {
+                Ok(v) => txn.commit().map(|()| v),
+                Err(e) => {
+                    txn.abort();
+                    Err(e)
+                }
+            };
+            match result {
+                Ok(v) => {
+                    stats.committed_after_retry = stats.attempts > 1;
+                    return (Ok(v), stats);
+                }
+                Err(e) if e.is_retryable() && stats.attempts < policy.max_attempts.max(1) => {
+                    stats.count_abort(&e);
+                    let delay = policy.delay(stats.attempts - 1, salt);
+                    if let Some(budget) = policy.deadline {
+                        if started.elapsed() + delay >= budget {
+                            return (Err(e), stats);
+                        }
+                    }
+                    std::thread::sleep(delay);
+                    stats.backoff_total += delay;
+                }
+                Err(e) => return (Err(e), stats),
+            }
+        }
     }
 }

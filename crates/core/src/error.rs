@@ -20,13 +20,19 @@ pub enum XtcError {
     Finished,
     /// The named lock protocol does not exist.
     UnknownProtocol(String),
+    /// A failpoint injected this failure (chaos testing only; never
+    /// produced in production builds). The transaction was rolled back.
+    Injected,
 }
 
 impl XtcError {
     /// `true` when the transaction should be aborted and is worth
-    /// retrying (deadlock victim, timeout, plan races).
+    /// retrying (deadlock victim, timeout, plan races, injected faults).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, XtcError::Lock(_) | XtcError::Busy)
+        matches!(
+            self,
+            XtcError::Lock(_) | XtcError::Busy | XtcError::Injected
+        )
     }
 
     /// `true` when caused by a deadlock (victim abort).
@@ -43,6 +49,7 @@ impl fmt::Display for XtcError {
             XtcError::Busy => write!(f, "operation raced concurrent structure changes"),
             XtcError::Finished => write!(f, "transaction already finished"),
             XtcError::UnknownProtocol(p) => write!(f, "unknown lock protocol {p:?}"),
+            XtcError::Injected => write!(f, "failpoint-injected commit failure"),
         }
     }
 }

@@ -32,14 +32,16 @@
 
 mod db;
 mod error;
+mod retry;
 mod txn;
 mod view;
 
 pub use db::{XtcConfig, XtcDb};
 pub use error::XtcError;
+pub use retry::{RetryPolicy, RetryStats};
 pub use txn::Transaction;
 pub use view::StoreView;
 
-pub use xtc_lock::{EdgeKind, IsolationLevel, LockError};
+pub use xtc_lock::{EdgeKind, IsolationLevel, LockError, VictimPolicy};
 pub use xtc_node::{InsertPos, NodeData, NodeKind};
 pub use xtc_splid::SplId;

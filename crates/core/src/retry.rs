@@ -1,0 +1,177 @@
+//! Transaction retry with exponential backoff: the fault-tolerance layer
+//! over the lock protocols' abort-heavy concurrency control.
+//!
+//! Every protocol in the contest resolves deadlocks by aborting a victim,
+//! and the paper's TaMix clients simply restart aborted transactions. This
+//! module makes that restart loop a first-class, configurable primitive:
+//! [`RetryPolicy`] bounds the attempts (count, per-wait backoff envelope,
+//! total deadline) and [`XtcDb::run_retrying`](crate::XtcDb::run_retrying)
+//! re-executes a transaction closure until it commits or the budget is
+//! exhausted, reporting what happened in [`RetryStats`].
+//!
+//! Backoff: attempt `n` sleeps a uniformly jittered duration drawn from
+//! `[base, envelope(n)]` where `envelope(n) = min(cap, base·multiplier^n)`.
+//! The envelope is monotonically non-decreasing and never exceeds `cap`;
+//! jitter decorrelates transactions that aborted each other so they do
+//! not re-collide in lockstep. The jitter stream is seeded — a fixed
+//! `(seed, salt)` reproduces the exact same delays.
+
+use crate::error::XtcError;
+use std::time::Duration;
+
+/// Bounds and shape of the retry loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (1 = no retries). Must be at least 1.
+    pub max_attempts: u32,
+    /// Smallest backoff before any retry.
+    pub base: Duration,
+    /// Largest backoff before any retry (envelope ceiling).
+    pub cap: Duration,
+    /// Envelope growth factor per attempt (≥ 1.0 for exponential
+    /// backoff; 1.0 degenerates to constant-with-jitter).
+    pub multiplier: f64,
+    /// Total wall-clock budget across all attempts and backoffs. When
+    /// exceeded, the last abort error is returned instead of retrying.
+    pub deadline: Option<Duration>,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(64),
+            multiplier: 2.0,
+            deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 step — the jitter stream's generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// Convenience constructor with the given attempt bound and default
+    /// backoff shape.
+    pub fn with_max_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The deterministic backoff ceiling before retry number `attempt`
+    /// (0-based): `min(cap, base·multiplier^attempt)`, monotonically
+    /// non-decreasing in `attempt`.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        let grown = self.base.as_secs_f64() * self.multiplier.max(1.0).powi(attempt as i32);
+        // f64 overflow saturates to the cap.
+        if !grown.is_finite() || grown >= self.cap.as_secs_f64() {
+            self.cap.max(self.base)
+        } else {
+            Duration::from_secs_f64(grown).max(self.base)
+        }
+    }
+
+    /// The jittered delay before retry number `attempt` (0-based):
+    /// uniform in `[base, envelope(attempt)]`, drawn deterministically
+    /// from `(seed, salt, attempt)`. `salt` decorrelates concurrent
+    /// retry loops sharing one policy (callers pass the transaction id).
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let lo = self.base.min(self.cap);
+        let hi = self.envelope(attempt);
+        if hi <= lo {
+            return lo;
+        }
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt)
+            .wrapping_add((attempt as u64) << 32);
+        let r = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        lo + Duration::from_secs_f64((hi - lo).as_secs_f64() * r)
+    }
+}
+
+/// What one [`XtcDb::run_retrying`](crate::XtcDb::run_retrying) call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts made (1 = first try succeeded or failed terminally).
+    pub attempts: u32,
+    /// Aborts classified as deadlock (victim of either detector path).
+    pub deadlock_aborts: u32,
+    /// Aborts classified as lock-wait timeout.
+    pub timeout_aborts: u32,
+    /// Other retryable aborts (plan races, injected faults).
+    pub other_retryable_aborts: u32,
+    /// Total time slept in backoff.
+    pub backoff_total: Duration,
+    /// `true` when the run committed on attempt 2 or later.
+    pub committed_after_retry: bool,
+}
+
+impl RetryStats {
+    /// All retryable aborts the loop absorbed.
+    pub fn retried(&self) -> u32 {
+        self.deadlock_aborts + self.timeout_aborts + self.other_retryable_aborts
+    }
+
+    /// Folds another run's stats into this accumulator.
+    pub fn merge(&mut self, other: &RetryStats) {
+        self.attempts += other.attempts;
+        self.deadlock_aborts += other.deadlock_aborts;
+        self.timeout_aborts += other.timeout_aborts;
+        self.other_retryable_aborts += other.other_retryable_aborts;
+        self.backoff_total += other.backoff_total;
+        self.committed_after_retry |= other.committed_after_retry;
+    }
+
+    /// Classifies one retryable abort.
+    pub(crate) fn count_abort(&mut self, err: &XtcError) {
+        use xtc_lock::LockError;
+        match err {
+            e if e.is_deadlock() => self.deadlock_aborts += 1,
+            XtcError::Lock(LockError::Timeout) => self.timeout_aborts += 1,
+            _ => self.other_retryable_aborts += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_monotone_and_capped() {
+        let p = RetryPolicy::default();
+        let mut prev = Duration::ZERO;
+        for attempt in 0..40 {
+            let e = p.envelope(attempt);
+            assert!(e >= prev, "envelope must not shrink");
+            assert!(e <= p.cap.max(p.base), "envelope must respect the cap");
+            prev = e;
+        }
+        assert_eq!(p.envelope(39), p.cap, "envelope saturates at the cap");
+    }
+
+    #[test]
+    fn delay_is_deterministic_per_seed_and_salt() {
+        let p = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.delay(3, 7), p.delay(3, 7));
+        // Different salts decorrelate (overwhelmingly likely to differ).
+        assert_ne!(p.delay(3, 7), p.delay(3, 8));
+    }
+}

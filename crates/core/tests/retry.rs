@@ -1,0 +1,210 @@
+//! Retry-layer tests: backoff envelope properties across many seeds, and
+//! the `run_retrying` loop's behaviour against a live database.
+
+use std::cell::Cell;
+use std::time::Duration;
+use xtc_core::{IsolationLevel, RetryPolicy, XtcConfig, XtcDb, XtcError};
+
+fn db() -> XtcDb {
+    XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: Duration::from_secs(5),
+        ..XtcConfig::default()
+    })
+}
+
+/// An instant policy: real attempt accounting, no wall-clock sleeping.
+fn instant_policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base: Duration::ZERO,
+        cap: Duration::ZERO,
+        ..RetryPolicy::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff properties. Exhaustive seed loops instead of `proptest!` so the
+// property holds verifiably for every sampled seed, deterministically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn backoff_is_monotonically_bounded_by_cap_for_any_seed() {
+    for seed in 0..200u64 {
+        let p = RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        };
+        let mut prev = Duration::ZERO;
+        for attempt in 0..24 {
+            let e = p.envelope(attempt);
+            assert!(e >= prev, "seed {seed}: envelope shrank at {attempt}");
+            assert!(e <= p.cap, "seed {seed}: envelope exceeds cap at {attempt}");
+            prev = e;
+        }
+        assert_eq!(p.envelope(63), p.cap, "seed {seed}: envelope must saturate");
+    }
+}
+
+#[test]
+fn jitter_stays_within_base_and_cap_for_any_seed() {
+    for seed in 0..100u64 {
+        let p = RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        };
+        for salt in 0..8u64 {
+            for attempt in 0..16 {
+                let d = p.delay(attempt, salt);
+                assert!(
+                    d >= p.base,
+                    "seed {seed} salt {salt} attempt {attempt}: {d:?} below base"
+                );
+                assert!(
+                    d <= p.cap,
+                    "seed {seed} salt {salt} attempt {attempt}: {d:?} above cap"
+                );
+                assert!(
+                    d <= p.envelope(attempt),
+                    "seed {seed} salt {salt} attempt {attempt}: {d:?} above envelope"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_policies_do_not_panic_or_escape_bounds() {
+    // cap < base, multiplier < 1, zero everything: delay must stay within
+    // [min(base, cap), max(base, cap)] and never panic.
+    let shapes = [
+        (Duration::from_millis(10), Duration::from_millis(1), 0.5),
+        (Duration::ZERO, Duration::ZERO, 2.0),
+        (Duration::from_millis(3), Duration::from_millis(3), 1.0),
+        (Duration::from_nanos(1), Duration::from_secs(1), 1e9),
+    ];
+    for (base, cap, multiplier) in shapes {
+        for seed in 0..20u64 {
+            let p = RetryPolicy {
+                base,
+                cap,
+                multiplier,
+                seed,
+                ..RetryPolicy::default()
+            };
+            for attempt in 0..10 {
+                let d = p.delay(attempt, seed);
+                assert!(d >= base.min(cap) && d <= base.max(cap), "{d:?}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run_retrying behaviour.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn first_try_commit_makes_one_attempt() {
+    let db = db();
+    db.load_xml("<bib><topics/></bib>").unwrap();
+    let (res, stats) = db.run_retrying(&instant_policy(5), |txn| {
+        let root = txn.root()?.expect("document root");
+        Ok(txn.name(&root)?.expect("root has a name"))
+    });
+    assert_eq!(res.unwrap(), "bib");
+    assert_eq!(stats.attempts, 1);
+    assert!(!stats.committed_after_retry);
+    assert_eq!(stats.retried(), 0);
+    assert_eq!(stats.backoff_total, Duration::ZERO);
+}
+
+#[test]
+fn retryable_abort_is_retried_until_success() {
+    let db = db();
+    db.load_xml("<bib><topics/></bib>").unwrap();
+    let failures_left = Cell::new(2u32);
+    let (res, stats) = db.run_retrying(&instant_policy(8), |txn| {
+        let root = txn.root()?.expect("document root");
+        txn.name(&root)?;
+        if failures_left.get() > 0 {
+            failures_left.set(failures_left.get() - 1);
+            return Err(XtcError::Busy);
+        }
+        Ok(42)
+    });
+    assert_eq!(res.unwrap(), 42);
+    assert_eq!(stats.attempts, 3);
+    assert!(stats.committed_after_retry);
+    assert_eq!(stats.other_retryable_aborts, 2);
+    assert_eq!(db.lock_table().granted_count(), 0, "aborts released locks");
+}
+
+#[test]
+fn attempts_are_bounded_and_last_error_returned() {
+    let db = db();
+    db.load_xml("<bib/>").unwrap();
+    let (res, stats) = db.run_retrying(&instant_policy(3), |_txn| {
+        Err::<(), _>(XtcError::Busy)
+    });
+    assert_eq!(res.unwrap_err(), XtcError::Busy);
+    assert_eq!(stats.attempts, 3);
+    assert_eq!(stats.other_retryable_aborts, 2, "last abort is not retried");
+}
+
+#[test]
+fn non_retryable_error_fails_immediately() {
+    let db = db();
+    db.load_xml("<bib/>").unwrap();
+    let (res, stats) = db.run_retrying(&instant_policy(8), |_txn| {
+        Err::<(), _>(XtcError::Finished)
+    });
+    assert_eq!(res.unwrap_err(), XtcError::Finished);
+    assert_eq!(stats.attempts, 1, "non-retryable errors must not retry");
+    assert_eq!(stats.retried(), 0);
+}
+
+#[test]
+fn deadline_budget_stops_retrying_early() {
+    let db = db();
+    db.load_xml("<bib/>").unwrap();
+    // Every backoff would sleep 50ms against a 1ms total budget: the loop
+    // must give up before sleeping rather than blow through the deadline.
+    let policy = RetryPolicy {
+        max_attempts: 100,
+        base: Duration::from_millis(50),
+        cap: Duration::from_millis(50),
+        deadline: Some(Duration::from_millis(1)),
+        ..RetryPolicy::default()
+    };
+    let started = std::time::Instant::now();
+    let (res, stats) = db.run_retrying(&policy, |_txn| Err::<(), _>(XtcError::Busy));
+    assert_eq!(res.unwrap_err(), XtcError::Busy);
+    assert_eq!(stats.attempts, 1);
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "deadline must stop the loop, took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn deadlock_aborts_are_classified_as_deadlocks() {
+    use xtc_core::LockError;
+    let db = db();
+    db.load_xml("<bib/>").unwrap();
+    let first = Cell::new(true);
+    let (res, stats) = db.run_retrying(&instant_policy(4), |_txn| {
+        if first.get() {
+            first.set(false);
+            return Err(XtcError::Lock(LockError::Deadlock { conversion: false }));
+        }
+        Ok(())
+    });
+    assert!(res.is_ok());
+    assert_eq!(stats.deadlock_aborts, 1);
+    assert_eq!(stats.timeout_aborts, 0);
+    assert!(stats.committed_after_retry);
+}

@@ -1,0 +1,260 @@
+//! # xtc-failpoint — deterministic fault injection
+//!
+//! A tiny failpoint facility for chaos-testing the lock manager, the
+//! storage layer, and the transaction coordinator. Call sites name a
+//! *site* (`"lock.acquire"`, `"store.page_read"`, `"btree.split"`,
+//! `"txn.commit"`) and ask [`eval`] whether a fault should fire; tests
+//! arm sites with [`configure`] (probability, action, optional hit
+//! budget) under a global seed set by [`set_seed`].
+//!
+//! Determinism: every site draws from its own [SplitMix64] stream seeded
+//! from the global seed mixed with the site name, so a given
+//! `(seed, call sequence)` always injects the same faults. A `max_hits`
+//! budget makes faults "dry up", which chaos tests use to guarantee that
+//! retried transactions eventually succeed.
+//!
+//! **Zero cost by default**: without the `enabled` cargo feature, [`eval`]
+//! is an inlined `None` and the whole registry is compiled out. Nothing
+//! in production builds pays for this module.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Inject latency: the call site sleeps for the given duration.
+    Delay(Duration),
+    /// Inject an error: the call site returns its injected-fault error.
+    Error,
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// SplitMix64: tiny, fast, and statistically fine for fault dice.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn mix_site(seed: u64, site: &str) -> u64 {
+        // FNV-1a over the site name, folded into the global seed.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in site.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        seed ^ h
+    }
+
+    struct Site {
+        probability: f64,
+        action: FailAction,
+        /// Remaining injections before the site goes quiet (`None` =
+        /// unlimited).
+        remaining: Option<u64>,
+        rng: u64,
+        hits: u64,
+    }
+
+    struct Registry {
+        seed: u64,
+        sites: HashMap<String, Site>,
+    }
+
+    static SEED: AtomicU64 = AtomicU64::new(0);
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REG: std::sync::OnceLock<Mutex<Registry>> = std::sync::OnceLock::new();
+        REG.get_or_init(|| {
+            Mutex::new(Registry {
+                seed: 0,
+                sites: HashMap::new(),
+            })
+        })
+    }
+
+    pub fn set_seed(seed: u64) {
+        SEED.store(seed, Ordering::Relaxed);
+        let mut reg = registry().lock().unwrap();
+        reg.seed = seed;
+        // Re-derive the stream of every already-armed site.
+        for (name, site) in reg.sites.iter_mut() {
+            site.rng = mix_site(seed, name);
+        }
+    }
+
+    pub fn configure(site: &str, probability: f64, action: FailAction, max_hits: Option<u64>) {
+        let mut reg = registry().lock().unwrap();
+        let rng = mix_site(reg.seed, site);
+        reg.sites.insert(
+            site.to_string(),
+            Site {
+                probability: probability.clamp(0.0, 1.0),
+                action,
+                remaining: max_hits,
+                rng,
+                hits: 0,
+            },
+        );
+    }
+
+    pub fn clear() {
+        registry().lock().unwrap().sites.clear();
+    }
+
+    pub fn hits(site: &str) -> u64 {
+        registry()
+            .lock()
+            .unwrap()
+            .sites
+            .get(site)
+            .map(|s| s.hits)
+            .unwrap_or(0)
+    }
+
+    pub fn eval(site: &str) -> Option<FailAction> {
+        let mut reg = registry().lock().unwrap();
+        let s = reg.sites.get_mut(site)?;
+        if s.remaining == Some(0) {
+            return None;
+        }
+        // Uniform in [0, 1) from the top 53 bits.
+        let draw = (splitmix64(&mut s.rng) >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= s.probability {
+            return None;
+        }
+        if let Some(r) = s.remaining.as_mut() {
+            *r -= 1;
+        }
+        s.hits += 1;
+        Some(s.action)
+    }
+}
+
+/// Evaluates a failpoint site: `Some(action)` when an armed site fires.
+///
+/// Compiled to an inlined `None` without the `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn eval(site: &str) -> Option<FailAction> {
+    imp::eval(site)
+}
+
+/// Evaluates a failpoint site: `Some(action)` when an armed site fires.
+///
+/// Compiled to an inlined `None` without the `enabled` feature.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn eval(_site: &str) -> Option<FailAction> {
+    None
+}
+
+/// Arms a site: with probability `probability` each [`eval`] returns
+/// `Some(action)`, at most `max_hits` times in total (`None` = no cap).
+///
+/// No-op without the `enabled` feature.
+pub fn configure(site: &str, probability: f64, action: FailAction, max_hits: Option<u64>) {
+    #[cfg(feature = "enabled")]
+    imp::configure(site, probability, action, max_hits);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (site, probability, action, max_hits);
+    }
+}
+
+/// Sets the global seed and re-derives every armed site's random stream.
+///
+/// No-op without the `enabled` feature.
+pub fn set_seed(seed: u64) {
+    #[cfg(feature = "enabled")]
+    imp::set_seed(seed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = seed;
+}
+
+/// Disarms all sites.
+///
+/// No-op without the `enabled` feature.
+pub fn clear() {
+    #[cfg(feature = "enabled")]
+    imp::clear();
+}
+
+/// Number of times the site has fired since it was armed (0 when the
+/// feature is off or the site is unknown).
+pub fn hits(site: &str) -> u64 {
+    #[cfg(feature = "enabled")]
+    return imp::hits(site);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = site;
+        0
+    }
+}
+
+/// Convenience for delay-only sites: sleeps if the site fires with
+/// [`FailAction::Delay`]; returns `true` if the site fired with
+/// [`FailAction::Error`] (callers that have no error path may treat it
+/// as a no-op).
+pub fn fire_delay(site: &str) -> bool {
+    match eval(site) {
+        Some(FailAction::Delay(d)) => {
+            std::thread::sleep(d);
+            false
+        }
+        Some(FailAction::Error) => true,
+        None => false,
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; tests touching the seed must not
+    /// interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn deterministic_per_seed_and_site() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_seed(7);
+        configure("t.site", 0.5, FailAction::Error, None);
+        let run1: Vec<bool> = (0..64).map(|_| eval("t.site").is_some()).collect();
+        set_seed(7);
+        configure("t.site", 0.5, FailAction::Error, None);
+        let run2: Vec<bool> = (0..64).map(|_| eval("t.site").is_some()).collect();
+        assert_eq!(run1, run2);
+        assert!(run1.iter().any(|f| *f));
+        assert!(run1.iter().any(|f| !*f));
+        clear();
+    }
+
+    #[test]
+    fn max_hits_dries_up() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_seed(1);
+        configure("t.budget", 1.0, FailAction::Error, Some(3));
+        let fired = (0..10).filter(|_| eval("t.budget").is_some()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(hits("t.budget"), 3);
+        clear();
+    }
+
+    #[test]
+    fn unarmed_site_never_fires() {
+        assert_eq!(eval("t.nothing"), None);
+    }
+}

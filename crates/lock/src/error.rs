@@ -19,6 +19,9 @@ pub enum LockError {
     /// The lock wait exceeded the configured timeout (safety valve; also
     /// counted as an abort).
     Timeout,
+    /// A failpoint injected this failure (chaos testing only; never
+    /// produced in production builds).
+    Injected,
 }
 
 impl LockError {
@@ -39,6 +42,7 @@ impl fmt::Display for LockError {
             }
             LockError::Aborted => write!(f, "aborted as deadlock victim while waiting"),
             LockError::Timeout => write!(f, "lock wait timed out"),
+            LockError::Injected => write!(f, "failpoint-injected lock failure"),
         }
     }
 }

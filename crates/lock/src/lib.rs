@@ -32,5 +32,7 @@ mod txn;
 pub use error::LockError;
 pub use meta::{clamp_to_depth, DocView, LockCtx, MetaOp, Protocol};
 pub use modes::{Annex, Conversion, ModeIdx, ModeTable};
-pub use table::{Acquired, DeadlockStats, EdgeKind, FamilyId, LockName, LockTable, LockTarget};
+pub use table::{
+    Acquired, DeadlockStats, EdgeKind, FamilyId, LockName, LockTable, LockTarget, VictimPolicy,
+};
 pub use txn::{IsolationLevel, LockClass, TxnId, TxnRegistry};

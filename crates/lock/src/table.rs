@@ -73,6 +73,36 @@ pub enum Acquired {
     },
 }
 
+/// How the deadlock detector picks the cycle member to abort.
+///
+/// The paper's XTC uses "youngest dies" (transaction ids are begin
+/// timestamps). The alternatives trade rollback cost against starvation
+/// behaviour and are exposed for the robustness experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Abort the most recently started cycle member (largest [`TxnId`]).
+    /// Cheap rollbacks, no starvation of old transactions.
+    #[default]
+    Youngest,
+    /// Abort the member holding the fewest locks — approximates the
+    /// smallest amount of work undone. Ties break youngest-first.
+    FewestLocks,
+    /// Abort the member the most other transactions are waiting on —
+    /// frees the widest blocked set. Ties break youngest-first.
+    MostWaiters,
+}
+
+impl VictimPolicy {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimPolicy::Youngest => "youngest",
+            VictimPolicy::FewestLocks => "fewest-locks",
+            VictimPolicy::MostWaiters => "most-waiters",
+        }
+    }
+}
+
 /// Counters of deadlock events, classified per the paper's TaMix analysis:
 /// "whether it was caused by lock conversion (frequent occurrence) or by
 /// lock requests in separate subtrees (rather rare cases)".
@@ -182,7 +212,11 @@ pub struct LockTable {
     registry: Arc<TxnRegistry>,
     wfg: Mutex<WaitGraph>,
     deadlocks: DeadlockStats,
+    victim_policy: VictimPolicy,
     timeout: Duration,
+    /// Lock escalations performed (transactions switching to shallower
+    /// effective lock depth under held-lock pressure).
+    escalations: AtomicU64,
     /// Total lock requests served (lock-manager overhead metric).
     requests: AtomicU64,
     /// Requests per (family, mode) — the per-mode histogram of §4.1's
@@ -219,10 +253,35 @@ impl LockTable {
             registry,
             wfg: Mutex::new(WaitGraph::default()),
             deadlocks: DeadlockStats::default(),
+            victim_policy: VictimPolicy::default(),
             timeout,
+            escalations: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             mode_requests,
         }
+    }
+
+    /// Sets the deadlock victim policy (builder style; default
+    /// [`VictimPolicy::Youngest`]).
+    pub fn with_victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
+    }
+
+    /// The active deadlock victim policy.
+    pub fn victim_policy(&self) -> VictimPolicy {
+        self.victim_policy
+    }
+
+    /// Records one lock escalation (a transaction crossing its held-lock
+    /// threshold and switching to a shallower effective lock depth).
+    pub fn record_escalation(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lock escalations performed.
+    pub fn escalations(&self) -> u64 {
+        self.escalations.load(Ordering::Relaxed)
     }
 
     /// The mode table of a family.
@@ -280,6 +339,11 @@ impl LockTable {
         annex_done: bool,
     ) -> Result<Acquired, LockError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        match xtc_failpoint::eval("lock.acquire") {
+            Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
+            Some(xtc_failpoint::FailAction::Error) => return Err(LockError::Injected),
+            None => {}
+        }
         if let Some(fam) = self.mode_requests.get(name.family as usize) {
             if let Some(ctr) = fam.get(mode as usize) {
                 ctr.fetch_add(1, Ordering::Relaxed);
@@ -480,9 +544,36 @@ impl LockTable {
         out
     }
 
+    /// Picks the cycle member to abort under the configured
+    /// [`VictimPolicy`]. Every policy is deterministic for a given cycle
+    /// and wait-for graph; ties break towards the youngest member so the
+    /// choice is total.
+    fn choose_victim(&self, cycle: &[TxnId], wfg: &WaitGraph) -> TxnId {
+        match self.victim_policy {
+            VictimPolicy::Youngest => *cycle.iter().max().expect("cycle non-empty"),
+            VictimPolicy::FewestLocks => cycle
+                .iter()
+                .copied()
+                .min_by_key(|t| (self.registry.held_count(*t), std::cmp::Reverse(*t)))
+                .expect("cycle non-empty"),
+            VictimPolicy::MostWaiters => cycle
+                .iter()
+                .copied()
+                .max_by_key(|t| {
+                    let waiters = wfg
+                        .edges
+                        .values()
+                        .filter(|(_, blocked_on)| blocked_on.contains(t))
+                        .count();
+                    (waiters, *t)
+                })
+                .expect("cycle non-empty"),
+        }
+    }
+
     /// Updates this transaction's wait-for edges, looks for a cycle, and
-    /// resolves it by aborting the youngest member. Returns an error when
-    /// this transaction is the victim.
+    /// resolves it by aborting the member chosen by the victim policy.
+    /// Returns an error when this transaction is the victim.
     fn update_graph_and_detect(
         &self,
         txn: TxnId,
@@ -496,7 +587,7 @@ impl LockTable {
             .iter()
             .any(|t| wfg.edges.get(t).map(|(c, _)| *c).unwrap_or(false))
             || converting;
-        let victim = *cycle.iter().max().expect("cycle non-empty");
+        let victim = self.choose_victim(&cycle, &wfg);
         if victim == txn {
             wfg.edges.remove(&txn);
             drop(wfg);

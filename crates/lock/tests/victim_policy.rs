@@ -1,0 +1,155 @@
+//! Victim-policy tests: for a fixed deadlock scenario, each
+//! [`VictimPolicy`] must pick its victim deterministically — and the
+//! three policies must be distinguishable (they do not all collapse to
+//! youngest-victim).
+
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_lock::algebra::{AlgebraMode, Region, SelfAcc};
+use xtc_lock::{
+    LockClass, LockName, LockTable, LockTarget, ModeTable, TxnId, TxnRegistry, VictimPolicy,
+};
+use xtc_splid::SplId;
+
+fn sux() -> Arc<ModeTable> {
+    Arc::new(ModeTable::generate(
+        "sux",
+        &[
+            ("S", AlgebraMode::new(SelfAcc::Read, Region::NONE, Region::NONE)),
+            (
+                "X",
+                AlgebraMode::new(SelfAcc::Excl, Region::NONE, Region::NONE),
+            ),
+        ],
+        &[],
+    ))
+}
+
+fn node(s: &str) -> LockName {
+    LockName {
+        family: 0,
+        target: LockTarget::Node(SplId::parse(s).unwrap()),
+    }
+}
+
+/// The fixed scenario: `a` (older) holds X on `n1`; `b` (younger) holds X
+/// on `n2` **plus three extra nodes** (so `b` is lock-heavier than `a`).
+/// `b` then requests `n1` and blocks; `a` requests `n2`, closing the
+/// cycle. Returns the id of the transaction that died as the victim.
+fn run_two_txn_cycle(policy: VictimPolicy) -> (TxnId, TxnId, TxnId) {
+    let reg = Arc::new(TxnRegistry::new());
+    let t = Arc::new(
+        LockTable::new(vec![sux()], reg.clone(), Duration::from_secs(10))
+            .with_victim_policy(policy),
+    );
+    let (a, b) = (reg.begin(), reg.begin());
+    let x = t.family(0).mode_named("X").unwrap();
+    let (n1, n2) = (node("1.3"), node("1.5"));
+    t.lock(a, &n1, x, LockClass::Long, false).unwrap();
+    t.lock(b, &n2, x, LockClass::Long, false).unwrap();
+    for extra in ["1.7", "1.9", "1.11"] {
+        t.lock(b, &node(extra), x, LockClass::Long, false).unwrap();
+    }
+    let (t2, n1c, reg2) = (t.clone(), n1.clone(), reg.clone());
+    let h = std::thread::spawn(move || {
+        let r = t2.lock(b, &n1c, x, LockClass::Long, false);
+        if r.is_err() {
+            t2.release_all(b);
+            reg2.finish(b);
+        }
+        r
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    let res_a = t.lock(a, &n2, x, LockClass::Long, false);
+    if res_a.is_err() {
+        // Roll the victim back *before* joining, so the survivor's
+        // blocked request can be granted.
+        t.release_all(a);
+        reg.finish(a);
+    }
+    let res_b = h.join().unwrap();
+    let victim = match (&res_a, &res_b) {
+        (Err(e), Ok(_)) => {
+            assert!(e.is_deadlock(), "{e:?}");
+            a
+        }
+        (Ok(_), Err(e)) => {
+            assert!(e.is_deadlock(), "{e:?}");
+            b
+        }
+        other => panic!("exactly one victim expected, got {other:?}"),
+    };
+    assert_eq!(t.deadlocks().total(), 1);
+    (a, b, victim)
+}
+
+#[test]
+fn youngest_policy_deterministically_kills_the_younger() {
+    // Repeated runs of the same scenario must always pick the same
+    // victim: the younger b, even though b holds more locks.
+    for _ in 0..3 {
+        let (_a, b, victim) = run_two_txn_cycle(VictimPolicy::Youngest);
+        assert_eq!(victim, b, "youngest policy must kill b");
+    }
+}
+
+#[test]
+fn fewest_locks_policy_deterministically_kills_the_lightest() {
+    // Same scenario, different policy, different victim: a holds one lock
+    // against b's four, so FewestLocks must kill a despite a being older.
+    for _ in 0..3 {
+        let (a, _b, victim) = run_two_txn_cycle(VictimPolicy::FewestLocks);
+        assert_eq!(victim, a, "fewest-locks policy must kill a");
+    }
+}
+
+#[test]
+fn most_waiters_policy_deterministically_kills_the_most_blocking() {
+    // Three transactions: c (outside the cycle) also waits on a's lock,
+    // so a blocks two transactions while b blocks one. MostWaiters must
+    // kill a; Youngest would have killed b.
+    for _ in 0..3 {
+        let reg = Arc::new(TxnRegistry::new());
+        let t = Arc::new(
+            LockTable::new(vec![sux()], reg.clone(), Duration::from_secs(10))
+                .with_victim_policy(VictimPolicy::MostWaiters),
+        );
+        let (a, b, c) = (reg.begin(), reg.begin(), reg.begin());
+        let x = t.family(0).mode_named("X").unwrap();
+        let (n1, n2) = (node("1.3"), node("1.5"));
+        t.lock(a, &n1, x, LockClass::Long, false).unwrap();
+        t.lock(b, &n2, x, LockClass::Long, false).unwrap();
+        // c queues behind a on n1 — an innocent bystander edge c -> a.
+        let (tc, n1c) = (t.clone(), n1.clone());
+        let hc = std::thread::spawn(move || tc.lock(c, &n1c, x, LockClass::Long, false));
+        std::thread::sleep(Duration::from_millis(60));
+        // b queues behind a on n1 too: edge b -> a, still no cycle.
+        let (tb, n1b, regb) = (t.clone(), n1.clone(), reg.clone());
+        let hb = std::thread::spawn(move || {
+            let r = tb.lock(b, &n1b, x, LockClass::Long, false);
+            if r.is_err() {
+                tb.release_all(b);
+                regb.finish(b);
+            }
+            r
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        // a requests n2: cycle a <-> b with waiters(a) = {b, c},
+        // waiters(b) = {a}.
+        let res_a = t.lock(a, &n2, x, LockClass::Long, false);
+        let err = res_a.expect_err("a blocks two transactions and must die");
+        assert!(err.is_deadlock(), "{err:?}");
+        t.release_all(a);
+        reg.finish(a);
+        // With a gone, the queue on n1 drains in FIFO order: c first,
+        // then b after c releases.
+        hc.join().unwrap().expect("c acquires n1 after the victim dies");
+        t.release_all(c);
+        reg.finish(c);
+        hb.join().unwrap().expect("b acquires n1 after c releases");
+        t.release_all(b);
+        reg.finish(b);
+        assert_eq!(t.deadlocks().total(), 1);
+        assert_eq!(t.granted_count(), 0);
+    }
+}

@@ -490,6 +490,10 @@ fn rebuild_or_split(
     old: Option<Vec<u8>>,
     append: bool,
 ) -> InsertOutcome {
+    // Chaos-test hook: stretches the window in which a page split holds
+    // the tree latch. Splits sit below the undo-log granularity, so only
+    // `Delay` injects here; an injected error could not be rolled back.
+    xtc_failpoint::fire_delay("btree.split");
     let page_size = g.pool.page_size();
     let next = page::link(g.pool.read(cur));
     let prev = page::prev_link(g.pool.read(cur));

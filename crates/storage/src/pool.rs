@@ -135,6 +135,9 @@ impl PagePool {
     /// simulated latency).
     pub fn read(&self, id: PageId) -> &[u8] {
         self.stats.count_read();
+        // Chaos-test hook: page reads have no error path, so an armed
+        // `Error` action degrades to a no-op and only `Delay` injects.
+        xtc_failpoint::fire_delay("store.page_read");
         if !self.read_latency.is_zero() {
             let until = std::time::Instant::now() + self.read_latency;
             while std::time::Instant::now() < until {

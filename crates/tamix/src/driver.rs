@@ -2,14 +2,16 @@
 //! paper's think times, running CLUSTER1 and CLUSTER2 (§4.3).
 
 use crate::bib::{self, BibConfig};
-use crate::metrics::{RunReport, TxnOutcome, TypeStats};
-use crate::txns::{run_txn, Pacing, TxnKind};
+use crate::metrics::{RetryTotals, RunReport, TxnOutcome, TypeStats};
+use crate::txns::{run_txn, run_txn_body, Pacing, TxnKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xtc_core::{IsolationLevel, XtcConfig, XtcDb, XtcError};
+use xtc_core::{
+    IsolationLevel, LockError, RetryPolicy, VictimPolicy, XtcConfig, XtcDb, XtcError,
+};
 
 /// Parameters of a TaMix run. The defaults are the paper's CLUSTER1
 /// setting scaled down 50× in time (see DESIGN.md substitutions): the
@@ -40,6 +42,16 @@ pub struct TamixParams {
     pub lock_timeout: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Retry policy: when set, aborted transactions are retried with
+    /// backoff instead of counting one abort and moving on (the paper's
+    /// clients simply restart; this makes the restart loop explicit).
+    pub retry: Option<RetryPolicy>,
+    /// Deadlock victim selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Lock escalation threshold (held locks), `None` = disabled.
+    pub escalation_threshold: Option<usize>,
+    /// Effective lock depth after escalation.
+    pub escalated_depth: u32,
 }
 
 impl TamixParams {
@@ -63,6 +75,10 @@ impl TamixParams {
             initial_wait_max: Duration::from_millis(100),
             lock_timeout: Duration::from_secs(5),
             seed: 42,
+            retry: None,
+            victim_policy: VictimPolicy::Youngest,
+            escalation_threshold: None,
+            escalated_depth: 1,
         }
     }
 
@@ -90,9 +106,24 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
         isolation: params.isolation,
         lock_depth: params.lock_depth,
         lock_timeout: params.lock_timeout,
+        victim_policy: params.victim_policy,
+        escalation_threshold: params.escalation_threshold,
+        escalated_depth: params.escalated_depth,
         ..XtcConfig::default()
     }));
     bib::generate_into(&db, bib_cfg);
+    run_cluster1_on(&db, params, bib_cfg)
+}
+
+/// Runs CLUSTER1 against an existing, already-populated database. The
+/// caller keeps the handle, so it can check document invariants after
+/// the run — the chaos tests rely on this.
+///
+/// The database's protocol/isolation/victim-policy configuration wins
+/// over the corresponding `params` fields (those only matter when
+/// [`run_cluster1`] builds the database itself); `params` still drives
+/// the mix, pacing, duration, and retry policy.
+pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
     let reads_before = db.store().stats().page_reads();
 
     let deadline = Instant::now() + params.duration;
@@ -114,9 +145,11 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
         }
     }
     let mut per_type: BTreeMap<&'static str, TypeStats> = BTreeMap::new();
+    let mut retries = RetryTotals::default();
     for h in handles {
-        let (kind, stats) = h.join().expect("slot thread panicked");
+        let (kind, stats, slot_retries) = h.join().expect("slot thread panicked");
         per_type.entry(kind.name()).or_default().merge(&stats);
+        retries.merge(&slot_retries);
     }
     let elapsed = start.elapsed();
     let dl = db.lock_table().deadlocks();
@@ -130,6 +163,19 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
         conversion_deadlocks: dl.conversion_caused(),
         lock_requests: db.lock_table().requests(),
         page_reads: db.store().stats().page_reads() - reads_before,
+        escalations: db.lock_table().escalations(),
+        retries,
+    }
+}
+
+/// Maps an abort error to its outcome class.
+fn classify_abort(e: &XtcError) -> TxnOutcome {
+    if e.is_deadlock() {
+        TxnOutcome::AbortedDeadlock
+    } else if matches!(e, XtcError::Lock(LockError::Timeout)) {
+        TxnOutcome::AbortedTimeout
+    } else {
+        TxnOutcome::AbortedOther
     }
 }
 
@@ -142,9 +188,16 @@ fn slot_loop(
     params: &TamixParams,
     seed: u64,
     deadline: Instant,
-) -> (TxnKind, TypeStats) {
+) -> (TxnKind, TypeStats, RetryTotals) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut stats = TypeStats::default();
+    let mut retries = RetryTotals::default();
+    // Each slot jitters from its own seed so concurrent retry loops do
+    // not back off in lockstep.
+    let retry_policy = params.retry.clone().map(|p| RetryPolicy {
+        seed: p.seed.wrapping_add(seed),
+        ..p
+    });
     let pacing = Pacing {
         wait_after_operation: params.wait_after_operation,
     };
@@ -154,12 +207,20 @@ fn slot_loop(
     }
     while Instant::now() < deadline {
         let started = Instant::now();
-        let outcome = match run_txn(db, kind, cfg, &mut rng, pacing) {
+        let result = match &retry_policy {
+            Some(policy) => {
+                let (res, run_stats) = db.run_retrying(policy, |txn| {
+                    run_txn_body(txn, kind, cfg, &mut rng, pacing)
+                });
+                retries.record(&run_stats);
+                res
+            }
+            None => run_txn(db, kind, cfg, &mut rng, pacing),
+        };
+        let outcome = match result {
             Ok(true) => TxnOutcome::Committed,
             Ok(false) => TxnOutcome::Empty,
-            Err(e) if e.is_deadlock() => TxnOutcome::AbortedDeadlock,
-            Err(XtcError::Node(_)) => TxnOutcome::AbortedOther,
-            Err(_) => TxnOutcome::AbortedOther,
+            Err(e) => classify_abort(&e),
         };
         stats.record(outcome, started.elapsed());
         std::thread::sleep(
@@ -168,7 +229,7 @@ fn slot_loop(
                 .min(deadline.saturating_duration_since(Instant::now())),
         );
     }
-    (kind, stats)
+    (kind, stats, retries)
 }
 
 /// Report of a CLUSTER2 run: "a single execution of TAdelBook in
@@ -210,6 +271,7 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
                 read_latency: CLUSTER2_READ_LATENCY,
                 ..xtc_node::DocStoreConfig::default()
             },
+            ..XtcConfig::default()
         });
         bib::generate_into(&db, bib_cfg);
         let mut rng = SmallRng::seed_from_u64(1000 + rep as u64);

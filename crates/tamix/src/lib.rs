@@ -23,6 +23,6 @@ pub mod metrics;
 pub mod txns;
 
 pub use bib::BibConfig;
-pub use driver::{run_cluster1, run_cluster2, Cluster2Report, TamixParams};
-pub use metrics::{RunReport, TxnOutcome, TypeStats};
+pub use driver::{run_cluster1, run_cluster1_on, run_cluster2, Cluster2Report, TamixParams};
+pub use metrics::{RetryTotals, RunReport, TxnOutcome, TypeStats};
 pub use txns::TxnKind;

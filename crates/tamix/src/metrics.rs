@@ -17,7 +17,12 @@ pub enum TxnOutcome {
     Empty,
     /// Aborted as a deadlock victim.
     AbortedDeadlock,
-    /// Aborted for another reason (timeout, plan races, logical error).
+    /// Aborted because a lock wait hit the timeout safety valve. Kept
+    /// apart from deadlocks: a timeout spike signals lock-table
+    /// congestion, not cyclic conflict.
+    AbortedTimeout,
+    /// Aborted for another reason (plan races, logical error, injected
+    /// fault).
     AbortedOther,
 }
 
@@ -30,12 +35,15 @@ pub struct TypeStats {
     pub empty: u64,
     /// Deadlock-victim aborts.
     pub aborted_deadlock: u64,
+    /// Lock-wait-timeout aborts.
+    pub aborted_timeout: u64,
     /// Other aborts.
     pub aborted_other: u64,
     /// Total duration of committed transactions (µs).
     total_us: u128,
-    /// Minimum duration (µs) of a committed transaction.
-    min_us: u128,
+    /// Minimum duration (µs) of a committed transaction; `None` until
+    /// the first commit (0 µs is a valid minimum, not a sentinel).
+    min_us: Option<u128>,
     /// Maximum duration (µs).
     max_us: u128,
 }
@@ -52,20 +60,20 @@ impl TypeStats {
                 let us = duration.as_micros();
                 self.total_us += us;
                 self.max_us = self.max_us.max(us);
-                self.min_us = if self.min_us == 0 {
-                    us
-                } else {
-                    self.min_us.min(us)
-                };
+                self.min_us = Some(match self.min_us {
+                    Some(m) => m.min(us),
+                    None => us,
+                });
             }
             TxnOutcome::AbortedDeadlock => self.aborted_deadlock += 1,
+            TxnOutcome::AbortedTimeout => self.aborted_timeout += 1,
             TxnOutcome::AbortedOther => self.aborted_other += 1,
         }
     }
 
     /// All aborts.
     pub fn aborted(&self) -> u64 {
-        self.aborted_deadlock + self.aborted_other
+        self.aborted_deadlock + self.aborted_timeout + self.aborted_other
     }
 
     /// Average committed-transaction duration.
@@ -76,9 +84,9 @@ impl TypeStats {
         Duration::from_micros((self.total_us / self.committed as u128) as u64)
     }
 
-    /// Minimum committed-transaction duration.
+    /// Minimum committed-transaction duration (zero before any commit).
     pub fn min(&self) -> Duration {
-        Duration::from_micros(self.min_us as u64)
+        Duration::from_micros(self.min_us.unwrap_or(0) as u64)
     }
 
     /// Maximum committed-transaction duration.
@@ -91,13 +99,58 @@ impl TypeStats {
         self.committed += other.committed;
         self.empty += other.empty;
         self.aborted_deadlock += other.aborted_deadlock;
+        self.aborted_timeout += other.aborted_timeout;
         self.aborted_other += other.aborted_other;
         self.total_us += other.total_us;
         self.max_us = self.max_us.max(other.max_us);
         self.min_us = match (self.min_us, other.min_us) {
-            (0, m) | (m, 0) => m,
-            (a, b) => a.min(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         };
+    }
+}
+
+/// Aggregated retry-layer statistics of a run (all slots merged). Zero
+/// everywhere when the run did not use a retry policy.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RetryTotals {
+    /// `run_retrying` invocations.
+    pub runs: u64,
+    /// Transaction attempts across all invocations.
+    pub attempts: u64,
+    /// Deadlock-victim aborts absorbed by retry.
+    pub deadlock_aborts: u64,
+    /// Timeout aborts absorbed by retry.
+    pub timeout_aborts: u64,
+    /// Other retryable aborts absorbed by retry.
+    pub other_retryable_aborts: u64,
+    /// Total backoff sleep across all slots.
+    pub backoff_total: Duration,
+    /// Invocations that committed on attempt 2 or later.
+    pub committed_after_retry: u64,
+}
+
+impl RetryTotals {
+    /// Folds one `run_retrying` result into the totals.
+    pub fn record(&mut self, stats: &xtc_core::RetryStats) {
+        self.runs += 1;
+        self.attempts += stats.attempts as u64;
+        self.deadlock_aborts += stats.deadlock_aborts as u64;
+        self.timeout_aborts += stats.timeout_aborts as u64;
+        self.other_retryable_aborts += stats.other_retryable_aborts as u64;
+        self.backoff_total += stats.backoff_total;
+        self.committed_after_retry += stats.committed_after_retry as u64;
+    }
+
+    /// Merges another accumulator (per-thread → global).
+    pub fn merge(&mut self, other: &RetryTotals) {
+        self.runs += other.runs;
+        self.attempts += other.attempts;
+        self.deadlock_aborts += other.deadlock_aborts;
+        self.timeout_aborts += other.timeout_aborts;
+        self.other_retryable_aborts += other.other_retryable_aborts;
+        self.backoff_total += other.backoff_total;
+        self.committed_after_retry += other.committed_after_retry;
     }
 }
 
@@ -122,6 +175,10 @@ pub struct RunReport {
     pub lock_requests: u64,
     /// Logical page reads during the run.
     pub page_reads: u64,
+    /// Lock escalations (transactions switching to coarser locks).
+    pub escalations: u64,
+    /// Retry-layer totals (zero without a retry policy).
+    pub retries: RetryTotals,
 }
 
 impl RunReport {
@@ -172,12 +229,58 @@ mod tests {
         let mut b = TypeStats::default();
         b.record(TxnOutcome::Empty, Duration::from_millis(2));
         b.record(TxnOutcome::AbortedOther, Duration::ZERO);
+        b.record(TxnOutcome::AbortedTimeout, Duration::ZERO);
         b.merge(&a);
         assert_eq!(b.committed, 3);
         assert_eq!(b.empty, 1);
         assert_eq!(b.aborted_deadlock, 1);
+        assert_eq!(b.aborted_timeout, 1);
         assert_eq!(b.aborted_other, 1);
+        assert_eq!(b.aborted(), 3);
         assert_eq!(b.min(), Duration::from_millis(2));
         assert_eq!(b.max(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn zero_duration_commit_is_a_valid_minimum() {
+        // A sub-microsecond commit truncates to 0 µs; the old code used
+        // 0 as "unset" and would overwrite it with a later, longer run.
+        let mut s = TypeStats::default();
+        s.record(TxnOutcome::Committed, Duration::ZERO);
+        s.record(TxnOutcome::Committed, Duration::from_millis(10));
+        assert_eq!(s.min(), Duration::ZERO);
+
+        // Merging preserves the zero minimum in either direction.
+        let mut empty = TypeStats::default();
+        empty.merge(&s);
+        assert_eq!(empty.min(), Duration::ZERO);
+        let mut slow = TypeStats::default();
+        slow.record(TxnOutcome::Committed, Duration::from_millis(5));
+        slow.merge(&s);
+        assert_eq!(slow.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_totals_record_and_merge() {
+        let mut a = RetryTotals::default();
+        a.record(&xtc_core::RetryStats {
+            attempts: 3,
+            deadlock_aborts: 2,
+            timeout_aborts: 0,
+            other_retryable_aborts: 0,
+            backoff_total: Duration::from_millis(4),
+            committed_after_retry: true,
+        });
+        let mut b = RetryTotals::default();
+        b.record(&xtc_core::RetryStats {
+            attempts: 1,
+            ..Default::default()
+        });
+        b.merge(&a);
+        assert_eq!(b.runs, 2);
+        assert_eq!(b.attempts, 4);
+        assert_eq!(b.deadlock_aborts, 2);
+        assert_eq!(b.committed_after_retry, 1);
+        assert_eq!(b.backoff_total, Duration::from_millis(4));
     }
 }

@@ -81,14 +81,7 @@ pub fn run_txn(
     pacing: Pacing,
 ) -> Result<bool, XtcError> {
     let txn = db.begin();
-    let result = match kind {
-        TxnKind::QueryBook => ta_query_book(&txn, cfg, rng, pacing),
-        TxnKind::Chapter => ta_chapter(&txn, cfg, rng, pacing),
-        TxnKind::DelBook => ta_del_book(&txn, cfg, rng, pacing),
-        TxnKind::LendAndReturn => ta_lend_and_return(&txn, cfg, rng, pacing),
-        TxnKind::RenameTopic => ta_rename_topic(&txn, cfg, rng, pacing),
-    };
-    match result {
+    match run_txn_body(&txn, kind, cfg, rng, pacing) {
         Ok(did_work) => {
             txn.commit()?;
             Ok(did_work)
@@ -97,6 +90,26 @@ pub fn run_txn(
             txn.abort();
             Err(e)
         }
+    }
+}
+
+/// Runs the body of one transaction of the given kind inside an
+/// already-begun transaction; commit/abort is the caller's job. This is
+/// the restartable unit [`XtcDb::run_retrying`] re-executes — each retry
+/// sees a fresh transaction and a fresh random target draw.
+pub fn run_txn_body(
+    txn: &Transaction<'_>,
+    kind: TxnKind,
+    cfg: &BibConfig,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> Result<bool, XtcError> {
+    match kind {
+        TxnKind::QueryBook => ta_query_book(txn, cfg, rng, pacing),
+        TxnKind::Chapter => ta_chapter(txn, cfg, rng, pacing),
+        TxnKind::DelBook => ta_del_book(txn, cfg, rng, pacing),
+        TxnKind::LendAndReturn => ta_lend_and_return(txn, cfg, rng, pacing),
+        TxnKind::RenameTopic => ta_rename_topic(txn, cfg, rng, pacing),
     }
 }
 

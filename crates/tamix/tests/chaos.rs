@@ -1,0 +1,212 @@
+//! Chaos test: a scaled-down TaMix CLUSTER1 run under injected faults,
+//! for every protocol in the contest. Only compiled with the
+//! `failpoints` feature (`cargo test -p xtc-tamix --features failpoints`).
+//!
+//! Asserts the three fault-tolerance guarantees:
+//! 1. **No hangs** — a watchdog bounds each protocol's run.
+//! 2. **No lost updates** — the document's structural invariants hold
+//!    after the storm (aborted transactions left no partial writes).
+//! 3. **Retried victims eventually commit** — fault budgets (`max_hits`)
+//!    dry up, so the retry loop converges and work still commits.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+use xtc_core::{IsolationLevel, RetryPolicy, XtcConfig, XtcDb};
+use xtc_failpoint::FailAction;
+use xtc_protocols::ALL_PROTOCOLS;
+use xtc_tamix::txns::TxnKind;
+use xtc_tamix::{bib, run_cluster1_on, BibConfig, RunReport, TamixParams};
+
+/// Per-protocol watchdog: generous because 11 protocols share the
+/// machine with whatever else the test host runs.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// The failpoint registry is process-global; tests arming it must not
+/// overlap (`cargo test` runs `#[test]` functions on multiple threads).
+static STORM_LOCK: Mutex<()> = Mutex::new(());
+
+/// The same invariants `tests/end_to_end.rs` checks after a clean run:
+/// topics neither vanish nor multiply, books keep their five children,
+/// lends name a person, and no lock leaked.
+fn assert_document_consistent(db: &XtcDb, cfg: &BibConfig, proto: &str) {
+    let store = db.store();
+    let topics = store.elements_named("topic").len() + store.elements_named("subject").len();
+    assert_eq!(topics, cfg.topics, "{proto}: topics vanished or multiplied");
+    let mut books_seen = 0;
+    for t in 0..cfg.topics {
+        let topic = store
+            .element_by_id(&format!("t{t}"))
+            .unwrap_or_else(|| panic!("{proto}: topic t{t} unresolvable"));
+        for book in store.element_children(&topic) {
+            books_seen += 1;
+            let names: Vec<String> = store
+                .element_children(&book)
+                .iter()
+                .map(|c| store.name_of(c).unwrap())
+                .collect();
+            assert_eq!(
+                names,
+                ["title", "author", "price", "chapters", "history"],
+                "{proto}: book structure broken"
+            );
+            let history = store.element_children(&book).pop().unwrap();
+            for lend in store.element_children(&history) {
+                assert_eq!(store.name_of(&lend).as_deref(), Some("lend"), "{proto}");
+                assert!(
+                    store.attribute_value(&lend, "person").is_some(),
+                    "{proto}: lend lost its person attribute"
+                );
+            }
+        }
+    }
+    assert_eq!(books_seen, store.elements_named("book").len(), "{proto}");
+    assert_eq!(db.lock_table().granted_count(), 0, "{proto}: lock leaked");
+}
+
+/// Arms every failpoint site with a finite budget. Budgets guarantee the
+/// storm passes: once they are exhausted the system must converge.
+fn arm_failpoints(seed: u64) {
+    xtc_failpoint::clear();
+    xtc_failpoint::set_seed(seed);
+    xtc_failpoint::configure("lock.acquire", 0.02, FailAction::Error, Some(40));
+    xtc_failpoint::configure(
+        "store.page_read",
+        0.01,
+        FailAction::Delay(Duration::from_millis(1)),
+        Some(50),
+    );
+    xtc_failpoint::configure(
+        "btree.split",
+        0.05,
+        FailAction::Delay(Duration::from_millis(1)),
+        Some(20),
+    );
+    xtc_failpoint::configure("txn.commit", 0.05, FailAction::Error, Some(10));
+}
+
+fn chaos_run(proto: &str) -> (RunReport, u64) {
+    let mut params = TamixParams::cluster1(proto, IsolationLevel::Repeatable, 4);
+    params.clients = 1;
+    params.mix = vec![
+        (TxnKind::QueryBook, 3),
+        (TxnKind::Chapter, 2),
+        (TxnKind::RenameTopic, 1),
+        (TxnKind::LendAndReturn, 3),
+    ];
+    params.duration = Duration::from_millis(1200);
+    params.wait_after_commit = Duration::from_millis(2);
+    params.wait_after_operation = Duration::ZERO;
+    params.initial_wait_max = Duration::from_millis(5);
+    params.retry = Some(RetryPolicy {
+        max_attempts: 6,
+        base: Duration::from_micros(200),
+        cap: Duration::from_millis(8),
+        ..RetryPolicy::default()
+    });
+    params.escalation_threshold = Some(200);
+
+    let cfg = BibConfig::tiny();
+    let db = Arc::new(XtcDb::new(XtcConfig {
+        protocol: params.protocol.clone(),
+        isolation: params.isolation,
+        lock_depth: params.lock_depth,
+        lock_timeout: params.lock_timeout,
+        victim_policy: params.victim_policy,
+        escalation_threshold: params.escalation_threshold,
+        escalated_depth: params.escalated_depth,
+        ..XtcConfig::default()
+    }));
+    // Generate the document *before* arming the failpoints: the storm is
+    // aimed at the workload, not at setup.
+    bib::generate_into(&db, &cfg);
+    arm_failpoints(0xC0FFEE ^ proto.len() as u64);
+
+    let report = run_cluster1_on(&db, &params, &cfg);
+
+    let injected = xtc_failpoint::hits("lock.acquire")
+        + xtc_failpoint::hits("store.page_read")
+        + xtc_failpoint::hits("btree.split")
+        + xtc_failpoint::hits("txn.commit");
+    xtc_failpoint::clear();
+    assert_document_consistent(&db, &cfg, proto);
+    (report, injected)
+}
+
+#[test]
+fn chaos_cluster1_survives_injected_faults_under_every_protocol() {
+    let _storm = STORM_LOCK.lock().unwrap();
+    let mut total_injected = 0u64;
+    let mut any_committed_after_retry = false;
+    for proto in ALL_PROTOCOLS {
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let out = chaos_run(proto);
+            let _ = tx.send(());
+            out
+        });
+        // Guarantee 1: no hangs. If the run wedges, fail loudly instead
+        // of letting the harness time the whole suite out.
+        rx.recv_timeout(WATCHDOG)
+            .unwrap_or_else(|_| panic!("{proto}: chaos run hung past {WATCHDOG:?}"));
+        let (report, injected) = handle.join().expect("chaos run panicked");
+
+        // Guarantee 3: faults dried up and retried work still commits.
+        assert!(
+            report.committed() > 0,
+            "{proto}: nothing committed under fault injection"
+        );
+        assert!(
+            report.retries.runs > 0,
+            "{proto}: retry loop never engaged"
+        );
+        total_injected += injected;
+        any_committed_after_retry |= report.retries.committed_after_retry > 0;
+    }
+    // Across 11 protocols the storm must have actually fired and at least
+    // one aborted transaction must have committed on a retry — otherwise
+    // this test exercises nothing.
+    assert!(total_injected > 0, "no faults were injected at all");
+    assert!(
+        any_committed_after_retry,
+        "no retried transaction ever committed"
+    );
+}
+
+#[test]
+fn injected_lock_failures_are_not_counted_as_deadlocks() {
+    // A focused check on classification: with only the lock.acquire site
+    // armed, aborts surface as retryable-but-not-deadlock.
+    let _storm = STORM_LOCK.lock().unwrap();
+    let proto = "taDOM3+";
+    let cfg = BibConfig::tiny();
+    let db = Arc::new(XtcDb::new(XtcConfig {
+        protocol: proto.to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: Duration::from_secs(5),
+        ..XtcConfig::default()
+    }));
+    bib::generate_into(&db, &cfg);
+
+    xtc_failpoint::clear();
+    xtc_failpoint::set_seed(7);
+    xtc_failpoint::configure("lock.acquire", 1.0, FailAction::Error, Some(1));
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_micros(100),
+        cap: Duration::from_millis(1),
+        ..RetryPolicy::default()
+    };
+    let (res, stats) = db.run_retrying(&policy, |txn| {
+        let root = txn.root()?.expect("root");
+        txn.element_children(&root).map(|_| ())
+    });
+    xtc_failpoint::clear();
+    assert!(res.is_ok(), "after the single fault dries up, work commits");
+    assert_eq!(stats.other_retryable_aborts, 1, "injected ≠ deadlock");
+    assert_eq!(stats.deadlock_aborts, 0);
+    assert!(stats.committed_after_retry);
+    assert_eq!(db.lock_table().granted_count(), 0);
+}
