@@ -1,0 +1,205 @@
+//! Key-compression / storage-occupancy micro-benchmark (§3.1–§3.2).
+//!
+//! Builds the bib document in document order at several SPLID `dist`
+//! settings and reports, per setting, the B*-tree occupancy and the
+//! physically stored key bytes per SPLID — the paper's "storing a SPLID
+//! only consumed 2–3 bytes in the average" claim under the front-coded
+//! leaf format. Optionally replays the update workload of
+//! `tests/storage_occupancy.rs` to show compression surviving churn.
+//!
+//! ```text
+//! occupancy [--bib tiny|scaled|paper] [--dists 2,4,16] [--updates]
+//!           [--json PATH] [--check-max-bytes-per-key F]
+//! ```
+//!
+//! `--json` writes one machine-readable report (committed under
+//! `results/occupancy.json` to track the trajectory); the check flag
+//! exits non-zero when the *first* configured dist exceeds the budget —
+//! the CI regression gate.
+
+use xtc_node::{DocStore, DocStoreConfig, InsertPos};
+use xtc_tamix::bib;
+use xtc_tamix::BibConfig;
+
+struct Cell {
+    dist: u32,
+    phase: &'static str,
+    nodes: usize,
+    occupancy: f64,
+    bytes_per_key: f64,
+    logical_bytes_per_key: f64,
+    stored: usize,
+    logical: usize,
+    leaf_pages: usize,
+}
+
+fn measure(store: &DocStore, dist: u32, phase: &'static str) -> Cell {
+    let rep = store.occupancy();
+    let nodes = store.node_count();
+    Cell {
+        dist,
+        phase,
+        nodes,
+        occupancy: rep.occupancy(),
+        bytes_per_key: rep.stored_bytes_per_key(nodes),
+        logical_bytes_per_key: rep.key_bytes_logical as f64 / nodes.max(1) as f64,
+        stored: rep.key_bytes_stored,
+        logical: rep.key_bytes_logical,
+        leaf_pages: rep.leaf_pages,
+    }
+}
+
+/// The update mix of `tests/storage_occupancy.rs`: delete a third of the
+/// books, re-insert lends, rename topics.
+fn churn(store: &DocStore, cfg: &BibConfig) {
+    for b in (0..cfg.books).step_by(3) {
+        let book = store.element_by_id(&format!("b{b}")).unwrap();
+        store.delete_subtree(&book).unwrap();
+    }
+    for b in (1..cfg.books).step_by(3) {
+        let book = store.element_by_id(&format!("b{b}")).unwrap();
+        let history = store.element_children(&book).pop().unwrap();
+        for i in 0..5 {
+            let lend = store
+                .insert_element(&history, InsertPos::LastChild, "lend")
+                .unwrap();
+            store
+                .set_attribute(&lend, "person", &format!("p{i}"))
+                .unwrap();
+        }
+    }
+    for t in 0..cfg.topics {
+        let topic = store.element_by_id(&format!("t{t}")).unwrap();
+        store.rename_element(&topic, "subject").unwrap();
+    }
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"dist\": {}, \"phase\": \"{}\", \"nodes\": {}, \"occupancy\": {:.4}, \
+         \"stored_bytes_per_key\": {:.3}, \"logical_bytes_per_key\": {:.3}, \
+         \"key_bytes_stored\": {}, \"key_bytes_logical\": {}, \"leaf_pages\": {}}}",
+        c.dist,
+        c.phase,
+        c.nodes,
+        c.occupancy,
+        c.bytes_per_key,
+        c.logical_bytes_per_key,
+        c.stored,
+        c.logical,
+        c.leaf_pages
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut bib_cfg = BibConfig::scaled();
+    let mut bib_name = "scaled".to_string();
+    let mut dists: Vec<u32> = vec![2, 4, 16];
+    let mut updates = false;
+    let mut json_path: Option<String> = None;
+    let mut check_max: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--bib" => {
+                bib_name = val("size");
+                bib_cfg = match bib_name.as_str() {
+                    "tiny" => BibConfig::tiny(),
+                    "scaled" => BibConfig::scaled(),
+                    "paper" => BibConfig::paper(),
+                    other => die(&format!("unknown bib size {other}")),
+                };
+            }
+            "--dists" => {
+                dists = val("list")
+                    .split(',')
+                    .map(|d| d.parse().unwrap_or_else(|_| die("bad dist")))
+                    .collect();
+            }
+            "--updates" => updates = true,
+            "--json" => json_path = Some(val("path")),
+            "--check-max-bytes-per-key" => {
+                check_max = Some(val("number").parse().unwrap_or_else(|_| die("bad number")))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --bib tiny|scaled|paper --dists a,b,c --updates \
+                     --json PATH --check-max-bytes-per-key F"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    if dists.is_empty() {
+        die("--dists must name at least one dist");
+    }
+
+    let mut cells = Vec::new();
+    for &dist in &dists {
+        let store = DocStore::new(DocStoreConfig {
+            dist,
+            ..DocStoreConfig::default()
+        });
+        bib::generate(&store, &bib_cfg);
+        cells.push(measure(&store, dist, "build"));
+        if updates {
+            churn(&store, &bib_cfg);
+            cells.push(measure(&store, dist, "updates"));
+        }
+    }
+
+    println!(
+        "\n== storage occupancy / stored bytes per SPLID ({bib_name} bib, front-coded leaves) =="
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "dist", "phase", "nodes", "occupancy", "B/key", "logical B/key", "saving"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:>8} {:>8} {:>10.3} {:>10.2} {:>12.2} {:>9.1}%",
+            c.dist,
+            c.phase,
+            c.nodes,
+            c.occupancy,
+            c.bytes_per_key,
+            c.logical_bytes_per_key,
+            100.0 * (1.0 - c.stored as f64 / c.logical.max(1) as f64)
+        );
+    }
+
+    if let Some(path) = &json_path {
+        let body = format!(
+            "{{\n  \"benchmark\": \"occupancy\",\n  \"bib\": \"{bib_name}\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+            cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n")
+        );
+        std::fs::write(path, body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("\nwrote {path}");
+    }
+
+    if let Some(max) = check_max {
+        let gate = &cells[0];
+        if gate.bytes_per_key > max {
+            eprintln!(
+                "REGRESSION: dist={} stores {:.2} bytes/key, budget {:.2}",
+                gate.dist, gate.bytes_per_key, max
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check ok: dist={} stores {:.2} bytes/key <= {:.2}",
+            gate.dist, gate.bytes_per_key, max
+        );
+    }
+}

@@ -181,6 +181,19 @@ pub fn encode_divisions(divs: &[u32]) -> Vec<u8> {
     buf
 }
 
+/// Length of the longest common byte prefix of two encoded labels (or any
+/// two byte strings).
+///
+/// Because the encoding is order-preserving and prefix-free, comparing and
+/// front-coding encoded labels stays purely bytewise — storage layers can
+/// strip `common_prefix_len` bytes from consecutive document-order keys
+/// without decoding a single division. Consecutive SPLIDs share everything
+/// but the tail division, which is what makes the paper's §3.2 "2–3 bytes
+/// per stored SPLID" reachable.
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
 /// Exclusive upper bound (in encoded-byte order) for the subtree rooted at
 /// `id`: every proper descendant `d` of `id` satisfies
 /// `encode(id) < encode(d) < subtree_upper_bound(id)`, and every following

@@ -46,6 +46,7 @@ mod label;
 
 pub use alloc::{AllocError, LabelAllocator};
 pub use codec::{
-    decode, encode, encode_divisions, encode_into, subtree_upper_bound, DecodeError,
+    common_prefix_len, decode, encode, encode_divisions, encode_into, subtree_upper_bound,
+    DecodeError,
 };
 pub use label::{Relationship, SplId, SplIdError, ATTRIBUTE_DIVISION};

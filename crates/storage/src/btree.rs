@@ -1,5 +1,6 @@
-//! A B\*-tree over variable-length byte keys with leaf-level prefix
-//! compression and a doubly linked leaf chain.
+//! A B\*-tree over variable-length byte keys with front-coded leaves
+//! (restart-point incremental key compression, see [`crate::page`]) and a
+//! doubly linked leaf chain.
 //!
 //! Keyed on encoded SPLIDs this is the paper's *document index* +
 //! *document container* in one structure (Figure 6a): leaves hold the
@@ -49,8 +50,8 @@ pub struct OccupancyReport {
     pub used_bytes: usize,
     /// Total bytes of live pages.
     pub total_bytes: usize,
-    /// Bytes of key material physically stored in leaves (prefixes +
-    /// suffixes).
+    /// Bytes of key material physically stored in leaves (restart keys +
+    /// front-coded suffixes).
     pub key_bytes_stored: usize,
     /// Bytes the full (uncompressed) keys would occupy.
     pub key_bytes_logical: usize,
@@ -89,7 +90,11 @@ pub struct BTree {
     config: BTreeConfig,
 }
 
-enum InsertOutcome {
+/// Result of a leaf/subtree mutation. Inserts *and deletes* can split a
+/// page: removing an interior slot shifts every later restart position,
+/// and the re-encoded page may exceed capacity when formerly front-coded
+/// keys land on restart points (full keys).
+enum MutOutcome {
     Done(Option<Vec<u8>>),
     Split {
         sep: Vec<u8>,
@@ -108,9 +113,14 @@ impl BTree {
     /// statistics handle.
     pub fn with_config(config: BTreeConfig, stats: StorageStats) -> Self {
         assert!(config.page_size >= 256, "page size too small");
+        assert!(
+            config.max_key <= u8::MAX as usize,
+            "front-coded cells store key lengths in one byte (the paper's \
+             'key length < 128B' B-tree restriction)"
+        );
         let mut pool = PagePool::with_latency(config.page_size, stats.clone(), config.read_latency);
         let root = pool.alloc();
-        page::init_leaf(pool.write(root), &[], NO_PAGE, NO_PAGE);
+        page::init_leaf(pool.write(root), NO_PAGE, NO_PAGE);
         BTree {
             inner: RwLock::new(Inner { pool, root, len: 0 }),
             stats,
@@ -143,7 +153,7 @@ impl BTree {
         let leaf = descend_to_leaf(&g.pool, g.root, key);
         let p = g.pool.read(leaf);
         match page::leaf_search(p, key) {
-            Ok(i) => Some(page::leaf_cell(p, i).1.to_vec()),
+            Ok(i) => Some(page::leaf_val(p, i).to_vec()),
             Err(_) => None,
         }
     }
@@ -169,16 +179,10 @@ impl BTree {
         }
         let mut g = self.inner.write();
         let root = g.root;
-        let outcome = insert_rec(&mut g, root, key, val);
-        let old = match outcome {
-            InsertOutcome::Done(old) => old,
-            InsertOutcome::Split { sep, right, old } => {
-                // Grow a new root.
-                let new_root = g.pool.alloc();
-                let old_root = g.root;
-                page::init_inner(g.pool.write(new_root), old_root);
-                page::inner_insert(g.pool.write(new_root), &sep, right);
-                g.root = new_root;
+        let old = match insert_rec(&mut g, root, key, val) {
+            MutOutcome::Done(old) => old,
+            MutOutcome::Split { sep, right, old } => {
+                grow_root(&mut g, sep, right);
                 old
             }
         };
@@ -192,10 +196,16 @@ impl BTree {
     pub fn remove(&self, key: &[u8]) -> Option<Vec<u8>> {
         let mut g = self.inner.write();
         let root = g.root;
-        let old = delete_rec(&mut g, root, key)?;
+        let old = match delete_rec(&mut g, root, key)? {
+            MutOutcome::Done(old) => old,
+            MutOutcome::Split { sep, right, old } => {
+                grow_root(&mut g, sep, right);
+                old
+            }
+        };
         g.len -= 1;
         collapse_root(&mut g);
-        Some(old)
+        old
     }
 
     /// Smallest entry with key strictly greater than `key`.
@@ -220,14 +230,14 @@ impl BTree {
         };
         if pos > 0 {
             let p = g.pool.read(leaf);
-            return Some((page::leaf_key(p, pos - 1), page::leaf_cell(p, pos - 1).1.to_vec()));
+            return Some((page::leaf_key(p, pos - 1), page::leaf_val(p, pos - 1).to_vec()));
         }
         let mut cur = page::prev_link(p);
         while cur != NO_PAGE {
             let p = g.pool.read(cur);
             let n = page::count(p);
             if n > 0 {
-                return Some((page::leaf_key(p, n - 1), page::leaf_cell(p, n - 1).1.to_vec()));
+                return Some((page::leaf_key(p, n - 1), page::leaf_val(p, n - 1).to_vec()));
             }
             cur = page::prev_link(p);
         }
@@ -258,7 +268,7 @@ impl BTree {
                 if n == 0 {
                     return None; // only the empty root leaf
                 }
-                return Some((page::leaf_key(p, n - 1), page::leaf_cell(p, n - 1).1.to_vec()));
+                return Some((page::leaf_key(p, n - 1), page::leaf_val(p, n - 1).to_vec()));
             }
             let n = page::count(p);
             cur = if n == 0 {
@@ -299,16 +309,16 @@ impl BTree {
         let mut cur = leaf;
         loop {
             let p = g.pool.read(cur);
-            let n = page::count(p);
-            while pos < n {
-                let k = page::leaf_key(p, pos);
-                if k.as_slice() >= hi_excl {
-                    return;
+            let mut done = false;
+            page::leaf_for_each_from(p, pos, |_, k, v| {
+                if k >= hi_excl || !f(k, v) {
+                    done = true;
+                    return false;
                 }
-                if !f(&k, page::leaf_cell(p, pos).1) {
-                    return;
-                }
-                pos += 1;
+                true
+            });
+            if done {
+                return;
             }
             cur = page::link(p);
             if cur == NO_PAGE {
@@ -334,9 +344,17 @@ impl BTree {
         let mut removed = 0;
         for k in &keys {
             let root = g.root;
-            if delete_rec(&mut g, root, k).is_some() {
-                g.len -= 1;
-                removed += 1;
+            match delete_rec(&mut g, root, k) {
+                None => {}
+                Some(MutOutcome::Done(_)) => {
+                    g.len -= 1;
+                    removed += 1;
+                }
+                Some(MutOutcome::Split { sep, right, .. }) => {
+                    grow_root(&mut g, sep, right);
+                    g.len -= 1;
+                    removed += 1;
+                }
             }
             collapse_root(&mut g);
         }
@@ -373,13 +391,9 @@ fn visit_pages(pool: &PagePool, page_id: PageId, rep: &mut OccupancyReport) {
     rep.used_bytes += page::used_bytes(p);
     if page::page_type(p) == page::TYPE_LEAF {
         rep.leaf_pages += 1;
-        let pfx = page::prefix(p).len();
-        rep.key_bytes_stored += pfx;
-        for i in 0..page::count(p) {
-            let (suffix, _) = page::leaf_cell(p, i);
-            rep.key_bytes_stored += suffix.len();
-            rep.key_bytes_logical += pfx + suffix.len();
-        }
+        let (stored, logical) = page::leaf_key_byte_stats(p);
+        rep.key_bytes_stored += stored;
+        rep.key_bytes_logical += logical;
     } else {
         rep.inner_pages += 1;
         let children: Vec<PageId> = std::iter::once(page::link(p))
@@ -405,7 +419,7 @@ fn entry_at_or_follow(pool: &PagePool, mut leaf: PageId, mut pos: usize) -> Opti
     loop {
         let p = pool.read(leaf);
         if pos < page::count(p) {
-            return Some((page::leaf_key(p, pos), page::leaf_cell(p, pos).1.to_vec()));
+            return Some((page::leaf_key(p, pos), page::leaf_val(p, pos).to_vec()));
         }
         leaf = page::link(p);
         if leaf == NO_PAGE {
@@ -415,58 +429,80 @@ fn entry_at_or_follow(pool: &PagePool, mut leaf: PageId, mut pos: usize) -> Opti
     }
 }
 
-fn insert_rec(g: &mut Inner, cur: PageId, key: &[u8], val: &[u8]) -> InsertOutcome {
+/// Grows a new root after the old root split.
+fn grow_root(g: &mut Inner, sep: Vec<u8>, right: PageId) {
+    let new_root = g.pool.alloc();
+    let old_root = g.root;
+    page::init_inner(g.pool.write(new_root), old_root);
+    page::inner_insert(g.pool.write(new_root), &sep, right);
+    g.root = new_root;
+}
+
+/// Adds separator `sep` → `right` to inner page `cur`, splitting it when
+/// full. Returns the promoted `(separator, new right sibling)` on split.
+fn inner_add_child(g: &mut Inner, cur: PageId, sep: Vec<u8>, right: PageId) -> Option<(Vec<u8>, PageId)> {
+    if page::inner_fits(g.pool.read(cur), &sep) {
+        page::inner_insert(g.pool.write(cur), &sep, right);
+        return None;
+    }
+    // Split this inner page.
+    let leftmost = page::link(g.pool.read(cur));
+    let mut entries = page::inner_entries(g.pool.read(cur));
+    let at = entries
+        .binary_search_by(|(k, _)| k.as_slice().cmp(&sep))
+        .unwrap_err();
+    entries.insert(at, (sep, right));
+    let mid = entries.len() / 2;
+    let (promoted, right_leftmost) = (entries[mid].0.clone(), entries[mid].1);
+    let new_right = g.pool.alloc();
+    page::inner_rebuild(g.pool.write(new_right), right_leftmost, &entries[mid + 1..]);
+    page::inner_rebuild(g.pool.write(cur), leftmost, &entries[..mid]);
+    Some((promoted, new_right))
+}
+
+fn insert_rec(g: &mut Inner, cur: PageId, key: &[u8], val: &[u8]) -> MutOutcome {
     let p = g.pool.read(cur);
     if page::page_type(p) == page::TYPE_LEAF {
         return leaf_insert(g, cur, key, val);
     }
     let (child, _) = page::inner_descend(p, key);
     match insert_rec(g, child, key, val) {
-        InsertOutcome::Done(old) => InsertOutcome::Done(old),
-        InsertOutcome::Split { sep, right, old } => {
-            if page::inner_fits(g.pool.read(cur), &sep) {
-                page::inner_insert(g.pool.write(cur), &sep, right);
-                return InsertOutcome::Done(old);
-            }
-            // Split this inner page.
-            let leftmost = page::link(g.pool.read(cur));
-            let mut entries = page::inner_entries(g.pool.read(cur));
-            let at = entries
-                .binary_search_by(|(k, _)| k.as_slice().cmp(&sep))
-                .unwrap_err();
-            entries.insert(at, (sep, right));
-            let mid = entries.len() / 2;
-            let (promoted, right_leftmost) = (entries[mid].0.clone(), entries[mid].1);
-            let new_right = g.pool.alloc();
-            page::inner_rebuild(g.pool.write(new_right), right_leftmost, &entries[mid + 1..]);
-            page::inner_rebuild(g.pool.write(cur), leftmost, &entries[..mid]);
-            InsertOutcome::Split {
+        MutOutcome::Done(old) => MutOutcome::Done(old),
+        MutOutcome::Split { sep, right, old } => match inner_add_child(g, cur, sep, right) {
+            None => MutOutcome::Done(old),
+            Some((promoted, new_right)) => MutOutcome::Split {
                 sep: promoted,
                 right: new_right,
                 old,
-            }
-        }
+            },
+        },
     }
 }
 
-fn leaf_insert(g: &mut Inner, cur: PageId, key: &[u8], val: &[u8]) -> InsertOutcome {
+fn leaf_insert(g: &mut Inner, cur: PageId, key: &[u8], val: &[u8]) -> MutOutcome {
     let p = g.pool.read(cur);
     match page::leaf_search(p, key) {
         Ok(i) => {
-            let old = page::leaf_cell(p, i).1.to_vec();
+            let old = page::leaf_val(p, i).to_vec();
             if !page::leaf_replace_val_at(g.pool.write(cur), i, val) {
                 // Rebuild with the new value; may overflow → split path.
                 let mut entries = page::leaf_entries(g.pool.read(cur));
                 entries[i].1 = val.to_vec();
                 return rebuild_or_split(g, cur, entries, Some(old), false);
             }
-            InsertOutcome::Done(Some(old))
+            MutOutcome::Done(Some(old))
         }
         Err(i) => {
-            if page::leaf_fits(p, key, val).is_some() {
-                page::leaf_insert_at(g.pool.write(cur), i, key, val);
-                return InsertOutcome::Done(None);
+            // Tail append is the in-place fast path (document-order
+            // loading): front coding extends without moving any slot, so
+            // restart positions stay put.
+            if i == page::count(p) && page::leaf_append_fits(p, key, val).is_some() {
+                page::leaf_append(g.pool.write(cur), key, val);
+                return MutOutcome::Done(None);
             }
+            // Interior insert (or full page): re-encode from the entries —
+            // successor front coding and restart positions depend on slot
+            // indexes. Compacts dead cell space as a side effect.
             let mut entries = page::leaf_entries(g.pool.read(cur));
             let append = i == entries.len();
             entries.insert(i, (key.to_vec(), val.to_vec()));
@@ -489,7 +525,7 @@ fn rebuild_or_split(
     entries: Vec<(Vec<u8>, Vec<u8>)>,
     old: Option<Vec<u8>>,
     append: bool,
-) -> InsertOutcome {
+) -> MutOutcome {
     // Chaos-test hook: stretches the window in which a page split holds
     // the tree latch. Splits sit below the undo-log granularity, so only
     // `Delay` injects here; an injected error could not be rolled back.
@@ -499,9 +535,9 @@ fn rebuild_or_split(
     let prev = page::prev_link(g.pool.read(cur));
     if page::leaf_build_size(&entries) <= page_size {
         page::leaf_rebuild(g.pool.write(cur), &entries, next, prev);
-        return InsertOutcome::Done(old);
+        return MutOutcome::Done(old);
     }
-    let mut mid = if append {
+    let preferred = if append {
         // Keep everything but the new entry on the (full) left page.
         entries.len() - 1
     } else {
@@ -518,11 +554,7 @@ fn rebuild_or_split(
         }
         m
     };
-    // Guard: both halves must fit their pages (prefix loss can inflate the
-    // left half); fall back toward the middle if not.
-    while mid > 1 && page::leaf_build_size(&entries[..mid]) > page_size {
-        mid -= 1;
-    }
+    let mid = choose_split(&entries, preferred, page_size);
     let right = g.pool.alloc();
     let sep = entries[mid].0.clone();
     page::leaf_rebuild(g.pool.write(right), &entries[mid..], next, cur);
@@ -530,21 +562,79 @@ fn rebuild_or_split(
     if next != NO_PAGE {
         page::set_prev_link(g.pool.write(next), right);
     }
-    InsertOutcome::Split { sep, right, old }
+    MutOutcome::Split { sep, right, old }
 }
 
-fn delete_rec(g: &mut Inner, cur: PageId, key: &[u8]) -> Option<Vec<u8>> {
+/// Picks a split point for an overflowing leaf such that **both** halves
+/// fit their pages, preferring `preferred`.
+///
+/// Re-encoding a half changes its size in either direction: its first
+/// entry becomes a restart point (full key — inflation, the old
+/// prefix-loss hazard), while restart positions inside the half shift so
+/// formerly-full restart keys may front-code away (deflation). Walking
+/// `preferred` left only — the pre-front-coding guard — can therefore
+/// leave the *right* half overflowing; probe outward in both directions
+/// instead and take the closest valid point.
+fn choose_split(entries: &[(Vec<u8>, Vec<u8>)], preferred: usize, page_size: usize) -> usize {
+    let n = entries.len();
+    let fits = |m: usize| {
+        page::leaf_build_size(&entries[..m]) <= page_size
+            && page::leaf_build_size(&entries[m..]) <= page_size
+    };
+    for delta in 0..n {
+        let lo = preferred.saturating_sub(delta);
+        if (1..n).contains(&lo) && fits(lo) {
+            return lo;
+        }
+        let hi = preferred + delta;
+        if delta > 0 && (1..n).contains(&hi) && fits(hi) {
+            return hi;
+        }
+    }
+    panic!(
+        "no valid leaf split: {} entries cannot divide into two pages of {} bytes \
+         (key/value limits should make this unreachable)",
+        n, page_size
+    );
+}
+
+fn delete_rec(g: &mut Inner, cur: PageId, key: &[u8]) -> Option<MutOutcome> {
     let p = g.pool.read(cur);
     if page::page_type(p) == page::TYPE_LEAF {
         let i = page::leaf_search(p, key).ok()?;
-        let old = page::leaf_cell(p, i).1.to_vec();
-        page::leaf_remove_at(g.pool.write(cur), i);
-        return Some(old);
+        let n = page::count(p);
+        let old = page::leaf_val(p, i).to_vec();
+        if i == n - 1 {
+            // Tail removal keeps every restart position — O(1) in place.
+            page::leaf_remove_at(g.pool.write(cur), i);
+            return Some(MutOutcome::Done(Some(old)));
+        }
+        // Interior removal re-encodes the page; the shifted restart
+        // positions can inflate it past capacity, so route through the
+        // split-capable rebuild.
+        let mut entries = page::leaf_entries(p);
+        entries.remove(i);
+        return Some(rebuild_or_split(g, cur, entries, Some(old), false));
     }
     let (child, sep_idx) = page::inner_descend(p, key);
-    let old = delete_rec(g, child, key)?;
-    fix_child(g, cur, child, sep_idx);
-    Some(old)
+    match delete_rec(g, child, key)? {
+        MutOutcome::Done(old) => {
+            fix_child(g, cur, child, sep_idx);
+            Some(MutOutcome::Done(old))
+        }
+        MutOutcome::Split { sep, right, old } => {
+            // The child grew (delete-induced split): no underflow fixes
+            // apply; just register the new sibling, propagating splits.
+            match inner_add_child(g, cur, sep, right) {
+                None => Some(MutOutcome::Done(old)),
+                Some((promoted, new_right)) => Some(MutOutcome::Split {
+                    sep: promoted,
+                    right: new_right,
+                    old,
+                }),
+            }
+        }
+    }
 }
 
 /// Post-deletion maintenance: frees empty children, collapses inner pages

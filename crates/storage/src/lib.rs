@@ -3,10 +3,11 @@
 //! Implements the storage layer sketched in §3.1/§3.2 and Figure 6 of
 //! *Contest of XML Lock Protocols* (VLDB 2006):
 //!
-//! * a **B\*-tree** over variable-length byte keys with per-leaf common
-//!   **prefix compression** — keyed on encoded SPLIDs it stores an XML
-//!   document in left-most depth-first (document) order, acting as both
-//!   *document index* and *document container* (the chained leaf pages),
+//! * a **B\*-tree** over variable-length byte keys with **front-coded
+//!   leaves** (per-key incremental prefix compression with restart
+//!   points) — keyed on encoded SPLIDs it stores an XML document in
+//!   left-most depth-first (document) order, acting as both *document
+//!   index* and *document container* (the chained leaf pages),
 //! * an **element index**: a name directory over element names, each entry
 //!   owning a node-reference index of SPLIDs,
 //! * a **vocabulary** replacing tag names by ≤ 2-byte surrogates inside

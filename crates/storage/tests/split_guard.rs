@@ -1,0 +1,175 @@
+//! Split-guard regressions for the front-coded leaf format.
+//!
+//! A leaf split (and, since deletes rebuild restart positions, a delete)
+//! re-encodes both halves; the first key of the right half always becomes
+//! a restart point storing the *full* key. With adversarial key shapes the
+//! naive midpoint split therefore inflates a half past page capacity —
+//! `choose_split` must probe for a cut where BOTH halves fit, and the
+//! rebuild asserts catch any miss by panicking. These tests drive the
+//! shapes that historically broke the guard; passing means no panic and
+//! exact model agreement.
+
+use std::collections::BTreeMap;
+use xtc_storage::{BTree, BTreeConfig, StorageStats};
+
+fn tree(page_size: usize) -> BTree {
+    BTree::with_config(
+        BTreeConfig {
+            page_size,
+            max_key: 96,
+            ..BTreeConfig::default()
+        },
+        StorageStats::default(),
+    )
+}
+
+fn check(t: &BTree, model: &BTreeMap<Vec<u8>, Vec<u8>>, ctx: &str) {
+    assert_eq!(t.len(), model.len(), "{ctx}: len");
+    let all = t.scan_range(&[], &[0xFF; 100]);
+    assert_eq!(all.len(), model.len(), "{ctx}: scan length");
+    for ((gk, gv), (mk, mv)) in all.iter().zip(model.iter()) {
+        assert_eq!(gk, mk, "{ctx}: key order");
+        assert_eq!(gv, mv, "{ctx}: value");
+    }
+    let rep = t.occupancy();
+    assert!(
+        rep.occupancy() <= 1.0 + f64::EPSILON,
+        "{ctx}: a leaf exceeds capacity (occupancy {:.3})",
+        rep.occupancy()
+    );
+}
+
+fn exercise(keys: Vec<Vec<u8>>, page_size: usize, ctx: &str) {
+    // Insert in given order, then delete every third key from the middle
+    // out — interior removals shift restart positions and may split.
+    let t = tree(page_size);
+    let mut model = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        let v = vec![(i % 251) as u8; i % 23];
+        assert_eq!(
+            t.insert(k, &v).unwrap(),
+            model.insert(k.clone(), v),
+            "{ctx}: insert {i}"
+        );
+    }
+    check(&t, &model, &format!("{ctx}: after inserts"));
+    let doomed: Vec<Vec<u8>> = model.keys().step_by(3).cloned().collect();
+    for (i, k) in doomed.iter().enumerate() {
+        assert_eq!(t.remove(k), model.remove(k), "{ctx}: delete {i}");
+        if i % 16 == 0 {
+            check(&t, &model, &format!("{ctx}: during deletes ({i})"));
+        }
+    }
+    check(&t, &model, &format!("{ctx}: after deletes"));
+}
+
+/// Long shared stem, divergence only in the tail: every restart key is
+/// near `max_key` long while front-coded slots are tiny — the shape with
+/// the widest gap between "fits front-coded" and "fits re-encoded".
+fn stem_keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("shared/stem/that/is/rather/long/and/identical/{i:05}").into_bytes())
+        .collect()
+}
+
+/// Pseudo-random incompressible keys: front coding saves nothing, so
+/// every slot is as large as a restart — splits must still balance.
+fn noise_keys(n: usize) -> Vec<Vec<u8>> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let len = 8 + (x % 56) as usize;
+            (0..len).map(|j| (x >> (j % 57)) as u8 | 1).collect()
+        })
+        .collect()
+}
+
+/// Alternating tiny and near-max keys: the preferred midpoint regularly
+/// lands where promoting the next key to a restart blows the right half.
+fn sawtooth_keys(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                format!("s{i:04}").into_bytes()
+            } else {
+                let mut k = vec![b'L'; 80];
+                k.extend_from_slice(format!("{i:08}").as_bytes());
+                k
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn shared_stem_splits_fit_both_halves() {
+    for &page in &[512usize, 1024] {
+        exercise(stem_keys(900), page, &format!("stem/{page}/forward"));
+        let mut rev = stem_keys(900);
+        rev.reverse();
+        exercise(rev, page, &format!("stem/{page}/reverse"));
+    }
+}
+
+#[test]
+fn incompressible_keys_split_cleanly() {
+    for &page in &[512usize, 2048] {
+        exercise(noise_keys(700), page, &format!("noise/{page}"));
+    }
+}
+
+#[test]
+fn sawtooth_keys_split_cleanly() {
+    // Small pages hold only a handful of the long keys, so nearly every
+    // split decision is near the infeasible edge.
+    for &page in &[512usize, 1024] {
+        exercise(sawtooth_keys(600), page, &format!("sawtooth/{page}"));
+        let mut rev = sawtooth_keys(600);
+        rev.reverse();
+        exercise(rev, page, &format!("sawtooth/{page}/reverse"));
+    }
+}
+
+#[test]
+fn interleaved_insert_order_forces_interior_rebuilds() {
+    // Even/odd interleave: every insert after the first pass lands in the
+    // middle of a page, so the append fast path never hides rebuild bugs.
+    let base = stem_keys(800);
+    let mut order: Vec<Vec<u8>> = base.iter().step_by(2).cloned().collect();
+    order.extend(base.iter().skip(1).step_by(2).cloned());
+    exercise(order, 512, "interleaved/stem");
+
+    let base = sawtooth_keys(500);
+    let mut order: Vec<Vec<u8>> = base.iter().step_by(2).cloned().collect();
+    order.extend(base.iter().skip(1).step_by(2).cloned());
+    exercise(order, 1024, "interleaved/sawtooth");
+}
+
+#[test]
+fn delete_induced_splits_keep_pages_within_capacity() {
+    // Regression: with positional restarts (slot % interval), removing an
+    // interior slot shifts later keys onto restart positions; re-encoding
+    // them as full keys can overflow a page that was legally full before
+    // the delete. Deletes must therefore be split-capable. Build full
+    // pages of compressible keys, then delete ONLY interior keys.
+    let t = tree(512);
+    let mut model = BTreeMap::new();
+    for k in stem_keys(1200) {
+        let v = vec![0u8; 4];
+        t.insert(&k, &v).unwrap();
+        model.insert(k, v);
+    }
+    check(&t, &model, "delete-split: after fill");
+    // Delete a dense run from the middle, one by one (not remove_range,
+    // which frees whole pages) — each removal rebuilds a full page.
+    let middle: Vec<Vec<u8>> = model.keys().skip(400).take(400).cloned().collect();
+    for (i, k) in middle.iter().enumerate() {
+        assert_eq!(t.remove(k), model.remove(k), "delete-split: {i}");
+        if i % 25 == 0 {
+            check(&t, &model, &format!("delete-split: during ({i})"));
+        }
+    }
+    check(&t, &model, "delete-split: after");
+}

@@ -53,6 +53,20 @@ fn occupancy_survives_update_workloads() {
         "post-update occupancy {:.3} collapsed",
         rep.occupancy()
     );
+    // Compression must survive churn too: deletes rebuild leaves (shifting
+    // restart positions) and the re-inserted lends interleave with old
+    // labels, yet stored SPLIDs stay within the paper's 2-3 byte claim.
+    let per_key = rep.stored_bytes_per_key(store.node_count());
+    assert!(
+        per_key <= 3.0,
+        "post-update stored bytes per SPLID {per_key:.2} left the 2-3 byte band"
+    );
+    assert!(
+        rep.key_bytes_stored * 2 < rep.key_bytes_logical,
+        "post-update front coding saves under 50%: {} stored vs {} logical",
+        rep.key_bytes_stored,
+        rep.key_bytes_logical
+    );
 }
 
 #[test]
@@ -69,16 +83,50 @@ fn stored_splids_average_2_to_3_bytes_with_prefix_compression() {
     let rep = store.occupancy();
     let per_key = rep.stored_bytes_per_key(store.node_count());
     assert!(
-        per_key < 4.0,
+        per_key <= 3.0,
         "stored bytes per SPLID {per_key:.2} exceeds the paper's 2-3 byte claim"
     );
-    // With dist = 2 the raw keys are already short, so the leaf-level
-    // common prefix saves a smaller fraction than on long keys — require
-    // a solid 25%+ saving.
+    // Front coding strips everything consecutive document-order labels
+    // share (all but the tail division) — even at dist = 2, where raw keys
+    // are already short, it must save well over half the logical bytes.
+    // Measured: 1.27 B/key stored vs 5.05 B/key logical (74.9% saving).
     assert!(
-        rep.key_bytes_stored * 4 < rep.key_bytes_logical * 3,
-        "prefix compression saves too little: {} stored vs {} logical",
+        rep.key_bytes_stored * 2 < rep.key_bytes_logical,
+        "front coding saves under 50%: {} stored vs {} logical",
         rep.key_bytes_stored,
         rep.key_bytes_logical
     );
+}
+
+#[test]
+fn stored_splid_size_stays_in_band_across_dist_settings() {
+    // §3.2: larger `dist` buys insertion headroom with bigger divisions —
+    // the encoded labels grow, but front coding absorbs nearly all of it
+    // because neighbours still share everything but the tail division.
+    // Measured (scaled bib): dist 2 → 1.27 B/key, dist 4 → 1.43,
+    // dist 16 → 2.00 — the whole sweep stays inside the 2-3 byte claim.
+    for dist in [2u32, 4, 16] {
+        let store = DocStore::new(DocStoreConfig {
+            dist,
+            ..DocStoreConfig::default()
+        });
+        bib::generate(&store, &BibConfig::scaled());
+        let rep = store.occupancy();
+        assert!(
+            rep.occupancy() > 0.9,
+            "dist {dist}: build occupancy {:.3} below the paper's ballpark",
+            rep.occupancy()
+        );
+        let per_key = rep.stored_bytes_per_key(store.node_count());
+        assert!(
+            per_key <= 3.0,
+            "dist {dist}: stored bytes per SPLID {per_key:.2} left the 2-3 byte band"
+        );
+        assert!(
+            rep.key_bytes_stored * 2 < rep.key_bytes_logical,
+            "dist {dist}: front coding saves under 50%: {} stored vs {} logical",
+            rep.key_bytes_stored,
+            rep.key_bytes_logical
+        );
+    }
 }
