@@ -1,0 +1,294 @@
+//! WAL throughput and crash-recovery micro-benchmark.
+//!
+//! Two tables:
+//!
+//! * **log throughput** — committers hammering disjoint subtrees, swept
+//!   over the group-commit window and the committer count, for both the
+//!   in-memory and the file-backed (segmented) log. Reports commits/s,
+//!   log records/s, and the average records per forced flush — the
+//!   group-commit batching factor the window buys.
+//! * **recovery time vs log length** — a single writer commits N
+//!   transactions, the engine crashes, and the wall-clock cost of the
+//!   ARIES-lite replay (analysis + redo + undo) is measured against the
+//!   durable log size.
+//!
+//! ```text
+//! recovery [--windows-us 0,100,1000] [--threads 1,4,16]
+//!          [--commits N] [--txns 500,2000,8000] [--json PATH]
+//! ```
+//!
+//! `--json` writes one machine-readable report (committed under
+//! `results/recovery.json` to track the trajectory).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xtc_core::wal::{WalConfig, WalStorage};
+use xtc_core::{recover_from, RetryPolicy, XtcConfig, XtcDb};
+
+struct ThroughputCell {
+    backend: &'static str,
+    window_us: u64,
+    threads: usize,
+    commits: u64,
+    commits_per_s: f64,
+    records_per_s: f64,
+    avg_batch: f64,
+    flushes: u64,
+}
+
+struct RecoveryCell {
+    committed: u64,
+    log_records: usize,
+    log_bytes: u64,
+    recover_ms: f64,
+    redo_applied: usize,
+}
+
+const DOC: &str = r#"<bib><shelf id="s0"/></bib>"#;
+
+fn wal_db(storage: WalStorage, window_us: u64) -> Arc<XtcDb> {
+    let db = Arc::new(XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".into(),
+        wal: Some(WalConfig {
+            storage,
+            group_commit_window: Duration::from_micros(window_us),
+        }),
+        ..XtcConfig::default()
+    }));
+    db.load_xml(DOC).unwrap();
+    db
+}
+
+/// One container element per committer thread: writers on disjoint
+/// subtrees only share compatible intention locks, so their commits can
+/// actually overlap inside one flush window.
+fn make_containers(db: &XtcDb, threads: usize) {
+    for w in 0..threads {
+        let t = db.begin();
+        let shelf = t.element_by_id("s0").unwrap().unwrap();
+        let c = t
+            .insert_element(&shelf, xtc_core::InsertPos::LastChild, "container")
+            .unwrap();
+        t.set_attribute(&c, "id", &format!("c{w}")).unwrap();
+        t.commit().unwrap();
+    }
+}
+
+fn throughput_cell(
+    backend: &'static str,
+    storage: WalStorage,
+    window_us: u64,
+    threads: usize,
+    total_commits: u64,
+) -> ThroughputCell {
+    let db = wal_db(storage, window_us);
+    make_containers(&db, threads);
+    let base = db.wal().unwrap().stats();
+    let per_thread = total_commits / threads as u64;
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|w| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy::default();
+                for i in 0..per_thread {
+                    let (res, _) = db.run_retrying(&policy, |t| {
+                        let c = t.element_by_id(&format!("c{w}"))?.unwrap();
+                        t.insert_element(&c, xtc_core::InsertPos::LastChild, &format!("n{i}"))
+                            .map(|_| ())
+                    });
+                    res.unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let stats = db.wal().unwrap().stats();
+    let commits = per_thread * threads as u64;
+    let records = stats.synced_records - base.synced_records;
+    let flushes = stats.flushes - base.flushes;
+    ThroughputCell {
+        backend,
+        window_us,
+        threads,
+        commits,
+        commits_per_s: commits as f64 / elapsed,
+        records_per_s: records as f64 / elapsed,
+        avg_batch: records as f64 / flushes.max(1) as f64,
+        flushes,
+    }
+}
+
+fn recovery_cell(committed: u64) -> RecoveryCell {
+    let db = wal_db(WalStorage::Memory, 0);
+    make_containers(&db, 1);
+    for i in 0..committed {
+        let t = db.begin();
+        let c = t.element_by_id("c0").unwrap().unwrap();
+        t.insert_element(&c, xtc_core::InsertPos::LastChild, &format!("n{i}"))
+            .unwrap();
+        t.commit().unwrap();
+    }
+    let wal = db.wal().unwrap().clone();
+    wal.crash();
+    drop(db);
+
+    let stats = wal.stats();
+    let started = Instant::now();
+    let (rec, report) = recover_from(&wal, XtcConfig::default()).unwrap();
+    let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        rec.store().elements_named("n0").len() + rec.store().elements_named("container").len(),
+        2,
+        "recovery lost committed work"
+    );
+    RecoveryCell {
+        committed,
+        log_records: report.scanned,
+        log_bytes: stats.synced_bytes,
+        recover_ms,
+        redo_applied: report.redo_applied,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut windows_us: Vec<u64> = vec![0, 100, 1000];
+    let mut threads: Vec<usize> = vec![1, 4, 16];
+    let mut total_commits: u64 = 192;
+    let mut txns: Vec<u64> = vec![500, 2000, 8000];
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--windows-us" => {
+                windows_us = val("list")
+                    .split(',')
+                    .map(|d| d.parse().unwrap_or_else(|_| die("bad window")))
+                    .collect();
+            }
+            "--threads" => {
+                threads = val("list")
+                    .split(',')
+                    .map(|d| d.parse().unwrap_or_else(|_| die("bad thread count")))
+                    .collect();
+            }
+            "--commits" => {
+                total_commits = val("number").parse().unwrap_or_else(|_| die("bad number"));
+            }
+            "--txns" => {
+                txns = val("list")
+                    .split(',')
+                    .map(|d| d.parse().unwrap_or_else(|_| die("bad txn count")))
+                    .collect();
+            }
+            "--json" => json_path = Some(val("path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --windows-us a,b,c --threads a,b,c --commits N \
+                     --txns a,b,c --json PATH"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+
+    let file_dir = std::env::temp_dir().join(format!("xtc-recovery-bench-{}", std::process::id()));
+    let mut cells = Vec::new();
+    for &window_us in &windows_us {
+        for &t in &threads {
+            cells.push(throughput_cell(
+                "memory",
+                WalStorage::Memory,
+                window_us,
+                t,
+                total_commits,
+            ));
+            let dir = file_dir.join(format!("w{window_us}t{t}"));
+            cells.push(throughput_cell(
+                "file",
+                WalStorage::Directory {
+                    path: dir,
+                    segment_bytes: 1 << 20,
+                },
+                window_us,
+                t,
+                total_commits,
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&file_dir);
+
+    println!("\n== WAL log throughput (group-commit sweep, taDOM3+, disjoint writers) ==");
+    println!(
+        "{:>8} {:>10} {:>8} {:>9} {:>11} {:>11} {:>9} {:>8}",
+        "backend", "window µs", "threads", "commits", "commits/s", "records/s", "avg batch", "flushes"
+    );
+    for c in &cells {
+        println!(
+            "{:>8} {:>10} {:>8} {:>9} {:>11.0} {:>11.0} {:>9.2} {:>8}",
+            c.backend, c.window_us, c.threads, c.commits, c.commits_per_s, c.records_per_s,
+            c.avg_batch, c.flushes
+        );
+    }
+
+    let curve: Vec<RecoveryCell> = txns.iter().map(|&n| recovery_cell(n)).collect();
+    println!("\n== recovery time vs log length (memory backend, single writer) ==");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "committed", "log records", "log bytes", "redo ops", "recover ms"
+    );
+    for c in &curve {
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12.2}",
+            c.committed, c.log_records, c.log_bytes, c.redo_applied, c.recover_ms
+        );
+    }
+
+    if let Some(path) = &json_path {
+        let throughput = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"backend\": \"{}\", \"window_us\": {}, \"threads\": {}, \
+                     \"commits\": {}, \"commits_per_s\": {:.1}, \"records_per_s\": {:.1}, \
+                     \"avg_batch\": {:.3}, \"flushes\": {}}}",
+                    c.backend, c.window_us, c.threads, c.commits, c.commits_per_s,
+                    c.records_per_s, c.avg_batch, c.flushes
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let recovery = curve
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"committed\": {}, \"log_records\": {}, \"log_bytes\": {}, \
+                     \"redo_applied\": {}, \"recover_ms\": {:.3}}}",
+                    c.committed, c.log_records, c.log_bytes, c.redo_applied, c.recover_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let body = format!(
+            "{{\n  \"benchmark\": \"recovery\",\n  \"throughput\": [\n{throughput}\n  ],\n  \"recovery\": [\n{recovery}\n  ]\n}}\n"
+        );
+        std::fs::write(path, body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("\nwrote {path}");
+    }
+}

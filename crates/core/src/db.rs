@@ -2,14 +2,18 @@
 //! creation.
 
 use crate::error::XtcError;
+use crate::recovery;
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::txn::Transaction;
 use crate::view::StoreView;
+use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xtc_lock::{IsolationLevel, LockTable, Protocol, TxnRegistry, VictimPolicy};
 use xtc_node::{DocStore, DocStoreConfig};
 use xtc_splid::SplId;
+use xtc_wal::{Lsn, RecordBody, TxnId, Wal, WalConfig};
 
 /// Configuration of an [`XtcDb`].
 #[derive(Debug, Clone)]
@@ -34,6 +38,12 @@ pub struct XtcConfig {
     pub escalated_depth: u32,
     /// Storage configuration.
     pub store: DocStoreConfig,
+    /// Write-ahead log configuration. `None` (the default) keeps the
+    /// pre-WAL behaviour: a volatile database with in-memory undo only.
+    /// `Some` turns on ARIES-lite durability: transactions log their work
+    /// ahead of page writes, commit forces the log (group commit), and
+    /// [`recovery::recover_from`] can rebuild the database after a crash.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for XtcConfig {
@@ -47,7 +57,31 @@ impl Default for XtcConfig {
             escalation_threshold: None,
             escalated_depth: 1,
             store: DocStoreConfig::default(),
+            wal: None,
         }
+    }
+}
+
+/// The database's logging state: the log itself, the mutex serializing
+/// append-and-mutate sequences (so page LSN stamps match the records that
+/// cover them), and the active-transaction table checkpoints record.
+pub(crate) struct WalHandle {
+    pub(crate) wal: Arc<Wal>,
+    /// Held across every (append undo, stamp LSN, mutate, append redo)
+    /// sequence — the WAL protocol's critical section. Page latches live
+    /// below it; the lock-protocol tables above it; no cycles.
+    pub(crate) log_mutex: Mutex<()>,
+    /// Transactions with a Begin record and no Commit/Abort yet.
+    pub(crate) active: Mutex<HashSet<TxnId>>,
+}
+
+impl WalHandle {
+    fn open(config: WalConfig) -> Result<Self, XtcError> {
+        Ok(WalHandle {
+            wal: Arc::new(Wal::open(config)?),
+            log_mutex: Mutex::new(()),
+            active: Mutex::new(HashSet::new()),
+        })
     }
 }
 
@@ -62,6 +96,7 @@ pub struct XtcDb {
     lock_depth: u32,
     escalation_threshold: Option<usize>,
     escalated_depth: u32,
+    wal: Option<WalHandle>,
 }
 
 impl XtcDb {
@@ -78,6 +113,10 @@ impl XtcDb {
         let handle = xtc_protocols::build(&config.protocol)
             .ok_or_else(|| XtcError::UnknownProtocol(config.protocol.clone()))?;
         let store = Arc::new(DocStore::new(config.store.clone()));
+        let wal = match config.wal.clone() {
+            Some(wal_config) => Some(WalHandle::open(wal_config)?),
+            None => None,
+        };
         let registry = Arc::new(TxnRegistry::new());
         let table = Arc::new(
             LockTable::new(
@@ -97,6 +136,7 @@ impl XtcDb {
             lock_depth: config.lock_depth,
             escalation_threshold: config.escalation_threshold,
             escalated_depth: config.escalated_depth,
+            wal,
         })
     }
 
@@ -108,8 +148,60 @@ impl XtcDb {
     }
 
     /// Parses an XML document into the (empty) store, unlocked.
+    ///
+    /// With a WAL configured, a fuzzy checkpoint is taken afterwards so
+    /// the bulk load does not have to be logged record-by-record. A
+    /// checkpoint failure is swallowed here (the parse itself succeeded
+    /// and `XmlError` cannot carry it); call [`XtcDb::checkpoint`]
+    /// explicitly when the error matters.
     pub fn load_xml(&self, xml: &str) -> Result<SplId, xtc_node::XmlError> {
-        xtc_node::parse_into(&self.store, xml)
+        let root = xtc_node::parse_into(&self.store, xml)?;
+        let _ = self.checkpoint();
+        Ok(root)
+    }
+
+    /// The write-ahead log, when one is configured.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref().map(|h| &h.wal)
+    }
+
+    pub(crate) fn wal_handle(&self) -> Option<&WalHandle> {
+        self.wal.as_ref()
+    }
+
+    /// Takes a fuzzy checkpoint: logs the set of active transactions plus
+    /// a full snapshot of the document, forces the log, and flushes every
+    /// dirty page the durable log now covers. Recovery replays redo only
+    /// from the last checkpoint, so periodic checkpoints bound recovery
+    /// time. Returns the checkpoint's LSN, or `None` without a WAL.
+    ///
+    /// "Fuzzy" here means concurrent transactions may keep running: their
+    /// in-flight work is captured by the active-transaction list and by
+    /// the redo/undo records around the checkpoint, not by the snapshot.
+    pub fn checkpoint(&self) -> Result<Option<Lsn>, XtcError> {
+        let Some(handle) = &self.wal else {
+            return Ok(None);
+        };
+        let _log = handle.log_mutex.lock();
+        let mut active: Vec<TxnId> = handle.active.lock().iter().copied().collect();
+        active.sort_unstable();
+        let snapshot = self
+            .store
+            .all_nodes()
+            .into_iter()
+            .map(|(id, data)| {
+                (
+                    xtc_splid::encode(&id),
+                    recovery::data_to_payload(self.store.vocab(), &data),
+                )
+            })
+            .collect();
+        let lsn = handle
+            .wal
+            .append(&RecordBody::Checkpoint { active, snapshot })?;
+        handle.wal.sync_all()?;
+        self.store.flush_all(handle.wal.durable_lsn());
+        Ok(Some(lsn))
     }
 
     /// Begins a transaction at the database defaults.

@@ -3,6 +3,7 @@
 use std::fmt;
 use xtc_lock::LockError;
 use xtc_node::NodeError;
+use xtc_wal::WalError;
 
 /// Transaction-layer errors. Lock errors (deadlock victim, timeout) mean
 /// the transaction must be aborted and may be retried; node errors are
@@ -23,6 +24,10 @@ pub enum XtcError {
     /// A failpoint injected this failure (chaos testing only; never
     /// produced in production builds). The transaction was rolled back.
     Injected,
+    /// The write-ahead log refused the operation — most often because it
+    /// is crashed (deliberately, by a chaos test). Not retryable on the
+    /// same database: the engine must be recovered first.
+    Wal(WalError),
 }
 
 impl XtcError {
@@ -50,6 +55,7 @@ impl fmt::Display for XtcError {
             XtcError::Finished => write!(f, "transaction already finished"),
             XtcError::UnknownProtocol(p) => write!(f, "unknown lock protocol {p:?}"),
             XtcError::Injected => write!(f, "failpoint-injected commit failure"),
+            XtcError::Wal(e) => write!(f, "write-ahead log error: {e}"),
         }
     }
 }
@@ -65,5 +71,11 @@ impl From<LockError> for XtcError {
 impl From<NodeError> for XtcError {
     fn from(e: NodeError) -> Self {
         XtcError::Node(e)
+    }
+}
+
+impl From<WalError> for XtcError {
+    fn from(e: WalError) -> Self {
+        XtcError::Wal(e)
     }
 }

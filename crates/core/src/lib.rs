@@ -3,10 +3,11 @@
 //! The public API of the reproduction: an embedded XML DBMS combining the
 //! taDOM node manager (`xtc-node`), the meta-synchronizing lock manager
 //! (`xtc-lock`), and any of the eleven contested lock protocols
-//! (`xtc-protocols`) into transactional DOM access with the ACID subset
-//! the paper evaluates (atomicity via logical undo, isolation via the
-//! chosen protocol and level; durability is out of scope — see
-//! DESIGN.md).
+//! (`xtc-protocols`) into transactional DOM access with ACID semantics:
+//! atomicity via logical undo, isolation via the chosen protocol and
+//! level, and — when a write-ahead log is configured
+//! ([`XtcConfig::wal`]) — durability via ARIES-lite logging, group
+//! commit, and crash [`recovery`] (see DESIGN.md §8).
 //!
 //! ```
 //! use xtc_core::{XtcConfig, XtcDb};
@@ -32,12 +33,14 @@
 
 mod db;
 mod error;
+pub mod recovery;
 mod retry;
 mod txn;
 mod view;
 
 pub use db::{XtcConfig, XtcDb};
 pub use error::XtcError;
+pub use recovery::{recover_from, RecoveryReport};
 pub use retry::{RetryPolicy, RetryStats};
 pub use txn::Transaction;
 pub use view::StoreView;
@@ -45,3 +48,6 @@ pub use view::StoreView;
 pub use xtc_lock::{EdgeKind, IsolationLevel, LockError, VictimPolicy};
 pub use xtc_node::{InsertPos, NodeData, NodeKind};
 pub use xtc_splid::SplId;
+/// Re-export of the WAL crate so downstream users (benches, chaos tests)
+/// can configure durability without a direct `xtc-wal` dependency.
+pub use xtc_wal as wal;

@@ -1,0 +1,240 @@
+//! ARIES-lite crash recovery.
+//!
+//! Rebuilds a consistent [`XtcDb`] from a write-ahead log in three passes:
+//!
+//! 1. **Analysis** — scan the whole log once; find the last fuzzy
+//!    checkpoint, classify every transaction as *winner* (has a `Commit`
+//!    record in the durable prefix) or *loser* (everything else), and
+//!    collect the set of undo records already compensated by CLRs.
+//! 2. **Redo** — load the checkpoint snapshot, then repeat history:
+//!    re-apply every `PageRedo` after the checkpoint in log order,
+//!    including compensation records written by pre-crash rollbacks.
+//! 3. **Undo** — roll back the losers by applying their logical undo
+//!    records in reverse LSN order, skipping any undo a CLR shows was
+//!    already compensated before the crash.
+//!
+//! Redo and undo are **logical** (node-manager operations keyed by
+//! SPLID), not physical page images: the storage layer rebuilds its own
+//! pages, and the secondary indexes are maintained as a side effect of
+//! each replayed operation — which is why recovery can assert
+//! [`DocStore::verify_indexes`] afterwards. Element and attribute names
+//! travel through the log as strings and are re-interned here, so the
+//! recovered vocabulary need not assign the same surrogates.
+
+use crate::db::{XtcConfig, XtcDb};
+use crate::error::XtcError;
+use std::collections::{HashMap, HashSet};
+use xtc_node::{DocStore, NodeData};
+use xtc_storage::Vocabulary;
+use xtc_wal::{Lsn, NodePayload, RecordBody, RedoOp, TxnId, UndoOp, Wal, WalRecord};
+
+/// Converts a node record to its log form, resolving interned names.
+pub(crate) fn data_to_payload(vocab: &Vocabulary, data: &NodeData) -> NodePayload {
+    let name_of = |v| vocab.resolve(v).unwrap_or_default();
+    match data {
+        NodeData::Element { name } => NodePayload::Element(name_of(*name)),
+        NodeData::AttributeRoot => NodePayload::AttrRoot,
+        NodeData::Attribute { name } => NodePayload::Attribute(name_of(*name)),
+        NodeData::Text => NodePayload::Text,
+        NodeData::String { value } => NodePayload::Str(value.clone()),
+    }
+}
+
+/// Converts a logged payload back to a node record, interning names into
+/// the (possibly fresh) vocabulary.
+pub(crate) fn payload_to_data(vocab: &Vocabulary, payload: &NodePayload) -> NodeData {
+    match payload {
+        NodePayload::Element(name) => NodeData::Element {
+            name: vocab.intern(name),
+        },
+        NodePayload::AttrRoot => NodeData::AttributeRoot,
+        NodePayload::Attribute(name) => NodeData::Attribute {
+            name: vocab.intern(name),
+        },
+        NodePayload::Text => NodeData::Text,
+        NodePayload::Str(value) => NodeData::String {
+            value: value.clone(),
+        },
+    }
+}
+
+fn decode_splid(bytes: &[u8]) -> Option<xtc_splid::SplId> {
+    xtc_splid::decode(bytes).ok()
+}
+
+/// Applies one redo operation to the store. Tolerant of already-applied
+/// state (repeating history is idempotent at this granularity): a delete
+/// of a missing subtree or a content update of a missing node is a no-op.
+pub(crate) fn apply_redo(store: &DocStore, op: &RedoOp) {
+    match op {
+        RedoOp::Insert { nodes } => {
+            let decoded: Vec<_> = nodes
+                .iter()
+                .filter_map(|(enc, payload)| {
+                    decode_splid(enc).map(|id| (id, payload_to_data(store.vocab(), payload)))
+                })
+                .collect();
+            let _ = store.insert_raw(&decoded);
+        }
+        RedoOp::Delete { root } => {
+            if let Some(id) = decode_splid(root) {
+                let _ = store.delete_subtree(&id);
+            }
+        }
+        RedoOp::Content { node, new } => {
+            if let Some(id) = decode_splid(node) {
+                let _ = store.update_content(&id, new);
+            }
+        }
+        RedoOp::Rename { node, new } => {
+            if let Some(id) = decode_splid(node) {
+                let _ = store.rename_element(&id, new);
+            }
+        }
+    }
+}
+
+/// Applies one logical undo operation to the store (same tolerance as
+/// [`apply_redo`]). Shared with the live abort path in `txn.rs`.
+pub(crate) fn apply_undo(store: &DocStore, op: &UndoOp) {
+    apply_redo(store, &op.as_redo());
+}
+
+/// What recovery found and did — returned alongside the rebuilt database
+/// so tests and operators can assert on the outcome.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Total records decoded from the durable log prefix.
+    pub scanned: usize,
+    /// LSN of the last fuzzy checkpoint, if any.
+    pub checkpoint_lsn: Option<Lsn>,
+    /// Transactions with a durable `Commit` record (their effects are
+    /// guaranteed present in the recovered database).
+    pub winners: Vec<TxnId>,
+    /// Transactions seen in the log without a durable `Commit` (rolled
+    /// back; their effects are guaranteed absent).
+    pub losers: Vec<TxnId>,
+    /// Redo operations re-applied (repeating history).
+    pub redo_applied: usize,
+    /// Undo operations applied to roll back losers.
+    pub undo_applied: usize,
+    /// `true` when the log ended in a torn (partially written) record —
+    /// expected after a mid-flush crash; the torn tail is discarded.
+    pub torn_tail: bool,
+}
+
+/// Replays a decoded log against a fresh database. Exposed separately
+/// from [`recover_from`] for tests that synthesize record streams.
+pub fn replay(db: &XtcDb, records: &[WalRecord], torn_tail: bool) -> RecoveryReport {
+    let store = db.store();
+    let mut report = RecoveryReport {
+        scanned: records.len(),
+        torn_tail,
+        ..RecoveryReport::default()
+    };
+
+    // -- Analysis ---------------------------------------------------------
+    let mut winners: HashSet<TxnId> = HashSet::new();
+    let mut seen: HashSet<TxnId> = HashSet::new();
+    let mut compensated: HashSet<Lsn> = HashSet::new();
+    let mut checkpoint: Option<(Lsn, usize)> = None;
+    for (i, rec) in records.iter().enumerate() {
+        if let Some(txn) = rec.body.txn() {
+            seen.insert(txn);
+        }
+        match &rec.body {
+            RecordBody::Commit { txn } => {
+                winners.insert(*txn);
+            }
+            RecordBody::PageRedo {
+                compensates: Some(undo_lsn),
+                ..
+            } => {
+                compensated.insert(*undo_lsn);
+            }
+            RecordBody::Checkpoint { active, .. } => {
+                seen.extend(active.iter().copied());
+                checkpoint = Some((rec.lsn, i));
+            }
+            _ => {}
+        }
+    }
+    report.checkpoint_lsn = checkpoint.map(|(lsn, _)| lsn);
+    report.winners = winners.iter().copied().collect();
+    report.winners.sort_unstable();
+    report.losers = seen.difference(&winners).copied().collect();
+    report.losers.sort_unstable();
+
+    // -- Redo: load snapshot, then repeat history after it ----------------
+    let redo_from = match checkpoint {
+        Some((_, idx)) => {
+            if let RecordBody::Checkpoint { snapshot, .. } = &records[idx].body {
+                let decoded: Vec<_> = snapshot
+                    .iter()
+                    .filter_map(|(enc, payload)| {
+                        decode_splid(enc).map(|id| (id, payload_to_data(store.vocab(), payload)))
+                    })
+                    .collect();
+                let _ = store.insert_raw(&decoded);
+            }
+            idx + 1
+        }
+        None => 0,
+    };
+    for rec in &records[redo_from..] {
+        if let RecordBody::PageRedo { op, .. } = &rec.body {
+            apply_redo(store, op);
+            report.redo_applied += 1;
+        }
+    }
+
+    // -- Undo: roll back losers in reverse LSN order ----------------------
+    // Losers' undo records are collected across the *whole* log (a loser
+    // may have begun before the checkpoint), minus those a pre-crash
+    // rollback already compensated with CLRs.
+    let mut pending: Vec<(Lsn, &UndoOp)> = Vec::new();
+    for rec in records {
+        if let RecordBody::NodeUndo { txn, op } = &rec.body {
+            if !winners.contains(txn) && !compensated.contains(&rec.lsn) {
+                pending.push((rec.lsn, op));
+            }
+        }
+    }
+    pending.sort_by_key(|(lsn, _)| std::cmp::Reverse(*lsn));
+    for (_, op) in &pending {
+        apply_undo(store, op);
+        report.undo_applied += 1;
+    }
+
+    report
+}
+
+/// Rebuilds a database from the durable contents of `wal`.
+///
+/// The source log is typically taken from a crashed [`XtcDb`] (its
+/// in-memory buffer is gone; only synced batches survive). The rebuilt
+/// database uses `config` — which may itself carry a WAL for the next
+/// epoch; when it does, a post-recovery checkpoint is taken so the new
+/// log starts from the recovered state rather than empty.
+pub fn recover_from(wal: &Wal, config: XtcConfig) -> Result<(XtcDb, RecoveryReport), XtcError> {
+    let (records, tail_err) = wal.read_records()?;
+    let db = XtcDb::try_new(config)?;
+    let report = replay(&db, &records, tail_err.is_some());
+    if db.wal().is_some() {
+        db.checkpoint()?;
+    }
+    Ok((db, report))
+}
+
+/// Convenience map from transaction id to its durable fate, derived from
+/// a [`RecoveryReport`] — handy for crash-matrix tests.
+pub fn fates(report: &RecoveryReport) -> HashMap<TxnId, bool> {
+    let mut m = HashMap::new();
+    for t in &report.winners {
+        m.insert(*t, true);
+    }
+    for t in &report.losers {
+        m.insert(*t, false);
+    }
+    m
+}

@@ -12,26 +12,26 @@
 //!
 //! Deadlock victims abort: the undo log is replayed in reverse while the
 //! transaction still holds its long locks, then everything is released.
+//!
+//! With a write-ahead log configured ([`crate::XtcConfig::wal`]), every
+//! mutation runs through [`Transaction::apply_logged`]: the logical undo
+//! record is appended *before* the store mutation, pages touched by the
+//! mutation are stamped with the covering redo record's LSN, and the redo
+//! record follows the mutation — so a crash at any point leaves a log
+//! from which [`crate::recovery`] can reconstruct or roll back the
+//! operation. Aborts write compensation records (CLRs) as they undo, and
+//! commit forces the log via group commit.
 
 use crate::db::XtcDb;
 use crate::error::XtcError;
+use crate::recovery;
 use std::cell::{Cell, RefCell};
 use xtc_lock::{EdgeKind, IsolationLevel, LockCtx, MetaOp, TxnId};
 use xtc_node::{AttrPlan, InsertPos, NodeData};
 use xtc_splid::SplId;
+use xtc_wal::{Lsn, NodePayload, RecordBody, RedoOp, UndoOp, WalError};
 
 const PLAN_RETRIES: usize = 32;
-
-enum Undo {
-    /// Undo an insertion: delete the subtree rooted at the label.
-    InsertedSubtree(SplId),
-    /// Undo a deletion: restore the removed nodes (indexes included).
-    DeletedSubtree(Vec<(SplId, NodeData)>),
-    /// Undo a content update.
-    Content { node: SplId, old: String },
-    /// Undo a rename.
-    Renamed { node: SplId, old: String },
-}
 
 /// A running transaction. Dropping an unfinished transaction aborts it.
 pub struct Transaction<'db> {
@@ -39,8 +39,14 @@ pub struct Transaction<'db> {
     id: TxnId,
     isolation: IsolationLevel,
     lock_depth: u32,
-    undo: RefCell<Vec<Undo>>,
+    /// Logical undo records in apply order, each paired with the LSN of
+    /// its logged `NodeUndo` twin (`None` without a WAL) so the abort
+    /// path can write matching compensation records.
+    undo: RefCell<Vec<(Option<Lsn>, UndoOp)>>,
     finished: Cell<bool>,
+    /// Whether a `Begin` record has been logged (lazily, on first write —
+    /// read-only transactions never touch the log).
+    began: Cell<bool>,
     /// Latched once the held-lock count crosses the escalation
     /// threshold, so the escalation is counted exactly once and never
     /// reverts mid-transaction.
@@ -61,6 +67,7 @@ impl<'db> Transaction<'db> {
             lock_depth,
             undo: RefCell::new(Vec::new()),
             finished: Cell::new(false),
+            began: Cell::new(false),
             escalated: Cell::new(false),
         }
     }
@@ -337,16 +344,111 @@ impl<'db> Transaction<'db> {
 
     // ---- writes ---------------------------------------------------------
 
+    /// Runs one mutation under the WAL protocol. Without a WAL this is
+    /// just `mutate` plus an in-memory undo entry. With one, the sequence
+    /// under the database's log mutex is:
+    ///
+    /// 1. lazily log `Begin` on the transaction's first write,
+    /// 2. log the logical undo record (`NodeUndo`),
+    /// 3. stamp pages the mutation will dirty with the upcoming redo
+    ///    record's LSN (via the store's ambient `current_lsn`), so the
+    ///    buffer pool's WAL rule (`page_lsn ≤ durable_lsn` before flush)
+    ///    covers them,
+    /// 4. perform the mutation,
+    /// 5. log the redo record (`PageRedo`).
+    ///
+    /// A failpoint below the undo-log granularity (`btree.split`) cannot
+    /// error out of step 4; it *poisons* the shared storage stats
+    /// instead, which this function converts into a WAL crash — the
+    /// mid-split-kill scenario of the chaos tests.
+    fn apply_logged<T>(
+        &self,
+        undo: Option<UndoOp>,
+        mutate: impl FnOnce() -> Result<T, XtcError>,
+        redo: impl FnOnce(&T) -> RedoOp,
+    ) -> Result<T, XtcError> {
+        let Some(handle) = self.db.wal_handle() else {
+            let value = mutate()?;
+            if let Some(op) = undo {
+                self.undo.borrow_mut().push((None, op));
+            }
+            return Ok(value);
+        };
+        let _log = handle.log_mutex.lock();
+        if handle.wal.is_crashed() {
+            return Err(XtcError::Wal(WalError::Crashed));
+        }
+        if !self.began.get() {
+            handle.wal.append(&RecordBody::Begin { txn: self.id })?;
+            handle.active.lock().insert(self.id);
+            self.began.set(true);
+        }
+        let undo_lsn = match &undo {
+            Some(op) => Some(handle.wal.append(&RecordBody::NodeUndo {
+                txn: self.id,
+                op: op.clone(),
+            })?),
+            None => None,
+        };
+        let stats = self.store().stats();
+        stats.set_current_lsn(handle.wal.next_lsn());
+        let value = mutate()?;
+        if stats.is_poisoned() {
+            // A below-undo-granularity failpoint fired mid-mutation:
+            // treat the engine as crashed. The already-logged undo record
+            // lets recovery roll the half-visible operation back.
+            handle.wal.crash();
+            if let Some(op) = undo {
+                self.undo.borrow_mut().push((undo_lsn, op));
+            }
+            return Err(XtcError::Wal(WalError::Crashed));
+        }
+        let appended = handle.wal.append(&RecordBody::PageRedo {
+            txn: self.id,
+            compensates: None,
+            op: redo(&value),
+        });
+        if let Some(op) = undo {
+            self.undo.borrow_mut().push((undo_lsn, op));
+        }
+        appended?;
+        Ok(value)
+    }
+
+    /// The logged form of a node's current subtree (for insert redo and
+    /// delete undo payloads).
+    fn subtree_payload(&self, root: &SplId) -> Vec<(Vec<u8>, NodePayload)> {
+        let store = self.store();
+        store
+            .subtree(root)
+            .into_iter()
+            .map(|(id, data)| {
+                (
+                    xtc_splid::encode(&id),
+                    recovery::data_to_payload(store.vocab(), &data),
+                )
+            })
+            .collect()
+    }
+
     /// Replaces the content of a text or attribute node.
     pub fn update_text(&self, n: &SplId, content: &str) -> Result<(), XtcError> {
         self.acquire(MetaOp::WriteContent(n))?;
-        let old = self.store().update_content(n, content)?;
-        if let Some(old) = old {
-            self.undo.borrow_mut().push(Undo::Content {
-                node: n.clone(),
+        let old = self.store().text_of(n);
+        self.apply_logged(
+            old.map(|old| UndoOp::Content {
+                node: xtc_splid::encode(n),
                 old,
-            });
-        }
+            }),
+            || {
+                self.store().update_content(n, content)?;
+                Ok(())
+            },
+            |()| RedoOp::Content {
+                node: xtc_splid::encode(n),
+                new: content.to_string(),
+            },
+        )?;
         self.end_operation();
         Ok(())
     }
@@ -354,16 +456,21 @@ impl<'db> Transaction<'db> {
     /// Renames an element (DOM level 3).
     pub fn rename(&self, n: &SplId, new_name: &str) -> Result<(), XtcError> {
         self.acquire(MetaOp::Rename(n))?;
-        let old_voc = self.store().rename_element(n, new_name)?;
-        let old = self
-            .store()
-            .vocab()
-            .resolve(old_voc)
-            .expect("old name interned");
-        self.undo.borrow_mut().push(Undo::Renamed {
-            node: n.clone(),
-            old,
-        });
+        let old = self.store().name_of(n);
+        self.apply_logged(
+            old.map(|old| UndoOp::Rename {
+                node: xtc_splid::encode(n),
+                old,
+            }),
+            || {
+                self.store().rename_element(n, new_name)?;
+                Ok(())
+            },
+            |()| RedoOp::Rename {
+                node: xtc_splid::encode(n),
+                new: new_name.to_string(),
+            },
+        )?;
         self.end_operation();
         Ok(())
     }
@@ -398,17 +505,26 @@ impl<'db> Transaction<'db> {
         name: &str,
     ) -> Result<SplId, XtcError> {
         let label = self.plan_and_lock_insert(parent, &pos)?;
-        let inserted = self.store().insert_element(parent, pos, name)?;
-        // Under isolation `none` the plan lock is a no-op, so concurrent
-        // sibling inserts may legitimately shift the label between plan
-        // and apply; the store's answer is authoritative.
-        debug_assert!(
-            inserted == label || self.isolation == IsolationLevel::None,
-            "locked insert plan diverged: planned {label}, inserted {inserted}"
-        );
-        self.undo
-            .borrow_mut()
-            .push(Undo::InsertedSubtree(inserted.clone()));
+        let inserted = self.apply_logged(
+            Some(UndoOp::Delete {
+                root: xtc_splid::encode(&label),
+            }),
+            || {
+                let inserted = self.store().insert_element(parent, pos, name)?;
+                // Under isolation `none` the plan lock is a no-op, so
+                // concurrent sibling inserts may legitimately shift the
+                // label between plan and apply; the store's answer is
+                // authoritative.
+                debug_assert!(
+                    inserted == label || self.isolation == IsolationLevel::None,
+                    "locked insert plan diverged: planned {label}, inserted {inserted}"
+                );
+                Ok(inserted)
+            },
+            |inserted| RedoOp::Insert {
+                nodes: self.subtree_payload(inserted),
+            },
+        )?;
         self.end_operation();
         Ok(inserted)
     }
@@ -421,14 +537,22 @@ impl<'db> Transaction<'db> {
         content: &str,
     ) -> Result<SplId, XtcError> {
         let label = self.plan_and_lock_insert(parent, &pos)?;
-        let inserted = self.store().insert_text(parent, pos, content)?;
-        debug_assert!(
-            inserted == label || self.isolation == IsolationLevel::None,
-            "locked insert plan diverged: planned {label}, inserted {inserted}"
-        );
-        self.undo
-            .borrow_mut()
-            .push(Undo::InsertedSubtree(inserted.clone()));
+        let inserted = self.apply_logged(
+            Some(UndoOp::Delete {
+                root: xtc_splid::encode(&label),
+            }),
+            || {
+                let inserted = self.store().insert_text(parent, pos, content)?;
+                debug_assert!(
+                    inserted == label || self.isolation == IsolationLevel::None,
+                    "locked insert plan diverged: planned {label}, inserted {inserted}"
+                );
+                Ok(inserted)
+            },
+            |inserted| RedoOp::Insert {
+                nodes: self.subtree_payload(inserted),
+            },
+        )?;
         self.end_operation();
         Ok(inserted)
     }
@@ -461,10 +585,21 @@ impl<'db> Transaction<'db> {
                     {
                         continue;
                     }
-                    let old = self.store().update_content(&attr, value)?;
-                    if let Some(old) = old {
-                        self.undo.borrow_mut().push(Undo::Content { node: attr, old });
-                    }
+                    let old = self.store().text_of(&attr);
+                    self.apply_logged(
+                        old.map(|old| UndoOp::Content {
+                            node: xtc_splid::encode(&attr),
+                            old,
+                        }),
+                        || {
+                            self.store().update_content(&attr, value)?;
+                            Ok(())
+                        },
+                        |()| RedoOp::Content {
+                            node: xtc_splid::encode(&attr),
+                            new: value.to_string(),
+                        },
+                    )?;
                     self.end_operation();
                     return Ok(());
                 }
@@ -490,15 +625,29 @@ impl<'db> Transaction<'db> {
                     {
                         continue;
                     }
-                    let (attr, _) = self.store().set_attribute(elem, name, value)?;
-                    debug_assert!(
-                        attr == label || self.isolation == IsolationLevel::None,
-                        "locked attribute plan diverged: planned {label}, created {attr}"
-                    );
                     // Undo removes the attribute node — and the attribute
                     // root if this call created it.
-                    let undo_root = if attr_root_exists { attr } else { attr_root };
-                    self.undo.borrow_mut().push(Undo::InsertedSubtree(undo_root));
+                    let undo_root = if attr_root_exists {
+                        label.clone()
+                    } else {
+                        attr_root.clone()
+                    };
+                    self.apply_logged(
+                        Some(UndoOp::Delete {
+                            root: xtc_splid::encode(&undo_root),
+                        }),
+                        || {
+                            let (attr, _) = self.store().set_attribute(elem, name, value)?;
+                            debug_assert!(
+                                attr == label || self.isolation == IsolationLevel::None,
+                                "locked attribute plan diverged: planned {label}, created {attr}"
+                            );
+                            Ok(())
+                        },
+                        |()| RedoOp::Insert {
+                            nodes: self.subtree_payload(&undo_root),
+                        },
+                    )?;
                     self.end_operation();
                     return Ok(());
                 }
@@ -520,8 +669,20 @@ impl<'db> Transaction<'db> {
             if self.store().prev_sibling(n) != left || self.store().next_sibling(n) != right {
                 continue;
             }
-            let removed = self.store().delete_subtree(n)?;
-            self.undo.borrow_mut().push(Undo::DeletedSubtree(removed));
+            let nodes = self.subtree_payload(n);
+            if nodes.is_empty() {
+                return Err(xtc_node::NodeError::NotFound(n.clone()).into());
+            }
+            self.apply_logged(
+                Some(UndoOp::Restore { nodes }),
+                || {
+                    self.store().delete_subtree(n)?;
+                    Ok(())
+                },
+                |()| RedoOp::Delete {
+                    root: xtc_splid::encode(n),
+                },
+            )?;
             self.end_operation();
             return Ok(());
         }
@@ -530,7 +691,9 @@ impl<'db> Transaction<'db> {
 
     // ---- lifecycle --------------------------------------------------------
 
-    /// Commits: releases all locks and discards the undo log.
+    /// Commits: logs and forces a `Commit` record when a WAL is
+    /// configured (group commit batches concurrent committers into one
+    /// sync), then releases all locks and discards the undo log.
     pub fn commit(self) -> Result<(), XtcError> {
         if self.finished.get() {
             return Err(XtcError::Finished);
@@ -546,6 +709,44 @@ impl<'db> Transaction<'db> {
                 return Err(XtcError::Injected);
             }
             None => {}
+        }
+        if let Some(handle) = self.db.wal_handle() {
+            if self.began.get() {
+                // Chaos-test hook: kill the engine at the commit point,
+                // *before* the Commit record exists — a deterministic
+                // loser for the recovery matrix.
+                match xtc_failpoint::eval("wal.commit") {
+                    Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
+                    Some(xtc_failpoint::FailAction::Error) => {
+                        handle.wal.crash();
+                        self.abort_inner();
+                        return Err(XtcError::Wal(WalError::Crashed));
+                    }
+                    None => {}
+                }
+                let appended = {
+                    let _log = handle.log_mutex.lock();
+                    handle.wal.append(&RecordBody::Commit { txn: self.id })
+                };
+                let lsn = match appended {
+                    Ok(lsn) => lsn,
+                    Err(e) => {
+                        self.abort_inner();
+                        return Err(e.into());
+                    }
+                };
+                // Force the log *outside* the log mutex so concurrent
+                // committers can pile into the same flush window.
+                if let Err(e) = handle.wal.commit_sync(lsn) {
+                    // The engine crashed mid-flush. Whether the Commit
+                    // record made it to the durable prefix is unknowable
+                    // here (torn tail); roll back the in-memory state and
+                    // let recovery decide this transaction's fate.
+                    self.abort_inner();
+                    return Err(e.into());
+                }
+                handle.active.lock().remove(&self.id);
+            }
         }
         self.finished.set(true);
         self.undo.borrow_mut().clear();
@@ -563,23 +764,44 @@ impl<'db> Transaction<'db> {
         if self.finished.replace(true) {
             return;
         }
-        let undo: Vec<Undo> = self.undo.borrow_mut().drain(..).collect();
+        let undo: Vec<(Option<Lsn>, UndoOp)> = self.undo.borrow_mut().drain(..).collect();
         let store = self.store();
-        for u in undo.into_iter().rev() {
-            // Undo is best-effort against logical errors: under isolation
-            // level `none` concurrent chaos may have invalidated records.
-            match u {
-                Undo::InsertedSubtree(id) => {
-                    let _ = store.delete_subtree(&id);
+        // Undo application is best-effort against logical errors: under
+        // isolation level `none` concurrent chaos may have invalidated
+        // records.
+        match self.db.wal_handle() {
+            Some(handle) if self.began.get() => {
+                let _log = handle.log_mutex.lock();
+                if handle.wal.is_crashed() {
+                    // Engine is dead: keep the in-memory state sane for
+                    // transactions still draining, but the log is frozen —
+                    // recovery will perform the durable rollback.
+                    for (_, op) in undo.iter().rev() {
+                        recovery::apply_undo(store, op);
+                    }
+                } else {
+                    for (undo_lsn, op) in undo.iter().rev() {
+                        // Each undone step is logged as a compensation
+                        // record (CLR) so a crash mid-rollback replays the
+                        // partial rollback (repeating history) and skips
+                        // the already-compensated undo records.
+                        store.stats().set_current_lsn(handle.wal.next_lsn());
+                        recovery::apply_undo(store, op);
+                        let _ = handle.wal.append(&RecordBody::PageRedo {
+                            txn: self.id,
+                            compensates: *undo_lsn,
+                            op: op.as_redo(),
+                        });
+                    }
+                    // Abort is not forced: losing it to a crash only means
+                    // recovery redoes the rollback from the CLR trail.
+                    let _ = handle.wal.append(&RecordBody::Abort { txn: self.id });
                 }
-                Undo::DeletedSubtree(nodes) => {
-                    let _ = store.insert_raw(&nodes);
-                }
-                Undo::Content { node, old } => {
-                    let _ = store.update_content(&node, &old);
-                }
-                Undo::Renamed { node, old } => {
-                    let _ = store.rename_element(&node, &old);
+                handle.active.lock().remove(&self.id);
+            }
+            _ => {
+                for (_, op) in undo.iter().rev() {
+                    recovery::apply_undo(store, op);
                 }
             }
         }

@@ -1,11 +1,12 @@
 //! # xtc-failpoint — deterministic fault injection
 //!
 //! A tiny failpoint facility for chaos-testing the lock manager, the
-//! storage layer, and the transaction coordinator. Call sites name a
-//! *site* (`"lock.acquire"`, `"store.page_read"`, `"btree.split"`,
-//! `"txn.commit"`) and ask [`eval`] whether a fault should fire; tests
-//! arm sites with [`configure`] (probability, action, optional hit
-//! budget) under a global seed set by [`set_seed`].
+//! storage layer, the write-ahead log, and the transaction coordinator.
+//! Call sites name a *site* (`"lock.acquire"`, `"store.page_read"`,
+//! `"btree.split"`, `"txn.commit"`, `"wal.commit"`, `"wal.flush"`) and
+//! ask [`eval`] whether a fault should fire; tests arm sites with
+//! [`configure`] (probability, action, optional hit budget) under a
+//! global seed set by [`set_seed`].
 //!
 //! Determinism: every site draws from its own [SplitMix64] stream seeded
 //! from the global seed mixed with the site name, so a given

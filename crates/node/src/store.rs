@@ -15,6 +15,10 @@ pub struct DocStoreConfig {
     /// Simulated per-page-read latency (default zero): the stand-in for
     /// the paper's disk accesses (CLUSTER2 uses it — see EXPERIMENTS.md).
     pub read_latency: std::time::Duration,
+    /// Buffer residency budget per underlying tree (document, element
+    /// index, ID index); `None` = unbounded. Evicted pages fault back in
+    /// as buffer misses — see `xtc_storage::PoolStats`.
+    pub max_resident_pages: Option<usize>,
 }
 
 impl Default for DocStoreConfig {
@@ -23,6 +27,7 @@ impl Default for DocStoreConfig {
             page_size: 8192,
             dist: 16,
             read_latency: std::time::Duration::ZERO,
+            max_resident_pages: None,
         }
     }
 }
@@ -130,6 +135,7 @@ impl DocStore {
         let btcfg = BTreeConfig {
             page_size: config.page_size,
             read_latency: config.read_latency,
+            max_resident: config.max_resident_pages,
             ..BTreeConfig::default()
         };
         let vocab = Arc::new(Vocabulary::new());
@@ -168,6 +174,109 @@ impl DocStore {
     /// Occupancy report of the document tree (§3.1 claim).
     pub fn occupancy(&self) -> xtc_storage::OccupancyReport {
         self.doc.occupancy()
+    }
+
+    /// Every stored node in document order — the checkpoint snapshot and
+    /// the byte-identity witness of the undo property test.
+    pub fn all_nodes(&self) -> Vec<(SplId, NodeData)> {
+        self.doc
+            .scan_range(b"", &[0xFF; 160])
+            .into_iter()
+            .map(|(k, v)| {
+                (
+                    xtc_splid::decode(&k).expect("corrupt key"),
+                    NodeData::decode(&v).expect("corrupt record"),
+                )
+            })
+            .collect()
+    }
+
+    /// Cross-checks the element index and ID index against the document
+    /// tree. Returns a list of human-readable inconsistencies (empty =
+    /// consistent) — the post-recovery invariant the crash tests assert.
+    pub fn verify_indexes(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let nodes = self.all_nodes();
+        // Every element must have exactly its one index entry; collect the
+        // expected set, then compare both directions.
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for (id, data) in &nodes {
+            if let NodeData::Element { name } = data {
+                expected.push(index_key(*name, &encode(id)));
+            }
+        }
+        expected.sort();
+        let actual: Vec<Vec<u8>> = self
+            .elem_index
+            .scan_range(b"", &[0xFF; 160])
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for k in &expected {
+            if actual.binary_search(k).is_err() {
+                problems.push(format!("element index missing entry {k:?}"));
+            }
+        }
+        for k in &actual {
+            if expected.binary_search(k).is_err() {
+                problems.push(format!("element index has stale entry {k:?}"));
+            }
+        }
+        // ID index: every entry must point at a live element that owns an
+        // id attribute with that value, and every id attribute must be
+        // indexed.
+        for (val, enc) in self.id_index.scan_range(b"", &[0xFF; 160]) {
+            let owner = match xtc_splid::decode(&enc) {
+                Ok(o) => o,
+                Err(_) => {
+                    problems.push(format!("id index entry {val:?} has corrupt SPLID"));
+                    continue;
+                }
+            };
+            let val = String::from_utf8_lossy(&val).into_owned();
+            if self.attribute_value(&owner, "id").as_deref() != Some(val.as_str()) {
+                problems.push(format!("id index entry {val:?} does not match element"));
+            }
+        }
+        for (id, data) in &nodes {
+            if matches!(data, NodeData::Attribute { name } if *name == self.id_attr) {
+                if let (Some(val), Some(owner)) =
+                    (self.text_of(id), id.parent().and_then(|ar| ar.parent()))
+                {
+                    if self.element_by_id(&val) != Some(owner) {
+                        problems.push(format!("id attribute {val:?} not indexed"));
+                    }
+                }
+            }
+        }
+        problems
+    }
+
+    /// Flushes every dirty page whose covering log record is durable
+    /// across the document tree and both indexes (the WAL-rule write-back
+    /// a checkpoint performs). Returns how many pages were flushed.
+    pub fn flush_all(&self, durable_lsn: u64) -> usize {
+        self.doc.flush_dirty(durable_lsn)
+            + self.elem_index.flush_dirty(durable_lsn)
+            + self.id_index.flush_dirty(durable_lsn)
+    }
+
+    /// Aggregated buffer-manager snapshot across the document tree and
+    /// both indexes.
+    pub fn pool_stats(&self) -> xtc_storage::PoolStats {
+        let d = self.doc.pool_stats();
+        let e = self.elem_index.pool_stats();
+        let i = self.id_index.pool_stats();
+        xtc_storage::PoolStats {
+            hits: d.hits, // counters are shared via StorageStats: equal on all three
+            misses: d.misses,
+            flushes: d.flushes,
+            evictions: d.evictions,
+            evict_blocked: d.evict_blocked,
+            dirty: d.dirty + e.dirty + i.dirty,
+            resident: d.resident + e.resident + i.resident,
+            live: d.live + e.live + i.live,
+        }
     }
 
     // ---- reads ----------------------------------------------------------

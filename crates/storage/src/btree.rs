@@ -24,6 +24,9 @@ pub struct BTreeConfig {
     /// Simulated per-page-read latency (default zero) — see
     /// [`PagePool::with_latency`].
     pub read_latency: std::time::Duration,
+    /// Buffer residency budget: at most this many pages stay buffered;
+    /// the excess is evicted clean-LRU-first (`None` = unbounded).
+    pub max_resident: Option<usize>,
 }
 
 impl Default for BTreeConfig {
@@ -32,6 +35,7 @@ impl Default for BTreeConfig {
             page_size: 8192,
             max_key: 128,
             read_latency: std::time::Duration::ZERO,
+            max_resident: None,
         }
     }
 }
@@ -118,9 +122,15 @@ impl BTree {
             "front-coded cells store key lengths in one byte (the paper's \
              'key length < 128B' B-tree restriction)"
         );
-        let mut pool = PagePool::with_latency(config.page_size, stats.clone(), config.read_latency);
+        let mut pool = PagePool::with_budget(
+            config.page_size,
+            stats.clone(),
+            config.read_latency,
+            config.max_resident,
+        );
         let root = pool.alloc();
         page::init_leaf(pool.write(root), NO_PAGE, NO_PAGE);
+        pool.pin(root);
         BTree {
             inner: RwLock::new(Inner { pool, root, len: 0 }),
             stats,
@@ -361,6 +371,19 @@ impl BTree {
         removed
     }
 
+    /// Writes back every dirty page whose covering log record is durable
+    /// (`page_lsn <= durable_lsn`); see [`PagePool::flush_dirty`].
+    /// Returns how many pages were flushed.
+    pub fn flush_dirty(&self, durable_lsn: u64) -> usize {
+        self.inner.write().pool.flush_dirty(durable_lsn)
+    }
+
+    /// Buffer-manager snapshot (hits, misses, dirty count, flushes,
+    /// evictions) for this tree's pool.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.inner.read().pool.pool_stats()
+    }
+
     /// Walks every live page and reports space usage.
     pub fn occupancy(&self) -> OccupancyReport {
         let g = self.inner.read();
@@ -436,6 +459,8 @@ fn grow_root(g: &mut Inner, sep: Vec<u8>, right: PageId) {
     page::init_inner(g.pool.write(new_root), old_root);
     page::inner_insert(g.pool.write(new_root), &sep, right);
     g.root = new_root;
+    g.pool.unpin(old_root);
+    g.pool.pin(new_root);
 }
 
 /// Adds separator `sep` → `right` to inner page `cur`, splitting it when
@@ -526,10 +551,14 @@ fn rebuild_or_split(
     old: Option<Vec<u8>>,
     append: bool,
 ) -> MutOutcome {
-    // Chaos-test hook: stretches the window in which a page split holds
-    // the tree latch. Splits sit below the undo-log granularity, so only
-    // `Delay` injects here; an injected error could not be rolled back.
-    xtc_failpoint::fire_delay("btree.split");
+    // Chaos-test hook: `Delay` stretches the window in which a page split
+    // holds the tree latch. Splits sit below the undo-log granularity, so
+    // an `Error` cannot unwind from here — instead it poisons the shared
+    // stats handle, which the transaction layer converts into a WAL crash
+    // after the mutation returns (the mid-split-kill scenario).
+    if xtc_failpoint::fire_delay("btree.split") {
+        g.pool.stats().poison();
+    }
     let page_size = g.pool.page_size();
     let next = page::link(g.pool.read(cur));
     let prev = page::prev_link(g.pool.read(cur));
@@ -756,6 +785,7 @@ fn collapse_root(g: &mut Inner) {
         let old_root = g.root;
         g.root = only_child;
         g.pool.free(old_root);
+        g.pool.pin(only_child);
     }
 }
 

@@ -29,5 +29,5 @@ mod vocab;
 
 pub use btree::{BTree, BTreeConfig, OccupancyReport};
 pub use error::StorageError;
-pub use pool::{PagePool, StorageStats};
+pub use pool::{PagePool, PoolStats, StorageStats};
 pub use vocab::{VocId, Vocabulary};

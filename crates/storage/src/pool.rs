@@ -5,8 +5,19 @@
 //! Here the pool is the in-memory stand-in for buffer + disk: every page
 //! read/write is counted, so experiments can report page-access counts
 //! where the paper reports I/O-bound execution times (see DESIGN.md).
+//!
+//! Since the WAL landed the pool is a real (if simulated) buffer manager:
+//! each page frame carries a `page_lsn` (the LSN of the log record
+//! covering its latest mutation), a dirty bit, a pin count, and a
+//! residency bit. The pool runs **steal/no-force**: dirty pages may leave
+//! the buffer before commit — but only once the covering log record is
+//! durable ([`PagePool::flush_dirty`] enforces the WAL rule) — and commit
+//! never forces data pages, only the log. Eviction under a
+//! `max_resident` budget picks clean, unpinned frames in LRU order;
+//! evicted frames keep their bytes (they model pages on disk) and fault
+//! back in as buffer misses.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +32,10 @@ pub const NO_PAGE: PageId = 0;
 ///
 /// Cloned handles observe the same counters; the lock-protocol experiments
 /// read them to compare storage work across protocols (e.g. the *-2PL
-/// group's IDX subtree scans in CLUSTER2).
+/// group's IDX subtree scans in CLUSTER2). The handle also carries the two
+/// ambient signals the WAL integration needs: the LSN to stamp on dirtied
+/// pages ([`StorageStats::set_current_lsn`]) and the poison flag a crash
+/// failpoint raises from deep inside a page split.
 #[derive(Debug, Default, Clone)]
 pub struct StorageStats {
     inner: Arc<StatsInner>,
@@ -33,6 +47,17 @@ struct StatsInner {
     page_writes: AtomicU64,
     page_allocs: AtomicU64,
     page_frees: AtomicU64,
+    buffer_hits: AtomicU64,
+    buffer_misses: AtomicU64,
+    page_flushes: AtomicU64,
+    evictions: AtomicU64,
+    evict_blocked: AtomicU64,
+    /// LSN stamped on pages dirtied by the mutation in flight (set by the
+    /// transaction layer under its log mutex; `0` = no WAL).
+    current_lsn: AtomicU64,
+    /// Raised by a crash failpoint at a site with no error path (e.g.
+    /// mid-split); the transaction layer checks it after every mutation.
+    poisoned: AtomicBool,
 }
 
 impl StorageStats {
@@ -56,6 +81,30 @@ impl StorageStats {
         self.inner.page_frees.load(Ordering::Relaxed)
     }
 
+    /// Sets the LSN that subsequent page writes stamp as their
+    /// `page_lsn`. The transaction layer calls this (under its log mutex)
+    /// with the LSN of the redo record covering the mutation.
+    pub fn set_current_lsn(&self, lsn: u64) {
+        self.inner.current_lsn.store(lsn, Ordering::Relaxed);
+    }
+
+    /// The LSN currently stamped on dirtied pages.
+    pub fn current_lsn(&self) -> u64 {
+        self.inner.current_lsn.load(Ordering::Relaxed)
+    }
+
+    /// Marks the storage layer as crashed-in-place (a failpoint fired at
+    /// a site with no error path). The engine checks this after each
+    /// mutation and converts it into a WAL crash.
+    pub fn poison(&self) {
+        self.inner.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`StorageStats::poison`] was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn count_read(&self) {
         self.inner.page_reads.fetch_add(1, Ordering::Relaxed);
     }
@@ -71,19 +120,86 @@ impl StorageStats {
     pub(crate) fn count_free(&self) {
         self.inner.page_frees.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn count_hit(&self) {
+        self.inner.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_miss(&self) {
+        self.inner.buffer_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_flush(&self) {
+        self.inner.page_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_eviction(&self) {
+        self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_evict_blocked(&self) {
+        self.inner.evict_blocked.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// A pool of fixed-size pages with a freelist. Not itself thread-safe: the
-/// owning B-tree wraps it (together with the tree root) in its latch.
+/// Snapshot of one pool's buffer-manager state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses that found the page resident.
+    pub hits: u64,
+    /// Accesses that faulted the page in.
+    pub misses: u64,
+    /// Dirty pages written back by [`PagePool::flush_dirty`].
+    pub flushes: u64,
+    /// Frames evicted under the residency budget.
+    pub evictions: u64,
+    /// Times eviction found no clean, unpinned victim.
+    pub evict_blocked: u64,
+    /// Currently dirty pages (mutated since their last flush).
+    pub dirty: usize,
+    /// Currently resident pages.
+    pub resident: usize,
+    /// Live (allocated, not freed) pages.
+    pub live: usize,
+}
+
+/// One buffered page: its bytes plus the buffer-manager state the WAL
+/// integration needs. The bytes persist across eviction — an evicted
+/// frame models a page that only exists on disk.
+#[derive(Debug)]
+struct Frame {
+    data: Box<[u8]>,
+    /// LSN of the log record covering the latest mutation (`0` = never
+    /// dirtied under a WAL).
+    page_lsn: u64,
+    /// Mutated since the last flush.
+    dirty: bool,
+    /// Pinned frames (e.g. the tree root) are never evicted.
+    pins: u32,
+    /// In the buffer? Atomic because reads (`&self`) fault pages in.
+    resident: AtomicBool,
+    /// LRU clock value of the last access.
+    last_use: AtomicU64,
+}
+
+/// A pool of fixed-size pages with a freelist and (optionally) a bounded
+/// buffer. Not itself thread-safe: the owning B-tree wraps it (together
+/// with the tree root) in its latch.
 #[derive(Debug)]
 pub struct PagePool {
     page_size: usize,
-    pages: Vec<Option<Box<[u8]>>>,
+    frames: Vec<Option<Frame>>,
     free: Vec<PageId>,
     stats: StorageStats,
     /// Simulated per-read latency (spin-waited) — the stand-in for the
     /// paper's disk accesses; zero by default.
     read_latency: Duration,
+    /// Residency budget; `None` = unbounded (every page stays resident).
+    max_resident: Option<usize>,
+    /// Currently resident frames (atomic: reads fault pages in).
+    resident: AtomicUsize,
+    /// LRU clock.
+    tick: AtomicU64,
 }
 
 impl PagePool {
@@ -96,12 +212,26 @@ impl PagePool {
     /// converting page-access counts into wall-clock time the way the
     /// paper's IDE disk did (see DESIGN.md substitutions and CLUSTER2).
     pub fn with_latency(page_size: usize, stats: StorageStats, read_latency: Duration) -> Self {
+        Self::with_budget(page_size, stats, read_latency, None)
+    }
+
+    /// Creates a pool with a residency budget: at most `max_resident`
+    /// frames stay buffered; the excess is evicted clean-LRU-first.
+    pub fn with_budget(
+        page_size: usize,
+        stats: StorageStats,
+        read_latency: Duration,
+        max_resident: Option<usize>,
+    ) -> Self {
         PagePool {
             page_size,
-            pages: vec![None], // index 0 unused (NO_PAGE)
+            frames: vec![None], // index 0 unused (NO_PAGE)
             free: Vec::new(),
             stats,
             read_latency,
+            max_resident,
+            resident: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
         }
     }
 
@@ -110,29 +240,56 @@ impl PagePool {
         self.page_size
     }
 
-    /// Allocates a zeroed page.
+    /// Allocates a zeroed page (resident, clean).
     pub fn alloc(&mut self) -> PageId {
+        self.evict_to_budget(1);
         self.stats.count_alloc();
-        let page = vec![0u8; self.page_size].into_boxed_slice();
+        let frame = Frame {
+            data: vec![0u8; self.page_size].into_boxed_slice(),
+            page_lsn: 0,
+            dirty: false,
+            pins: 0,
+            resident: AtomicBool::new(true),
+            last_use: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+        };
+        self.resident.fetch_add(1, Ordering::Relaxed);
         if let Some(id) = self.free.pop() {
-            self.pages[id as usize] = Some(page);
+            self.frames[id as usize] = Some(frame);
             id
         } else {
-            self.pages.push(Some(page));
-            (self.pages.len() - 1) as PageId
+            self.frames.push(Some(frame));
+            (self.frames.len() - 1) as PageId
         }
     }
 
     /// Frees a page back to the pool.
     pub fn free(&mut self, id: PageId) {
-        debug_assert!(self.pages[id as usize].is_some(), "double free of page {id}");
+        let frame = self.frames[id as usize]
+            .take()
+            .expect("double free of page");
+        if frame.resident.load(Ordering::Relaxed) {
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
         self.stats.count_free();
-        self.pages[id as usize] = None;
         self.free.push(id);
     }
 
+    /// Touches a frame's access metadata: bumps the LRU clock and counts
+    /// a buffer hit or (fault-in) miss.
+    fn touch(&self, frame: &Frame) {
+        frame
+            .last_use
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        if frame.resident.swap(true, Ordering::Relaxed) {
+            self.stats.count_hit();
+        } else {
+            self.stats.count_miss();
+            self.resident.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Read access to a page (counted; spin-waits the configured
-    /// simulated latency).
+    /// simulated latency). Faults the page in if it was evicted.
     pub fn read(&self, id: PageId) -> &[u8] {
         self.stats.count_read();
         // Chaos-test hook: page reads have no error path, so an armed
@@ -144,22 +301,131 @@ impl PagePool {
                 std::hint::spin_loop();
             }
         }
-        self.pages[id as usize]
-            .as_deref()
-            .expect("read of freed page")
+        let frame = self.frames[id as usize]
+            .as_ref()
+            .expect("read of freed page");
+        self.touch(frame);
+        &frame.data
     }
 
-    /// Write access to a page (counted).
+    /// Write access to a page (counted). Marks the frame dirty and stamps
+    /// it with the ambient LSN ([`StorageStats::set_current_lsn`]) — the
+    /// WAL rule's bookkeeping.
     pub fn write(&mut self, id: PageId) -> &mut [u8] {
+        self.evict_to_budget(0);
         self.stats.count_write();
-        self.pages[id as usize]
-            .as_deref_mut()
-            .expect("write of freed page")
+        let lsn = self.stats.current_lsn();
+        let frame = self.frames[id as usize]
+            .as_mut()
+            .expect("write of freed page");
+        frame
+            .last_use
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        if !frame.resident.swap(true, Ordering::Relaxed) {
+            self.stats.count_miss();
+            self.resident.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.count_hit();
+        }
+        frame.dirty = true;
+        if lsn > frame.page_lsn {
+            frame.page_lsn = lsn;
+        }
+        &mut frame.data
+    }
+
+    /// Pins a page: it will not be evicted until unpinned.
+    pub fn pin(&mut self, id: PageId) {
+        if let Some(frame) = self.frames[id as usize].as_mut() {
+            frame.pins += 1;
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, id: PageId) {
+        if let Some(frame) = self.frames[id as usize].as_mut() {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Evicts clean, unpinned frames (LRU first) until the resident count
+    /// fits the budget with `headroom` slots to spare. Dirty and pinned
+    /// frames are never victims — a dirty page may cover log records that
+    /// are not durable yet; evicting it would break the WAL rule.
+    fn evict_to_budget(&mut self, headroom: usize) {
+        let Some(max) = self.max_resident else {
+            return;
+        };
+        let max = max.saturating_sub(headroom).max(1);
+        while self.resident.load(Ordering::Relaxed) > max {
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.as_ref().map(|f| (i, f)))
+                .filter(|(_, f)| f.resident.load(Ordering::Relaxed) && !f.dirty && f.pins == 0)
+                .min_by_key(|(_, f)| f.last_use.load(Ordering::Relaxed))
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    let frame = self.frames[i].as_mut().unwrap();
+                    frame.resident.store(false, Ordering::Relaxed);
+                    self.resident.fetch_sub(1, Ordering::Relaxed);
+                    self.stats.count_eviction();
+                }
+                None => {
+                    // Everything resident is dirty or pinned; the buffer
+                    // must overcommit until a flush cleans pages.
+                    self.stats.count_evict_blocked();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes back every dirty page whose covering log record is durable
+    /// (`page_lsn <= durable_lsn`) and returns how many were flushed.
+    /// Pages dirtied past `durable_lsn` stay dirty — flushing them would
+    /// violate the WAL rule. With `durable_lsn == u64::MAX` this is an
+    /// unconditional flush (no-WAL shutdown).
+    pub fn flush_dirty(&mut self, durable_lsn: u64) -> usize {
+        let mut flushed = 0;
+        for frame in self.frames.iter_mut().flatten() {
+            if frame.dirty && frame.page_lsn <= durable_lsn {
+                frame.dirty = false;
+                self.stats.count_flush();
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Number of currently dirty pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.frames
+            .iter()
+            .flatten()
+            .filter(|f| f.dirty)
+            .count()
     }
 
     /// Number of live (allocated, not freed) pages.
     pub fn live_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.frames.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Buffer-manager snapshot for this pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.stats.inner.buffer_hits.load(Ordering::Relaxed),
+            misses: self.stats.inner.buffer_misses.load(Ordering::Relaxed),
+            flushes: self.stats.inner.page_flushes.load(Ordering::Relaxed),
+            evictions: self.stats.inner.evictions.load(Ordering::Relaxed),
+            evict_blocked: self.stats.inner.evict_blocked.load(Ordering::Relaxed),
+            dirty: self.dirty_pages(),
+            resident: self.resident.load(Ordering::Relaxed),
+            live: self.live_pages(),
+        }
     }
 
     /// Shared statistics handle.
@@ -199,5 +465,60 @@ mod tests {
         assert_eq!(stats.page_reads(), 2);
         assert_eq!(stats.page_writes(), 1);
         assert_eq!(pool.read(p)[0], 7);
+    }
+
+    #[test]
+    fn writes_dirty_and_stamp_pages_and_flush_respects_wal_rule() {
+        let stats = StorageStats::default();
+        let mut pool = PagePool::new(64, stats.clone());
+        let a = pool.alloc();
+        let b = pool.alloc();
+        stats.set_current_lsn(5);
+        pool.write(a)[0] = 1;
+        stats.set_current_lsn(9);
+        pool.write(b)[0] = 2;
+        assert_eq!(pool.dirty_pages(), 2);
+        // Log durable through LSN 5: only page `a` may be flushed.
+        assert_eq!(pool.flush_dirty(5), 1);
+        assert_eq!(pool.dirty_pages(), 1);
+        assert_eq!(pool.flush_dirty(9), 1);
+        assert_eq!(pool.dirty_pages(), 0);
+        assert_eq!(pool.pool_stats().flushes, 2);
+    }
+
+    #[test]
+    fn eviction_prefers_clean_lru_and_faults_count_as_misses() {
+        let stats = StorageStats::default();
+        let mut pool = PagePool::with_budget(64, stats.clone(), Duration::ZERO, Some(2));
+        let a = pool.alloc();
+        let b = pool.alloc();
+        // Allocating a third page must evict the LRU clean page (a).
+        let c = pool.alloc();
+        let ps = pool.pool_stats();
+        assert!(ps.evictions >= 1, "expected an eviction, got {ps:?}");
+        assert!(ps.resident <= 2);
+        // The evicted page faults back in: its bytes survive.
+        pool.write(a)[0] = 42;
+        assert_eq!(pool.read(a)[0], 42);
+        assert!(pool.pool_stats().misses >= 1);
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn dirty_and_pinned_pages_are_not_evicted() {
+        let stats = StorageStats::default();
+        let mut pool = PagePool::with_budget(64, stats.clone(), Duration::ZERO, Some(2));
+        let a = pool.alloc();
+        let b = pool.alloc();
+        pool.pin(a);
+        stats.set_current_lsn(3);
+        pool.write(b)[0] = 1; // b dirty, a pinned: no victims
+        let _c = pool.alloc();
+        let ps = pool.pool_stats();
+        assert!(ps.evict_blocked >= 1, "eviction should have been blocked: {ps:?}");
+        // Flush cleans b; the next allocation can evict it.
+        pool.flush_dirty(3);
+        let _d = pool.alloc();
+        assert!(pool.pool_stats().evictions >= 1);
     }
 }

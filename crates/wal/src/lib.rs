@@ -1,0 +1,110 @@
+//! # xtc-wal — write-ahead logging for the XTC reproduction
+//!
+//! The durability subsystem the paper's XTC testbed had and our volatile
+//! reproduction lacked: an append-only, CRC-checked, segmented log of
+//! transaction work, written ahead of any page flush, plus the record
+//! vocabulary an ARIES-lite recovery pass needs
+//! (analysis → redo from the last checkpoint → logical undo of losers —
+//! the recovery driver itself lives in `xtc-core::recovery`, next to the
+//! node manager it rebuilds).
+//!
+//! ## Record set
+//!
+//! [`RecordBody`]: `Begin` / `Commit` / `Abort` transaction brackets,
+//! `PageRedo` (one logical storage mutation, replayed forward), `NodeUndo`
+//! (the before-image needed to roll the mutation back), and fuzzy
+//! `Checkpoint` records carrying a document snapshot plus the
+//! active-transaction table. Every framed record carries its LSN and a
+//! CRC32 ([`codec`]); a torn tail (crash mid-flush) is detected, not
+//! trusted.
+//!
+//! Redo granularity is *logical*: a `PageRedo` describes one node-manager
+//! mutation (subtree insert, subtree delete, content update, rename)
+//! rather than physical page bytes. Pages still carry LSNs — the buffer
+//! pool in `xtc-storage` stamps every dirtied page with the LSN of the
+//! covering record and refuses to flush it until the log says that LSN is
+//! durable (the WAL rule under a steal/no-force policy). Names travel as
+//! strings ([`NodePayload`]), not vocabulary surrogates, so recovery can
+//! re-intern into a fresh vocabulary.
+//!
+//! ## Group commit
+//!
+//! [`Wal::append`] only buffers; [`Wal::commit_sync`] makes an LSN
+//! durable. The first committer becomes the *flush leader*: it waits the
+//! configured flush window so concurrent commits pile into the batch,
+//! writes the whole batch to the backend, syncs once, and wakes every
+//! waiter — one fsync per window, not per commit. [`WalStats`] reports
+//! the batch sizes.
+//!
+//! ## Crash semantics
+//!
+//! [`Wal::crash`] freezes the log: buffered (never-synced) records are
+//! discarded and every later append or sync fails with
+//! [`WalError::Crashed`]. What [`Wal::read_records`] returns afterwards
+//! is exactly what a process kill would have left on disk — the chaos
+//! tests crash the engine this way (failpoint sites `wal.commit`,
+//! `wal.flush`) and then recover from the survivor prefix.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+mod log;
+mod record;
+
+pub use log::{MemBackend, Wal, WalBackend, WalConfig, WalStats, WalStorage};
+pub use record::{NodePayload, RecordBody, RedoOp, UndoOp, WalRecord};
+
+/// Log sequence number: 1-based position of a record in the log. `0`
+/// means "nothing" (no record durable yet, page never dirtied).
+pub type Lsn = u64;
+
+/// Transaction identifier as logged (mirrors `xtc_lock::TxnId`).
+pub type TxnId = u64;
+
+/// Errors of the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The log was crashed (deliberately, by a chaos test, or after an
+    /// unrecoverable backend failure); no further writes are accepted.
+    Crashed,
+    /// A record frame claims zero length — the codec never writes one.
+    ZeroLength,
+    /// The byte stream ends inside a record frame.
+    Truncated,
+    /// A record frame failed its CRC32 check.
+    BadCrc {
+        /// LSN the corrupt frame claimed to carry.
+        claimed_lsn: Lsn,
+    },
+    /// A record frame carries an unknown record-type tag.
+    BadRecordType(u8),
+    /// A record payload does not parse under its type tag.
+    BadPayload(&'static str),
+    /// Backend I/O failure (message carried as text so the error stays
+    /// `Clone + Eq` for the transaction layer).
+    Io(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Crashed => write!(f, "write-ahead log is crashed"),
+            WalError::ZeroLength => write!(f, "zero-length record frame"),
+            WalError::Truncated => write!(f, "log ends inside a record frame"),
+            WalError::BadCrc { claimed_lsn } => {
+                write!(f, "CRC mismatch in record claiming lsn {claimed_lsn}")
+            }
+            WalError::BadRecordType(t) => write!(f, "unknown record type {t}"),
+            WalError::BadPayload(what) => write!(f, "malformed record payload: {what}"),
+            WalError::Io(msg) => write!(f, "log I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,532 @@
+//! The log writer: buffered appends, leader-based group commit, crash
+//! freezing, and the two backends (in-memory for tests, segmented files
+//! for real durability).
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::codec;
+use crate::record::{RecordBody, WalRecord};
+use crate::{Lsn, WalError};
+
+/// Where the log's bytes live.
+///
+/// Backends only see *synced* batches: the [`Wal`] buffers appended
+/// records in memory and hands a whole group-commit batch to
+/// [`WalBackend::append`], which must make it durable before returning.
+pub trait WalBackend: Send + Sync {
+    /// Durably append `bytes` (write + sync, one call per flush batch).
+    fn append(&self, bytes: &[u8]) -> Result<(), WalError>;
+    /// The entire durable log image, in append order.
+    fn read_all(&self) -> Result<Vec<u8>, WalError>;
+    /// Discard everything past the first `len` bytes (used on reopen to
+    /// drop a torn tail).
+    fn truncate(&self, len: u64) -> Result<(), WalError>;
+}
+
+/// In-memory backend: "durable" within the process, reset on drop. This
+/// is what the crash tests use — [`Wal::crash`] discards the *unsynced*
+/// buffer, so what this backend holds is exactly the survivor prefix.
+#[derive(Default)]
+pub struct MemBackend {
+    bytes: Mutex<Vec<u8>>,
+}
+
+impl MemBackend {
+    /// A fresh, empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WalBackend for MemBackend {
+    fn append(&self, bytes: &[u8]) -> Result<(), WalError> {
+        self.bytes.lock().unwrap().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>, WalError> {
+        Ok(self.bytes.lock().unwrap().clone())
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), WalError> {
+        let mut b = self.bytes.lock().unwrap();
+        b.truncate(len as usize);
+        Ok(())
+    }
+}
+
+/// Segmented file backend: the log is a directory of `wal-NNNNNNNN.seg`
+/// files, rolled once a segment passes its size budget. Appends write to
+/// the active segment and `sync_data` before returning.
+struct DirBackend {
+    dir: PathBuf,
+    segment_bytes: u64,
+    state: Mutex<DirState>,
+}
+
+struct DirState {
+    /// Index of the active segment (its file may not exist yet).
+    seg_index: u32,
+    /// Bytes already in the active segment.
+    seg_len: u64,
+}
+
+fn segment_name(index: u32) -> String {
+    format!("wal-{index:08}.seg")
+}
+
+impl DirBackend {
+    fn open(dir: PathBuf, segment_bytes: u64) -> Result<Self, WalError> {
+        fs::create_dir_all(&dir)?;
+        let segments = Self::list_segments(&dir)?;
+        let (seg_index, seg_len) = match segments.last() {
+            Some(&idx) => (idx, fs::metadata(dir.join(segment_name(idx)))?.len()),
+            None => (0, 0),
+        };
+        Ok(DirBackend {
+            dir,
+            segment_bytes: segment_bytes.max(1),
+            state: Mutex::new(DirState { seg_index, seg_len }),
+        })
+    }
+
+    fn list_segments(dir: &PathBuf) -> Result<Vec<u32>, WalError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix("wal-").and_then(|s| s.strip_suffix(".seg")) {
+                if let Ok(idx) = num.parse::<u32>() {
+                    out.push(idx);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+impl WalBackend for DirBackend {
+    fn append(&self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut st = self.state.lock().unwrap();
+        if st.seg_len >= self.segment_bytes {
+            st.seg_index += 1;
+            st.seg_len = 0;
+        }
+        let path = self.dir.join(segment_name(st.seg_index));
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+        st.seg_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>, WalError> {
+        let _st = self.state.lock().unwrap();
+        let mut out = Vec::new();
+        for idx in Self::list_segments(&self.dir)? {
+            out.extend_from_slice(&fs::read(self.dir.join(segment_name(idx)))?);
+        }
+        Ok(out)
+    }
+
+    fn truncate(&self, len: u64) -> Result<(), WalError> {
+        let mut st = self.state.lock().unwrap();
+        let mut remaining = len;
+        let segments = Self::list_segments(&self.dir)?;
+        let mut last_kept = (0u32, 0u64);
+        for idx in segments {
+            let path = self.dir.join(segment_name(idx));
+            let seg_len = fs::metadata(&path)?.len();
+            if remaining == 0 {
+                fs::remove_file(&path)?;
+            } else if seg_len <= remaining {
+                remaining -= seg_len;
+                last_kept = (idx, seg_len);
+            } else {
+                let file = fs::OpenOptions::new().write(true).open(&path)?;
+                file.set_len(remaining)?;
+                file.sync_data()?;
+                last_kept = (idx, remaining);
+                remaining = 0;
+            }
+        }
+        st.seg_index = last_kept.0;
+        st.seg_len = last_kept.1;
+        Ok(())
+    }
+}
+
+/// Storage choice for a [`Wal`].
+#[derive(Debug, Clone)]
+pub enum WalStorage {
+    /// Process-lifetime log (tests, crash simulation).
+    Memory,
+    /// Segmented files under `path`, rolled every `segment_bytes`.
+    Directory {
+        /// Directory holding the `wal-*.seg` files (created if absent).
+        path: PathBuf,
+        /// Size budget per segment before rolling to the next file.
+        segment_bytes: u64,
+    },
+}
+
+/// Configuration of a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Where the log's bytes live.
+    pub storage: WalStorage,
+    /// How long the group-commit flush leader lingers before syncing, so
+    /// concurrent commits pile into one fsync. Zero = sync immediately.
+    pub group_commit_window: Duration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            storage: WalStorage::Memory,
+            group_commit_window: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Counters of the log writer (all monotonic since open).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (buffered; includes never-synced ones).
+    pub appends: u64,
+    /// Flush batches written and synced to the backend.
+    pub flushes: u64,
+    /// Records made durable across all flushes.
+    pub synced_records: u64,
+    /// Bytes made durable across all flushes.
+    pub synced_bytes: u64,
+    /// Largest single flush batch, in records — the group-commit win.
+    pub max_batch: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    appends: AtomicU64,
+    flushes: AtomicU64,
+    synced_records: AtomicU64,
+    synced_bytes: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+struct WalState {
+    /// Encoded frames appended but not yet handed to the backend.
+    buf: Vec<u8>,
+    /// Records inside `buf`.
+    buf_records: u64,
+    /// Highest LSN inside `buf` (meaningless when `buf` is empty).
+    buf_max_lsn: Lsn,
+    /// LSN the next append will receive.
+    next_lsn: Lsn,
+    /// Highest LSN the backend is known to hold.
+    durable_lsn: Lsn,
+    /// Frozen: appends and syncs fail, buffered records are gone.
+    crashed: bool,
+    /// A flush leader is currently writing the backend.
+    flushing: bool,
+}
+
+/// The write-ahead log. See the crate docs for the protocol; in short:
+/// [`append`](Wal::append) buffers, [`commit_sync`](Wal::commit_sync)
+/// makes an LSN durable via leader-based group commit, and
+/// [`crash`](Wal::crash) freezes the log keeping only what was synced.
+pub struct Wal {
+    state: Mutex<WalState>,
+    cv: Condvar,
+    backend: Box<dyn WalBackend>,
+    window: Duration,
+    stats: StatsInner,
+}
+
+impl Wal {
+    /// Open a log. A file-backed log that already holds records resumes
+    /// after them (a torn tail from a previous crash is truncated away).
+    pub fn open(config: WalConfig) -> Result<Self, WalError> {
+        let backend: Box<dyn WalBackend> = match config.storage {
+            WalStorage::Memory => Box::new(MemBackend::new()),
+            WalStorage::Directory { path, segment_bytes } => {
+                Box::new(DirBackend::open(path, segment_bytes)?)
+            }
+        };
+        // Scan the durable image: resume LSNs after the intact prefix and
+        // drop any torn tail so new appends extend a clean log.
+        let image = backend.read_all()?;
+        let mut pos = 0usize;
+        let mut last_lsn: Lsn = 0;
+        let mut damaged = false;
+        while pos < image.len() {
+            match codec::decode_record(&image[pos..]) {
+                Ok((rec, used)) => {
+                    last_lsn = rec.lsn;
+                    pos += used;
+                }
+                Err(_) => {
+                    damaged = true;
+                    break;
+                }
+            }
+        }
+        if damaged {
+            backend.truncate(pos as u64)?;
+        }
+        Ok(Wal {
+            state: Mutex::new(WalState {
+                buf: Vec::new(),
+                buf_records: 0,
+                buf_max_lsn: 0,
+                next_lsn: last_lsn + 1,
+                durable_lsn: last_lsn,
+                crashed: false,
+                flushing: false,
+            }),
+            cv: Condvar::new(),
+            backend,
+            window: config.group_commit_window,
+            stats: StatsInner::default(),
+        })
+    }
+
+    /// Append a record to the in-memory buffer and return its LSN. The
+    /// record is **not** durable until [`commit_sync`](Wal::commit_sync)
+    /// covers its LSN.
+    pub fn append(&self, body: &RecordBody) -> Result<Lsn, WalError> {
+        let mut st = self.state.lock().unwrap();
+        if st.crashed {
+            return Err(WalError::Crashed);
+        }
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        let frame = codec::encode_record(lsn, body);
+        st.buf.extend_from_slice(&frame);
+        st.buf_records += 1;
+        st.buf_max_lsn = lsn;
+        self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// The LSN the *next* append will receive. Under the engine's log
+    /// mutex this is the LSN pages dirtied by the upcoming mutation will
+    /// be stamped with.
+    pub fn next_lsn(&self) -> Lsn {
+        self.state.lock().unwrap().next_lsn
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.state.lock().unwrap().durable_lsn
+    }
+
+    /// Whether [`crash`](Wal::crash) has frozen the log.
+    pub fn is_crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Make every record up to `lsn` durable. The first caller becomes
+    /// the flush leader: it waits the group-commit window, writes the
+    /// whole buffered batch, syncs once, and wakes all waiters.
+    pub fn commit_sync(&self, lsn: Lsn) -> Result<(), WalError> {
+        loop {
+            let mut st = self.state.lock().unwrap();
+            loop {
+                if st.durable_lsn >= lsn {
+                    return Ok(());
+                }
+                if st.crashed {
+                    return Err(WalError::Crashed);
+                }
+                if !st.flushing {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap();
+            }
+            st.flushing = true;
+            drop(st);
+            self.flush_as_leader()?;
+        }
+    }
+
+    /// Flush everything currently buffered (checkpoints, shutdown).
+    pub fn sync_all(&self) -> Result<Lsn, WalError> {
+        let target = {
+            let st = self.state.lock().unwrap();
+            if st.crashed {
+                return Err(WalError::Crashed);
+            }
+            if st.buf_records == 0 { st.durable_lsn } else { st.buf_max_lsn }
+        };
+        if target > 0 {
+            self.commit_sync(target)?;
+        }
+        Ok(target)
+    }
+
+    /// Leader path: linger for the window, drain the batch, write + sync
+    /// it, publish the new durable LSN. `self.state.flushing` is already
+    /// set by the caller and is cleared here on every exit path.
+    fn flush_as_leader(&self) -> Result<(), WalError> {
+        if !self.window.is_zero() {
+            std::thread::sleep(self.window);
+        }
+        let (batch, batch_records, batch_max) = {
+            let mut st = self.state.lock().unwrap();
+            if st.crashed {
+                st.flushing = false;
+                self.cv.notify_all();
+                return Err(WalError::Crashed);
+            }
+            let batch = std::mem::take(&mut st.buf);
+            let records = st.buf_records;
+            st.buf_records = 0;
+            (batch, records, st.buf_max_lsn)
+        };
+        if batch.is_empty() {
+            let mut st = self.state.lock().unwrap();
+            st.flushing = false;
+            self.cv.notify_all();
+            return Ok(());
+        }
+
+        // Crash site `wal.flush`: Error tears the batch mid-record — a
+        // prefix reaches the backend (as a partially-written page would),
+        // the log freezes, and recovery must cope with the torn tail.
+        let injected = match xtc_failpoint::eval("wal.flush") {
+            Some(xtc_failpoint::FailAction::Delay(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(xtc_failpoint::FailAction::Error) => true,
+            None => false,
+        };
+        let io = if injected {
+            // Every frame is at least FRAME_HEADER+1 bytes, so cutting 3
+            // bytes off the end always lands inside the last record.
+            let cut = batch.len() - 3;
+            let _ = self.backend.append(&batch[..cut]);
+            Err(WalError::Crashed)
+        } else {
+            self.backend.append(&batch)
+        };
+
+        let mut st = self.state.lock().unwrap();
+        match io {
+            Ok(()) => {
+                st.durable_lsn = st.durable_lsn.max(batch_max);
+                st.flushing = false;
+                self.cv.notify_all();
+                self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                self.stats.synced_records.fetch_add(batch_records, Ordering::Relaxed);
+                self.stats.synced_bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.stats.max_batch.fetch_max(batch_records, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                st.crashed = true;
+                st.buf.clear();
+                st.buf_records = 0;
+                st.flushing = false;
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Simulate a process kill: discard buffered (never-synced) records
+    /// and refuse all further writes. What the backend holds afterwards
+    /// is exactly the durable prefix a real crash would have left.
+    pub fn crash(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.crashed = true;
+        st.buf.clear();
+        st.buf_records = 0;
+        self.cv.notify_all();
+    }
+
+    /// Decode the durable log image: every intact record, plus the torn
+    /// tail damage if the image ends inside a frame.
+    pub fn read_records(&self) -> Result<(Vec<WalRecord>, Option<WalError>), WalError> {
+        let image = self.backend.read_all()?;
+        Ok(codec::decode_stream(&image))
+    }
+
+    /// Snapshot of the writer's counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.stats.appends.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            synced_records: self.stats.synced_records.load(Ordering::Relaxed),
+            synced_bytes: self.stats.synced_bytes.load(Ordering::Relaxed),
+            max_batch: self.stats.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_is_not_durable_until_synced() {
+        let wal = Wal::open(WalConfig::default()).unwrap();
+        let lsn = wal.append(&RecordBody::Begin { txn: 1 }).unwrap();
+        assert_eq!(wal.durable_lsn(), 0);
+        let (records, _) = wal.read_records().unwrap();
+        assert!(records.is_empty());
+        wal.commit_sync(lsn).unwrap();
+        assert_eq!(wal.durable_lsn(), lsn);
+        let (records, damage) = wal.read_records().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(damage, None);
+    }
+
+    #[test]
+    fn crash_discards_buffered_records() {
+        let wal = Wal::open(WalConfig::default()).unwrap();
+        let l1 = wal.append(&RecordBody::Begin { txn: 1 }).unwrap();
+        wal.commit_sync(l1).unwrap();
+        wal.append(&RecordBody::Commit { txn: 1 }).unwrap();
+        wal.crash();
+        let (records, damage) = wal.read_records().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(damage, None);
+        assert_eq!(wal.append(&RecordBody::Begin { txn: 2 }), Err(WalError::Crashed));
+        assert_eq!(wal.commit_sync(l1 + 1), Err(WalError::Crashed));
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_commits() {
+        use std::sync::Arc;
+        let wal = Arc::new(
+            Wal::open(WalConfig {
+                storage: WalStorage::Memory,
+                group_commit_window: Duration::from_millis(5),
+            })
+            .unwrap(),
+        );
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    let lsn = wal.append(&RecordBody::Commit { txn: i }).unwrap();
+                    wal.commit_sync(lsn).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.synced_records, 8);
+        assert!(stats.flushes < 8, "expected batching, got {} flushes", stats.flushes);
+        assert!(stats.max_batch >= 2);
+    }
+}

@@ -1,0 +1,457 @@
+//! Logical record vocabulary of the write-ahead log.
+//!
+//! Node identities travel as *encoded* SPLIDs (the byte form produced by
+//! `xtc_splid::encode`) and names/content as plain strings — never
+//! vocabulary surrogates — so a recovery pass can rebuild a document into
+//! a fresh `DocStore` and re-intern every name from scratch.
+
+use crate::{Lsn, TxnId, WalError};
+
+/// The node kinds a redo/undo record can materialise, with names spelled
+/// out (mirrors `xtc_node::NodeData`, minus the vocabulary indirection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodePayload {
+    /// An element node carrying its tag name.
+    Element(String),
+    /// The synthetic attribute-root child of an element.
+    AttrRoot,
+    /// An attribute node carrying its attribute name.
+    Attribute(String),
+    /// A text node (value lives in the string child).
+    Text,
+    /// A string value node (text content or attribute value bytes).
+    Str(Vec<u8>),
+}
+
+/// One logical storage mutation, replayed forward during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedoOp {
+    /// Materialise the given `(encoded splid, payload)` nodes.
+    Insert {
+        /// Nodes in document order, SPLIDs pre-encoded.
+        nodes: Vec<(Vec<u8>, NodePayload)>,
+    },
+    /// Remove the subtree rooted at the encoded SPLID.
+    Delete {
+        /// Encoded SPLID of the subtree root.
+        root: Vec<u8>,
+    },
+    /// Overwrite a node's text/attribute content.
+    Content {
+        /// Encoded SPLID of the content-bearing node.
+        node: Vec<u8>,
+        /// The content after the mutation.
+        new: String,
+    },
+    /// Rename an element.
+    Rename {
+        /// Encoded SPLID of the element.
+        node: Vec<u8>,
+        /// The tag name after the mutation.
+        new: String,
+    },
+}
+
+/// The before-image needed to roll one [`RedoOp`] back (logical undo).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoOp {
+    /// Undo an insert: remove the subtree rooted here.
+    Delete {
+        /// Encoded SPLID of the inserted subtree root.
+        root: Vec<u8>,
+    },
+    /// Undo a delete: restore the captured subtree.
+    Restore {
+        /// The deleted nodes in document order, SPLIDs pre-encoded.
+        nodes: Vec<(Vec<u8>, NodePayload)>,
+    },
+    /// Undo a content update: put the old content back.
+    Content {
+        /// Encoded SPLID of the content-bearing node.
+        node: Vec<u8>,
+        /// The content before the mutation.
+        old: String,
+    },
+    /// Undo a rename: put the old tag name back.
+    Rename {
+        /// Encoded SPLID of the element.
+        node: Vec<u8>,
+        /// The tag name before the mutation.
+        old: String,
+    },
+}
+
+/// Body of one log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordBody {
+    /// Transaction start (written lazily, before its first logged work).
+    Begin {
+        /// The starting transaction.
+        txn: TxnId,
+    },
+    /// Transaction commit — the txn is a winner once this is durable.
+    Commit {
+        /// The committing transaction.
+        txn: TxnId,
+    },
+    /// Transaction abort — all its undo work has been compensated.
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+    },
+    /// One logical mutation, replayed forward during redo. A compensation
+    /// record (written while rolling back) points at the undo record it
+    /// compensates so recovery never undoes the same work twice.
+    PageRedo {
+        /// The mutating transaction.
+        txn: TxnId,
+        /// `Some(lsn)` iff this is a compensation record for that
+        /// `NodeUndo` record.
+        compensates: Option<Lsn>,
+        /// The mutation itself.
+        op: RedoOp,
+    },
+    /// The before-image for the transaction's most recent mutation.
+    NodeUndo {
+        /// The mutating transaction.
+        txn: TxnId,
+        /// How to roll the mutation back.
+        op: UndoOp,
+    },
+    /// Fuzzy checkpoint: a full document snapshot plus the transactions
+    /// active at checkpoint time. Redo starts after the last one.
+    Checkpoint {
+        /// Transactions live when the checkpoint was taken (potential
+        /// losers even though their Begin precedes the checkpoint).
+        active: Vec<TxnId>,
+        /// Entire document as `(encoded splid, payload)` in document
+        /// order.
+        snapshot: Vec<(Vec<u8>, NodePayload)>,
+    },
+}
+
+/// A decoded log record: an LSN plus its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Position in the log (1-based).
+    pub lsn: Lsn,
+    /// The record body.
+    pub body: RecordBody,
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding. Fixed-width little-endian integers, u32-length-prefixed
+// byte strings, one leading tag byte per enum. Framing (length, LSN, CRC)
+// is the codec's job; this file only serialises bodies.
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WalError::BadPayload("payload ends mid-field"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WalError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, WalError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WalError::BadPayload("non-utf8 string"))
+    }
+
+    fn done(&self) -> Result<(), WalError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WalError::BadPayload("trailing bytes after record body"))
+        }
+    }
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_ABORT: u8 = 3;
+const TAG_PAGE_REDO: u8 = 4;
+const TAG_NODE_UNDO: u8 = 5;
+const TAG_CHECKPOINT: u8 = 6;
+
+impl NodePayload {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            NodePayload::Element(name) => {
+                out.push(1);
+                put_str(out, name);
+            }
+            NodePayload::AttrRoot => out.push(2),
+            NodePayload::Attribute(name) => {
+                out.push(3);
+                put_str(out, name);
+            }
+            NodePayload::Text => out.push(4),
+            NodePayload::Str(value) => {
+                out.push(5);
+                put_bytes(out, value);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WalError> {
+        Ok(match r.u8()? {
+            1 => NodePayload::Element(r.string()?),
+            2 => NodePayload::AttrRoot,
+            3 => NodePayload::Attribute(r.string()?),
+            4 => NodePayload::Text,
+            5 => NodePayload::Str(r.bytes()?),
+            _ => return Err(WalError::BadPayload("unknown node payload kind")),
+        })
+    }
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[(Vec<u8>, NodePayload)]) {
+    out.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    for (splid, payload) in nodes {
+        put_bytes(out, splid);
+        payload.encode_into(out);
+    }
+}
+
+fn read_nodes(r: &mut Reader<'_>) -> Result<Vec<(Vec<u8>, NodePayload)>, WalError> {
+    let n = r.u32()? as usize;
+    // Every node costs at least 5 bytes (length prefix + kind byte); cap
+    // the pre-allocation so a corrupt count cannot balloon memory.
+    let mut nodes = Vec::with_capacity(n.min(r.buf.len() / 5 + 1));
+    for _ in 0..n {
+        let splid = r.bytes()?;
+        let payload = NodePayload::decode(r)?;
+        nodes.push((splid, payload));
+    }
+    Ok(nodes)
+}
+
+impl RedoOp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RedoOp::Insert { nodes } => {
+                out.push(1);
+                put_nodes(out, nodes);
+            }
+            RedoOp::Delete { root } => {
+                out.push(2);
+                put_bytes(out, root);
+            }
+            RedoOp::Content { node, new } => {
+                out.push(3);
+                put_bytes(out, node);
+                put_str(out, new);
+            }
+            RedoOp::Rename { node, new } => {
+                out.push(4);
+                put_bytes(out, node);
+                put_str(out, new);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WalError> {
+        Ok(match r.u8()? {
+            1 => RedoOp::Insert { nodes: read_nodes(r)? },
+            2 => RedoOp::Delete { root: r.bytes()? },
+            3 => RedoOp::Content { node: r.bytes()?, new: r.string()? },
+            4 => RedoOp::Rename { node: r.bytes()?, new: r.string()? },
+            _ => return Err(WalError::BadPayload("unknown redo op")),
+        })
+    }
+}
+
+impl UndoOp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            UndoOp::Delete { root } => {
+                out.push(1);
+                put_bytes(out, root);
+            }
+            UndoOp::Restore { nodes } => {
+                out.push(2);
+                put_nodes(out, nodes);
+            }
+            UndoOp::Content { node, old } => {
+                out.push(3);
+                put_bytes(out, node);
+                put_str(out, old);
+            }
+            UndoOp::Rename { node, old } => {
+                out.push(4);
+                put_bytes(out, node);
+                put_str(out, old);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WalError> {
+        Ok(match r.u8()? {
+            1 => UndoOp::Delete { root: r.bytes()? },
+            2 => UndoOp::Restore { nodes: read_nodes(r)? },
+            3 => UndoOp::Content { node: r.bytes()?, old: r.string()? },
+            4 => UndoOp::Rename { node: r.bytes()?, old: r.string()? },
+            _ => return Err(WalError::BadPayload("unknown undo op")),
+        })
+    }
+}
+
+impl UndoOp {
+    /// The forward mutation that *performs* this undo — what a
+    /// compensation record logs while a transaction rolls back.
+    pub fn as_redo(&self) -> RedoOp {
+        match self {
+            UndoOp::Delete { root } => RedoOp::Delete { root: root.clone() },
+            UndoOp::Restore { nodes } => RedoOp::Insert { nodes: nodes.clone() },
+            UndoOp::Content { node, old } => RedoOp::Content {
+                node: node.clone(),
+                new: old.clone(),
+            },
+            UndoOp::Rename { node, old } => RedoOp::Rename {
+                node: node.clone(),
+                new: old.clone(),
+            },
+        }
+    }
+}
+
+impl RecordBody {
+    /// Serialise the body (tag byte first) into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RecordBody::Begin { txn } => {
+                out.push(TAG_BEGIN);
+                put_u64(out, *txn);
+            }
+            RecordBody::Commit { txn } => {
+                out.push(TAG_COMMIT);
+                put_u64(out, *txn);
+            }
+            RecordBody::Abort { txn } => {
+                out.push(TAG_ABORT);
+                put_u64(out, *txn);
+            }
+            RecordBody::PageRedo { txn, compensates, op } => {
+                out.push(TAG_PAGE_REDO);
+                put_u64(out, *txn);
+                put_u64(out, compensates.unwrap_or(0));
+                op.encode_into(out);
+            }
+            RecordBody::NodeUndo { txn, op } => {
+                out.push(TAG_NODE_UNDO);
+                put_u64(out, *txn);
+                op.encode_into(out);
+            }
+            RecordBody::Checkpoint { active, snapshot } => {
+                out.push(TAG_CHECKPOINT);
+                out.extend_from_slice(&(active.len() as u32).to_le_bytes());
+                for txn in active {
+                    put_u64(out, *txn);
+                }
+                put_nodes(out, snapshot);
+            }
+        }
+    }
+
+    /// Serialise the body into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Parse a body from exactly `bytes` (trailing garbage is an error).
+    pub fn decode(bytes: &[u8]) -> Result<Self, WalError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let body = match tag {
+            TAG_BEGIN => RecordBody::Begin { txn: r.u64()? },
+            TAG_COMMIT => RecordBody::Commit { txn: r.u64()? },
+            TAG_ABORT => RecordBody::Abort { txn: r.u64()? },
+            TAG_PAGE_REDO => {
+                let txn = r.u64()?;
+                let compensates = match r.u64()? {
+                    0 => None,
+                    lsn => Some(lsn),
+                };
+                RecordBody::PageRedo {
+                    txn,
+                    compensates,
+                    op: RedoOp::decode(&mut r)?,
+                }
+            }
+            TAG_NODE_UNDO => RecordBody::NodeUndo {
+                txn: r.u64()?,
+                op: UndoOp::decode(&mut r)?,
+            },
+            TAG_CHECKPOINT => {
+                let n = r.u32()? as usize;
+                let mut active = Vec::with_capacity(n.min(r.buf.len() / 8 + 1));
+                for _ in 0..n {
+                    active.push(r.u64()?);
+                }
+                RecordBody::Checkpoint {
+                    active,
+                    snapshot: read_nodes(&mut r)?,
+                }
+            }
+            other => return Err(WalError::BadRecordType(other)),
+        };
+        r.done()?;
+        Ok(body)
+    }
+
+    /// The transaction this record belongs to, if any (checkpoints are
+    /// log-global).
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            RecordBody::Begin { txn }
+            | RecordBody::Commit { txn }
+            | RecordBody::Abort { txn }
+            | RecordBody::PageRedo { txn, .. }
+            | RecordBody::NodeUndo { txn, .. } => Some(*txn),
+            RecordBody::Checkpoint { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic fuzz of the WAL record codec: round trips over random
+//! record bodies, stream decoding with torn tails, and graceful
+//! `WalError`s on corrupted frames. Mirrors `crates/splid/tests/
+//! fuzz_codec.rs`: fixed seeds, no external RNG dependency, so local
+//! builds get the coverage even where proptest is unavailable.
+
+use xtc_wal::codec::{decode_record, decode_stream, encode_record, FRAME_HEADER};
+use xtc_wal::{NodePayload, RecordBody, RedoOp, UndoOp, WalError};
+
+/// xorshift64* — no external RNG dependency, stable across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        (0..self.below(max_len)).map(|_| self.next() as u8).collect()
+    }
+
+    fn string(&mut self, max_len: u64) -> String {
+        (0..self.below(max_len))
+            .map(|_| char::from(b'a' + (self.below(26) as u8)))
+            .collect()
+    }
+}
+
+fn random_payload(rng: &mut Rng) -> NodePayload {
+    match rng.below(5) {
+        0 => NodePayload::Element(rng.string(12)),
+        1 => NodePayload::AttrRoot,
+        2 => NodePayload::Attribute(rng.string(12)),
+        3 => NodePayload::Text,
+        _ => NodePayload::Str(rng.bytes(40)),
+    }
+}
+
+fn random_nodes(rng: &mut Rng) -> Vec<(Vec<u8>, NodePayload)> {
+    (0..rng.below(6))
+        .map(|_| (rng.bytes(20), random_payload(rng)))
+        .collect()
+}
+
+fn random_redo(rng: &mut Rng) -> RedoOp {
+    match rng.below(4) {
+        0 => RedoOp::Insert {
+            nodes: random_nodes(rng),
+        },
+        1 => RedoOp::Delete {
+            root: rng.bytes(20),
+        },
+        2 => RedoOp::Content {
+            node: rng.bytes(20),
+            new: rng.string(30),
+        },
+        _ => RedoOp::Rename {
+            node: rng.bytes(20),
+            new: rng.string(12),
+        },
+    }
+}
+
+fn random_undo(rng: &mut Rng) -> UndoOp {
+    match rng.below(4) {
+        0 => UndoOp::Delete {
+            root: rng.bytes(20),
+        },
+        1 => UndoOp::Restore {
+            nodes: random_nodes(rng),
+        },
+        2 => UndoOp::Content {
+            node: rng.bytes(20),
+            old: rng.string(30),
+        },
+        _ => UndoOp::Rename {
+            node: rng.bytes(20),
+            old: rng.string(12),
+        },
+    }
+}
+
+fn random_body(rng: &mut Rng) -> RecordBody {
+    let txn = rng.next();
+    match rng.below(6) {
+        0 => RecordBody::Begin { txn },
+        1 => RecordBody::Commit { txn },
+        2 => RecordBody::Abort { txn },
+        3 => RecordBody::PageRedo {
+            txn,
+            compensates: if rng.below(2) == 0 {
+                None
+            } else {
+                Some(1 + rng.below(1 << 40))
+            },
+            op: random_redo(rng),
+        },
+        4 => RecordBody::NodeUndo {
+            txn,
+            op: random_undo(rng),
+        },
+        _ => RecordBody::Checkpoint {
+            active: (0..rng.below(5)).map(|_| rng.next()).collect(),
+            snapshot: random_nodes(rng),
+        },
+    }
+}
+
+#[test]
+fn random_records_round_trip() {
+    let mut rng = Rng(0x5EED_1001);
+    for case in 0..4000 {
+        let body = random_body(&mut rng);
+        let lsn = 1 + rng.below(1 << 40);
+        let frame = encode_record(lsn, &body);
+        let (rec, consumed) =
+            decode_record(&frame).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(consumed, frame.len(), "case {case}: partial consumption");
+        assert_eq!(rec.lsn, lsn, "case {case}");
+        assert_eq!(rec.body, body, "case {case}");
+    }
+}
+
+#[test]
+fn random_streams_round_trip_and_report_torn_tails() {
+    let mut rng = Rng(0x5EED_1002);
+    for case in 0..300 {
+        let bodies: Vec<RecordBody> = (0..1 + rng.below(12)).map(|_| random_body(&mut rng)).collect();
+        let mut stream = Vec::new();
+        for (i, b) in bodies.iter().enumerate() {
+            stream.extend_from_slice(&encode_record(i as u64 + 1, b));
+        }
+        let (recs, err) = decode_stream(&stream);
+        assert!(err.is_none(), "case {case}: clean stream reported {err:?}");
+        assert_eq!(recs.len(), bodies.len(), "case {case}");
+        for (rec, body) in recs.iter().zip(&bodies) {
+            assert_eq!(&rec.body, body, "case {case}");
+        }
+        // Tear the tail mid-record (a crash between write and sync): every
+        // complete prefix record still decodes, the torn one reports an
+        // error, and nothing panics.
+        let last_start = stream.len() - encode_record(bodies.len() as u64, bodies.last().unwrap()).len();
+        let cut = last_start + 1 + rng.below((stream.len() - last_start - 1) as u64) as usize;
+        let (prefix, err) = decode_stream(&stream[..cut]);
+        assert_eq!(prefix.len(), bodies.len() - 1, "case {case}: torn tail ate a full record");
+        assert!(err.is_some(), "case {case}: torn tail went unreported");
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_are_detected() {
+    let mut rng = Rng(0x5EED_1003);
+    let mut detected = 0u32;
+    let mut flips = 0u32;
+    for _ in 0..800 {
+        let body = random_body(&mut rng);
+        let frame = encode_record(7, &body);
+        let mut bad = frame.clone();
+        let bit = rng.below((bad.len() * 8) as u64) as usize;
+        bad[bit / 8] ^= 1 << (7 - bit % 8);
+        flips += 1;
+        match decode_record(&bad) {
+            // A flip inside the length field can make the frame look
+            // longer than the buffer (Truncated) or empty (ZeroLength);
+            // anywhere else the CRC must catch it.
+            Err(_) => detected += 1,
+            Ok((rec, _)) => assert_eq!(
+                (rec.lsn, rec.body),
+                (7, body),
+                "corruption slipped past the CRC"
+            ),
+        }
+    }
+    // CRC32 misses a single-bit flip never; the only undetected cases
+    // would be flips the decoder canonicalizes away, of which this format
+    // has none.
+    assert_eq!(detected, flips, "some single-bit flips went undetected");
+}
+
+#[test]
+fn short_and_empty_frames_report_truncated_or_zero_length() {
+    assert!(matches!(decode_record(&[]), Err(WalError::Truncated)));
+    assert!(matches!(
+        decode_record(&[0u8; FRAME_HEADER - 1]),
+        Err(WalError::Truncated)
+    ));
+    // A zeroed header claims payload_len == 0: the all-zero torn-tail
+    // case gets its own error so recovery can distinguish preallocated
+    // file tails from corruption.
+    assert!(matches!(
+        decode_record(&[0u8; FRAME_HEADER]),
+        Err(WalError::ZeroLength)
+    ));
+    // A frame claiming more payload than present is torn.
+    let mut frame = encode_record(1, &RecordBody::Begin { txn: 1 });
+    frame.truncate(frame.len() - 1);
+    assert!(matches!(decode_record(&frame), Err(WalError::Truncated)));
+}
+
+#[test]
+fn crc_mismatch_reports_the_claimed_lsn() {
+    let mut frame = encode_record(42, &RecordBody::Commit { txn: 9 });
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    match decode_record(&frame) {
+        Err(WalError::BadCrc { claimed_lsn }) => assert_eq!(claimed_lsn, 42),
+        other => panic!("expected BadCrc, got {other:?}"),
+    }
+}
