@@ -36,10 +36,13 @@ fn main() {
                 .collect();
             th.push(avg_committed(&reports));
             dl.push(avg_deadlocks(&reports));
+            let hit_rate =
+                reports.iter().map(|r| r.cache_hit_rate()).sum::<f64>() / reports.len() as f64;
             eprintln!(
-                "fig9: {proto} depth={depth}: committed={:.0} deadlocks={:.0}",
+                "fig9: {proto} depth={depth}: committed={:.0} deadlocks={:.0} cache-hit={:.1}%",
                 th.last().unwrap(),
-                dl.last().unwrap()
+                dl.last().unwrap(),
+                hit_rate * 100.0
             );
         }
         throughput.push((proto.to_string(), th));

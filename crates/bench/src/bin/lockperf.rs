@@ -1,0 +1,377 @@
+//! Lock-manager fast-path benchmark: cache on vs. off.
+//!
+//! Two tables:
+//!
+//! * **micro** — a single transaction re-reads one deep node in a tight
+//!   loop. Every read re-acquires the intention-lock path up to the lock
+//!   depth, so with the per-transaction cache enabled almost every
+//!   request is a hit; with the cache disabled each pays the shard
+//!   round trip. Reports raw lock requests per second per protocol ×
+//!   depth × cache arm.
+//! * **tamix** — a short CLUSTER1 mix per protocol × depth × cache arm:
+//!   committed transactions, throughput, and the cache hit rate under
+//!   real contention.
+//!
+//! ```text
+//! lockperf [--duration-ms N] [--depths a,b,c] [--protocols a,b,c]
+//!          [--micro-iters N] [--bib tiny|scaled|paper] [--seed N]
+//!          [--json PATH] [--bench-json PATH] [--check]
+//! ```
+//!
+//! `--json` (default `results/lockperf.json`) and `--bench-json`
+//! (default `BENCH_lockperf.json`) write the machine-readable report;
+//! `--check` exits nonzero unless every cache-enabled arm shows a
+//! nonzero cache hit rate.
+
+use std::time::{Duration, Instant};
+use xtc_core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc_tamix::{run_cluster1, BibConfig, TamixParams};
+
+struct MicroCell {
+    protocol: String,
+    depth: u32,
+    cache: bool,
+    iters: u64,
+    requests: u64,
+    cache_hits: u64,
+    locks_per_sec: f64,
+}
+
+struct TamixCell {
+    protocol: String,
+    depth: u32,
+    cache: bool,
+    committed: u64,
+    throughput_per_5min: f64,
+    lock_requests: u64,
+    table_requests: u64,
+    cache_hits: u64,
+    deadlocks: u64,
+}
+
+fn hit_rate(hits: u64, requests: u64) -> f64 {
+    if requests == 0 {
+        0.0
+    } else {
+        hits as f64 / requests as f64
+    }
+}
+
+/// A deep nested document so intention-lock paths are long: the target
+/// node sits at level 8, its read at depth d re-locks min(d, 8) + 1
+/// names per operation.
+const DEEP_DOC: &str = "<l1><l2><l3><l4><l5><l6><l7 id=\"deep\">x</l7></l6></l5></l4></l3></l2></l1>";
+
+fn micro_cell(protocol: &str, depth: u32, cache: bool, iters: u64) -> MicroCell {
+    let db = XtcDb::new(XtcConfig {
+        protocol: protocol.to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: depth,
+        lock_cache: cache,
+        ..XtcConfig::default()
+    });
+    db.load_xml(DEEP_DOC).unwrap();
+    let txn = db.begin();
+    let deep = txn
+        .element_by_id("deep")
+        .unwrap()
+        .expect("deep node exists");
+    // Warm up: first read takes every lock through the table.
+    txn.node(&deep).unwrap();
+    let base_requests = db.lock_table().requests();
+    let base_hits = db.lock_table().cache_hits();
+    let started = Instant::now();
+    for _ in 0..iters {
+        txn.node(&deep).unwrap();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    txn.commit().unwrap();
+    let requests = db.lock_table().requests() - base_requests;
+    MicroCell {
+        protocol: protocol.to_string(),
+        depth,
+        cache,
+        iters,
+        requests,
+        cache_hits: db.lock_table().cache_hits() - base_hits,
+        locks_per_sec: requests as f64 / elapsed,
+    }
+}
+
+fn tamix_cell(
+    protocol: &str,
+    depth: u32,
+    cache: bool,
+    duration: Duration,
+    seed: u64,
+    bib: &BibConfig,
+) -> TamixCell {
+    let mut params = TamixParams::cluster1(protocol, IsolationLevel::Repeatable, depth);
+    params.duration = duration;
+    params.seed = seed;
+    params.lock_cache = cache;
+    let report = run_cluster1(&params, bib);
+    TamixCell {
+        protocol: protocol.to_string(),
+        depth,
+        cache,
+        committed: report.committed(),
+        throughput_per_5min: report.throughput_per_5min(),
+        lock_requests: report.lock_requests,
+        table_requests: report.table_requests,
+        cache_hits: report.cache_hits,
+        deadlocks: report.deadlocks,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut duration = Duration::from_millis(1500);
+    let mut depths: Vec<u32> = vec![1, 4, 7];
+    let mut protocols: Vec<String> = xtc_protocols::ALL_PROTOCOLS
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    let mut micro_iters: u64 = 3000;
+    let mut bib = BibConfig::tiny();
+    let mut seed: u64 = 42;
+    let mut json_path = "results/lockperf.json".to_string();
+    let mut bench_json_path = "BENCH_lockperf.json".to_string();
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--duration-ms" => {
+                duration =
+                    Duration::from_millis(val("number").parse().unwrap_or_else(|_| die("bad number")))
+            }
+            "--depths" => {
+                depths = val("list")
+                    .split(',')
+                    .map(|d| d.parse().unwrap_or_else(|_| die("bad depth")))
+                    .collect()
+            }
+            "--protocols" => protocols = val("list").split(',').map(|s| s.to_string()).collect(),
+            "--micro-iters" => {
+                micro_iters = val("number").parse().unwrap_or_else(|_| die("bad number"))
+            }
+            "--bib" => {
+                bib = match val("size").as_str() {
+                    "tiny" => BibConfig::tiny(),
+                    "scaled" => BibConfig::scaled(),
+                    "paper" => BibConfig::paper(),
+                    other => die(&format!("unknown bib size {other}")),
+                }
+            }
+            "--seed" => seed = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--json" => json_path = val("path"),
+            "--bench-json" => bench_json_path = val("path"),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --duration-ms N --depths a,b,c --protocols a,b,c \
+                     --micro-iters N --bib tiny|scaled|paper --seed N \
+                     --json PATH --bench-json PATH --check"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+
+    // Depth-insensitive protocols produce identical cells at every depth;
+    // run them once at the first depth.
+    let cell_depths = |proto: &str| -> Vec<u32> {
+        let supports = xtc_protocols::build(proto)
+            .unwrap_or_else(|| die(&format!("unknown protocol {proto}")))
+            .protocol
+            .supports_lock_depth();
+        if supports {
+            depths.clone()
+        } else {
+            depths.iter().take(1).copied().collect()
+        }
+    };
+
+    let mut micro = Vec::new();
+    for proto in &protocols {
+        for depth in cell_depths(proto) {
+            for cache in [false, true] {
+                let cell = micro_cell(proto, depth, cache, micro_iters);
+                eprintln!(
+                    "lockperf micro: {proto} depth={depth} cache={cache}: \
+                     {:.0} locks/s hit-rate={:.1}%",
+                    cell.locks_per_sec,
+                    hit_rate(cell.cache_hits, cell.requests) * 100.0
+                );
+                micro.push(cell);
+            }
+        }
+    }
+
+    let mut tamix = Vec::new();
+    for proto in &protocols {
+        for depth in cell_depths(proto) {
+            for cache in [false, true] {
+                let cell = tamix_cell(proto, depth, cache, duration, seed, &bib);
+                eprintln!(
+                    "lockperf tamix: {proto} depth={depth} cache={cache}: \
+                     committed={} requests={} hit-rate={:.1}%",
+                    cell.committed,
+                    cell.lock_requests,
+                    hit_rate(cell.cache_hits, cell.lock_requests) * 100.0
+                );
+                tamix.push(cell);
+            }
+        }
+    }
+
+    // Headline: average cached/uncached locks/sec ratio over micro pairs,
+    // and the average TaMix hit rate of the cache-enabled arms.
+    let mut speedups = Vec::new();
+    for on in micro.iter().filter(|c| c.cache) {
+        if let Some(off) = micro
+            .iter()
+            .find(|c| !c.cache && c.protocol == on.protocol && c.depth == on.depth)
+        {
+            if off.locks_per_sec > 0.0 {
+                speedups.push(on.locks_per_sec / off.locks_per_sec);
+            }
+        }
+    }
+    let micro_speedup = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    let on_cells: Vec<&TamixCell> = tamix.iter().filter(|c| c.cache).collect();
+    let tamix_hit_rate = on_cells
+        .iter()
+        .map(|c| hit_rate(c.cache_hits, c.lock_requests))
+        .sum::<f64>()
+        / on_cells.len().max(1) as f64;
+
+    println!("\n== lockperf micro: single-txn deep re-read (locks/sec) ==");
+    println!(
+        "{:>10} {:>6} {:>6} {:>12} {:>12} {:>10}",
+        "protocol", "depth", "cache", "locks/s", "requests", "hit rate"
+    );
+    for c in &micro {
+        println!(
+            "{:>10} {:>6} {:>6} {:>12.0} {:>12} {:>9.1}%",
+            c.protocol,
+            c.depth,
+            if c.cache { "on" } else { "off" },
+            c.locks_per_sec,
+            c.requests,
+            hit_rate(c.cache_hits, c.requests) * 100.0
+        );
+    }
+    println!("\n== lockperf tamix: CLUSTER1, repeatable ==");
+    println!(
+        "{:>10} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "protocol", "depth", "cache", "committed", "tput/5min", "requests", "table reqs", "hit rate"
+    );
+    for c in &tamix {
+        println!(
+            "{:>10} {:>6} {:>6} {:>10} {:>10.0} {:>12} {:>12} {:>9.1}%",
+            c.protocol,
+            c.depth,
+            if c.cache { "on" } else { "off" },
+            c.committed,
+            c.throughput_per_5min,
+            c.lock_requests,
+            c.table_requests,
+            hit_rate(c.cache_hits, c.lock_requests) * 100.0
+        );
+    }
+    println!(
+        "\nmicro speedup (cache on / off, avg over {} pairs): {:.2}x",
+        speedups.len(),
+        micro_speedup
+    );
+    println!("tamix cache hit rate (cache-on arms, avg): {:.1}%", tamix_hit_rate * 100.0);
+
+    let micro_json = micro
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"protocol\": \"{}\", \"depth\": {}, \"cache\": {}, \"iters\": {}, \
+                 \"requests\": {}, \"cache_hits\": {}, \"locks_per_sec\": {:.1}, \
+                 \"hit_rate\": {:.4}}}",
+                c.protocol,
+                c.depth,
+                c.cache,
+                c.iters,
+                c.requests,
+                c.cache_hits,
+                c.locks_per_sec,
+                hit_rate(c.cache_hits, c.requests)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let tamix_json = tamix
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"protocol\": \"{}\", \"depth\": {}, \"cache\": {}, \"committed\": {}, \
+                 \"throughput_per_5min\": {:.1}, \"lock_requests\": {}, \"table_requests\": {}, \
+                 \"cache_hits\": {}, \"hit_rate\": {:.4}, \"deadlocks\": {}}}",
+                c.protocol,
+                c.depth,
+                c.cache,
+                c.committed,
+                c.throughput_per_5min,
+                c.lock_requests,
+                c.table_requests,
+                c.cache_hits,
+                hit_rate(c.cache_hits, c.lock_requests),
+                c.deadlocks
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let body = format!(
+        "{{\n  \"benchmark\": \"lockperf\",\n  \"summary\": {{\"micro_speedup\": {micro_speedup:.3}, \
+         \"tamix_cache_hit_rate\": {tamix_hit_rate:.4}}},\n  \"micro\": [\n{micro_json}\n  ],\n  \
+         \"tamix\": [\n{tamix_json}\n  ]\n}}\n"
+    );
+    for path in [&json_path, &bench_json_path] {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::fs::write(path, &body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    }
+
+    if check {
+        let mut bad = Vec::new();
+        for c in micro.iter().filter(|c| c.cache && c.cache_hits == 0) {
+            bad.push(format!("micro {} depth={} has zero cache hits", c.protocol, c.depth));
+        }
+        for c in tamix.iter().filter(|c| c.cache && c.cache_hits == 0) {
+            bad.push(format!("tamix {} depth={} has zero cache hits", c.protocol, c.depth));
+        }
+        for c in tamix.iter().filter(|c| !c.cache && c.cache_hits != 0) {
+            bad.push(format!(
+                "tamix {} depth={} reports cache hits with the cache off",
+                c.protocol, c.depth
+            ));
+        }
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("lockperf check failed: {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("lockperf check passed: nonzero hit rate on every cache-enabled arm");
+    }
+}

@@ -36,6 +36,11 @@ pub struct XtcConfig {
     /// Effective lock depth after escalation (only depths *shallower*
     /// than the transaction's own depth take effect).
     pub escalated_depth: u32,
+    /// Per-transaction lock cache: serve requests already covered by a
+    /// held mode without touching the shared lock table. On by default;
+    /// disable only to measure the uncached baseline (`lockperf`) or to
+    /// cross-check equivalence.
+    pub lock_cache: bool,
     /// Storage configuration.
     pub store: DocStoreConfig,
     /// Write-ahead log configuration. `None` (the default) keeps the
@@ -56,6 +61,7 @@ impl Default for XtcConfig {
             victim_policy: VictimPolicy::Youngest,
             escalation_threshold: None,
             escalated_depth: 1,
+            lock_cache: true,
             store: DocStoreConfig::default(),
             wal: None,
         }
@@ -124,7 +130,8 @@ impl XtcDb {
                 registry.clone(),
                 config.lock_timeout,
             )
-            .with_victim_policy(config.victim_policy),
+            .with_victim_policy(config.victim_policy)
+            .with_lock_cache(config.lock_cache),
         );
         Ok(XtcDb {
             view: Arc::new(StoreView(store.clone())),
@@ -212,8 +219,8 @@ impl XtcDb {
     /// Begins a transaction with an explicit isolation level and lock
     /// depth.
     pub fn begin_with(&self, isolation: IsolationLevel, lock_depth: u32) -> Transaction<'_> {
-        let id = self.registry.begin();
-        Transaction::new(self, id, isolation, lock_depth)
+        let handle = self.registry.begin_handle();
+        Transaction::new(self, handle, isolation, lock_depth)
     }
 
     /// The active lock protocol.

@@ -26,7 +26,8 @@ use crate::db::XtcDb;
 use crate::error::XtcError;
 use crate::recovery;
 use std::cell::{Cell, RefCell};
-use xtc_lock::{EdgeKind, IsolationLevel, LockCtx, MetaOp, TxnId};
+use std::sync::Arc;
+use xtc_lock::{EdgeKind, IsolationLevel, LockCtx, MetaOp, TxnHandle, TxnId};
 use xtc_node::{AttrPlan, InsertPos, NodeData};
 use xtc_splid::SplId;
 use xtc_wal::{Lsn, NodePayload, RecordBody, RedoOp, UndoOp, WalError};
@@ -36,6 +37,9 @@ const PLAN_RETRIES: usize = 32;
 /// A running transaction. Dropping an unfinished transaction aborts it.
 pub struct Transaction<'db> {
     db: &'db XtcDb,
+    /// The registry handle, resolved once at begin: abort flag, held-lock
+    /// bookkeeping, and the lock cache without global-mutex traffic.
+    handle: Arc<TxnHandle>,
     id: TxnId,
     isolation: IsolationLevel,
     lock_depth: u32,
@@ -56,13 +60,14 @@ pub struct Transaction<'db> {
 impl<'db> Transaction<'db> {
     pub(crate) fn new(
         db: &'db XtcDb,
-        id: TxnId,
+        handle: Arc<TxnHandle>,
         isolation: IsolationLevel,
         lock_depth: u32,
     ) -> Self {
         Transaction {
             db,
-            id,
+            id: handle.id(),
+            handle,
             isolation,
             lock_depth,
             undo: RefCell::new(Vec::new()),
@@ -79,7 +84,7 @@ impl<'db> Transaction<'db> {
 
     fn ctx(&self) -> LockCtx<'_> {
         LockCtx {
-            txn: self.id,
+            txn: &self.handle,
             table: self.db.lock_table(),
             doc: &**self.db.view(),
             isolation: self.isolation,
@@ -98,9 +103,13 @@ impl<'db> Transaction<'db> {
         }
         if let Some(threshold) = self.db.escalation_threshold() {
             if self.db.escalated_depth() < self.lock_depth
-                && self.db.registry().held_count(self.id) >= threshold
+                && self.handle.held_count() >= threshold
             {
                 self.escalated.set(true);
+                // The effective depth just changed: cached coverage was
+                // computed for deeper, finer locks, so force the next
+                // requests through the shared table.
+                self.handle.invalidate_cache();
                 self.db.lock_table().record_escalation();
                 return self.db.escalated_depth();
             }
@@ -815,7 +824,7 @@ impl<'db> Transaction<'db> {
 
     /// Locks currently recorded for this transaction (diagnostics).
     pub fn held_locks(&self) -> usize {
-        self.db.registry().held_count(self.id)
+        self.handle.held_count()
     }
 }
 

@@ -35,4 +35,4 @@ pub use modes::{Annex, Conversion, ModeIdx, ModeTable};
 pub use table::{
     Acquired, DeadlockStats, EdgeKind, FamilyId, LockName, LockTable, LockTarget, VictimPolicy,
 };
-pub use txn::{IsolationLevel, LockClass, TxnId, TxnRegistry};
+pub use txn::{IsolationLevel, LockClass, TxnHandle, TxnId, TxnRegistry};

@@ -15,7 +15,7 @@
 use crate::error::LockError;
 use crate::modes::ModeIdx;
 use crate::table::{Acquired, EdgeKind, FamilyId, LockName, LockTable, LockTarget};
-use crate::txn::{IsolationLevel, LockClass, TxnId};
+use crate::txn::{IsolationLevel, LockClass, TxnHandle};
 use xtc_splid::SplId;
 
 /// Read-only document access a protocol needs while mapping meta-locks:
@@ -98,8 +98,9 @@ pub enum MetaOp<'a> {
 
 /// Everything a protocol needs to serve one meta-lock request.
 pub struct LockCtx<'a> {
-    /// The requesting transaction.
-    pub txn: TxnId,
+    /// The requesting transaction's handle, resolved once at begin —
+    /// lock requests never take the global registry mutex.
+    pub txn: &'a TxnHandle,
     /// The shared lock table.
     pub table: &'a LockTable,
     /// Document access for annex/level/IDX mapping.
@@ -136,7 +137,7 @@ impl LockCtx<'_> {
             family,
             target: LockTarget::Node(node.clone()),
         };
-        match self.table.lock(self.txn, &name, mode, class, false)? {
+        match self.table.lock_with(self.txn, &name, mode, class, false)? {
             Acquired::Granted => Ok(()),
             Acquired::NeedsAnnex { child_mode } => {
                 for child in self.doc.children(node) {
@@ -144,14 +145,14 @@ impl LockCtx<'_> {
                         family,
                         target: LockTarget::Node(child),
                     };
-                    match self.table.lock(self.txn, &cname, child_mode, class, false)? {
+                    match self.table.lock_with(self.txn, &cname, child_mode, class, false)? {
                         Acquired::Granted => {}
                         Acquired::NeedsAnnex { .. } => {
                             unreachable!("annex child locks never cascade")
                         }
                     }
                 }
-                match self.table.lock(self.txn, &name, mode, class, true)? {
+                match self.table.lock_with(self.txn, &name, mode, class, true)? {
                     Acquired::Granted => Ok(()),
                     Acquired::NeedsAnnex { .. } => {
                         unreachable!("annex already satisfied")
@@ -173,7 +174,7 @@ impl LockCtx<'_> {
             family,
             target: LockTarget::IndexKey(key.to_vec()),
         };
-        match self.table.lock(self.txn, &name, mode, class, false)? {
+        match self.table.lock_with(self.txn, &name, mode, class, false)? {
             Acquired::Granted => Ok(()),
             Acquired::NeedsAnnex { .. } => unreachable!("index keys have no children"),
         }
@@ -192,7 +193,7 @@ impl LockCtx<'_> {
             family,
             target: LockTarget::Edge(node.clone(), kind),
         };
-        match self.table.lock(self.txn, &name, mode, class, false)? {
+        match self.table.lock_with(self.txn, &name, mode, class, false)? {
             Acquired::Granted => Ok(()),
             Acquired::NeedsAnnex { .. } => unreachable!("edge modes have no annexes"),
         }

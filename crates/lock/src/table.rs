@@ -9,7 +9,7 @@
 
 use crate::error::LockError;
 use crate::modes::{Annex, ModeIdx, ModeTable};
-use crate::txn::{LockClass, TxnId, TxnRegistry};
+use crate::txn::{LockClass, TxnHandle, TxnId, TxnRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -214,11 +214,20 @@ pub struct LockTable {
     deadlocks: DeadlockStats,
     victim_policy: VictimPolicy,
     timeout: Duration,
+    /// Whether repeated requests already covered by a held mode may be
+    /// served from the per-transaction cache without touching a shard.
+    cache_enabled: bool,
     /// Lock escalations performed (transactions switching to shallower
     /// effective lock depth under held-lock pressure).
     escalations: AtomicU64,
-    /// Total lock requests served (lock-manager overhead metric).
+    /// Total lock requests served (lock-manager overhead metric). Counts
+    /// every request, cache hit or not — this is the paper-comparable
+    /// `lock_requests` number of Figs. 7–10.
     requests: AtomicU64,
+    /// Requests that actually reached the shared table (cache misses).
+    table_requests: AtomicU64,
+    /// Requests served from the per-transaction lock cache.
+    cache_hits: AtomicU64,
     /// Requests per (family, mode) — the per-mode histogram of §4.1's
     /// lock-manager metrics.
     mode_requests: Vec<Vec<AtomicU64>>,
@@ -255,8 +264,11 @@ impl LockTable {
             deadlocks: DeadlockStats::default(),
             victim_policy: VictimPolicy::default(),
             timeout,
+            cache_enabled: true,
             escalations: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            table_requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
             mode_requests,
         }
     }
@@ -268,9 +280,23 @@ impl LockTable {
         self
     }
 
+    /// Enables or disables the per-transaction lock cache (builder style;
+    /// default enabled). Disabling forces every request through the
+    /// shared table — the baseline arm of the `lockperf` benchmark and
+    /// the cache-equivalence suite.
+    pub fn with_lock_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
     /// The active deadlock victim policy.
     pub fn victim_policy(&self) -> VictimPolicy {
         self.victim_policy
+    }
+
+    /// Whether the per-transaction lock cache is enabled.
+    pub fn lock_cache_enabled(&self) -> bool {
+        self.cache_enabled
     }
 
     /// Records one lock escalation (a transaction crossing its held-lock
@@ -297,6 +323,16 @@ impl LockTable {
     /// Total lock requests served.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that reached the shared table (cache misses).
+    pub fn table_requests(&self) -> u64 {
+        self.table_requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from the per-transaction lock cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// Lock requests per mode: `(family name, mode name, count)` for
@@ -326,13 +362,42 @@ impl LockTable {
     }
 
     /// Requests `mode` on `name` for `txn`, blocking until granted,
-    /// deadlock-aborted, or timed out.
-    ///
-    /// Returns [`Acquired::NeedsAnnex`] (without blocking or changing
-    /// state) when the implied conversion requires per-child locks first.
+    /// deadlock-aborted, or timed out. By-id convenience over
+    /// [`lock_with`](LockTable::lock_with): resolves the handle through
+    /// the registry map on every call, so hot paths should resolve once
+    /// at begin and use `lock_with` directly.
     pub fn lock(
         &self,
         txn: TxnId,
+        name: &LockName,
+        mode: ModeIdx,
+        class: LockClass,
+        annex_done: bool,
+    ) -> Result<Acquired, LockError> {
+        let handle = self
+            .registry
+            .handle(txn)
+            .expect("transaction not registered");
+        self.lock_with(&handle, name, mode, class, annex_done)
+    }
+
+    /// Requests `mode` on `name` for the transaction behind `txn`,
+    /// blocking until granted, deadlock-aborted, or timed out.
+    ///
+    /// Returns [`Acquired::NeedsAnnex`] (without blocking or changing
+    /// state) when the implied conversion requires per-child locks first.
+    ///
+    /// **Fast path**: when the cache is enabled and the transaction's
+    /// cached entry for `name` already covers the request — held mode
+    /// absorbs the requested one under the family's conversion lattice
+    /// with no annex obligation, and the cached class is at least as
+    /// strong — the request is served without touching any shared state.
+    /// The failpoint, the request counters, and the abort check still run
+    /// on this path so fault injection and `lock_requests` accounting are
+    /// identical with the cache on or off.
+    pub fn lock_with(
+        &self,
+        txn: &TxnHandle,
         name: &LockName,
         mode: ModeIdx,
         class: LockClass,
@@ -349,7 +414,7 @@ impl LockTable {
                 ctr.fetch_add(1, Ordering::Relaxed);
             }
         }
-        if self.registry.is_aborted(txn) {
+        if txn.is_aborted() {
             return Err(LockError::Aborted);
         }
         let table = self.family(name.family);
@@ -358,17 +423,38 @@ impl LockTable {
             "mode index {mode} out of range for family {}",
             table.family()
         );
+
+        if self.cache_enabled {
+            if let Some((held, held_class)) = txn.cached_mode(name) {
+                if held_class >= class {
+                    let conv = table.conversion(held, mode);
+                    if conv.result == held && conv.annex == Annex::None {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Acquired::Granted);
+                    }
+                }
+            }
+        }
+        self.table_requests.fetch_add(1, Ordering::Relaxed);
+
+        let id = txn.id();
         let shard = self.shard(name);
         let mut g = shard.state.lock();
-        let head = g.entry(name.clone()).or_default();
+        // Avoid `entry(name.clone())`: a SPLID-bearing name clone on every
+        // already-present head is pure overhead; clone only on first use.
+        if !g.contains_key(name) {
+            g.insert(name.clone(), LockHead::default());
+        }
+        let head = g.get_mut(name).expect("lock head just ensured");
 
-        if let Some(pos) = head.granted.iter().position(|(t, _)| *t == txn) {
-            // Conversion path.
+        if let Some(pos) = head.granted.iter().position(|(t, _)| *t == id) {
+            // Conversion path. Record the mode the table actually holds
+            // (not the requested one) so the cache mirrors the table.
             let held = head.granted[pos].1;
             let conv = table.conversion(held, mode);
             if conv.result == held {
                 drop(g);
-                self.registry.record_lock(txn, name.clone(), class);
+                txn.record_lock(name, held, class);
                 return Ok(Acquired::Granted);
             }
             if let Annex::ChildLocks(child_mode) = conv.annex {
@@ -377,31 +463,31 @@ impl LockTable {
                 }
             }
             let target = conv.result;
-            if self.conversion_grantable(head, txn, target, table) {
+            if self.conversion_grantable(head, id, target, table) {
                 head.granted[pos].1 = target;
                 drop(g);
-                self.registry.record_lock(txn, name.clone(), class);
+                txn.record_lock(name, target, class);
                 return Ok(Acquired::Granted);
             }
-            head.converting.push((txn, target));
+            head.converting.push((id, target));
             let res = self.wait(shard, g, name, txn, target, table, true);
             if res.is_ok() {
-                self.registry.record_lock(txn, name.clone(), class);
+                txn.record_lock(name, target, class);
             }
             return res.map(|()| Acquired::Granted);
         }
 
         // New request path.
-        if head.queue.is_empty() && self.new_grantable(head, txn, mode, table, usize::MAX) {
-            head.granted.push((txn, mode));
+        if head.queue.is_empty() && self.new_grantable(head, id, mode, table, usize::MAX) {
+            head.granted.push((id, mode));
             drop(g);
-            self.registry.record_lock(txn, name.clone(), class);
+            txn.record_lock(name, mode, class);
             return Ok(Acquired::Granted);
         }
-        head.queue.push_back(Waiter { txn, mode });
+        head.queue.push_back(Waiter { txn: id, mode });
         let res = self.wait(shard, g, name, txn, mode, table, false);
         if res.is_ok() {
-            self.registry.record_lock(txn, name.clone(), class);
+            txn.record_lock(name, mode, class);
         }
         res.map(|()| Acquired::Granted)
     }
@@ -451,15 +537,16 @@ impl LockTable {
         shard: &Shard,
         mut g: parking_lot::MutexGuard<'_, HashMap<LockName, LockHead>>,
         name: &LockName,
-        txn: TxnId,
+        handle: &TxnHandle,
         target: ModeIdx,
         table: &ModeTable,
         converting: bool,
     ) -> Result<(), LockError> {
+        let txn = handle.id();
         let deadline = Instant::now() + self.timeout;
         loop {
             // Aborted by another detector's victim choice?
-            if self.registry.is_aborted(txn) {
+            if handle.is_aborted() {
                 self.remove_request(&mut g, name, txn, converting);
                 self.clear_edges(txn);
                 shard.cv.notify_all();

@@ -1,10 +1,20 @@
 //! Transaction registry: identities, abort flags, held-lock bookkeeping,
-//! and isolation levels.
+//! the per-transaction lock cache, and isolation levels.
+//!
+//! The registry is deliberately two-tiered. A global `TxnId → handle` map
+//! exists only for the *slow* paths that must reach a transaction by id
+//! (deadlock victim selection, diagnostics, tests). Everything on the
+//! lock-acquisition *fast* path — abort checks, held-lock recording, the
+//! lock cache — lives inside a per-transaction [`TxnHandle`] that the
+//! transaction layer resolves once at begin and threads through every
+//! request, so no lock request ever contends on a global mutex for
+//! bookkeeping.
 
+use crate::modes::ModeIdx;
 use crate::table::LockName;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Transaction identifier. Monotonically increasing; the deadlock victim
@@ -89,18 +99,141 @@ impl IsolationLevel {
     }
 }
 
-#[derive(Debug, Default)]
-struct TxnEntry {
-    aborted: Arc<AtomicBool>,
-    /// Held lock names with their class (strongest wins on re-acquire).
-    held: Vec<(LockName, LockClass)>,
+/// One held lock: the mode the shared table actually granted (which may
+/// exceed the requested mode after a conversion), the strongest class it
+/// was requested under, and the cache epoch it was recorded in.
+#[derive(Debug, Clone, Copy)]
+struct HeldLock {
+    mode: ModeIdx,
+    class: LockClass,
+    epoch: u64,
 }
 
-/// Registry of live transactions.
+/// Per-transaction state: everything the lock-acquisition fast path needs
+/// without touching a global mutex.
+///
+/// The held-lock map doubles as the **lock cache**: each entry remembers
+/// the mode the shared [`LockTable`](crate::LockTable) granted, so a
+/// repeated request the held mode already covers can be served without
+/// any shared-state traffic. Entries only *hit* while their epoch matches
+/// the handle's current cache epoch; bumping the epoch
+/// ([`invalidate_cache`](TxnHandle::invalidate_cache), done on lock
+/// escalation) force-misses every cached entry without forgetting the
+/// locks themselves — the next table round-trip re-primes them.
+#[derive(Debug)]
+pub struct TxnHandle {
+    id: TxnId,
+    aborted: AtomicBool,
+    /// Mirrors `held.len()`; readable by other threads (the `FewestLocks`
+    /// victim policy) without taking the per-transaction mutex.
+    held_count: AtomicUsize,
+    /// Cache generation; entries from older generations never hit.
+    cache_epoch: AtomicU64,
+    /// Held locks by name. Per-transaction mutex: uncontended in normal
+    /// operation (a transaction runs on one thread), taken cross-thread
+    /// only transiently.
+    held: Mutex<HashMap<LockName, HeldLock>>,
+}
+
+impl TxnHandle {
+    fn new(id: TxnId) -> Self {
+        TxnHandle {
+            id,
+            aborted: AtomicBool::new(false),
+            held_count: AtomicUsize::new(0),
+            cache_epoch: AtomicU64::new(0),
+            held: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The transaction's id (also its age for victim selection).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Whether the transaction has been marked as a deadlock victim.
+    /// One atomic load — the per-request fast path.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Marks the transaction aborted; returns `true` if this call
+    /// performed the transition.
+    pub fn mark_aborted(&self) -> bool {
+        !self.aborted.swap(true, Ordering::SeqCst)
+    }
+
+    /// Records a (possibly re-acquired) lock: O(1) hash insert on the
+    /// per-transaction mutex. Keeps the strongest class; `mode` is the
+    /// mode the shared table actually granted, which re-primes the cache
+    /// under the current epoch.
+    pub fn record_lock(&self, name: &LockName, mode: ModeIdx, class: LockClass) {
+        let epoch = self.cache_epoch.load(Ordering::Relaxed);
+        let mut held = self.held.lock();
+        match held.get_mut(name) {
+            Some(e) => {
+                e.class = e.class.max(class);
+                e.mode = mode;
+                e.epoch = epoch;
+            }
+            None => {
+                held.insert(name.clone(), HeldLock { mode, class, epoch });
+                self.held_count.store(held.len(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The cached `(granted mode, class)` for a name, if the entry is
+    /// from the current cache epoch. A `None` only means "go ask the
+    /// shared table" — the lock itself may well still be held.
+    pub fn cached_mode(&self, name: &LockName) -> Option<(ModeIdx, LockClass)> {
+        let held = self.held.lock();
+        let e = held.get(name)?;
+        (e.epoch == self.cache_epoch.load(Ordering::Relaxed)).then_some((e.mode, e.class))
+    }
+
+    /// Invalidates the lock cache without forgetting held locks: every
+    /// subsequent request round-trips through the shared table once,
+    /// re-priming its entry. Called on lock-escalation changes.
+    pub fn invalidate_cache(&self) {
+        self.cache_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains the locks to release: all of them, or only the short ones.
+    /// Removed entries leave the cache with them — a released lock can
+    /// never produce a cache hit.
+    pub fn take_releasable(&self, all: bool) -> Vec<LockName> {
+        let mut held = self.held.lock();
+        let names: Vec<LockName> = if all {
+            held.drain().map(|(n, _)| n).collect()
+        } else {
+            let short: Vec<LockName> = held
+                .iter()
+                .filter(|(_, e)| e.class == LockClass::Short)
+                .map(|(n, _)| n.clone())
+                .collect();
+            for n in &short {
+                held.remove(n);
+            }
+            short
+        };
+        self.held_count.store(held.len(), Ordering::Relaxed);
+        names
+    }
+
+    /// Number of locks currently recorded: one atomic load (used by the
+    /// `FewestLocks` victim policy inside deadlock detection).
+    pub fn held_count(&self) -> usize {
+        self.held_count.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of live transactions: allocates ids and maps them to their
+/// [`TxnHandle`]s for the by-id slow paths.
 #[derive(Debug, Default)]
 pub struct TxnRegistry {
     next: AtomicU64,
-    txns: Mutex<HashMap<TxnId, TxnEntry>>,
+    txns: Mutex<HashMap<TxnId, Arc<TxnHandle>>>,
 }
 
 impl TxnRegistry {
@@ -109,69 +242,53 @@ impl TxnRegistry {
         TxnRegistry::default()
     }
 
-    /// Starts a transaction.
+    /// Starts a transaction, returning its id. Convenience over
+    /// [`begin_handle`](TxnRegistry::begin_handle) for callers that
+    /// address transactions by id (tests, benches).
     pub fn begin(&self) -> TxnId {
-        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
-        self.txns.lock().insert(id, TxnEntry::default());
-        id
+        self.begin_handle().id()
     }
 
-    /// The abort flag handle for a transaction (shared so waiters can poll
-    /// it without the registry mutex).
-    pub fn abort_flag(&self, txn: TxnId) -> Option<Arc<AtomicBool>> {
-        self.txns.lock().get(&txn).map(|e| e.aborted.clone())
+    /// Starts a transaction and returns its handle — resolve once, then
+    /// thread it through every lock request.
+    pub fn begin_handle(&self) -> Arc<TxnHandle> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let handle = Arc::new(TxnHandle::new(id));
+        self.txns.lock().insert(id, handle.clone());
+        handle
+    }
+
+    /// The handle of a live transaction.
+    pub fn handle(&self, txn: TxnId) -> Option<Arc<TxnHandle>> {
+        self.txns.lock().get(&txn).cloned()
     }
 
     /// Marks a transaction as deadlock victim; returns `true` if this call
     /// performed the transition (so concurrent detectors of the same cycle
     /// count one deadlock, not two).
     pub fn mark_aborted(&self, txn: TxnId) -> bool {
-        match self.txns.lock().get(&txn) {
-            Some(e) => !e.aborted.swap(true, Ordering::SeqCst),
+        match self.handle(txn) {
+            Some(h) => h.mark_aborted(),
             None => false,
         }
     }
 
     /// Whether the transaction has been marked as victim.
     pub fn is_aborted(&self, txn: TxnId) -> bool {
-        self.txns
-            .lock()
-            .get(&txn)
-            .map(|e| e.aborted.load(Ordering::SeqCst))
-            .unwrap_or(false)
-    }
-
-    /// Records a (possibly re-acquired) lock; keeps the strongest class.
-    pub fn record_lock(&self, txn: TxnId, name: LockName, class: LockClass) {
-        let mut g = self.txns.lock();
-        let Some(e) = g.get_mut(&txn) else { return };
-        match e.held.iter_mut().find(|(n, _)| *n == name) {
-            Some((_, c)) => *c = (*c).max(class),
-            None => e.held.push((name, class)),
-        }
+        self.handle(txn).map(|h| h.is_aborted()).unwrap_or(false)
     }
 
     /// Drains the locks to release: all of them, or only the short ones.
     pub fn take_releasable(&self, txn: TxnId, all: bool) -> Vec<LockName> {
-        let mut g = self.txns.lock();
-        let Some(e) = g.get_mut(&txn) else {
-            return Vec::new();
-        };
-        if all {
-            e.held.drain(..).map(|(n, _)| n).collect()
-        } else {
-            let (short, long): (Vec<_>, Vec<_>) = e
-                .held
-                .drain(..)
-                .partition(|(_, c)| *c == LockClass::Short);
-            e.held = long;
-            short.into_iter().map(|(n, _)| n).collect()
+        match self.handle(txn) {
+            Some(h) => h.take_releasable(all),
+            None => Vec::new(),
         }
     }
 
     /// Number of locks currently recorded for the transaction.
     pub fn held_count(&self, txn: TxnId) -> usize {
-        self.txns.lock().get(&txn).map(|e| e.held.len()).unwrap_or(0)
+        self.handle(txn).map(|h| h.held_count()).unwrap_or(0)
     }
 
     /// Removes a finished transaction. Call after releasing its locks.
@@ -210,39 +327,72 @@ mod tests {
     }
 
     #[test]
-    fn abort_flag_visible() {
+    fn abort_flag_visible_through_handle() {
         let r = TxnRegistry::new();
-        let t = r.begin();
-        assert!(!r.is_aborted(t));
-        let flag = r.abort_flag(t).unwrap();
-        r.mark_aborted(t);
-        assert!(r.is_aborted(t));
-        assert!(flag.load(Ordering::SeqCst));
+        let h = r.begin_handle();
+        assert!(!r.is_aborted(h.id()));
+        r.mark_aborted(h.id());
+        assert!(r.is_aborted(h.id()));
+        // The handle sees the flag without the registry mutex.
+        assert!(h.is_aborted());
+        // Only the first transition reports `true`.
+        assert!(!h.mark_aborted());
     }
 
     #[test]
     fn lock_classes_upgrade_and_release_by_class() {
         let r = TxnRegistry::new();
-        let t = r.begin();
-        r.record_lock(t, name(0), LockClass::Short);
-        r.record_lock(t, name(1), LockClass::Long);
-        r.record_lock(t, name(0), LockClass::Long); // upgrade
-        let short = r.take_releasable(t, false);
+        let h = r.begin_handle();
+        h.record_lock(&name(0), 0, LockClass::Short);
+        h.record_lock(&name(1), 0, LockClass::Long);
+        h.record_lock(&name(0), 0, LockClass::Long); // upgrade
+        let short = h.take_releasable(false);
         assert!(short.is_empty(), "upgraded lock must not release early");
-        assert_eq!(r.held_count(t), 2);
-        let all = r.take_releasable(t, true);
+        assert_eq!(h.held_count(), 2);
+        let all = h.take_releasable(true);
         assert_eq!(all.len(), 2);
+        assert_eq!(h.held_count(), 0);
     }
 
     #[test]
     fn short_locks_release_at_end_of_operation() {
         let r = TxnRegistry::new();
-        let t = r.begin();
-        r.record_lock(t, name(0), LockClass::Short);
-        r.record_lock(t, name(1), LockClass::Long);
-        let short = r.take_releasable(t, false);
+        let h = r.begin_handle();
+        h.record_lock(&name(0), 0, LockClass::Short);
+        h.record_lock(&name(1), 0, LockClass::Long);
+        let short = h.take_releasable(false);
         assert_eq!(short, vec![name(0)]);
-        assert_eq!(r.held_count(t), 1);
+        assert_eq!(h.held_count(), 1);
+    }
+
+    #[test]
+    fn cache_entries_expire_with_the_epoch_and_with_release() {
+        let r = TxnRegistry::new();
+        let h = r.begin_handle();
+        h.record_lock(&name(0), 3, LockClass::Long);
+        assert_eq!(h.cached_mode(&name(0)), Some((3, LockClass::Long)));
+        // Epoch bump: the lock is still held (and releasable) but can no
+        // longer be served from the cache.
+        h.invalidate_cache();
+        assert_eq!(h.cached_mode(&name(0)), None);
+        assert_eq!(h.held_count(), 1);
+        // Re-recording under the new epoch re-primes the cache.
+        h.record_lock(&name(0), 3, LockClass::Long);
+        assert_eq!(h.cached_mode(&name(0)), Some((3, LockClass::Long)));
+        // Release removes the entry outright.
+        assert_eq!(h.take_releasable(true).len(), 1);
+        assert_eq!(h.cached_mode(&name(0)), None);
+    }
+
+    #[test]
+    fn record_lock_keeps_strongest_class_and_latest_mode() {
+        let r = TxnRegistry::new();
+        let h = r.begin_handle();
+        h.record_lock(&name(0), 1, LockClass::Long);
+        h.record_lock(&name(0), 2, LockClass::Short);
+        // Mode follows the table's latest grant; class never weakens.
+        assert_eq!(h.cached_mode(&name(0)), Some((2, LockClass::Long)));
+        assert_eq!(h.held_count(), 1, "re-acquisition is not a new lock");
     }
 
     #[test]

@@ -71,8 +71,9 @@ impl Rig {
     }
 
     fn acquire(&self, txn: u64, op: &MetaOp<'_>, depth: u32) {
+        let handle = self.registry.handle(txn).unwrap();
         let cx = LockCtx {
-            txn,
+            txn: &handle,
             table: &self.table,
             doc: &StubDoc,
             isolation: IsolationLevel::Repeatable,
@@ -186,9 +187,9 @@ fn oo2pl_locks_edges_only() {
     );
     assert_eq!(rig.node_mode(t, 0, "1.3.3.5"), None, "no node locks");
     // An insert between them takes EX on the same edge → conflicts.
-    let t2 = rig.registry.begin();
+    let t2 = rig.registry.begin_handle();
     let cx = LockCtx {
-        txn: t2,
+        txn: &t2,
         table: &rig.table,
         doc: &StubDoc,
         isolation: IsolationLevel::Repeatable,
@@ -280,9 +281,9 @@ fn jump_reads_protect_the_ancestor_path_except_star2pl() {
 fn isolation_none_never_touches_the_table() {
     for proto in xtc_protocols::ALL_PROTOCOLS {
         let rig = Rig::new(proto);
-        let t = rig.registry.begin();
+        let t = rig.registry.begin_handle();
         let cx = LockCtx {
-            txn: t,
+            txn: &t,
             table: &rig.table,
             doc: &StubDoc,
             isolation: IsolationLevel::None,

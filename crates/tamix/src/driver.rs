@@ -52,6 +52,9 @@ pub struct TamixParams {
     pub escalation_threshold: Option<usize>,
     /// Effective lock depth after escalation.
     pub escalated_depth: u32,
+    /// Per-transaction lock cache (on by default; off measures the
+    /// uncached baseline).
+    pub lock_cache: bool,
 }
 
 impl TamixParams {
@@ -79,6 +82,7 @@ impl TamixParams {
             victim_policy: VictimPolicy::Youngest,
             escalation_threshold: None,
             escalated_depth: 1,
+            lock_cache: true,
         }
     }
 
@@ -109,6 +113,7 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
         victim_policy: params.victim_policy,
         escalation_threshold: params.escalation_threshold,
         escalated_depth: params.escalated_depth,
+        lock_cache: params.lock_cache,
         ..XtcConfig::default()
     }));
     bib::generate_into(&db, bib_cfg);
@@ -162,6 +167,8 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
         deadlocks: dl.total(),
         conversion_deadlocks: dl.conversion_caused(),
         lock_requests: db.lock_table().requests(),
+        table_requests: db.lock_table().table_requests(),
+        cache_hits: db.lock_table().cache_hits(),
         page_reads: db.store().stats().page_reads() - reads_before,
         escalations: db.lock_table().escalations(),
         retries,

@@ -171,8 +171,15 @@ pub struct RunReport {
     pub deadlocks: u64,
     /// Deadlocks classified as conversion-caused.
     pub conversion_deadlocks: u64,
-    /// Lock requests served (lock-manager overhead).
+    /// Lock requests served (lock-manager overhead). Counts every
+    /// meta-level request, whether it hit the per-transaction lock cache
+    /// or reached the shared table — directly comparable to the paper's
+    /// lock-request numbers regardless of the cache setting.
     pub lock_requests: u64,
+    /// Requests that reached the shared lock table (cache misses).
+    pub table_requests: u64,
+    /// Requests served from the per-transaction lock cache.
+    pub cache_hits: u64,
     /// Logical page reads during the run.
     pub page_reads: u64,
     /// Lock escalations (transactions switching to coarser locks).
@@ -207,6 +214,14 @@ impl RunReport {
             return 0.0;
         }
         self.committed() as f64 * 300.0 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of lock requests served from the per-transaction cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.lock_requests == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.lock_requests as f64
     }
 }
 

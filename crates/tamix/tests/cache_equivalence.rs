@@ -1,0 +1,229 @@
+//! Cache-on vs. cache-off equivalence: the per-transaction lock cache is
+//! a pure fast path — for a deterministic (sequential, seeded) TaMix
+//! workload it must produce identical commit/abort outcomes, identical
+//! final documents, and identical `lock_requests` accounting for every
+//! protocol. A failpoints-gated variant re-checks this under injected
+//! lock-acquire faults (the failpoint site fires on its eval sequence,
+//! which the cache must not perturb).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Duration;
+use xtc_core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc_tamix::txns::{run_txn, Pacing};
+use xtc_tamix::{bib, BibConfig, TxnKind};
+
+/// Tests in this file must not interleave when the failpoints feature is
+/// on: the failpoint registry is process-global.
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// The deterministic workload: a fixed cycle of transaction kinds, each
+/// run sequentially with its own per-index seed.
+const MIX: [TxnKind; 5] = [
+    TxnKind::QueryBook,
+    TxnKind::Chapter,
+    TxnKind::LendAndReturn,
+    TxnKind::RenameTopic,
+    TxnKind::DelBook,
+];
+const TXNS: usize = 40;
+
+/// One comparable outcome: commit (with/without work) or the abort's
+/// display string (error enums don't implement Eq across the board).
+fn outcome_of(result: Result<bool, xtc_core::XtcError>) -> String {
+    match result {
+        Ok(true) => "commit".to_string(),
+        Ok(false) => "empty".to_string(),
+        Err(e) => format!("abort: {e}"),
+    }
+}
+
+/// FNV-1a digest over the document in document order: labels, node kind,
+/// names, and text content.
+fn document_digest(db: &XtcDb) -> u64 {
+    let mut nodes = db.store().all_nodes();
+    nodes.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (id, _) in &nodes {
+        eat(id.to_string().as_bytes());
+        if let Some(name) = db.store().name_of(id) {
+            eat(b"n:");
+            eat(name.as_bytes());
+        }
+        if let Some(text) = db.store().text_of(id) {
+            eat(b"t:");
+            eat(text.as_bytes());
+        }
+    }
+    h
+}
+
+struct RunResult {
+    outcomes: Vec<String>,
+    digest: u64,
+    lock_requests: u64,
+    table_requests: u64,
+    cache_hits: u64,
+}
+
+/// Runs the sequential seeded workload once and returns everything the
+/// equivalence assertions compare. `after_setup` runs between document
+/// generation and the workload — the hook the chaos variant uses to arm
+/// failpoints at the workload only, not at setup.
+fn run_workload_with(
+    protocol: &str,
+    cache: bool,
+    seed: u64,
+    after_setup: impl FnOnce(),
+) -> RunResult {
+    let db = XtcDb::new(XtcConfig {
+        protocol: protocol.to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: Duration::from_secs(5),
+        lock_cache: cache,
+        ..XtcConfig::default()
+    });
+    bib::generate_into(&db, &BibConfig::tiny());
+    after_setup();
+    let pacing = Pacing {
+        wait_after_operation: Duration::ZERO,
+    };
+    let mut outcomes = Vec::with_capacity(TXNS);
+    for i in 0..TXNS {
+        let kind = MIX[i % MIX.len()];
+        // Fresh RNG per transaction: both arms draw identical targets
+        // regardless of how many random values earlier transactions used.
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64 * 7919));
+        outcomes.push(outcome_of(run_txn(&db, kind, &BibConfig::tiny(), &mut rng, pacing)));
+    }
+    RunResult {
+        outcomes,
+        digest: document_digest(&db),
+        lock_requests: db.lock_table().requests(),
+        table_requests: db.lock_table().table_requests(),
+        cache_hits: db.lock_table().cache_hits(),
+    }
+}
+
+fn run_workload(protocol: &str, cache: bool, seed: u64) -> RunResult {
+    run_workload_with(protocol, cache, seed, || {})
+}
+
+fn assert_equivalent(protocol: &str, on: &RunResult, off: &RunResult) {
+    assert_eq!(
+        on.outcomes, off.outcomes,
+        "{protocol}: commit/abort outcomes diverge between cache on and off"
+    );
+    assert_eq!(
+        on.digest, off.digest,
+        "{protocol}: final documents diverge between cache on and off"
+    );
+    assert_eq!(
+        on.lock_requests, off.lock_requests,
+        "{protocol}: lock_requests accounting must not depend on the cache"
+    );
+    assert_eq!(
+        off.cache_hits, 0,
+        "{protocol}: disabled cache must never report hits"
+    );
+}
+
+/// Request-accounting identities. These hold only fault-free: an
+/// injected error returns from `lock_with` after `lock_requests` but
+/// before the hit/table split, so the chaos variant skips them.
+fn assert_accounting(protocol: &str, on: &RunResult, off: &RunResult) {
+    assert_eq!(
+        off.table_requests, off.lock_requests,
+        "{protocol}: with the cache off every request reaches the table"
+    );
+    assert_eq!(
+        on.cache_hits + on.table_requests,
+        on.lock_requests,
+        "{protocol}: every request is either a hit or table traffic"
+    );
+}
+
+#[test]
+fn cache_equivalence_all_protocols() {
+    let _g = GUARD.lock().unwrap();
+    let mut total_hits = 0u64;
+    for proto in xtc_protocols::ALL_PROTOCOLS {
+        let on = run_workload(proto, true, 0xC0FF_EE00);
+        let off = run_workload(proto, false, 0xC0FF_EE00);
+        assert_equivalent(proto, &on, &off);
+        assert_accounting(proto, &on, &off);
+        total_hits += on.cache_hits;
+    }
+    assert!(
+        total_hits > 0,
+        "the workload must actually exercise the cache somewhere"
+    );
+}
+
+/// The taDOM protocols re-lock ancestor paths on every operation — the
+/// cache must visibly absorb traffic there, not just stay coherent.
+#[test]
+fn cache_absorbs_tadom_path_relocking() {
+    let _g = GUARD.lock().unwrap();
+    for proto in ["taDOM2", "taDOM2+", "taDOM3", "taDOM3+"] {
+        let on = run_workload(proto, true, 7);
+        assert!(
+            on.cache_hits > 0,
+            "{proto}: sequential mix produced no cache hits"
+        );
+        assert!(
+            on.table_requests < on.lock_requests,
+            "{proto}: cache hits must reduce shared-table traffic"
+        );
+    }
+}
+
+/// Chaos variant: injected lock-acquire faults must hit the same
+/// requests in both arms (the failpoint evaluates once per request,
+/// cache hit or not), keeping outcomes and documents identical.
+#[cfg(feature = "failpoints")]
+#[test]
+fn cache_equivalence_under_lock_faults() {
+    use xtc_failpoint::FailAction;
+
+    let _g = GUARD.lock().unwrap();
+    for proto in xtc_protocols::ALL_PROTOCOLS {
+        let arm = |cache: bool| {
+            // Armed *after* document generation (inside the hook) so the
+            // fault budget is spent on the workload, not on setup — and
+            // so both arms start the storm at the same eval count.
+            let result = run_workload_with(proto, cache, 0xFA11_0000, || {
+                xtc_failpoint::clear();
+                xtc_failpoint::set_seed(0xFA11);
+                xtc_failpoint::configure("lock.acquire", 0.02, FailAction::Error, Some(24));
+            });
+            let injected = xtc_failpoint::hits("lock.acquire");
+            xtc_failpoint::clear();
+            (result, injected)
+        };
+        let (on, on_injected) = arm(true);
+        let (off, off_injected) = arm(false);
+        assert_equivalent(proto, &on, &off);
+        assert!(
+            on_injected > 0,
+            "{proto}: fault injection never fired — the test is not \
+             exercising the fault path"
+        );
+        assert_eq!(
+            on_injected, off_injected,
+            "{proto}: the cache must not change which requests get faulted"
+        );
+        assert!(
+            on.outcomes.iter().any(|o| o.starts_with("abort")),
+            "{proto}: an injected lock error should abort at least one transaction"
+        );
+    }
+}
