@@ -1,0 +1,142 @@
+//! Trace exporter: runs a seeded sequential transaction mix with the
+//! observability layer enabled and writes one structured trace per
+//! protocol — per-transaction timelines, lock/IO/WAL latency histograms,
+//! and the full event list.
+//!
+//! ```text
+//! trace [--protocols a,b,c] [--txns N] [--seed N] [--bib tiny|scaled|paper]
+//!       [--read-latency-us N] [--events N] [--out DIR]
+//! ```
+//!
+//! Writes `DIR/trace_<protocol>.json` (default `results/`). The run is
+//! single-threaded, so with a fixed seed the event sequence is
+//! deterministic up to measured wait fields (which are zero without
+//! contention) — the golden-trace test relies on the same property.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use xtc_core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc_obs::ObsConfig;
+use xtc_tamix::txns::{run_txn, Pacing};
+use xtc_tamix::{bib, BibConfig, TxnKind};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+/// The sequential mix: cycles through every transaction type so the
+/// trace shows reads, updates, deletions, and their WAL records.
+const MIX: [TxnKind; 5] = [
+    TxnKind::QueryBook,
+    TxnKind::Chapter,
+    TxnKind::LendAndReturn,
+    TxnKind::RenameTopic,
+    TxnKind::DelBook,
+];
+
+fn main() {
+    let mut protocols: Vec<String> = vec!["taDOM3+".to_string(), "Node2PL".to_string()];
+    let mut txns: usize = 25;
+    let mut seed: u64 = 42;
+    let mut bib_cfg = BibConfig::tiny();
+    let mut read_latency_us: u64 = 10;
+    let mut events: usize = 262_144;
+    let mut out_dir = "results".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--protocols" => {
+                protocols = val("list").split(',').map(|s| s.to_string()).collect();
+                if protocols.iter().any(|p| p == "all") {
+                    protocols = xtc_protocols::ALL_PROTOCOLS
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect();
+                }
+            }
+            "--txns" => txns = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--seed" => seed = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--bib" => {
+                bib_cfg = match val("size").as_str() {
+                    "tiny" => BibConfig::tiny(),
+                    "scaled" => BibConfig::scaled(),
+                    "paper" => BibConfig::paper(),
+                    other => die(&format!("unknown bib size {other}")),
+                }
+            }
+            "--read-latency-us" => {
+                read_latency_us = val("number").parse().unwrap_or_else(|_| die("bad number"))
+            }
+            "--events" => events = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--out" => out_dir = val("path"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --protocols a,b,c|all --txns N --seed N \
+                     --bib tiny|scaled|paper --read-latency-us N --events N --out DIR"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| die(&format!("mkdir {out_dir}: {e}")));
+    for proto in &protocols {
+        if xtc_protocols::build(proto).is_none() {
+            die(&format!("unknown protocol {proto}"));
+        }
+        let db = XtcDb::new(XtcConfig {
+            protocol: proto.clone(),
+            isolation: IsolationLevel::Repeatable,
+            lock_depth: 4,
+            obs: Some(ObsConfig {
+                trace_events: events,
+            }),
+            // In-memory WAL so the trace shows append/flush/commit events
+            // and the wal_flush histogram is populated.
+            wal: Some(xtc_core::wal::WalConfig::default()),
+            store: xtc_node::DocStoreConfig {
+                read_latency: Duration::from_micros(read_latency_us),
+                ..xtc_node::DocStoreConfig::default()
+            },
+            ..XtcConfig::default()
+        });
+        bib::generate_into(&db, &bib_cfg);
+        let pacing = Pacing {
+            wait_after_operation: Duration::ZERO,
+        };
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        for i in 0..txns {
+            let kind = MIX[i % MIX.len()];
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64 * 7919));
+            match run_txn(&db, kind, &bib_cfg, &mut rng, pacing) {
+                Ok(_) => committed += 1,
+                Err(_) => aborted += 1,
+            }
+        }
+        let obs = db.obs();
+        let json = obs.export_json(&format!("trace {proto} seed={seed} txns={txns}"));
+        let path = format!("{out_dir}/trace_{}.json", proto.replace('+', "plus"));
+        std::fs::write(&path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        let vt = obs.vt();
+        println!(
+            "trace: {proto}: {committed} committed, {aborted} aborted, \
+             {} events ({} dropped), vt page_read={}us think={}us lock_wait={}us \
+             wal_flush={}us -> {path}",
+            obs.recorded_events(),
+            obs.dropped_events(),
+            vt.page_read_us,
+            vt.think_us,
+            vt.lock_wait_us,
+            vt.wal_flush_us
+        );
+    }
+}

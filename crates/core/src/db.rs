@@ -49,6 +49,12 @@ pub struct XtcConfig {
     /// ahead of page writes, commit forces the log (group commit), and
     /// [`recovery::recover_from`] can rebuild the database after a crash.
     pub wal: Option<WalConfig>,
+    /// Structured tracing configuration. `None` (the default) keeps only
+    /// the always-on virtual clock (per-run simulated-time counters, a
+    /// few relaxed atomic adds). `Some` additionally records lock, page,
+    /// WAL, and transaction events into a lock-free ring buffer with
+    /// latency histograms — exportable via [`XtcDb::obs`] as JSON.
+    pub obs: Option<xtc_obs::ObsConfig>,
 }
 
 impl Default for XtcConfig {
@@ -64,6 +70,7 @@ impl Default for XtcConfig {
             lock_cache: true,
             store: DocStoreConfig::default(),
             wal: None,
+            obs: None,
         }
     }
 }
@@ -82,9 +89,9 @@ pub(crate) struct WalHandle {
 }
 
 impl WalHandle {
-    fn open(config: WalConfig) -> Result<Self, XtcError> {
+    fn open(config: WalConfig, obs: xtc_obs::Obs) -> Result<Self, XtcError> {
         Ok(WalHandle {
-            wal: Arc::new(Wal::open(config)?),
+            wal: Arc::new(Wal::open_with_obs(config, obs)?),
             log_mutex: Mutex::new(()),
             active: Mutex::new(HashSet::new()),
         })
@@ -103,6 +110,7 @@ pub struct XtcDb {
     escalation_threshold: Option<usize>,
     escalated_depth: u32,
     wal: Option<WalHandle>,
+    obs: xtc_obs::Obs,
 }
 
 impl XtcDb {
@@ -118,9 +126,16 @@ impl XtcDb {
     pub fn try_new(config: XtcConfig) -> Result<Self, XtcError> {
         let handle = xtc_protocols::build(&config.protocol)
             .ok_or_else(|| XtcError::UnknownProtocol(config.protocol.clone()))?;
-        let store = Arc::new(DocStore::new(config.store.clone()));
+        // One observability handle for the whole engine: the storage
+        // pool, the lock table, the WAL, and the transaction layer all
+        // charge the same virtual clock and (when configured) the same
+        // trace, so per-run accounting is consistent across layers.
+        let obs = xtc_obs::Obs::with_config(config.obs.as_ref());
+        let mut store_config = config.store.clone();
+        store_config.obs = obs.clone();
+        let store = Arc::new(DocStore::new(store_config));
         let wal = match config.wal.clone() {
-            Some(wal_config) => Some(WalHandle::open(wal_config)?),
+            Some(wal_config) => Some(WalHandle::open(wal_config, obs.clone())?),
             None => None,
         };
         let registry = Arc::new(TxnRegistry::new());
@@ -131,7 +146,8 @@ impl XtcDb {
                 config.lock_timeout,
             )
             .with_victim_policy(config.victim_policy)
-            .with_lock_cache(config.lock_cache),
+            .with_lock_cache(config.lock_cache)
+            .with_obs(obs.clone()),
         );
         Ok(XtcDb {
             view: Arc::new(StoreView(store.clone())),
@@ -144,6 +160,7 @@ impl XtcDb {
             escalation_threshold: config.escalation_threshold,
             escalated_depth: config.escalated_depth,
             wal,
+            obs,
         })
     }
 
@@ -220,7 +237,15 @@ impl XtcDb {
     /// depth.
     pub fn begin_with(&self, isolation: IsolationLevel, lock_depth: u32) -> Transaction<'_> {
         let handle = self.registry.begin_handle();
+        self.obs.txn_begin(handle.id());
         Transaction::new(self, handle, isolation, lock_depth)
+    }
+
+    /// The engine's observability handle: the always-on virtual clock
+    /// (simulated-time counters) and, when `XtcConfig::obs` was set, the
+    /// event trace and latency histograms.
+    pub fn obs(&self) -> &xtc_obs::Obs {
+        &self.obs
     }
 
     /// The active lock protocol.

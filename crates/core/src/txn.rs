@@ -82,6 +82,13 @@ impl<'db> Transaction<'db> {
         self.id
     }
 
+    /// The engine's observability handle — workload drivers charge their
+    /// simulated think time through it so the virtual clock sees every
+    /// cost source.
+    pub fn obs(&self) -> &xtc_obs::Obs {
+        self.db.obs()
+    }
+
     fn ctx(&self) -> LockCtx<'_> {
         LockCtx {
             txn: &self.handle,
@@ -760,6 +767,7 @@ impl<'db> Transaction<'db> {
         self.finished.set(true);
         self.undo.borrow_mut().clear();
         self.release();
+        self.db.obs().txn_end(self.id, true);
         Ok(())
     }
 
@@ -815,6 +823,7 @@ impl<'db> Transaction<'db> {
             }
         }
         self.release();
+        self.db.obs().txn_end(self.id, false);
     }
 
     fn release(&self) {

@@ -17,6 +17,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xtc_obs::{CostKind, EventKind, Obs};
 use xtc_splid::SplId;
 
 /// The four virtual navigation edges whose stability repeatable-read
@@ -231,6 +232,9 @@ pub struct LockTable {
     /// Requests per (family, mode) — the per-mode histogram of §4.1's
     /// lock-manager metrics.
     mode_requests: Vec<Vec<AtomicU64>>,
+    /// Observability handle: lock waits charge their measured duration to
+    /// its virtual clock; lock events trace through it when tracing.
+    obs: Obs,
 }
 
 /// Wait-slice granularity: bounds the latency of deadlock-victim wakeup
@@ -270,7 +274,22 @@ impl LockTable {
             table_requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             mode_requests,
+            obs: Obs::default(),
         }
+    }
+
+    /// Wires the table to an observability handle (builder style; default
+    /// a private clock with tracing off). Lock waits charge the handle's
+    /// virtual clock, and — when tracing — acquire/wait/grant/convert and
+    /// deadlock-victim events are recorded.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle this table reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Sets the deadlock victim policy (builder style; default
@@ -361,6 +380,14 @@ impl LockTable {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
+    /// Stable-within-a-run identity hash of a lock name for trace events
+    /// (events are fixed-size; names are protocol-level structures).
+    fn name_hash(name: &LockName) -> u64 {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        h.finish()
+    }
+
     /// Requests `mode` on `name` for `txn`, blocking until granted,
     /// deadlock-aborted, or timed out. By-id convenience over
     /// [`lock_with`](LockTable::lock_with): resolves the handle through
@@ -430,6 +457,10 @@ impl LockTable {
                     let conv = table.conversion(held, mode);
                     if conv.result == held && conv.annex == Annex::None {
                         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.obs.record_with(txn.id(), || EventKind::LockAcquire {
+                            name: Self::name_hash(name),
+                            mode: held,
+                        });
                         return Ok(Acquired::Granted);
                     }
                 }
@@ -455,6 +486,10 @@ impl LockTable {
             if conv.result == held {
                 drop(g);
                 txn.record_lock(name, held, class);
+                self.obs.record_with(id, || EventKind::LockAcquire {
+                    name: Self::name_hash(name),
+                    mode: held,
+                });
                 return Ok(Acquired::Granted);
             }
             if let Annex::ChildLocks(child_mode) = conv.annex {
@@ -467,9 +502,23 @@ impl LockTable {
                 head.granted[pos].1 = target;
                 drop(g);
                 txn.record_lock(name, target, class);
+                self.obs.record_with(id, || EventKind::LockConvert {
+                    name: Self::name_hash(name),
+                    from: held,
+                    to: target,
+                });
                 return Ok(Acquired::Granted);
             }
             head.converting.push((id, target));
+            // Recorded while the shard is still locked and before the
+            // requester blocks: an observer that sees this event knows the
+            // requester cannot be granted until a release happens — the
+            // handshake the lock tests synchronize on instead of sleeping.
+            self.obs.record_with(id, || EventKind::LockWait {
+                name: Self::name_hash(name),
+                mode: target,
+                converting: true,
+            });
             let res = self.wait(shard, g, name, txn, target, table, true);
             if res.is_ok() {
                 txn.record_lock(name, target, class);
@@ -482,9 +531,20 @@ impl LockTable {
             head.granted.push((id, mode));
             drop(g);
             txn.record_lock(name, mode, class);
+            self.obs.record_with(id, || EventKind::LockAcquire {
+                name: Self::name_hash(name),
+                mode,
+            });
             return Ok(Acquired::Granted);
         }
         head.queue.push_back(Waiter { txn: id, mode });
+        // See the conversion path: recorded under the shard lock, before
+        // blocking, so observers can use it as an "is queued" handshake.
+        self.obs.record_with(id, || EventKind::LockWait {
+            name: Self::name_hash(name),
+            mode,
+            converting: false,
+        });
         let res = self.wait(shard, g, name, txn, mode, table, false);
         if res.is_ok() {
             txn.record_lock(name, mode, class);
@@ -543,13 +603,29 @@ impl LockTable {
         converting: bool,
     ) -> Result<(), LockError> {
         let txn = handle.id();
-        let deadline = Instant::now() + self.timeout;
+        let started = Instant::now();
+        let deadline = started + self.timeout;
+        // Attribute the measured wall time of this wait to the virtual
+        // clock, whatever the outcome — blocked time is protocol cost even
+        // when it ends in an abort or a timeout.
+        let charge_wait = |granted: bool| {
+            let waited_us = started.elapsed().as_micros() as u64;
+            self.obs.charge(CostKind::LockWait, waited_us);
+            if granted {
+                self.obs.record_with(txn, || EventKind::LockGrant {
+                    name: Self::name_hash(name),
+                    mode: target,
+                    waited_us,
+                });
+            }
+        };
         loop {
             // Aborted by another detector's victim choice?
             if handle.is_aborted() {
                 self.remove_request(&mut g, name, txn, converting);
                 self.clear_edges(txn);
                 shard.cv.notify_all();
+                charge_wait(false);
                 return Err(LockError::Aborted);
             }
             // Try to grant.
@@ -565,6 +641,7 @@ impl LockTable {
                     e.1 = target;
                     self.clear_edges(txn);
                     shard.cv.notify_all();
+                    charge_wait(true);
                     return Ok(());
                 }
             } else {
@@ -578,6 +655,7 @@ impl LockTable {
                     head.granted.push((txn, target));
                     self.clear_edges(txn);
                     shard.cv.notify_all();
+                    charge_wait(true);
                     return Ok(());
                 }
             }
@@ -586,12 +664,14 @@ impl LockTable {
             if let Some(err) = self.update_graph_and_detect(txn, converting, blockers) {
                 self.remove_request(&mut g, name, txn, converting);
                 shard.cv.notify_all();
+                charge_wait(false);
                 return Err(err);
             }
             if Instant::now() >= deadline {
                 self.remove_request(&mut g, name, txn, converting);
                 self.clear_edges(txn);
                 shard.cv.notify_all();
+                charge_wait(false);
                 return Err(LockError::Timeout);
             }
             shard.cv.wait_for(&mut g, WAIT_SLICE);
@@ -680,6 +760,13 @@ impl LockTable {
             drop(wfg);
             if self.registry.mark_aborted(txn) {
                 self.deadlocks.record(conversion_involved);
+                self.obs.record_for(
+                    txn,
+                    EventKind::DeadlockVictim {
+                        victim: txn,
+                        conversion: conversion_involved,
+                    },
+                );
             }
             return Some(LockError::Deadlock {
                 conversion: conversion_involved,
@@ -688,6 +775,13 @@ impl LockTable {
         drop(wfg);
         if self.registry.mark_aborted(victim) {
             self.deadlocks.record(conversion_involved);
+            self.obs.record_for(
+                victim,
+                EventKind::DeadlockVictim {
+                    victim,
+                    conversion: conversion_involved,
+                },
+            );
         }
         // Wake the victim wherever it waits.
         for s in self.shards.iter() {

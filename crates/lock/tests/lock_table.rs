@@ -2,11 +2,12 @@
 //! conversion priority, deadlock detection and victim choice.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xtc_lock::algebra::{AlgebraMode, Region, SelfAcc};
 use xtc_lock::{
-    Acquired, LockClass, LockError, LockName, LockTable, LockTarget, ModeTable, TxnRegistry,
+    Acquired, LockClass, LockError, LockName, LockTable, LockTarget, ModeTable, TxnId, TxnRegistry,
 };
+use xtc_obs::{EventKind, Obs, ObsConfig};
 use xtc_splid::SplId;
 
 /// A miniature S/U/X family for table tests.
@@ -30,12 +31,47 @@ fn sux() -> Arc<ModeTable> {
 
 fn table() -> (Arc<LockTable>, Arc<TxnRegistry>) {
     let reg = Arc::new(TxnRegistry::new());
-    let t = Arc::new(LockTable::new(
-        vec![sux()],
-        reg.clone(),
-        Duration::from_secs(5),
-    ));
+    // Tracing on: the tests synchronize on recorded lock events instead
+    // of sleeping.
+    let t = Arc::new(
+        LockTable::new(vec![sux()], reg.clone(), Duration::from_secs(5))
+            .with_obs(Obs::with_config(Some(&ObsConfig::default()))),
+    );
     (t, reg)
+}
+
+/// Number of `LockWait` events recorded for `txn`.
+fn lock_waits(t: &LockTable, txn: TxnId) -> usize {
+    t.obs()
+        .events()
+        .iter()
+        .filter(|e| e.txn == txn && matches!(e.kind, EventKind::LockWait { .. }))
+        .count()
+}
+
+/// Number of `LockGrant` events (grant after blocking) recorded for `txn`.
+fn grants(t: &LockTable, txn: TxnId) -> usize {
+    t.obs()
+        .events()
+        .iter()
+        .filter(|e| e.txn == txn && matches!(e.kind, EventKind::LockGrant { .. }))
+        .count()
+}
+
+/// Blocks until `txn` has at least `n` `LockWait` events. The event is
+/// recorded under the shard mutex *before* the requester blocks, so
+/// observing it proves the request is enqueued and cannot be granted
+/// until a subsequent release — the handshake that replaces the old
+/// sleep-then-assert synchronization.
+fn await_enqueued(t: &LockTable, txn: TxnId, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while lock_waits(t, txn) < n {
+        assert!(
+            Instant::now() < deadline,
+            "txn {txn} never enqueued (expected {n} waits)"
+        );
+        std::thread::yield_now();
+    }
 }
 
 fn node(s: &str) -> LockName {
@@ -70,13 +106,15 @@ fn shared_locks_coexist_exclusive_blocks() {
     let n2 = n.clone();
     let x = m(&t, "X");
     let h = std::thread::spawn(move || t2.lock(c, &n2, x, LockClass::Long, false));
-    std::thread::sleep(Duration::from_millis(50));
+    await_enqueued(&t, c, 1);
     assert!(!h.is_finished(), "X must wait for readers");
     t.release_all(a);
-    std::thread::sleep(Duration::from_millis(50));
-    assert!(!h.is_finished(), "X must wait for the second reader too");
+    // b still holds S, so c stays queued: no grant event may exist.
+    assert_eq!(grants(&t, c), 0, "X must wait for the second reader too");
+    assert!(!h.is_finished());
     t.release_all(b);
     assert_eq!(h.join().unwrap().unwrap(), Acquired::Granted);
+    assert_eq!(grants(&t, c), 1, "the blocked X records exactly one grant");
 }
 
 #[test]
@@ -115,7 +153,9 @@ fn conversion_deadlock_detected_and_classified() {
         }
         r
     });
-    std::thread::sleep(Duration::from_millis(50));
+    // Wait until b's conversion request is queued, so a's own request
+    // deterministically closes the cycle.
+    await_enqueued(&t, b, 1);
     let res = t.lock(a, &n, x, LockClass::Long, false);
     let other = h.join().unwrap();
     // Exactly one of the two must die; the victim is the younger (b).
@@ -149,7 +189,7 @@ fn two_name_cycle_detected_as_distinct_subtree_deadlock() {
         }
         r
     });
-    std::thread::sleep(Duration::from_millis(50));
+    await_enqueued(&t, b, 1);
     let res = t.lock(a, &n2, x, LockClass::Long, false);
     let other = h.join().unwrap();
     // b (younger) must be the victim.
@@ -176,7 +216,7 @@ fn aborted_victim_waiting_elsewhere_wakes_with_error() {
     let t2 = t.clone();
     let n1c = n1.clone();
     let h = std::thread::spawn(move || t2.lock(b, &n1c, x, LockClass::Long, false));
-    std::thread::sleep(Duration::from_millis(50));
+    await_enqueued(&t, b, 1);
     // Someone marks b aborted (as a deadlock victim would be).
     reg.mark_aborted(b);
     let res = h.join().unwrap();
@@ -214,7 +254,7 @@ fn update_mode_asymmetry_at_the_table() {
     let t2 = t.clone();
     let n2 = n.clone();
     let h = std::thread::spawn(move || t2.lock(c, &n2, s, LockClass::Long, false));
-    std::thread::sleep(Duration::from_millis(50));
+    await_enqueued(&t, c, 1);
     assert!(!h.is_finished(), "reader must queue behind held U");
     t.release_all(b);
     h.join().unwrap().unwrap();
@@ -245,14 +285,15 @@ fn fifo_queue_blocks_later_compatible_conflicting_requests() {
     t.lock(a, &n, x, LockClass::Long, false).unwrap();
     let (tb, nb) = (t.clone(), n.clone());
     let hb = std::thread::spawn(move || tb.lock(b, &nb, s, LockClass::Long, false));
-    std::thread::sleep(Duration::from_millis(30));
+    await_enqueued(&t, b, 1);
     let (tc, nc) = (t.clone(), n.clone());
     let hc = std::thread::spawn(move || tc.lock(c, &nc, x, LockClass::Long, false));
-    std::thread::sleep(Duration::from_millis(30));
+    await_enqueued(&t, c, 1);
     t.release_all(a);
     hb.join().unwrap().unwrap();
-    std::thread::sleep(Duration::from_millis(50));
-    assert!(!hc.is_finished(), "X waits for the granted reader");
+    // b now holds S, incompatible with c's X: no grant may be recorded.
+    assert_eq!(grants(&t, c), 0, "X waits for the granted reader");
+    assert!(!hc.is_finished());
     t.release_all(b);
     hc.join().unwrap().unwrap();
 }

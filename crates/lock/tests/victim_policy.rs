@@ -4,12 +4,37 @@
 //! youngest-victim).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xtc_lock::algebra::{AlgebraMode, Region, SelfAcc};
 use xtc_lock::{
     LockClass, LockName, LockTable, LockTarget, ModeTable, TxnId, TxnRegistry, VictimPolicy,
 };
+use xtc_obs::{EventKind, Obs, ObsConfig};
 use xtc_splid::SplId;
+
+/// Blocks until `txn` has at least `n` `LockWait` events recorded — the
+/// event is written under the shard mutex before the requester blocks,
+/// so observing it proves the request is enqueued (replaces the old
+/// sleep-then-request synchronization).
+fn await_enqueued(t: &LockTable, txn: TxnId, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let waits = t
+            .obs()
+            .events()
+            .iter()
+            .filter(|e| e.txn == txn && matches!(e.kind, EventKind::LockWait { .. }))
+            .count();
+        if waits >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "txn {txn} never enqueued (expected {n} waits)"
+        );
+        std::thread::yield_now();
+    }
+}
 
 fn sux() -> Arc<ModeTable> {
     Arc::new(ModeTable::generate(
@@ -40,7 +65,8 @@ fn run_two_txn_cycle(policy: VictimPolicy) -> (TxnId, TxnId, TxnId) {
     let reg = Arc::new(TxnRegistry::new());
     let t = Arc::new(
         LockTable::new(vec![sux()], reg.clone(), Duration::from_secs(10))
-            .with_victim_policy(policy),
+            .with_victim_policy(policy)
+            .with_obs(Obs::with_config(Some(&ObsConfig::default()))),
     );
     let (a, b) = (reg.begin(), reg.begin());
     let x = t.family(0).mode_named("X").unwrap();
@@ -59,7 +85,7 @@ fn run_two_txn_cycle(policy: VictimPolicy) -> (TxnId, TxnId, TxnId) {
         }
         r
     });
-    std::thread::sleep(Duration::from_millis(60));
+    await_enqueued(&t, b, 1);
     let res_a = t.lock(a, &n2, x, LockClass::Long, false);
     if res_a.is_err() {
         // Roll the victim back *before* joining, so the survivor's
@@ -112,7 +138,8 @@ fn most_waiters_policy_deterministically_kills_the_most_blocking() {
         let reg = Arc::new(TxnRegistry::new());
         let t = Arc::new(
             LockTable::new(vec![sux()], reg.clone(), Duration::from_secs(10))
-                .with_victim_policy(VictimPolicy::MostWaiters),
+                .with_victim_policy(VictimPolicy::MostWaiters)
+                .with_obs(Obs::with_config(Some(&ObsConfig::default()))),
         );
         let (a, b, c) = (reg.begin(), reg.begin(), reg.begin());
         let x = t.family(0).mode_named("X").unwrap();
@@ -122,7 +149,7 @@ fn most_waiters_policy_deterministically_kills_the_most_blocking() {
         // c queues behind a on n1 — an innocent bystander edge c -> a.
         let (tc, n1c) = (t.clone(), n1.clone());
         let hc = std::thread::spawn(move || tc.lock(c, &n1c, x, LockClass::Long, false));
-        std::thread::sleep(Duration::from_millis(60));
+        await_enqueued(&t, c, 1);
         // b queues behind a on n1 too: edge b -> a, still no cycle.
         let (tb, n1b, regb) = (t.clone(), n1.clone(), reg.clone());
         let hb = std::thread::spawn(move || {
@@ -133,7 +160,7 @@ fn most_waiters_policy_deterministically_kills_the_most_blocking() {
             }
             r
         });
-        std::thread::sleep(Duration::from_millis(60));
+        await_enqueued(&t, b, 1);
         // a requests n2: cycle a <-> b with waiters(a) = {b, c},
         // waiters(b) = {a}.
         let res_a = t.lock(a, &n2, x, LockClass::Long, false);

@@ -19,6 +19,10 @@ pub struct DocStoreConfig {
     /// index, ID index); `None` = unbounded. Evicted pages fault back in
     /// as buffer misses — see `xtc_storage::PoolStats`.
     pub max_resident_pages: Option<usize>,
+    /// Observability handle shared with the engine: page reads charge
+    /// their simulated latency to its virtual clock; page events trace
+    /// through it when tracing is enabled.
+    pub obs: xtc_obs::Obs,
 }
 
 impl Default for DocStoreConfig {
@@ -28,6 +32,7 @@ impl Default for DocStoreConfig {
             dist: 16,
             read_latency: std::time::Duration::ZERO,
             max_resident_pages: None,
+            obs: xtc_obs::Obs::default(),
         }
     }
 }
@@ -131,7 +136,7 @@ pub struct DocStore {
 impl DocStore {
     /// Creates an empty document store.
     pub fn new(config: DocStoreConfig) -> Self {
-        let stats = StorageStats::default();
+        let stats = StorageStats::with_obs(config.obs.clone());
         let btcfg = BTreeConfig {
             page_size: config.page_size,
             read_latency: config.read_latency,

@@ -1,0 +1,188 @@
+//! Log-scaled latency histograms.
+//!
+//! Microsecond samples land in power-of-two buckets (bucket 0 holds the
+//! zero sample, bucket `i >= 1` holds `[2^(i-1), 2^i)` µs, the last
+//! bucket is open-ended). The live [`Histogram`] is an array of atomics
+//! so recording is lock-free; [`HistogramSnapshot`] is its plain-integer
+//! counterpart with merge and percentile queries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets per histogram.
+pub const BUCKETS: usize = 64;
+
+/// Which latency distribution a histogram tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HistKind {
+    /// Time blocked in the lock table per granted wait.
+    LockWait,
+    /// Simulated latency per page read.
+    PageRead,
+    /// Wait per WAL group-commit flush.
+    WalFlush,
+}
+
+impl HistKind {
+    /// All histogram kinds, in storage order.
+    pub const ALL: [HistKind; 3] = [HistKind::LockWait, HistKind::PageRead, HistKind::WalFlush];
+
+    /// Stable index of this kind into histogram arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Snake-case name used in JSON exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistKind::LockWait => "lock_wait_us",
+            HistKind::PageRead => "page_read_us",
+            HistKind::WalFlush => "wal_flush_us",
+        }
+    }
+}
+
+/// The bucket index a microsecond sample falls into.
+pub fn bucket_of(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket, in microseconds. The top bucket
+/// is open-ended and reports `u64::MAX`.
+pub fn bucket_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// Lock-free log2-bucketed histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one microsecond sample (relaxed atomic increment).
+    pub fn record(&self, micros: u64) {
+        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-integer copy of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-integer histogram: mergeable, queryable, comparable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log2 bucket (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// A fresh, empty snapshot.
+    pub fn new() -> Self {
+        HistogramSnapshot::default()
+    }
+
+    /// Records one sample (non-atomic counterpart of
+    /// [`Histogram::record`], handy for tests and oracles).
+    pub fn record(&mut self, micros: u64) {
+        self.buckets[bucket_of(micros)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another snapshot's counts into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// sample, `p` in `[0, 100]`. An empty histogram reports 0; `p = 0`
+    /// reports the first non-empty bucket's bound. Log bucketing means
+    /// the answer is exact to within a factor of two — the right
+    /// resolution for latency distributions spanning decades.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * total as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Upper bound (µs) of the highest non-empty bucket; 0 when empty.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map(bucket_bound)
+            .unwrap_or(0)
+    }
+
+    /// Renders the histogram as a JSON object: summary percentiles plus
+    /// the sparse non-empty buckets as `[index, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let sparse: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| format!("[{i},{n}]"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"buckets\":[{}]}}",
+            self.count(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max_bound(),
+            sparse.join(",")
+        )
+    }
+}

@@ -1,0 +1,476 @@
+//! Structured trace events and the lock-free ring buffer that records
+//! them.
+//!
+//! Events are fixed-size: each variant packs into six `u64` words
+//! (tag/flag byte lane, transaction id, four payload words). Slots in
+//! the ring store those words as `AtomicU64`s guarded by a per-slot
+//! sequence word — a seqlock — so recording is lock-free, wait-free for
+//! readers, and needs no `unsafe`:
+//!
+//! - A writer claims a global position with one `fetch_add`, CASes the
+//!   slot's sequence from the previous lap's completed value to an odd
+//!   "writing" value, stores the words, then publishes the new even
+//!   completed value with a release store. If the CAS fails (a writer
+//!   from a previous lap is still mid-write — only possible when the
+//!   buffer wraps within one in-flight window), the event is counted as
+//!   dropped rather than blocking.
+//! - A snapshot reader accepts a slot only if the sequence is even and
+//!   unchanged across the word reads (acquire/fence discipline), so it
+//!   never observes torn events; slots being overwritten are skipped.
+//!
+//! The buffer wraps: once full, new events overwrite the oldest lap, so
+//! the trace always holds the most recent `trace_events` entries.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::clock::VirtualTimes;
+use crate::hist::{HistKind, Histogram};
+
+/// Configuration for the tracing half of the observability layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Capacity of the event ring buffer, in events. Once exceeded the
+    /// buffer wraps, keeping the most recent events and counting
+    /// overwritten laps only implicitly (contended overwrites are
+    /// reported via [`crate::Obs::dropped_events`]).
+    pub trace_events: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace_events: 65_536,
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number: the order in which recording threads
+    /// claimed slots. Gap-free per run except across wrap boundaries.
+    pub seq: u64,
+    /// Transaction the event is attributed to (0 = none/unknown).
+    pub txn: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary: every instrumented point in the engine.
+///
+/// `name` fields carry a stable hash of the lock name (lock names are
+/// protocol-level structures; the trace only needs identity). `mode`
+/// fields carry the protocol's mode-table index. `waited_us` fields are
+/// measured wall time and therefore not replay-deterministic — golden
+/// traces compare events with those fields normalized to zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction began.
+    TxnBegin,
+    /// A transaction finished; carries its outcome and per-transaction
+    /// virtual-time totals.
+    TxnEnd {
+        /// True for commit, false for abort.
+        committed: bool,
+        /// Virtual time charged to this transaction while it ran on
+        /// the recording thread.
+        vt: VirtualTimes,
+    },
+    /// A lock request was granted immediately (including cache hits and
+    /// compatible re-requests).
+    LockAcquire {
+        /// Stable hash of the lock name.
+        name: u64,
+        /// Granted mode (mode-table index).
+        mode: u8,
+    },
+    /// A lock request enqueued behind conflicting holders and is about
+    /// to block. Recorded *before* the requester sleeps, under the
+    /// shard lock — once a test observes this event the requester
+    /// provably cannot proceed until a release or abort.
+    LockWait {
+        /// Stable hash of the lock name.
+        name: u64,
+        /// Requested mode (mode-table index).
+        mode: u8,
+        /// True when this is a conversion of an already-held lock.
+        converting: bool,
+    },
+    /// A blocked request was granted after waiting.
+    LockGrant {
+        /// Stable hash of the lock name.
+        name: u64,
+        /// Granted mode (mode-table index).
+        mode: u8,
+        /// Measured wall microseconds spent blocked.
+        waited_us: u64,
+    },
+    /// A held lock changed mode without blocking.
+    LockConvert {
+        /// Stable hash of the lock name.
+        name: u64,
+        /// Previously held mode (mode-table index).
+        from: u8,
+        /// Resulting mode (mode-table index).
+        to: u8,
+    },
+    /// Deadlock detection chose a victim.
+    DeadlockVictim {
+        /// The aborted transaction.
+        victim: u64,
+        /// True when a conversion edge participated in the cycle.
+        conversion: bool,
+    },
+    /// A page was read through the buffer pool.
+    PageRead {
+        /// Page number within the store.
+        page: u64,
+    },
+    /// A page was written through the buffer pool.
+    PageWrite {
+        /// Page number within the store.
+        page: u64,
+    },
+    /// A resident page was evicted to honor the pool budget.
+    PageEvict {
+        /// Page number within the store.
+        page: u64,
+    },
+    /// A WAL record was appended (buffered, not yet durable).
+    WalAppend {
+        /// Log sequence number assigned to the record.
+        lsn: u64,
+    },
+    /// A group-commit leader flushed a batch to the durable prefix.
+    WalFlush {
+        /// Records in the flushed batch.
+        records: u64,
+        /// Bytes in the flushed batch.
+        bytes: u64,
+    },
+    /// A committing transaction's record became durable.
+    WalCommit {
+        /// The commit record's log sequence number.
+        lsn: u64,
+        /// Measured wall microseconds the committer waited for
+        /// durability.
+        waited_us: u64,
+    },
+}
+
+impl EventKind {
+    /// Snake-case variant name used in JSON exports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::TxnBegin => "txn_begin",
+            EventKind::TxnEnd { .. } => "txn_end",
+            EventKind::LockAcquire { .. } => "lock_acquire",
+            EventKind::LockWait { .. } => "lock_wait",
+            EventKind::LockGrant { .. } => "lock_grant",
+            EventKind::LockConvert { .. } => "lock_convert",
+            EventKind::DeadlockVictim { .. } => "deadlock_victim",
+            EventKind::PageRead { .. } => "page_read",
+            EventKind::PageWrite { .. } => "page_write",
+            EventKind::PageEvict { .. } => "page_evict",
+            EventKind::WalAppend { .. } => "wal_append",
+            EventKind::WalFlush { .. } => "wal_flush",
+            EventKind::WalCommit { .. } => "wal_commit",
+        }
+    }
+
+    /// A copy with measured-wall-time payload fields zeroed, leaving
+    /// only replay-deterministic content. Golden-trace tests compare
+    /// normalized events.
+    pub fn normalized(self) -> EventKind {
+        match self {
+            EventKind::TxnEnd { committed, vt } => EventKind::TxnEnd {
+                committed,
+                vt: VirtualTimes {
+                    lock_wait_us: 0,
+                    wal_flush_us: 0,
+                    ..vt
+                },
+            },
+            EventKind::LockGrant { name, mode, .. } => EventKind::LockGrant {
+                name,
+                mode,
+                waited_us: 0,
+            },
+            EventKind::WalCommit { lsn, .. } => EventKind::WalCommit { lsn, waited_us: 0 },
+            other => other,
+        }
+    }
+
+    /// Renders the variant-specific payload as JSON key/value pairs
+    /// (empty for payload-free variants).
+    pub fn payload_json(&self) -> String {
+        match *self {
+            EventKind::TxnBegin => String::new(),
+            EventKind::TxnEnd { committed, vt } => {
+                format!("\"committed\":{},\"vt\":{}", committed, vt.to_json())
+            }
+            EventKind::LockAcquire { name, mode } => {
+                format!("\"name\":{name},\"mode\":{mode}")
+            }
+            EventKind::LockWait {
+                name,
+                mode,
+                converting,
+            } => format!("\"name\":{name},\"mode\":{mode},\"converting\":{converting}"),
+            EventKind::LockGrant {
+                name,
+                mode,
+                waited_us,
+            } => format!("\"name\":{name},\"mode\":{mode},\"waited_us\":{waited_us}"),
+            EventKind::LockConvert { name, from, to } => {
+                format!("\"name\":{name},\"from\":{from},\"to\":{to}")
+            }
+            EventKind::DeadlockVictim { victim, conversion } => {
+                format!("\"victim\":{victim},\"conversion\":{conversion}")
+            }
+            EventKind::PageRead { page }
+            | EventKind::PageWrite { page }
+            | EventKind::PageEvict { page } => format!("\"page\":{page}"),
+            EventKind::WalAppend { lsn } => format!("\"lsn\":{lsn}"),
+            EventKind::WalFlush { records, bytes } => {
+                format!("\"records\":{records},\"bytes\":{bytes}")
+            }
+            EventKind::WalCommit { lsn, waited_us } => {
+                format!("\"lsn\":{lsn},\"waited_us\":{waited_us}")
+            }
+        }
+    }
+}
+
+/// Word layout: `w0 = tag | flags << 8 | m1 << 16 | m2 << 24`,
+/// `w1 = txn`, `w2..w5 = a, b, c, d`.
+const TAG_TXN_BEGIN: u8 = 0;
+const TAG_TXN_END: u8 = 1;
+const TAG_LOCK_ACQUIRE: u8 = 2;
+const TAG_LOCK_WAIT: u8 = 3;
+const TAG_LOCK_GRANT: u8 = 4;
+const TAG_LOCK_CONVERT: u8 = 5;
+const TAG_DEADLOCK_VICTIM: u8 = 6;
+const TAG_PAGE_READ: u8 = 7;
+const TAG_PAGE_WRITE: u8 = 8;
+const TAG_PAGE_EVICT: u8 = 9;
+const TAG_WAL_APPEND: u8 = 10;
+const TAG_WAL_FLUSH: u8 = 11;
+const TAG_WAL_COMMIT: u8 = 12;
+
+fn pack0(tag: u8, flags: u8, m1: u8, m2: u8) -> u64 {
+    tag as u64 | (flags as u64) << 8 | (m1 as u64) << 16 | (m2 as u64) << 24
+}
+
+pub(crate) fn encode(txn: u64, kind: &EventKind) -> [u64; 6] {
+    let (w0, a, b, c, d) = match *kind {
+        EventKind::TxnBegin => (pack0(TAG_TXN_BEGIN, 0, 0, 0), 0, 0, 0, 0),
+        EventKind::TxnEnd { committed, vt } => (
+            pack0(TAG_TXN_END, committed as u8, 0, 0),
+            vt.page_read_us,
+            vt.think_us,
+            vt.lock_wait_us,
+            vt.wal_flush_us,
+        ),
+        EventKind::LockAcquire { name, mode } => {
+            (pack0(TAG_LOCK_ACQUIRE, 0, mode, 0), name, 0, 0, 0)
+        }
+        EventKind::LockWait {
+            name,
+            mode,
+            converting,
+        } => (
+            pack0(TAG_LOCK_WAIT, converting as u8, mode, 0),
+            name,
+            0,
+            0,
+            0,
+        ),
+        EventKind::LockGrant {
+            name,
+            mode,
+            waited_us,
+        } => (pack0(TAG_LOCK_GRANT, 0, mode, 0), name, waited_us, 0, 0),
+        EventKind::LockConvert { name, from, to } => {
+            (pack0(TAG_LOCK_CONVERT, 0, from, to), name, 0, 0, 0)
+        }
+        EventKind::DeadlockVictim { victim, conversion } => (
+            pack0(TAG_DEADLOCK_VICTIM, conversion as u8, 0, 0),
+            victim,
+            0,
+            0,
+            0,
+        ),
+        EventKind::PageRead { page } => (pack0(TAG_PAGE_READ, 0, 0, 0), page, 0, 0, 0),
+        EventKind::PageWrite { page } => (pack0(TAG_PAGE_WRITE, 0, 0, 0), page, 0, 0, 0),
+        EventKind::PageEvict { page } => (pack0(TAG_PAGE_EVICT, 0, 0, 0), page, 0, 0, 0),
+        EventKind::WalAppend { lsn } => (pack0(TAG_WAL_APPEND, 0, 0, 0), lsn, 0, 0, 0),
+        EventKind::WalFlush { records, bytes } => {
+            (pack0(TAG_WAL_FLUSH, 0, 0, 0), records, bytes, 0, 0)
+        }
+        EventKind::WalCommit { lsn, waited_us } => {
+            (pack0(TAG_WAL_COMMIT, 0, 0, 0), lsn, waited_us, 0, 0)
+        }
+    };
+    [w0, txn, a, b, c, d]
+}
+
+pub(crate) fn decode(words: [u64; 6]) -> Option<(u64, EventKind)> {
+    let [w0, txn, a, b, c, d] = words;
+    let tag = (w0 & 0xFF) as u8;
+    let flag = (w0 >> 8 & 0xFF) as u8 != 0;
+    let m1 = (w0 >> 16 & 0xFF) as u8;
+    let m2 = (w0 >> 24 & 0xFF) as u8;
+    let kind = match tag {
+        TAG_TXN_BEGIN => EventKind::TxnBegin,
+        TAG_TXN_END => EventKind::TxnEnd {
+            committed: flag,
+            vt: VirtualTimes {
+                page_read_us: a,
+                think_us: b,
+                lock_wait_us: c,
+                wal_flush_us: d,
+            },
+        },
+        TAG_LOCK_ACQUIRE => EventKind::LockAcquire { name: a, mode: m1 },
+        TAG_LOCK_WAIT => EventKind::LockWait {
+            name: a,
+            mode: m1,
+            converting: flag,
+        },
+        TAG_LOCK_GRANT => EventKind::LockGrant {
+            name: a,
+            mode: m1,
+            waited_us: b,
+        },
+        TAG_LOCK_CONVERT => EventKind::LockConvert {
+            name: a,
+            from: m1,
+            to: m2,
+        },
+        TAG_DEADLOCK_VICTIM => EventKind::DeadlockVictim {
+            victim: a,
+            conversion: flag,
+        },
+        TAG_PAGE_READ => EventKind::PageRead { page: a },
+        TAG_PAGE_WRITE => EventKind::PageWrite { page: a },
+        TAG_PAGE_EVICT => EventKind::PageEvict { page: a },
+        TAG_WAL_APPEND => EventKind::WalAppend { lsn: a },
+        TAG_WAL_FLUSH => EventKind::WalFlush {
+            records: a,
+            bytes: b,
+        },
+        TAG_WAL_COMMIT => EventKind::WalCommit {
+            lsn: a,
+            waited_us: b,
+        },
+        _ => return None,
+    };
+    Some((txn, kind))
+}
+
+/// One ring slot: a seqlock word plus the encoded event words.
+struct Slot {
+    /// 0 = never written; odd = write in progress for position
+    /// `(seq - 1) / 2`; even and non-zero = completed write of position
+    /// `seq / 2 - 1`.
+    seq: AtomicU64,
+    words: [AtomicU64; 6],
+}
+
+/// Lock-free wrap-around event buffer (see module docs for the
+/// seqlock protocol).
+pub(crate) struct Ring {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    contended_drops: AtomicU64,
+}
+
+impl Ring {
+    pub(crate) fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(16);
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                words: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            head: AtomicU64::new(0),
+            slots,
+            contended_drops: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn push(&self, words: [u64; 6]) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(pos % cap) as usize];
+        // The slot last completed the write for position `pos - cap`
+        // (or is untouched on the first lap). A failed CAS means a
+        // straggling writer from a previous lap still owns the slot —
+        // drop this event instead of spinning.
+        let prev = if pos < cap { 0 } else { 2 * (pos - cap + 1) };
+        if slot
+            .seq
+            .compare_exchange(prev, 2 * pos + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.contended_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * (pos + 1), Ordering::Release);
+    }
+
+    /// Events recorded so far (claim count, including any dropped).
+    pub(crate) fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn contended_drops(&self) -> u64 {
+        self.contended_drops.load(Ordering::Relaxed)
+    }
+
+    /// Consistent copies of every completed slot, ordered by global
+    /// position. Slots mid-write are skipped.
+    pub(crate) fn snapshot(&self) -> Vec<(u64, [u64; 6])> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue;
+            }
+            let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            fence(Ordering::Acquire);
+            let after = slot.seq.load(Ordering::Relaxed);
+            if before == after {
+                out.push((before / 2 - 1, words));
+            }
+        }
+        out.sort_unstable_by_key(|&(pos, _)| pos);
+        out
+    }
+}
+
+/// Shared tracing state: the event ring plus the latency histograms.
+pub(crate) struct TraceState {
+    pub(crate) ring: Ring,
+    pub(crate) hists: [Histogram; 3],
+}
+
+impl TraceState {
+    pub(crate) fn new(config: &ObsConfig) -> TraceState {
+        TraceState {
+            ring: Ring::new(config.trace_events),
+            hists: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    pub(crate) fn hist(&self, kind: HistKind) -> &Histogram {
+        &self.hists[kind.index()]
+    }
+}

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use xtc_obs::{CostKind, EventKind, Obs};
+
 /// Identifier of a page inside a [`PagePool`]. `0` is reserved as "no page"
 /// (niche for leaf-chain terminators).
 pub type PageId = u32;
@@ -58,9 +60,28 @@ struct StatsInner {
     /// Raised by a crash failpoint at a site with no error path (e.g.
     /// mid-split); the transaction layer checks it after every mutation.
     poisoned: AtomicBool,
+    /// Observability handle: page reads charge their simulated latency to
+    /// the virtual clock here, and page events go to the trace (if on).
+    obs: Obs,
 }
 
 impl StorageStats {
+    /// Stats wired to an observability handle: page accesses charge the
+    /// virtual clock and (when tracing) emit page events.
+    pub fn with_obs(obs: Obs) -> StorageStats {
+        StorageStats {
+            inner: Arc::new(StatsInner {
+                obs,
+                ..StatsInner::default()
+            }),
+        }
+    }
+
+    /// The observability handle these stats report into.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
     /// Pages read (pinned for read access).
     pub fn page_reads(&self) -> u64 {
         self.inner.page_reads.load(Ordering::Relaxed)
@@ -292,6 +313,14 @@ impl PagePool {
     /// simulated latency). Faults the page in if it was evicted.
     pub fn read(&self, id: PageId) -> &[u8] {
         self.stats.count_read();
+        // Virtual time: a read costs its *configured* latency — the
+        // deterministic simulated I/O the paper's figures argue about —
+        // regardless of how long the spin-wait below takes in wall time.
+        let obs = self.stats.obs();
+        obs.charge(CostKind::PageRead, self.read_latency.as_micros() as u64);
+        obs.record(EventKind::PageRead {
+            page: u64::from(id),
+        });
         // Chaos-test hook: page reads have no error path, so an armed
         // `Error` action degrades to a no-op and only `Delay` injects.
         xtc_failpoint::fire_delay("store.page_read");
@@ -314,6 +343,9 @@ impl PagePool {
     pub fn write(&mut self, id: PageId) -> &mut [u8] {
         self.evict_to_budget(0);
         self.stats.count_write();
+        self.stats.obs().record(EventKind::PageWrite {
+            page: u64::from(id),
+        });
         let lsn = self.stats.current_lsn();
         let frame = self.frames[id as usize]
             .as_mut()
@@ -372,6 +404,7 @@ impl PagePool {
                     frame.resident.store(false, Ordering::Relaxed);
                     self.resident.fetch_sub(1, Ordering::Relaxed);
                     self.stats.count_eviction();
+                    self.stats.obs().record(EventKind::PageEvict { page: i as u64 });
                 }
                 None => {
                     // Everything resident is dirty or pinned; the buffer

@@ -55,6 +55,11 @@ pub struct TamixParams {
     /// Per-transaction lock cache (on by default; off measures the
     /// uncached baseline).
     pub lock_cache: bool,
+    /// Simulated per-page-read latency charged to the virtual clock (and
+    /// spun in wall time by the buffer pool). `ZERO` by default: CLUSTER1
+    /// throughput runs model an in-memory buffer; figure-shape tests set
+    /// it to make page-read cost a deterministic virtual-time term.
+    pub read_latency: Duration,
 }
 
 impl TamixParams {
@@ -83,6 +88,7 @@ impl TamixParams {
             escalation_threshold: None,
             escalated_depth: 1,
             lock_cache: true,
+            read_latency: Duration::ZERO,
         }
     }
 
@@ -114,6 +120,10 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
         escalation_threshold: params.escalation_threshold,
         escalated_depth: params.escalated_depth,
         lock_cache: params.lock_cache,
+        store: xtc_node::DocStoreConfig {
+            read_latency: params.read_latency,
+            ..xtc_node::DocStoreConfig::default()
+        },
         ..XtcConfig::default()
     }));
     bib::generate_into(&db, bib_cfg);
@@ -130,6 +140,7 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
 /// the mix, pacing, duration, and retry policy.
 pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
     let reads_before = db.store().stats().page_reads();
+    let vt_before = db.obs().vt();
 
     let deadline = Instant::now() + params.duration;
     let start = Instant::now();
@@ -172,6 +183,7 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
         page_reads: db.store().stats().page_reads() - reads_before,
         escalations: db.lock_table().escalations(),
         retries,
+        vt: db.obs().vt().saturating_sub(vt_before),
     }
 }
 
@@ -209,8 +221,13 @@ fn slot_loop(
         wait_after_operation: params.wait_after_operation,
     };
     if !params.initial_wait_max.is_zero() {
-        let wait = params.initial_wait_max.mul_f64(rng.random::<f64>());
-        std::thread::sleep(wait.min(deadline.saturating_duration_since(Instant::now())));
+        let wait = params
+            .initial_wait_max
+            .mul_f64(rng.random::<f64>())
+            .min(deadline.saturating_duration_since(Instant::now()));
+        db.obs()
+            .charge(xtc_obs::CostKind::Think, wait.as_micros() as u64);
+        std::thread::sleep(wait);
     }
     while Instant::now() < deadline {
         let started = Instant::now();
@@ -230,11 +247,12 @@ fn slot_loop(
             Err(e) => classify_abort(&e),
         };
         stats.record(outcome, started.elapsed());
-        std::thread::sleep(
-            params
-                .wait_after_commit
-                .min(deadline.saturating_duration_since(Instant::now())),
-        );
+        let pause = params
+            .wait_after_commit
+            .min(deadline.saturating_duration_since(Instant::now()));
+        db.obs()
+            .charge(xtc_obs::CostKind::Think, pause.as_micros() as u64);
+        std::thread::sleep(pause);
     }
     (kind, stats, retries)
 }
@@ -253,6 +271,10 @@ pub struct Cluster2Report {
     pub lock_requests: u64,
     /// Logical page reads (the *-2PL IDX scans show up here).
     pub page_reads: u64,
+    /// Virtual-time totals of the deletion (averaged over repetitions).
+    /// `page_read_us` is the deterministic term the Fig. 11 shape test
+    /// compares instead of wall-clock duration.
+    pub vt: xtc_obs::VirtualTimes,
 }
 
 /// Per-page-read latency used in CLUSTER2 runs: converts page accesses
@@ -268,6 +290,7 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
     let mut total = Duration::ZERO;
     let mut total_requests = 0u64;
     let mut total_reads = 0u64;
+    let mut total_vt = xtc_obs::VirtualTimes::default();
     for rep in 0..repetitions.max(1) {
         let db = XtcDb::new(XtcConfig {
             protocol: protocol.to_string(),
@@ -284,6 +307,7 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
         let mut rng = SmallRng::seed_from_u64(1000 + rep as u64);
         let reads0 = db.store().stats().page_reads();
         let reqs0 = db.lock_table().requests();
+        let vt0 = db.obs().vt();
         let started = Instant::now();
         run_txn(
             &db,
@@ -298,6 +322,7 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
         total += started.elapsed();
         total_requests += db.lock_table().requests() - reqs0;
         total_reads += db.store().stats().page_reads() - reads0;
+        total_vt = total_vt.merged(db.obs().vt().saturating_sub(vt0));
     }
     let n = repetitions.max(1);
     Cluster2Report {
@@ -305,6 +330,7 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
         duration: total / n,
         lock_requests: total_requests / n as u64,
         page_reads: total_reads / n as u64,
+        vt: total_vt.scaled_down(n as u64),
     }
 }
 

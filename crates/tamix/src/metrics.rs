@@ -186,6 +186,10 @@ pub struct RunReport {
     pub escalations: u64,
     /// Retry-layer totals (zero without a retry policy).
     pub retries: RetryTotals,
+    /// Virtual-time totals accumulated during the run (simulated page-read
+    /// latency, think time, measured lock/WAL waits). Deterministic
+    /// components make figure-shape assertions independent of wall clock.
+    pub vt: xtc_obs::VirtualTimes,
 }
 
 impl RunReport {

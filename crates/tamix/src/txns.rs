@@ -63,8 +63,16 @@ pub struct Pacing {
 }
 
 impl Pacing {
-    fn think(&self) {
+    /// Sleeps the configured think time and charges it to the
+    /// transaction's virtual clock, so simulated-time totals account for
+    /// pacing deterministically (the charge is the configured pause, not
+    /// the measured sleep).
+    fn think(&self, txn: &Transaction<'_>) {
         if !self.wait_after_operation.is_zero() {
+            txn.obs().charge(
+                xtc_obs::CostKind::Think,
+                self.wait_after_operation.as_micros() as u64,
+            );
             std::thread::sleep(self.wait_after_operation);
         }
     }
@@ -127,7 +135,7 @@ fn navigational_read(
     while let Some(n) = stack.pop() {
         let data = txn.node(&n)?;
         visited += 1;
-        pacing.think();
+        pacing.think(txn);
         if matches!(
             data,
             Some(NodeData::Element { .. }) | Some(NodeData::AttributeRoot)
@@ -138,7 +146,7 @@ fn navigational_read(
             while let Some(cur) = c {
                 c = txn.next_sibling(&cur)?;
                 kids.push(cur);
-                pacing.think();
+                pacing.think(txn);
             }
             stack.extend(kids.into_iter().rev());
         }
@@ -160,7 +168,7 @@ fn ta_query_book(
     let Some(book) = txn.element_by_id(&id)? else {
         return Ok(false); // concurrently deleted
     };
-    pacing.think();
+    pacing.think(txn);
     let _ = txn.attributes(&book)?;
     navigational_read(txn, &book, pacing)?;
     Ok(true)
@@ -178,7 +186,7 @@ fn ta_chapter(
     let Some(book) = txn.element_by_id(&id)? else {
         return Ok(false);
     };
-    pacing.think();
+    pacing.think(txn);
     navigational_read(txn, &book, pacing)?;
     // Find a chapter summary text node and update it.
     let kids = txn.element_children(&book)?;
@@ -201,7 +209,7 @@ fn ta_chapter(
     let Some(text) = txn.first_child(summary)? else {
         return Ok(false);
     };
-    pacing.think();
+    pacing.think(txn);
     txn.update_text(&text, "An updated summary, rewritten under locks.")?;
     Ok(true)
 }
@@ -218,14 +226,14 @@ fn ta_del_book(
     let Some(topic) = txn.element_by_id(&id)? else {
         return Ok(false);
     };
-    pacing.think();
+    pacing.think(txn);
     let books = txn.element_children(&topic)?;
     if books.is_empty() {
         return Ok(false);
     }
     let book = books[rng.random_range(0..books.len())].clone();
     navigational_read(txn, &book, pacing)?;
-    pacing.think();
+    pacing.think(txn);
     txn.delete_subtree(&book)?;
     Ok(true)
 }
@@ -245,7 +253,7 @@ fn ta_lend_and_return(
     let Some(book) = txn.element_by_id(&id)? else {
         return Ok(false);
     };
-    pacing.think();
+    pacing.think(txn);
     // Navigate to the last child: the history element.
     let Some(history) = txn.last_child(&book)? else {
         return Ok(false);
@@ -255,18 +263,18 @@ fn ta_lend_and_return(
     }
     // Read the history with update intent (SU → SX conversion path).
     let _ = txn.subtree_for_update(&history)?;
-    pacing.think();
+    pacing.think(txn);
     if rng.random_bool(0.5) {
         // Lend: attach a new lend element with person and return.
         let lend = txn.insert_element(&history, InsertPos::LastChild, "lend")?;
-        pacing.think();
+        pacing.think(txn);
         txn.set_attribute(&lend, "person", &format!("p{}", rng.random_range(0..cfg.persons)))?;
         txn.set_attribute(&lend, "return", "2006-09-15")?;
     } else {
         // Return: drop the oldest lend entry, if any.
         let lends = txn.element_children(&history)?;
         if let Some(first) = lends.first() {
-            pacing.think();
+            pacing.think(txn);
             txn.delete_subtree(first)?;
         }
     }
@@ -285,7 +293,7 @@ fn ta_rename_topic(
     let Some(topic) = txn.element_by_id(&id)? else {
         return Ok(false);
     };
-    pacing.think();
+    pacing.think(txn);
     let new_name = if rng.random_bool(0.5) { "topic" } else { "subject" };
     txn.rename(&topic, new_name)?;
     Ok(true)

@@ -1,0 +1,135 @@
+//! Golden-trace determinism: the same seeded sequential workload run
+//! twice must record the same event sequence. Events are compared after
+//! [`xtc_obs::EventKind::normalized`] zeroes the *measured* fields
+//! (`waited_us`, per-transaction lock-wait/WAL-flush micros) — those
+//! depend on the host's wall clock; everything else (event kinds, order,
+//! transaction attribution, page ids, lock names and modes, LSNs, the
+//! deterministic virtual-time charges) must match exactly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use xtc_core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc_obs::{Event, EventKind, ObsConfig};
+use xtc_tamix::txns::{run_txn, Pacing};
+use xtc_tamix::{bib, BibConfig, TxnKind};
+
+const MIX: [TxnKind; 5] = [
+    TxnKind::QueryBook,
+    TxnKind::Chapter,
+    TxnKind::LendAndReturn,
+    TxnKind::RenameTopic,
+    TxnKind::DelBook,
+];
+const TXNS: usize = 15;
+const SEED: u64 = 0x601D_7ACE;
+
+fn traced_run(protocol: &str) -> (Vec<Event>, xtc_obs::VirtualTimes) {
+    let db = XtcDb::new(XtcConfig {
+        protocol: protocol.to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        obs: Some(ObsConfig {
+            trace_events: 1 << 20,
+        }),
+        wal: Some(xtc_core::wal::WalConfig::default()),
+        store: xtc_node::DocStoreConfig {
+            read_latency: Duration::from_micros(10),
+            ..xtc_node::DocStoreConfig::default()
+        },
+        ..XtcConfig::default()
+    });
+    bib::generate_into(&db, &BibConfig::tiny());
+    let pacing = Pacing {
+        wait_after_operation: Duration::ZERO,
+    };
+    for i in 0..TXNS {
+        let kind = MIX[i % MIX.len()];
+        let mut rng = SmallRng::seed_from_u64(SEED.wrapping_add(i as u64 * 7919));
+        let _ = run_txn(&db, kind, &BibConfig::tiny(), &mut rng, pacing);
+    }
+    let events = db.obs().events();
+    assert_eq!(
+        events.len() as u64,
+        db.obs().recorded_events(),
+        "the ring must not have wrapped (capacity too small for the workload)"
+    );
+    (events, db.obs().vt())
+}
+
+fn normalized(events: &[Event]) -> Vec<(u64, u64, EventKind)> {
+    events
+        .iter()
+        .map(|e| (e.seq, e.txn, e.kind.normalized()))
+        .collect()
+}
+
+#[test]
+fn same_seed_same_trace() {
+    for proto in ["taDOM3+", "Node2PL"] {
+        let (a, vt_a) = traced_run(proto);
+        let (b, vt_b) = traced_run(proto);
+        assert!(!a.is_empty(), "{proto}: the run must record events");
+        let (na, nb) = (normalized(&a), normalized(&b));
+        assert_eq!(
+            na.len(),
+            nb.len(),
+            "{proto}: event counts diverge between identical seeded runs"
+        );
+        for (x, y) in na.iter().zip(nb.iter()) {
+            assert_eq!(x, y, "{proto}: traces diverge at seq {}", x.0);
+        }
+        // The deterministic virtual-time components are bit-identical
+        // too; the measured ones are ~0 in a sequential run but not
+        // asserted.
+        assert_eq!(vt_a.page_read_us, vt_b.page_read_us, "{proto}");
+        assert_eq!(vt_a.think_us, vt_b.think_us, "{proto}");
+        assert!(vt_a.page_read_us > 0, "{proto}: page reads must charge");
+    }
+}
+
+/// The exported JSON of a seeded run carries timelines for every
+/// transaction the workload began, and the page-read histogram records
+/// one sample per logical page read.
+#[test]
+fn export_carries_timelines_and_histograms() {
+    let (events, _) = traced_run("taDOM3+");
+    let begins = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TxnBegin))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TxnEnd { .. }))
+        .count();
+    assert_eq!(begins, TXNS);
+    assert_eq!(ends, TXNS);
+
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taDOM3+".to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        obs: Some(ObsConfig::default()),
+        store: xtc_node::DocStoreConfig {
+            read_latency: Duration::from_micros(10),
+            ..xtc_node::DocStoreConfig::default()
+        },
+        ..XtcConfig::default()
+    });
+    bib::generate_into(&db, &BibConfig::tiny());
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let pacing = Pacing {
+        wait_after_operation: Duration::ZERO,
+    };
+    run_txn(&db, TxnKind::QueryBook, &BibConfig::tiny(), &mut rng, pacing).unwrap();
+    let reads = db.store().stats().page_reads();
+    let hist = db
+        .obs()
+        .histogram(xtc_obs::HistKind::PageRead)
+        .expect("tracing is on");
+    assert_eq!(hist.count(), reads, "one histogram sample per page read");
+    let json = db.obs().export_json("golden");
+    assert!(json.contains("\"label\": \"golden\""));
+    assert!(json.contains("\"outcome\":\"commit\""));
+    assert!(json.contains("\"page_read_us\""));
+}

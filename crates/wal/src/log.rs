@@ -246,12 +246,20 @@ pub struct Wal {
     backend: Box<dyn WalBackend>,
     window: Duration,
     stats: StatsInner,
+    /// Observability handle: commit waits charge its virtual clock;
+    /// append/flush/commit events trace through it when tracing.
+    obs: xtc_obs::Obs,
 }
 
 impl Wal {
     /// Open a log. A file-backed log that already holds records resumes
     /// after them (a torn tail from a previous crash is truncated away).
     pub fn open(config: WalConfig) -> Result<Self, WalError> {
+        Self::open_with_obs(config, xtc_obs::Obs::default())
+    }
+
+    /// [`open`](Wal::open), wired to a shared observability handle.
+    pub fn open_with_obs(config: WalConfig, obs: xtc_obs::Obs) -> Result<Self, WalError> {
         let backend: Box<dyn WalBackend> = match config.storage {
             WalStorage::Memory => Box::new(MemBackend::new()),
             WalStorage::Directory { path, segment_bytes } => {
@@ -293,6 +301,7 @@ impl Wal {
             backend,
             window: config.group_commit_window,
             stats: StatsInner::default(),
+            obs,
         })
     }
 
@@ -311,6 +320,7 @@ impl Wal {
         st.buf_records += 1;
         st.buf_max_lsn = lsn;
         self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.obs.record(xtc_obs::EventKind::WalAppend { lsn });
         Ok(lsn)
     }
 
@@ -335,6 +345,20 @@ impl Wal {
     /// the flush leader: it waits the group-commit window, writes the
     /// whole buffered batch, syncs once, and wakes all waiters.
     pub fn commit_sync(&self, lsn: Lsn) -> Result<(), WalError> {
+        let started = std::time::Instant::now();
+        let result = self.commit_sync_inner(lsn);
+        // Attribute the measured durability wait to the virtual clock —
+        // group-commit lingering is protocol cost, not machine noise.
+        let waited_us = started.elapsed().as_micros() as u64;
+        self.obs.charge(xtc_obs::CostKind::WalFlush, waited_us);
+        if result.is_ok() {
+            self.obs
+                .record(xtc_obs::EventKind::WalCommit { lsn, waited_us });
+        }
+        result
+    }
+
+    fn commit_sync_inner(&self, lsn: Lsn) -> Result<(), WalError> {
         loop {
             let mut st = self.state.lock().unwrap();
             loop {
@@ -427,6 +451,10 @@ impl Wal {
                 self.stats.synced_records.fetch_add(batch_records, Ordering::Relaxed);
                 self.stats.synced_bytes.fetch_add(batch.len() as u64, Ordering::Relaxed);
                 self.stats.max_batch.fetch_max(batch_records, Ordering::Relaxed);
+                self.obs.record(xtc_obs::EventKind::WalFlush {
+                    records: batch_records,
+                    bytes: batch.len() as u64,
+                });
                 Ok(())
             }
             Err(e) => {

@@ -7,6 +7,7 @@
 pub use xtc_core as core;
 pub use xtc_lock as lock;
 pub use xtc_node as node;
+pub use xtc_obs as obs;
 pub use xtc_protocols as protocols;
 pub use xtc_query as query;
 pub use xtc_splid as splid;
