@@ -20,6 +20,7 @@ fn quick_args() -> CommonArgs {
         depths: vec![0, 1, 2, 3, 4, 5, 6, 7],
         scale: 1.0,
         bib: BibConfig::scaled(),
+        txn_deadline: None,
     }
 }
 

@@ -1,0 +1,233 @@
+//! Chaos-at-scale sweep: crash–recover–resume under load for every
+//! protocol in the contest × every fault site.
+//!
+//! Each cell plays one [`xtc_tamix::chaos`] scenario: a CLUSTER1 storm
+//! plus fate-ledgered marker writers against a WAL-backed database, a
+//! kill failpoint armed at one site, a crash, an ARIES-lite recovery
+//! timed on the virtual clock, contract verification (no acknowledged
+//! commit lost, no clean failure leaked, invariants and indexes
+//! intact), and a resumed workload on the recovered engine.
+//!
+//! ```text
+//! chaos [--protocols a,b,c] [--sites a,b,c] [--duration-ms N]
+//!       [--resume-ms N] [--seed N] [--bound-ms N]
+//!       [--json PATH] [--bench-json PATH] [--check]
+//! ```
+//!
+//! `--check` gates: every cell must pass its contract, and every
+//! recovery must finish within `--bound-ms` of virtual time. Requires
+//! the `failpoints` feature for faults to actually fire; without it the
+//! sweep still runs (fallback end-of-phase crashes only) and says so.
+
+use std::time::Duration;
+use xtc_tamix::chaos::{run_crash_recover_resume, ChaosParams, ChaosReport};
+
+/// Default kill sites: one per engine layer (commit record, group-commit
+/// fsync, appending the record, page-read I/O, eviction write-back, and
+/// a mid-split structural crash).
+const DEFAULT_SITES: [&str; 6] = [
+    "wal.commit",
+    "wal.fsync",
+    "wal.append_io",
+    "store.page_read_io",
+    "pool.evict_write",
+    "btree.split",
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+fn cell_json(r: &ChaosReport) -> String {
+    let violations = r
+        .violations
+        .iter()
+        .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "    {{\"protocol\": \"{}\", \"site\": \"{}\", \"passed\": {}, \
+         \"crashed_mid_run\": {}, \"torn_tail\": {}, \"recovery_us\": {}, \
+         \"recovery_wall_ms\": {:.3}, \"scanned\": {}, \"markers\": {}, \
+         \"acknowledged\": {}, \"in_doubt\": {}, \"pre_committed\": {}, \
+         \"post_committed\": {}, \"pre_timeout_aborts\": {}, \
+         \"post_timeout_aborts\": {}, \"violations\": [{violations}]}}",
+        r.protocol,
+        r.kill_site,
+        r.passed(),
+        r.crashed_mid_run,
+        r.torn_tail,
+        r.recovery_us,
+        r.recovery_wall.as_secs_f64() * 1e3,
+        r.scanned,
+        r.markers,
+        r.acknowledged,
+        r.in_doubt,
+        r.pre.committed(),
+        r.post.committed(),
+        r.pre.timeout_aborts(),
+        r.post.timeout_aborts(),
+    )
+}
+
+fn main() {
+    let mut protocols: Vec<String> = xtc_protocols::ALL_PROTOCOLS
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    let mut sites: Vec<String> = DEFAULT_SITES.iter().map(|s| s.to_string()).collect();
+    let mut duration = Duration::from_millis(500);
+    let mut resume = Duration::from_millis(400);
+    let mut seed: u64 = 0xC4A0_5EED;
+    let mut bound = Duration::from_millis(2000);
+    let mut json_path = "results/chaos.json".to_string();
+    let mut bench_json_path = "BENCH_chaos.json".to_string();
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--protocols" => protocols = val("list").split(',').map(|s| s.to_string()).collect(),
+            "--sites" => sites = val("list").split(',').map(|s| s.to_string()).collect(),
+            "--duration-ms" => {
+                duration = Duration::from_millis(
+                    val("number").parse().unwrap_or_else(|_| die("bad number")),
+                )
+            }
+            "--resume-ms" => {
+                resume = Duration::from_millis(
+                    val("number").parse().unwrap_or_else(|_| die("bad number")),
+                )
+            }
+            "--seed" => seed = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--bound-ms" => {
+                bound = Duration::from_millis(
+                    val("number").parse().unwrap_or_else(|_| die("bad number")),
+                )
+            }
+            "--json" => json_path = val("path"),
+            "--bench-json" => bench_json_path = val("path"),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --protocols a,b,c --sites a,b,c --duration-ms N \
+                     --resume-ms N --seed N --bound-ms N --json PATH \
+                     --bench-json PATH --check"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+
+    let faults_live = cfg!(feature = "failpoints");
+    if !faults_live {
+        eprintln!(
+            "chaos: built without the `failpoints` feature — kill sites are \
+             no-ops, every crash is the end-of-phase fallback"
+        );
+    }
+
+    let mut cells: Vec<ChaosReport> = Vec::new();
+    for proto in &protocols {
+        for (s, site) in sites.iter().enumerate() {
+            let mut params = ChaosParams::quick(proto, site, seed ^ ((s as u64) << 17));
+            params.tamix.duration = duration;
+            params.resume_duration = resume;
+            let r = run_crash_recover_resume(&params);
+            eprintln!(
+                "chaos: {proto}/{site}: {} mid-run={} recovery={}us ({} records) \
+                 pre={} post={}",
+                if r.passed() { "ok" } else { "VIOLATED" },
+                r.crashed_mid_run,
+                r.recovery_us,
+                r.scanned,
+                r.pre.committed(),
+                r.post.committed(),
+            );
+            cells.push(r);
+        }
+    }
+
+    let passed = cells.iter().filter(|c| c.passed()).count();
+    let mid_run = cells.iter().filter(|c| c.crashed_mid_run).count();
+    let max_recovery_us = cells.iter().map(|c| c.recovery_us).max().unwrap_or(0);
+
+    println!("\n== chaos: crash–recover–resume, CLUSTER1 under faults ==");
+    println!(
+        "{:>10} {:>20} {:>6} {:>8} {:>12} {:>8} {:>8} {:>9}",
+        "protocol", "site", "ok", "mid-run", "recovery µs", "pre", "post", "in-doubt"
+    );
+    for c in &cells {
+        println!(
+            "{:>10} {:>20} {:>6} {:>8} {:>12} {:>8} {:>8} {:>9}",
+            c.protocol,
+            c.kill_site,
+            if c.passed() { "yes" } else { "NO" },
+            if c.crashed_mid_run { "yes" } else { "no" },
+            c.recovery_us,
+            c.pre.committed(),
+            c.post.committed(),
+            c.in_doubt,
+        );
+    }
+    println!(
+        "\n{passed}/{} cells passed, {mid_run} crashed mid-run, \
+         max recovery {max_recovery_us} µs (bound {} µs)",
+        cells.len(),
+        bound.as_micros()
+    );
+
+    let cell_rows = cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n");
+    let body = format!(
+        "{{\n  \"benchmark\": \"chaos\",\n  \"summary\": {{\"cells\": {}, \
+         \"passed\": {passed}, \"mid_run_crashes\": {mid_run}, \
+         \"max_recovery_us\": {max_recovery_us}, \"bound_us\": {}, \
+         \"faults_live\": {faults_live}}},\n  \"cells\": [\n{cell_rows}\n  ]\n}}\n",
+        cells.len(),
+        bound.as_micros(),
+    );
+    for path in [&json_path, &bench_json_path] {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::fs::write(path, &body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    }
+
+    if check {
+        let mut bad = Vec::new();
+        for c in cells.iter().filter(|c| !c.passed()) {
+            bad.push(format!(
+                "{}/{} violated the contract: {:?}",
+                c.protocol, c.kill_site, c.violations
+            ));
+        }
+        for c in cells.iter().filter(|c| c.recovery_us > bound.as_micros() as u64) {
+            bad.push(format!(
+                "{}/{} recovery took {} µs (bound {} µs)",
+                c.protocol,
+                c.kill_site,
+                c.recovery_us,
+                bound.as_micros()
+            ));
+        }
+        if faults_live && mid_run == 0 {
+            bad.push("no cell crashed mid-run; the kill sites never fired".to_string());
+        }
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("chaos check failed: {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("chaos check passed: contract held and recovery stayed within bound");
+    }
+}

@@ -32,13 +32,18 @@ fn main() {
             dl.push(avg_deadlocks(&reports));
             let hit_rate =
                 reports.iter().map(|r| r.cache_hit_rate()).sum::<f64>() / reports.len() as f64;
+            let timeouts: u64 = reports.iter().map(|r| r.timeout_aborts()).sum();
             eprintln!(
                 "fig7: taDOM3+ iso={} depth={depth}: committed={:.0} deadlocks={:.0} \
-                 cache-hit={:.1}%",
+                 timeouts={timeouts} cache-hit={:.1}%{}",
                 iso.name(),
                 th.last().unwrap(),
                 dl.last().unwrap(),
-                hit_rate * 100.0
+                hit_rate * 100.0,
+                match reports.first().and_then(|r| r.txn_deadline_us) {
+                    Some(us) => format!(" deadline={us}µs"),
+                    None => String::new(),
+                }
             );
         }
         throughput.push((iso.name().to_uppercase(), th));

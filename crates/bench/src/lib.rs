@@ -33,6 +33,9 @@ pub struct CommonArgs {
     pub scale: f64,
     /// Document size.
     pub bib: BibConfig,
+    /// Per-transaction virtual-time deadline budget (`--deadline-ms`);
+    /// `None` leaves deadlines off, matching the paper's setting.
+    pub txn_deadline: Option<Duration>,
 }
 
 impl Default for CommonArgs {
@@ -44,6 +47,7 @@ impl Default for CommonArgs {
             depths: (0..=7).collect(),
             scale: 1.0,
             bib: BibConfig::scaled(),
+            txn_deadline: None,
         }
     }
 }
@@ -73,6 +77,11 @@ impl CommonArgs {
                         .map(|d| d.parse().unwrap_or_else(|_| die("bad depth")))
                         .collect()
                 }
+                "--deadline-ms" => {
+                    out.txn_deadline = Some(Duration::from_millis(
+                        val("number").parse().unwrap_or_else(|_| die("bad number")),
+                    ))
+                }
                 "--bib" => {
                     out.bib = match val("size").as_str() {
                         "tiny" => BibConfig::tiny(),
@@ -92,7 +101,7 @@ impl CommonArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --duration-ms N --runs N --seed N --depths a,b,c \
-                         --scale F --bib tiny|scaled|paper --paper-scale"
+                         --scale F --bib tiny|scaled|paper --deadline-ms N --paper-scale"
                     );
                     std::process::exit(0);
                 }
@@ -107,6 +116,7 @@ impl CommonArgs {
         let mut p = TamixParams::cluster1(protocol, isolation, depth);
         p.duration = self.duration;
         p.seed = self.seed;
+        p.txn_deadline = self.txn_deadline;
         p.scale_time(self.scale)
     }
 }

@@ -6,14 +6,28 @@ use crate::recovery;
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::txn::Transaction;
 use crate::view::StoreView;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xtc_obs::CostKind;
 use xtc_lock::{IsolationLevel, LockTable, Protocol, TxnRegistry, VictimPolicy};
 use xtc_node::{DocStore, DocStoreConfig};
 use xtc_splid::SplId;
 use xtc_wal::{Lsn, RecordBody, TxnId, Wal, WalConfig};
+
+/// What the admission gate does with a transaction arriving while the
+/// engine is already at [`XtcConfig::max_in_flight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait for a slot, bounded by [`XtcConfig::lock_timeout`]; a wait
+    /// that times out fails with [`XtcError::AdmissionRejected`].
+    #[default]
+    Queue,
+    /// Fail immediately with [`XtcError::AdmissionRejected`] — the
+    /// caller's retry/backoff loop is the queue.
+    Reject,
+}
 
 /// Configuration of an [`XtcDb`].
 #[derive(Debug, Clone)]
@@ -49,6 +63,23 @@ pub struct XtcConfig {
     /// ahead of page writes, commit forces the log (group commit), and
     /// [`recovery::recover_from`] can rebuild the database after a crash.
     pub wal: Option<WalConfig>,
+    /// Per-transaction *virtual-time* deadline budget. Every transaction
+    /// continuously charges its simulated costs (page reads, lock waits,
+    /// WAL flushes, think time) to a per-transaction frame on the
+    /// engine's virtual clock; when the charged total exceeds this
+    /// budget, the next lock acquisition, logged mutation, or commit
+    /// fails with [`XtcError::DeadlineExceeded`] and the transaction
+    /// must abort. Deterministic — the budget is measured in simulated
+    /// microseconds, not wall-clock. `None` (the default) disables it.
+    pub txn_deadline: Option<Duration>,
+    /// Admission control: the maximum number of concurrently admitted
+    /// transactions started through [`XtcDb::try_begin`]. Excess
+    /// arrivals are queued or rejected per
+    /// [`admission`](XtcConfig::admission). `None` (the default)
+    /// disables the gate. [`XtcDb::begin`] bypasses it (infallible API).
+    pub max_in_flight: Option<usize>,
+    /// Policy at the admission gate when `max_in_flight` is reached.
+    pub admission: AdmissionPolicy,
     /// Structured tracing configuration. `None` (the default) keeps only
     /// the always-on virtual clock (per-run simulated-time counters, a
     /// few relaxed atomic adds). `Some` additionally records lock, page,
@@ -70,6 +101,9 @@ impl Default for XtcConfig {
             lock_cache: true,
             store: DocStoreConfig::default(),
             wal: None,
+            txn_deadline: None,
+            max_in_flight: None,
+            admission: AdmissionPolicy::default(),
             obs: None,
         }
     }
@@ -98,6 +132,56 @@ impl WalHandle {
     }
 }
 
+/// Bounded-concurrency gate in front of [`XtcDb::try_begin`]: a counted
+/// semaphore (mutex + condvar) so overload sheds at the door instead of
+/// as lock-table thrashing.
+struct AdmissionGate {
+    limit: usize,
+    policy: AdmissionPolicy,
+    in_flight: Mutex<usize>,
+    available: Condvar,
+}
+
+impl AdmissionGate {
+    fn new(limit: usize, policy: AdmissionPolicy) -> Self {
+        AdmissionGate {
+            // A zero limit would admit nothing, ever; clamp to one.
+            limit: limit.max(1),
+            policy,
+            in_flight: Mutex::new(0),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Claims a slot, per policy. `timeout` bounds a `Queue` wait.
+    fn admit(&self, timeout: Duration) -> Result<(), XtcError> {
+        let mut n = self.in_flight.lock();
+        if *n < self.limit {
+            *n += 1;
+            return Ok(());
+        }
+        if self.policy == AdmissionPolicy::Reject {
+            return Err(XtcError::AdmissionRejected);
+        }
+        let deadline = Instant::now() + timeout;
+        while *n >= self.limit {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(XtcError::AdmissionRejected);
+            }
+            self.available.wait_for(&mut n, deadline - now);
+        }
+        *n += 1;
+        Ok(())
+    }
+
+    fn release(&self) {
+        let mut n = self.in_flight.lock();
+        *n = n.saturating_sub(1);
+        self.available.notify_one();
+    }
+}
+
 /// An embedded XTC database: one XML document, one lock protocol.
 pub struct XtcDb {
     store: Arc<DocStore>,
@@ -109,6 +193,9 @@ pub struct XtcDb {
     lock_depth: u32,
     escalation_threshold: Option<usize>,
     escalated_depth: u32,
+    lock_timeout: Duration,
+    txn_deadline: Option<Duration>,
+    gate: Option<AdmissionGate>,
     wal: Option<WalHandle>,
     obs: xtc_obs::Obs,
 }
@@ -159,6 +246,11 @@ impl XtcDb {
             lock_depth: config.lock_depth,
             escalation_threshold: config.escalation_threshold,
             escalated_depth: config.escalated_depth,
+            lock_timeout: config.lock_timeout,
+            txn_deadline: config.txn_deadline,
+            gate: config
+                .max_in_flight
+                .map(|limit| AdmissionGate::new(limit, config.admission)),
             wal,
             obs,
         })
@@ -228,17 +320,66 @@ impl XtcDb {
         Ok(Some(lsn))
     }
 
-    /// Begins a transaction at the database defaults.
+    /// Begins a transaction at the database defaults, bypassing the
+    /// admission gate (the historical infallible API). Workloads that
+    /// want overload shedding use [`XtcDb::try_begin`].
     pub fn begin(&self) -> Transaction<'_> {
         self.begin_with(self.isolation, self.lock_depth)
     }
 
     /// Begins a transaction with an explicit isolation level and lock
-    /// depth.
+    /// depth, bypassing the admission gate.
     pub fn begin_with(&self, isolation: IsolationLevel, lock_depth: u32) -> Transaction<'_> {
         let handle = self.registry.begin_handle();
         self.obs.txn_begin(handle.id());
-        Transaction::new(self, handle, isolation, lock_depth)
+        Transaction::new(self, handle, isolation, lock_depth, false)
+    }
+
+    /// Begins a transaction at the database defaults, going through the
+    /// admission gate when one is configured
+    /// ([`XtcConfig::max_in_flight`]): at capacity, the call queues
+    /// (bounded by [`XtcConfig::lock_timeout`]) or fails with
+    /// [`XtcError::AdmissionRejected`] per [`XtcConfig::admission`].
+    pub fn try_begin(&self) -> Result<Transaction<'_>, XtcError> {
+        self.try_begin_with(self.isolation, self.lock_depth)
+    }
+
+    /// Begins a transaction with explicit isolation and lock depth,
+    /// going through the admission gate when one is configured.
+    pub fn try_begin_with(
+        &self,
+        isolation: IsolationLevel,
+        lock_depth: u32,
+    ) -> Result<Transaction<'_>, XtcError> {
+        let admitted = match &self.gate {
+            Some(gate) => {
+                gate.admit(self.lock_timeout)?;
+                true
+            }
+            None => false,
+        };
+        let handle = self.registry.begin_handle();
+        self.obs.txn_begin(handle.id());
+        Ok(Transaction::new(self, handle, isolation, lock_depth, admitted))
+    }
+
+    /// Returns an admission slot (called by the transaction teardown of
+    /// admitted transactions).
+    pub(crate) fn admission_release(&self) {
+        if let Some(gate) = &self.gate {
+            gate.release();
+        }
+    }
+
+    /// Transactions currently holding an admission slot (0 without a
+    /// gate) — diagnostics for overload experiments.
+    pub fn admitted_in_flight(&self) -> usize {
+        self.gate.as_ref().map(|g| *g.in_flight.lock()).unwrap_or(0)
+    }
+
+    /// The per-transaction virtual-time deadline budget, when configured.
+    pub fn txn_deadline(&self) -> Option<Duration> {
+        self.txn_deadline
     }
 
     /// The engine's observability handle: the always-on virtual clock
@@ -299,6 +440,14 @@ impl XtcDb {
     /// The closure must be restartable: it sees a brand-new transaction
     /// each attempt, and any side effects outside the transaction (its
     /// captured state) survive aborted attempts.
+    ///
+    /// Attempts go through the admission gate ([`XtcDb::try_begin`]);
+    /// an [`XtcError::AdmissionRejected`] counts as a retryable abort.
+    /// Each attempt's charged virtual time plus every backoff pause
+    /// accumulates into [`RetryStats::vt_elapsed_us`], and the loop
+    /// stops retrying once [`RetryPolicy::max_elapsed_us`] would be
+    /// exceeded — the cross-attempt face of the per-attempt
+    /// [`XtcConfig::txn_deadline`].
     pub fn run_retrying<T>(
         &self,
         policy: &RetryPolicy,
@@ -308,14 +457,28 @@ impl XtcDb {
         let mut stats = RetryStats::default();
         loop {
             stats.attempts += 1;
-            let txn = self.begin();
-            let salt = txn.id();
-            let result = match body(&txn) {
-                Ok(v) => txn.commit().map(|()| v),
-                Err(e) => {
-                    txn.abort();
-                    Err(e)
+            let (result, salt) = match self.try_begin() {
+                Ok(txn) => {
+                    let salt = txn.id();
+                    let result = match body(&txn) {
+                        Ok(v) => txn.commit().map(|()| v),
+                        Err(e) => {
+                            txn.abort();
+                            Err(e)
+                        }
+                    };
+                    // Commit and abort both pop the transaction's frame;
+                    // pick its totals up here and charge them against
+                    // the cross-attempt virtual-time budget.
+                    if let Some((_, vt)) = self.obs.take_last_txn_vt() {
+                        stats.vt_elapsed_us =
+                            stats.vt_elapsed_us.saturating_add(vt.total_us());
+                    }
+                    (result, salt)
                 }
+                // Rejected at the gate: no transaction, no id — salt the
+                // jitter with the attempt counter instead.
+                Err(e) => (Err(e), stats.attempts as u64),
             };
             match result {
                 Ok(v) => {
@@ -325,12 +488,20 @@ impl XtcDb {
                 Err(e) if e.is_retryable() && stats.attempts < policy.max_attempts.max(1) => {
                     stats.count_abort(&e);
                     let delay = policy.delay(stats.attempts - 1, salt);
+                    let delay_us = delay.as_micros() as u64;
                     if let Some(budget) = policy.deadline {
                         if started.elapsed() + delay >= budget {
                             return (Err(e), stats);
                         }
                     }
+                    if let Some(budget_us) = policy.max_elapsed_us {
+                        if stats.vt_elapsed_us.saturating_add(delay_us) >= budget_us {
+                            return (Err(e), stats);
+                        }
+                    }
                     std::thread::sleep(delay);
+                    self.obs.charge(CostKind::RetryBackoff, delay_us);
+                    stats.vt_elapsed_us = stats.vt_elapsed_us.saturating_add(delay_us);
                     stats.backoff_total += delay;
                 }
                 Err(e) => return (Err(e), stats),

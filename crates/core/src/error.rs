@@ -28,6 +28,24 @@ pub enum XtcError {
     /// is crashed (deliberately, by a chaos test). Not retryable on the
     /// same database: the engine must be recovered first.
     Wal(WalError),
+    /// The transaction exhausted its virtual-time deadline budget
+    /// (`XtcConfig::txn_deadline`). The transaction was rolled back;
+    /// retrying (with backoff) may succeed under less contention.
+    DeadlineExceeded {
+        /// Virtual microseconds the transaction had charged when the
+        /// budget check tripped.
+        elapsed_us: u64,
+        /// The configured budget, in virtual microseconds.
+        budget_us: u64,
+    },
+    /// The admission gate refused to start the transaction: the engine
+    /// is at `max_in_flight` and the policy rejected (or the queue wait
+    /// timed out). Retryable — load may drain.
+    AdmissionRejected,
+    /// The engine is poisoned: a permanent storage-level I/O fault was
+    /// injected or encountered, and the store can no longer be trusted.
+    /// Not retryable on the same database — recover or discard it.
+    Poisoned,
 }
 
 impl XtcError {
@@ -36,7 +54,20 @@ impl XtcError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            XtcError::Lock(_) | XtcError::Busy | XtcError::Injected
+            XtcError::Lock(_)
+                | XtcError::Busy
+                | XtcError::Injected
+                | XtcError::DeadlineExceeded { .. }
+                | XtcError::AdmissionRejected
+        )
+    }
+
+    /// `true` when caused by an exhausted deadline budget or a lock-wait
+    /// timeout — the two faces of "ran out of time".
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            XtcError::DeadlineExceeded { .. } | XtcError::Lock(LockError::Timeout)
         )
     }
 
@@ -56,6 +87,19 @@ impl fmt::Display for XtcError {
             XtcError::UnknownProtocol(p) => write!(f, "unknown lock protocol {p:?}"),
             XtcError::Injected => write!(f, "failpoint-injected commit failure"),
             XtcError::Wal(e) => write!(f, "write-ahead log error: {e}"),
+            XtcError::DeadlineExceeded {
+                elapsed_us,
+                budget_us,
+            } => write!(
+                f,
+                "transaction deadline exceeded ({elapsed_us}us charged of {budget_us}us budget)"
+            ),
+            XtcError::AdmissionRejected => {
+                write!(f, "admission control rejected the transaction (overload)")
+            }
+            XtcError::Poisoned => {
+                write!(f, "engine poisoned by a permanent storage I/O failure")
+            }
         }
     }
 }

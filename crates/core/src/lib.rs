@@ -38,7 +38,7 @@ mod retry;
 mod txn;
 mod view;
 
-pub use db::{XtcConfig, XtcDb};
+pub use db::{AdmissionPolicy, XtcConfig, XtcDb};
 pub use error::XtcError;
 pub use recovery::{recover_from, RecoveryReport};
 pub use retry::{RetryPolicy, RetryStats};

@@ -125,13 +125,30 @@ pub struct RecoveryReport {
 
 /// Replays a decoded log against a fresh database. Exposed separately
 /// from [`recover_from`] for tests that synthesize record streams.
-pub fn replay(db: &XtcDb, records: &[WalRecord], torn_tail: bool) -> RecoveryReport {
+///
+/// Failpoints `recovery.analysis` (once, before the analysis scan) and
+/// `recovery.redo` (per redo record) can kill recovery itself partway
+/// through — the double-crash scenario. A killed recovery returns
+/// [`XtcError::Injected`]; the log is untouched (recovery never writes
+/// to its source), so running recovery again from the same WAL must
+/// converge to the same state.
+pub fn replay(
+    db: &XtcDb,
+    records: &[WalRecord],
+    torn_tail: bool,
+) -> Result<RecoveryReport, XtcError> {
     let store = db.store();
     let mut report = RecoveryReport {
         scanned: records.len(),
         torn_tail,
         ..RecoveryReport::default()
     };
+
+    match xtc_failpoint::eval("recovery.analysis") {
+        Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
+        Some(xtc_failpoint::FailAction::Error) => return Err(XtcError::Injected),
+        None => {}
+    }
 
     // -- Analysis ---------------------------------------------------------
     let mut winners: HashSet<TxnId> = HashSet::new();
@@ -183,6 +200,11 @@ pub fn replay(db: &XtcDb, records: &[WalRecord], torn_tail: bool) -> RecoveryRep
     };
     for rec in &records[redo_from..] {
         if let RecordBody::PageRedo { op, .. } = &rec.body {
+            match xtc_failpoint::eval("recovery.redo") {
+                Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
+                Some(xtc_failpoint::FailAction::Error) => return Err(XtcError::Injected),
+                None => {}
+            }
             apply_redo(store, op);
             report.redo_applied += 1;
         }
@@ -206,7 +228,7 @@ pub fn replay(db: &XtcDb, records: &[WalRecord], torn_tail: bool) -> RecoveryRep
         report.undo_applied += 1;
     }
 
-    report
+    Ok(report)
 }
 
 /// Rebuilds a database from the durable contents of `wal`.
@@ -217,12 +239,20 @@ pub fn replay(db: &XtcDb, records: &[WalRecord], torn_tail: bool) -> RecoveryRep
 /// epoch; when it does, a post-recovery checkpoint is taken so the new
 /// log starts from the recovered state rather than empty.
 pub fn recover_from(wal: &Wal, config: XtcConfig) -> Result<(XtcDb, RecoveryReport), XtcError> {
+    let started = std::time::Instant::now();
     let (records, tail_err) = wal.read_records()?;
     let db = XtcDb::try_new(config)?;
-    let report = replay(&db, &records, tail_err.is_some());
+    let report = replay(&db, &records, tail_err.is_some())?;
     if db.wal().is_some() {
         db.checkpoint()?;
     }
+    // Recovery downtime is part of a run's cost story: charge the pass's
+    // elapsed time to the recovered engine's virtual clock so chaos
+    // reports can bound it alongside the simulated workload costs.
+    db.obs().charge(
+        xtc_obs::CostKind::Recovery,
+        started.elapsed().as_micros() as u64,
+    );
     Ok((db, report))
 }
 

@@ -34,6 +34,13 @@ pub struct RetryPolicy {
     /// Total wall-clock budget across all attempts and backoffs. When
     /// exceeded, the last abort error is returned instead of retrying.
     pub deadline: Option<Duration>,
+    /// Total *virtual-time* budget (microseconds) across all attempts
+    /// and backoffs, measured on the engine's virtual clock: each
+    /// attempt's charged per-transaction time plus every backoff pause.
+    /// Keeps a retried transaction with a `txn_deadline` from spending,
+    /// across attempts, more than the caller's end-to-end budget. When
+    /// exceeded, the last abort error is returned instead of retrying.
+    pub max_elapsed_us: Option<u64>,
     /// Seed of the jitter stream.
     pub seed: u64,
 }
@@ -46,6 +53,7 @@ impl Default for RetryPolicy {
             cap: Duration::from_millis(64),
             multiplier: 2.0,
             deadline: None,
+            max_elapsed_us: None,
             seed: 0,
         }
     }
@@ -116,6 +124,10 @@ pub struct RetryStats {
     pub other_retryable_aborts: u32,
     /// Total time slept in backoff.
     pub backoff_total: Duration,
+    /// Virtual microseconds the whole loop consumed: per-attempt charged
+    /// transaction time plus backoff pauses (the quantity
+    /// [`RetryPolicy::max_elapsed_us`] bounds).
+    pub vt_elapsed_us: u64,
     /// `true` when the run committed on attempt 2 or later.
     pub committed_after_retry: bool,
 }
@@ -133,6 +145,7 @@ impl RetryStats {
         self.timeout_aborts += other.timeout_aborts;
         self.other_retryable_aborts += other.other_retryable_aborts;
         self.backoff_total += other.backoff_total;
+        self.vt_elapsed_us = self.vt_elapsed_us.saturating_add(other.vt_elapsed_us);
         self.committed_after_retry |= other.committed_after_retry;
     }
 
@@ -141,7 +154,9 @@ impl RetryStats {
         use xtc_lock::LockError;
         match err {
             e if e.is_deadlock() => self.deadlock_aborts += 1,
-            XtcError::Lock(LockError::Timeout) => self.timeout_aborts += 1,
+            XtcError::Lock(LockError::Timeout) | XtcError::DeadlineExceeded { .. } => {
+                self.timeout_aborts += 1
+            }
             _ => self.other_retryable_aborts += 1,
         }
     }

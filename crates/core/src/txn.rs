@@ -55,6 +55,10 @@ pub struct Transaction<'db> {
     /// threshold, so the escalation is counted exactly once and never
     /// reverts mid-transaction.
     escalated: Cell<bool>,
+    /// Whether this transaction holds an admission-gate slot
+    /// (started via [`XtcDb::try_begin`] with `max_in_flight` set);
+    /// released exactly once on commit/abort.
+    admitted: bool,
 }
 
 impl<'db> Transaction<'db> {
@@ -63,6 +67,7 @@ impl<'db> Transaction<'db> {
         handle: Arc<TxnHandle>,
         isolation: IsolationLevel,
         lock_depth: u32,
+        admitted: bool,
     ) -> Self {
         Transaction {
             db,
@@ -74,6 +79,7 @@ impl<'db> Transaction<'db> {
             finished: Cell::new(false),
             began: Cell::new(false),
             escalated: Cell::new(false),
+            admitted,
         }
     }
 
@@ -129,11 +135,48 @@ impl<'db> Transaction<'db> {
         self.escalated.get()
     }
 
+    /// Enforces the database's per-transaction *virtual-time* deadline
+    /// ([`crate::XtcConfig::txn_deadline`]): compares the time charged
+    /// to this transaction's frame (page reads, lock waits, WAL
+    /// flushes, think time) against the budget. Deterministic — the
+    /// comparison never reads the wall clock.
+    fn check_deadline(&self) -> Result<(), XtcError> {
+        let Some(budget) = self.db.txn_deadline() else {
+            return Ok(());
+        };
+        let budget_us = budget.as_micros() as u64;
+        let elapsed_us = self
+            .db
+            .obs()
+            .txn_vt(self.id)
+            .map(|vt| vt.total_us())
+            .unwrap_or(0);
+        if elapsed_us > budget_us {
+            return Err(XtcError::DeadlineExceeded {
+                elapsed_us,
+                budget_us,
+            });
+        }
+        Ok(())
+    }
+
     /// Issues one meta-lock request to the protocol.
     fn acquire(&self, op: MetaOp<'_>) -> Result<(), XtcError> {
         if self.finished.get() {
             return Err(XtcError::Finished);
         }
+        if self.store().stats().is_poisoned() {
+            // A permanent storage I/O fault was injected somewhere in
+            // the engine: stop admitting new work into this transaction.
+            // With a WAL the poisoning becomes a crash (recovery is the
+            // way out); without one the database is simply dead.
+            if let Some(handle) = self.db.wal_handle() {
+                handle.wal.crash();
+                return Err(XtcError::Wal(WalError::Crashed));
+            }
+            return Err(XtcError::Poisoned);
+        }
+        self.check_deadline()?;
         self.db
             .protocol()
             .acquire(&self.ctx(), &op)
@@ -383,6 +426,7 @@ impl<'db> Transaction<'db> {
         mutate: impl FnOnce() -> Result<T, XtcError>,
         redo: impl FnOnce(&T) -> RedoOp,
     ) -> Result<T, XtcError> {
+        self.check_deadline()?;
         let Some(handle) = self.db.wal_handle() else {
             let value = mutate()?;
             if let Some(op) = undo {
@@ -714,6 +758,12 @@ impl<'db> Transaction<'db> {
         if self.finished.get() {
             return Err(XtcError::Finished);
         }
+        // Last deadline check before any durable effect: a transaction
+        // over budget rolls back instead of forcing the log.
+        if let Err(e) = self.check_deadline() {
+            self.abort_inner();
+            return Err(e);
+        }
         // Chaos-test hook: an injected commit failure must leave the
         // document as if the transaction never ran, so it rolls back
         // through the ordinary abort path (undo replay under the still
@@ -829,6 +879,9 @@ impl<'db> Transaction<'db> {
     fn release(&self) {
         self.db.lock_table().release_all(self.id);
         self.db.registry().finish(self.id);
+        if self.admitted {
+            self.db.admission_release();
+        }
     }
 
     /// Locks currently recorded for this transaction (diagnostics).

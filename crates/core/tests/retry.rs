@@ -208,3 +208,53 @@ fn deadlock_aborts_are_classified_as_deadlocks() {
     assert_eq!(stats.timeout_aborts, 0);
     assert!(stats.committed_after_retry);
 }
+
+#[test]
+fn vt_budget_is_never_exceeded_for_any_seed() {
+    // Property (exhaustive seed loop, like the backoff properties above):
+    // with `max_elapsed_us` set, the loop stops before the accumulated
+    // virtual time crosses the budget — for every seed, even though the
+    // per-retry backoff is jittered and each attempt charges transaction
+    // virtual time on top.
+    let db = db();
+    db.load_xml("<bib/>").unwrap();
+    let budget_us = 1_000u64;
+    for seed in 0..50u64 {
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base: Duration::from_micros(200),
+            cap: Duration::from_micros(200),
+            max_elapsed_us: Some(budget_us),
+            seed,
+            ..RetryPolicy::default()
+        };
+        let (res, stats) = db.run_retrying(&policy, |_txn| Err::<(), _>(XtcError::Busy));
+        assert_eq!(res.unwrap_err(), XtcError::Busy);
+        assert!(
+            stats.vt_elapsed_us < budget_us,
+            "seed {seed}: spent {} µs of a {budget_us} µs budget",
+            stats.vt_elapsed_us
+        );
+        assert!(
+            stats.attempts < policy.max_attempts,
+            "seed {seed}: the vt budget, not max_attempts, must stop the loop"
+        );
+        assert!(stats.attempts >= 1, "seed {seed}: at least one attempt");
+    }
+}
+
+#[test]
+fn vt_budget_of_zero_stops_after_one_attempt() {
+    let db = db();
+    db.load_xml("<bib/>").unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 100,
+        base: Duration::from_micros(100),
+        cap: Duration::from_micros(100),
+        max_elapsed_us: Some(0),
+        ..RetryPolicy::default()
+    };
+    let (res, stats) = db.run_retrying(&policy, |_txn| Err::<(), _>(XtcError::Busy));
+    assert_eq!(res.unwrap_err(), XtcError::Busy);
+    assert_eq!(stats.attempts, 1, "zero budget means no retries");
+}

@@ -86,9 +86,32 @@ mod imp {
         })
     }
 
+    /// Poison-tolerant lock. Chaos tests panic threads on purpose; if one
+    /// of them dies between `lock()` and drop, the registry data is still
+    /// a plain `HashMap` in a consistent state (no invariant spans the
+    /// critical section), so later callers keep going instead of
+    /// cascading `PoisonError` panics through every `eval`.
+    fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Test hook: poison the registry mutex by panicking while holding it.
+    #[cfg(test)]
+    pub(crate) fn poison_registry_for_test() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            panic!("deliberate poison");
+        });
+        std::panic::set_hook(prev);
+    }
+
     pub fn set_seed(seed: u64) {
         SEED.store(seed, Ordering::Relaxed);
-        let mut reg = registry().lock().unwrap();
+        let mut reg = lock_registry();
         reg.seed = seed;
         // Re-derive the stream of every already-armed site.
         for (name, site) in reg.sites.iter_mut() {
@@ -97,7 +120,7 @@ mod imp {
     }
 
     pub fn configure(site: &str, probability: f64, action: FailAction, max_hits: Option<u64>) {
-        let mut reg = registry().lock().unwrap();
+        let mut reg = lock_registry();
         let rng = mix_site(reg.seed, site);
         reg.sites.insert(
             site.to_string(),
@@ -112,21 +135,15 @@ mod imp {
     }
 
     pub fn clear() {
-        registry().lock().unwrap().sites.clear();
+        lock_registry().sites.clear();
     }
 
     pub fn hits(site: &str) -> u64 {
-        registry()
-            .lock()
-            .unwrap()
-            .sites
-            .get(site)
-            .map(|s| s.hits)
-            .unwrap_or(0)
+        lock_registry().sites.get(site).map(|s| s.hits).unwrap_or(0)
     }
 
     pub fn eval(site: &str) -> Option<FailAction> {
-        let mut reg = registry().lock().unwrap();
+        let mut reg = lock_registry();
         let s = reg.sites.get_mut(site)?;
         if s.remaining == Some(0) {
             return None;
@@ -204,6 +221,67 @@ pub fn hits(site: &str) -> u64 {
     }
 }
 
+/// Outcome of an I/O-fault evaluation ([`eval_io`]) at a site modelling
+/// a device operation (WAL append, fsync, page read, eviction write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The operation succeeds (site unarmed, fault did not fire, or the
+    /// `enabled` feature is off).
+    Ok,
+    /// The fault fired but dried up within the retry budget: the caller
+    /// should treat the operation as having succeeded after `retries`
+    /// in-site retries (the backoff sleeps already happened).
+    Transient {
+        /// How many faulted attempts preceded the success.
+        retries: u32,
+    },
+    /// The fault fired on every attempt in the budget: the caller must
+    /// fail the operation permanently (poison the engine, crash the log —
+    /// gracefully, never by panicking).
+    Permanent,
+}
+
+/// Evaluates an I/O failpoint with a transient-retry budget.
+///
+/// The site is [`eval`]uated up to `attempts` times. Each firing
+/// [`FailAction::Error`] models one failed device operation; between
+/// failed attempts the caller's thread backs off `base << attempt`
+/// (deterministic, so a seeded storm reproduces byte-for-byte). A firing
+/// [`FailAction::Delay`] models a slow-but-successful operation: the
+/// thread sleeps the configured delay and the fault counts as transient.
+/// Budgeted sites (`max_hits`) therefore model transient faults that dry
+/// up; unlimited sites at probability 1.0 model a dead device.
+///
+/// Compiled to an inlined [`IoFault::Ok`] without the `enabled` feature.
+pub fn eval_io(site: &str, attempts: u32, base: Duration) -> IoFault {
+    let mut faults = 0u32;
+    loop {
+        match eval(site) {
+            None => {
+                return if faults == 0 {
+                    IoFault::Ok
+                } else {
+                    IoFault::Transient { retries: faults }
+                };
+            }
+            Some(FailAction::Delay(d)) => {
+                std::thread::sleep(d);
+                return IoFault::Transient { retries: faults };
+            }
+            Some(FailAction::Error) => {
+                faults += 1;
+                if faults >= attempts.max(1) {
+                    return IoFault::Permanent;
+                }
+                // Exponential backoff before re-attempting the device op;
+                // the shift is bounded so a large budget cannot overflow.
+                let shift = (faults - 1).min(16);
+                std::thread::sleep(base * (1u32 << shift));
+            }
+        }
+    }
+}
+
 /// Convenience for delay-only sites: sleeps if the site fires with
 /// [`FailAction::Delay`]; returns `true` if the site fired with
 /// [`FailAction::Error`] (callers that have no error path may treat it
@@ -257,5 +335,67 @@ mod tests {
     #[test]
     fn unarmed_site_never_fires() {
         assert_eq!(eval("t.nothing"), None);
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_mutex() {
+        let _g = TEST_LOCK.lock().unwrap();
+        imp::poison_registry_for_test();
+        // Every public entry point must keep working after the poison.
+        set_seed(3);
+        configure("t.poison", 1.0, FailAction::Error, Some(2));
+        assert_eq!(eval("t.poison"), Some(FailAction::Error));
+        assert_eq!(hits("t.poison"), 1);
+        clear();
+        assert_eq!(eval("t.poison"), None);
+    }
+
+    #[test]
+    fn eval_io_unarmed_is_ok() {
+        let _g = TEST_LOCK.lock().unwrap();
+        clear();
+        assert_eq!(eval_io("t.io.none", 3, Duration::ZERO), IoFault::Ok);
+    }
+
+    #[test]
+    fn eval_io_budgeted_fault_is_transient() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_seed(11);
+        // Two faults in the budget, three attempts allowed: the site
+        // dries up inside the retry loop.
+        configure("t.io.transient", 1.0, FailAction::Error, Some(2));
+        assert_eq!(
+            eval_io("t.io.transient", 3, Duration::ZERO),
+            IoFault::Transient { retries: 2 }
+        );
+        // Budget exhausted: later operations see a healthy device.
+        assert_eq!(eval_io("t.io.transient", 3, Duration::ZERO), IoFault::Ok);
+        clear();
+    }
+
+    #[test]
+    fn eval_io_unlimited_fault_is_permanent() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_seed(11);
+        configure("t.io.dead", 1.0, FailAction::Error, None);
+        assert_eq!(eval_io("t.io.dead", 4, Duration::ZERO), IoFault::Permanent);
+        clear();
+    }
+
+    #[test]
+    fn eval_io_delay_is_transient_slow_success() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_seed(11);
+        configure(
+            "t.io.slow",
+            1.0,
+            FailAction::Delay(Duration::from_micros(50)),
+            Some(1),
+        );
+        assert_eq!(
+            eval_io("t.io.slow", 3, Duration::ZERO),
+            IoFault::Transient { retries: 0 }
+        );
+        clear();
     }
 }

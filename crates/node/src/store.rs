@@ -278,6 +278,7 @@ impl DocStore {
             flushes: d.flushes,
             evictions: d.evictions,
             evict_blocked: d.evict_blocked,
+            flush_faults: d.flush_faults,
             dirty: d.dirty + e.dirty + i.dirty,
             resident: d.resident + e.resident + i.resident,
             live: d.live + e.live + i.live,

@@ -30,15 +30,23 @@ pub enum CostKind {
     LockWait,
     /// Time spent waiting for a WAL group-commit flush to become durable.
     WalFlush,
+    /// Retry-loop backoff pauses between attempts of an aborted
+    /// transaction (seeded jittered exponential delays).
+    RetryBackoff,
+    /// Crash-recovery work (analysis + redo + undo passes), charged once
+    /// per `recover_from` on the recovered database's clock.
+    Recovery,
 }
 
 impl CostKind {
     /// All cost kinds, in counter order.
-    pub const ALL: [CostKind; 4] = [
+    pub const ALL: [CostKind; 6] = [
         CostKind::PageRead,
         CostKind::Think,
         CostKind::LockWait,
         CostKind::WalFlush,
+        CostKind::RetryBackoff,
+        CostKind::Recovery,
     ];
 
     /// Stable index of this kind into counter arrays.
@@ -53,6 +61,8 @@ impl CostKind {
             CostKind::Think => "think_us",
             CostKind::LockWait => "lock_wait_us",
             CostKind::WalFlush => "wal_flush_us",
+            CostKind::RetryBackoff => "backoff_us",
+            CostKind::Recovery => "recovery_us",
         }
     }
 }
@@ -71,6 +81,10 @@ pub struct VirtualTimes {
     pub lock_wait_us: u64,
     /// Microseconds spent waiting on WAL group-commit flushes.
     pub wal_flush_us: u64,
+    /// Microseconds spent in retry-loop backoff pauses.
+    pub backoff_us: u64,
+    /// Microseconds of crash-recovery work.
+    pub recovery_us: u64,
 }
 
 impl VirtualTimes {
@@ -81,6 +95,8 @@ impl VirtualTimes {
             CostKind::Think => self.think_us,
             CostKind::LockWait => self.lock_wait_us,
             CostKind::WalFlush => self.wal_flush_us,
+            CostKind::RetryBackoff => self.backoff_us,
+            CostKind::Recovery => self.recovery_us,
         }
     }
 
@@ -91,6 +107,8 @@ impl VirtualTimes {
             CostKind::Think => &mut self.think_us,
             CostKind::LockWait => &mut self.lock_wait_us,
             CostKind::WalFlush => &mut self.wal_flush_us,
+            CostKind::RetryBackoff => &mut self.backoff_us,
+            CostKind::Recovery => &mut self.recovery_us,
         };
         *slot = slot.saturating_add(micros);
     }
@@ -101,6 +119,8 @@ impl VirtualTimes {
             .saturating_add(self.think_us)
             .saturating_add(self.lock_wait_us)
             .saturating_add(self.wal_flush_us)
+            .saturating_add(self.backoff_us)
+            .saturating_add(self.recovery_us)
     }
 
     /// Simulated protocol cost: I/O plus lock waiting, excluding think
@@ -120,6 +140,8 @@ impl VirtualTimes {
             think_us: self.think_us.saturating_sub(earlier.think_us),
             lock_wait_us: self.lock_wait_us.saturating_sub(earlier.lock_wait_us),
             wal_flush_us: self.wal_flush_us.saturating_sub(earlier.wal_flush_us),
+            backoff_us: self.backoff_us.saturating_sub(earlier.backoff_us),
+            recovery_us: self.recovery_us.saturating_sub(earlier.recovery_us),
         }
     }
 
@@ -130,6 +152,8 @@ impl VirtualTimes {
             think_us: self.think_us.saturating_add(other.think_us),
             lock_wait_us: self.lock_wait_us.saturating_add(other.lock_wait_us),
             wal_flush_us: self.wal_flush_us.saturating_add(other.wal_flush_us),
+            backoff_us: self.backoff_us.saturating_add(other.backoff_us),
+            recovery_us: self.recovery_us.saturating_add(other.recovery_us),
         }
     }
 
@@ -144,6 +168,8 @@ impl VirtualTimes {
             think_us: self.think_us / n,
             lock_wait_us: self.lock_wait_us / n,
             wal_flush_us: self.wal_flush_us / n,
+            backoff_us: self.backoff_us / n,
+            recovery_us: self.recovery_us / n,
         }
     }
 
@@ -151,8 +177,14 @@ impl VirtualTimes {
     /// workspace is a no-op, so export is hand-rolled).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"page_read_us\":{},\"think_us\":{},\"lock_wait_us\":{},\"wal_flush_us\":{}}}",
-            self.page_read_us, self.think_us, self.lock_wait_us, self.wal_flush_us
+            "{{\"page_read_us\":{},\"think_us\":{},\"lock_wait_us\":{},\"wal_flush_us\":{},\
+             \"backoff_us\":{},\"recovery_us\":{}}}",
+            self.page_read_us,
+            self.think_us,
+            self.lock_wait_us,
+            self.wal_flush_us,
+            self.backoff_us,
+            self.recovery_us
         )
     }
 }
@@ -162,7 +194,7 @@ impl VirtualTimes {
 /// to stay always-on (tracing is gated separately).
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    counters: [AtomicU64; 4],
+    counters: [AtomicU64; 6],
 }
 
 impl VirtualClock {
@@ -182,6 +214,8 @@ impl VirtualClock {
             think_us: self.counters[1].load(Ordering::Relaxed),
             lock_wait_us: self.counters[2].load(Ordering::Relaxed),
             wal_flush_us: self.counters[3].load(Ordering::Relaxed),
+            backoff_us: self.counters[4].load(Ordering::Relaxed),
+            recovery_us: self.counters[5].load(Ordering::Relaxed),
         }
     }
 }

@@ -38,8 +38,14 @@ use trace::TraceState;
 
 thread_local! {
     /// Stack of transactions active on this thread; the top frame
-    /// accumulates per-transaction virtual time while tracing.
+    /// accumulates per-transaction virtual time. Always on (deadline
+    /// budgets charge against it), independent of tracing.
     static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+
+    /// Virtual time of the most recently ended transaction on this
+    /// thread, for callers (the retry loop) that learn the outcome only
+    /// after the frame is gone.
+    static LAST_ENDED: RefCell<Option<(u64, VirtualTimes)>> = const { RefCell::new(None) };
 }
 
 struct Frame {
@@ -81,23 +87,24 @@ impl Obs {
         self.trace.is_some()
     }
 
-    /// Charges simulated microseconds to the run-wide clock and, while
-    /// tracing, to the current thread's active transaction frame and
-    /// the matching latency histogram.
+    /// Charges simulated microseconds to the run-wide clock and to the
+    /// current thread's active transaction frame (deadline budgets read
+    /// the frame); while tracing, also to the matching latency
+    /// histogram.
     #[inline]
     pub fn charge(&self, kind: CostKind, micros: u64) {
         self.clock.charge(kind, micros);
+        FRAMES.with_borrow_mut(|frames| {
+            if let Some(top) = frames.last_mut() {
+                top.vt.add_us(kind, micros);
+            }
+        });
         if let Some(trace) = &self.trace {
-            FRAMES.with_borrow_mut(|frames| {
-                if let Some(top) = frames.last_mut() {
-                    top.vt.add_us(kind, micros);
-                }
-            });
             let hist = match kind {
                 CostKind::PageRead => Some(HistKind::PageRead),
                 CostKind::LockWait => Some(HistKind::LockWait),
                 CostKind::WalFlush => Some(HistKind::WalFlush),
-                CostKind::Think => None,
+                CostKind::Think | CostKind::RetryBackoff | CostKind::Recovery => None,
             };
             if let Some(h) = hist {
                 trace.hist(h).record(micros);
@@ -111,12 +118,10 @@ impl Obs {
         self.clock.snapshot()
     }
 
-    /// Marks a transaction as active on the current thread and records
-    /// its begin event. No-op unless tracing.
+    /// Marks a transaction as active on the current thread (its frame
+    /// starts accumulating virtual time) and, while tracing, records its
+    /// begin event.
     pub fn txn_begin(&self, txn: u64) {
-        if self.trace.is_none() {
-            return;
-        }
         FRAMES.with_borrow_mut(|frames| {
             frames.push(Frame {
                 txn,
@@ -127,28 +132,42 @@ impl Obs {
     }
 
     /// Ends a transaction: pops its frame (matched by id, scanning from
-    /// the top so nesting and cross-frame drops stay robust) and records
-    /// the end event carrying its virtual-time totals. Returns the
-    /// transaction's charged time, when tracing and a frame was found.
+    /// the top so nesting and cross-frame drops stay robust), remembers
+    /// its totals for [`Obs::take_last_txn_vt`], and, while tracing,
+    /// records the end event carrying them. Returns the transaction's
+    /// charged time when a frame was found.
     pub fn txn_end(&self, txn: u64, committed: bool) -> Option<VirtualTimes> {
-        self.trace.as_ref()?;
-        let vt = FRAMES.with_borrow_mut(|frames| {
+        let found = FRAMES.with_borrow_mut(|frames| {
             frames
                 .iter()
                 .rposition(|f| f.txn == txn)
                 .map(|i| frames.remove(i).vt)
         });
-        let vt = vt.unwrap_or_default();
+        let vt = found.unwrap_or_default();
+        LAST_ENDED.with_borrow_mut(|last| *last = Some((txn, vt)));
         self.record_for(txn, EventKind::TxnEnd { committed, vt });
-        Some(vt)
+        found
     }
 
-    /// The transaction currently active on this thread (0 when none or
-    /// when tracing is off).
+    /// Virtual time charged so far to a transaction still active on this
+    /// thread (`None` when it has no frame here). This is the quantity
+    /// deadline budgets are enforced against.
+    pub fn txn_vt(&self, txn: u64) -> Option<VirtualTimes> {
+        FRAMES.with_borrow(|frames| {
+            frames.iter().rfind(|f| f.txn == txn).map(|f| f.vt)
+        })
+    }
+
+    /// Takes (and clears) the virtual time of the transaction that most
+    /// recently ended on this thread. The retry loop uses this to charge
+    /// each attempt against a cross-attempt elapsed budget after
+    /// commit/abort has already popped the frame.
+    pub fn take_last_txn_vt(&self) -> Option<(u64, VirtualTimes)> {
+        LAST_ENDED.with_borrow_mut(|last| last.take())
+    }
+
+    /// The transaction currently active on this thread (0 when none).
     pub fn current_txn(&self) -> u64 {
-        if self.trace.is_none() {
-            return 0;
-        }
         FRAMES.with_borrow(|frames| frames.last().map(|f| f.txn).unwrap_or(0))
     }
 
@@ -333,14 +352,20 @@ mod tests {
     }
 
     #[test]
-    fn tracing_off_records_nothing() {
+    fn tracing_off_records_no_events_but_frames_still_account() {
         let obs = Obs::default();
         obs.record(EventKind::PageRead { page: 1 });
         obs.txn_begin(1);
+        obs.charge(CostKind::PageRead, 21);
         assert!(obs.events().is_empty());
         assert_eq!(obs.recorded_events(), 0);
         assert!(obs.histogram(HistKind::PageRead).is_none());
-        assert!(obs.txn_end(1, true).is_none());
+        // Frames are always on: deadline budgets need per-txn virtual
+        // time even in untraced production runs.
+        assert_eq!(obs.txn_vt(1).unwrap().page_read_us, 21);
+        assert_eq!(obs.txn_end(1, true).unwrap().page_read_us, 21);
+        assert_eq!(obs.take_last_txn_vt().unwrap().1.page_read_us, 21);
+        assert!(obs.take_last_txn_vt().is_none());
     }
 
     #[test]
@@ -387,6 +412,7 @@ mod tests {
                     think_us: 2,
                     lock_wait_us: 3,
                     wal_flush_us: 4,
+                    ..VirtualTimes::default()
                 },
             },
         ];

@@ -325,11 +325,15 @@ pub(crate) fn decode(words: [u64; 6]) -> Option<(u64, EventKind)> {
         TAG_TXN_BEGIN => EventKind::TxnBegin,
         TAG_TXN_END => EventKind::TxnEnd {
             committed: flag,
+            // The 6-word slot has four payload words: the original four
+            // per-txn cost kinds travel in the trace; run-level kinds
+            // (backoff, recovery) decode as zero.
             vt: VirtualTimes {
                 page_read_us: a,
                 think_us: b,
                 lock_wait_us: c,
                 wal_flush_us: d,
+                ..VirtualTimes::default()
             },
         },
         TAG_LOCK_ACQUIRE => EventKind::LockAcquire { name: a, mode: m1 },

@@ -30,6 +30,11 @@ pub type PageId = u32;
 /// The reserved null page id.
 pub const NO_PAGE: PageId = 0;
 
+/// In-site retry budget for transient injected I/O faults.
+const IO_ATTEMPTS: u32 = 4;
+/// Base backoff between injected-fault retries (grows exponentially).
+const IO_BACKOFF_BASE: Duration = Duration::from_micros(50);
+
 /// Shared counters of logical page accesses.
 ///
 /// Cloned handles observe the same counters; the lock-protocol experiments
@@ -54,6 +59,9 @@ struct StatsInner {
     page_flushes: AtomicU64,
     evictions: AtomicU64,
     evict_blocked: AtomicU64,
+    /// Write-backs the `pool.evict_write` fault site failed permanently
+    /// (the page stayed dirty; a later flush retries it).
+    flush_faults: AtomicU64,
     /// LSN stamped on pages dirtied by the mutation in flight (set by the
     /// transaction layer under its log mutex; `0` = no WAL).
     current_lsn: AtomicU64,
@@ -161,6 +169,10 @@ impl StorageStats {
     pub(crate) fn count_evict_blocked(&self) {
         self.inner.evict_blocked.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub(crate) fn count_flush_fault(&self) {
+        self.inner.flush_faults.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Snapshot of one pool's buffer-manager state.
@@ -176,6 +188,9 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Times eviction found no clean, unpinned victim.
     pub evict_blocked: u64,
+    /// Write-backs that failed permanently at the `pool.evict_write`
+    /// fault site (the page stayed dirty).
+    pub flush_faults: u64,
     /// Currently dirty pages (mutated since their last flush).
     pub dirty: usize,
     /// Currently resident pages.
@@ -324,6 +339,22 @@ impl PagePool {
         // Chaos-test hook: page reads have no error path, so an armed
         // `Error` action degrades to a no-op and only `Delay` injects.
         xtc_failpoint::fire_delay("store.page_read");
+        // Fault site `store.page_read_io` models the read's device op:
+        // transient faults are absorbed in-site with backoff; a permanent
+        // fault poisons the engine (the transaction layer converts that
+        // into an abort or a WAL crash — never a panic) and the stale
+        // in-memory bytes are returned so in-flight readers can drain.
+        match xtc_failpoint::eval_io("store.page_read_io", IO_ATTEMPTS, IO_BACKOFF_BASE) {
+            xtc_failpoint::IoFault::Ok => {}
+            xtc_failpoint::IoFault::Transient { retries } => {
+                if retries > 0 {
+                    let slept =
+                        IO_BACKOFF_BASE.as_micros() as u64 * ((1u64 << retries.min(16)) - 1);
+                    obs.charge(CostKind::RetryBackoff, slept);
+                }
+            }
+            xtc_failpoint::IoFault::Permanent => self.stats.poison(),
+        }
         if !self.read_latency.is_zero() {
             let until = std::time::Instant::now() + self.read_latency;
             while std::time::Instant::now() < until {
@@ -425,6 +456,26 @@ impl PagePool {
         let mut flushed = 0;
         for frame in self.frames.iter_mut().flatten() {
             if frame.dirty && frame.page_lsn <= durable_lsn {
+                // Fault site `pool.evict_write` models the write-back's
+                // device op. A permanent fault leaves the page dirty —
+                // harmless under the WAL rule (the covering log record
+                // is durable; a later flush simply retries) — and is
+                // counted so chaos reports can assert it happened.
+                match xtc_failpoint::eval_io("pool.evict_write", IO_ATTEMPTS, IO_BACKOFF_BASE)
+                {
+                    xtc_failpoint::IoFault::Permanent => {
+                        self.stats.count_flush_fault();
+                        continue;
+                    }
+                    xtc_failpoint::IoFault::Transient { retries } => {
+                        if retries > 0 {
+                            let slept = IO_BACKOFF_BASE.as_micros() as u64
+                                * ((1u64 << retries.min(16)) - 1);
+                            self.stats.obs().charge(CostKind::RetryBackoff, slept);
+                        }
+                    }
+                    xtc_failpoint::IoFault::Ok => {}
+                }
                 frame.dirty = false;
                 self.stats.count_flush();
                 flushed += 1;
@@ -455,6 +506,7 @@ impl PagePool {
             flushes: self.stats.inner.page_flushes.load(Ordering::Relaxed),
             evictions: self.stats.inner.evictions.load(Ordering::Relaxed),
             evict_blocked: self.stats.inner.evict_blocked.load(Ordering::Relaxed),
+            flush_faults: self.stats.inner.flush_faults.load(Ordering::Relaxed),
             dirty: self.dirty_pages(),
             resident: self.resident.load(Ordering::Relaxed),
             live: self.live_pages(),

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xtc_core::{
-    IsolationLevel, LockError, RetryPolicy, VictimPolicy, XtcConfig, XtcDb, XtcError,
+    AdmissionPolicy, IsolationLevel, RetryPolicy, VictimPolicy, XtcConfig, XtcDb, XtcError,
 };
 
 /// Parameters of a TaMix run. The defaults are the paper's CLUSTER1
@@ -60,6 +60,19 @@ pub struct TamixParams {
     /// throughput runs model an in-memory buffer; figure-shape tests set
     /// it to make page-read cost a deterministic virtual-time term.
     pub read_latency: Duration,
+    /// Per-transaction virtual-time deadline budget
+    /// ([`XtcConfig::txn_deadline`]); `None` = no deadline.
+    pub txn_deadline: Option<Duration>,
+    /// Admission control: maximum concurrently admitted transactions
+    /// ([`XtcConfig::max_in_flight`]); `None` = unbounded.
+    pub max_in_flight: Option<usize>,
+    /// Policy at the admission gate when `max_in_flight` is reached.
+    pub admission: AdmissionPolicy,
+    /// With a WAL configured, take a fuzzy checkpoint at this interval
+    /// during the run (a background checkpointer thread) so recovery
+    /// time stays bounded under sustained load. `None` = no
+    /// checkpointer.
+    pub checkpoint_every: Option<Duration>,
 }
 
 impl TamixParams {
@@ -89,6 +102,10 @@ impl TamixParams {
             escalated_depth: 1,
             lock_cache: true,
             read_latency: Duration::ZERO,
+            txn_deadline: None,
+            max_in_flight: None,
+            admission: AdmissionPolicy::default(),
+            checkpoint_every: None,
         }
     }
 
@@ -124,6 +141,9 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
             read_latency: params.read_latency,
             ..xtc_node::DocStoreConfig::default()
         },
+        txn_deadline: params.txn_deadline,
+        max_in_flight: params.max_in_flight,
+        admission: params.admission,
         ..XtcConfig::default()
     }));
     bib::generate_into(&db, bib_cfg);
@@ -144,6 +164,26 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
 
     let deadline = Instant::now() + params.duration;
     let start = Instant::now();
+    // Background checkpointer: bounds recovery time under sustained load.
+    // Checkpoint failures are tolerated (the engine may have been crashed
+    // by a chaos failpoint mid-run — the workload threads handle that).
+    let checkpointer = params.checkpoint_every.filter(|_| db.wal().is_some()).map(|every| {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            let mut taken = 0usize;
+            while Instant::now() < deadline {
+                let nap = every.min(deadline.saturating_duration_since(Instant::now()));
+                std::thread::sleep(nap);
+                if Instant::now() >= deadline {
+                    break;
+                }
+                if db.checkpoint().is_ok() {
+                    taken += 1;
+                }
+            }
+            taken
+        })
+    });
     let mut slot_no = 0usize;
     let mut handles = Vec::new();
     for _client in 0..params.clients {
@@ -167,6 +207,9 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
         per_type.entry(kind.name()).or_default().merge(&stats);
         retries.merge(&slot_retries);
     }
+    if let Some(h) = checkpointer {
+        let _ = h.join();
+    }
     let elapsed = start.elapsed();
     let dl = db.lock_table().deadlocks();
     RunReport {
@@ -183,15 +226,18 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
         page_reads: db.store().stats().page_reads() - reads_before,
         escalations: db.lock_table().escalations(),
         retries,
+        txn_deadline_us: params.txn_deadline.map(|d| d.as_micros() as u64),
         vt: db.obs().vt().saturating_sub(vt_before),
     }
 }
 
-/// Maps an abort error to its outcome class.
+/// Maps an abort error to its outcome class. Lock-wait timeouts and
+/// exhausted transaction deadlines both count as timeout aborts — the
+/// two faces of "ran out of time".
 fn classify_abort(e: &XtcError) -> TxnOutcome {
     if e.is_deadlock() {
         TxnOutcome::AbortedDeadlock
-    } else if matches!(e, XtcError::Lock(LockError::Timeout)) {
+    } else if e.is_timeout() {
         TxnOutcome::AbortedTimeout
     } else {
         TxnOutcome::AbortedOther

@@ -13,16 +13,21 @@
 //!   waitAfterOperation, random initial wait), CLUSTER1 and CLUSTER2,
 //! * [`metrics`] — the §4.1 performance metrics: committed/aborted
 //!   transactions per type and lock depth, min/avg/max durations, and
-//!   deadlock counts classified by cause.
+//!   deadlock counts classified by cause,
+//! * [`chaos`] — the crash–recover–resume harness: runs the mix under
+//!   injected faults, crashes mid-run, recovers, verifies the durable
+//!   contract, and resumes the remaining workload.
 
 #![warn(missing_docs)]
 
 pub mod bib;
+pub mod chaos;
 pub mod driver;
 pub mod metrics;
 pub mod txns;
 
 pub use bib::BibConfig;
+pub use chaos::{run_crash_recover_resume, ChaosParams, ChaosReport, Fate};
 pub use driver::{run_cluster1, run_cluster1_on, run_cluster2, Cluster2Report, TamixParams};
 pub use metrics::{RetryTotals, RunReport, TxnOutcome, TypeStats};
 pub use txns::TxnKind;

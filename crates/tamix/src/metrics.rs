@@ -126,6 +126,9 @@ pub struct RetryTotals {
     pub other_retryable_aborts: u64,
     /// Total backoff sleep across all slots.
     pub backoff_total: Duration,
+    /// Virtual microseconds the retry loops consumed (per-attempt
+    /// charged transaction time plus backoff pauses).
+    pub vt_elapsed_us: u64,
     /// Invocations that committed on attempt 2 or later.
     pub committed_after_retry: u64,
 }
@@ -139,6 +142,7 @@ impl RetryTotals {
         self.timeout_aborts += stats.timeout_aborts as u64;
         self.other_retryable_aborts += stats.other_retryable_aborts as u64;
         self.backoff_total += stats.backoff_total;
+        self.vt_elapsed_us = self.vt_elapsed_us.saturating_add(stats.vt_elapsed_us);
         self.committed_after_retry += stats.committed_after_retry as u64;
     }
 
@@ -150,6 +154,7 @@ impl RetryTotals {
         self.timeout_aborts += other.timeout_aborts;
         self.other_retryable_aborts += other.other_retryable_aborts;
         self.backoff_total += other.backoff_total;
+        self.vt_elapsed_us = self.vt_elapsed_us.saturating_add(other.vt_elapsed_us);
         self.committed_after_retry += other.committed_after_retry;
     }
 }
@@ -186,6 +191,10 @@ pub struct RunReport {
     pub escalations: u64,
     /// Retry-layer totals (zero without a retry policy).
     pub retries: RetryTotals,
+    /// The per-transaction virtual-time deadline budget the run was
+    /// configured with (µs), `None` when deadlines were off — so a
+    /// report's timeout-abort counts are interpretable on their own.
+    pub txn_deadline_us: Option<u64>,
     /// Virtual-time totals accumulated during the run (simulated page-read
     /// latency, think time, measured lock/WAL waits). Deterministic
     /// components make figure-shape assertions independent of wall clock.
@@ -201,6 +210,12 @@ impl RunReport {
     /// Total aborted transactions across types.
     pub fn aborted(&self) -> u64 {
         self.per_type.values().map(|s| s.aborted()).sum()
+    }
+
+    /// Total timeout aborts (lock-wait timeouts plus exhausted
+    /// transaction deadlines) across types.
+    pub fn timeout_aborts(&self) -> u64 {
+        self.per_type.values().map(|s| s.aborted_timeout).sum()
     }
 
     /// Committed count for a single type.
@@ -288,6 +303,7 @@ mod tests {
             timeout_aborts: 0,
             other_retryable_aborts: 0,
             backoff_total: Duration::from_millis(4),
+            vt_elapsed_us: 1_500,
             committed_after_retry: true,
         });
         let mut b = RetryTotals::default();
@@ -301,5 +317,6 @@ mod tests {
         assert_eq!(b.deadlock_aborts, 2);
         assert_eq!(b.committed_after_retry, 1);
         assert_eq!(b.backoff_total, Duration::from_millis(4));
+        assert_eq!(b.vt_elapsed_us, 1_500);
     }
 }

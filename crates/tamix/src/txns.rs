@@ -88,7 +88,9 @@ pub fn run_txn(
     rng: &mut SmallRng,
     pacing: Pacing,
 ) -> Result<bool, XtcError> {
-    let txn = db.begin();
+    // Through the admission gate: with `max_in_flight` configured, a
+    // slot at capacity queues or is rejected here (counted as an abort).
+    let txn = db.try_begin()?;
     match run_txn_body(&txn, kind, cfg, rng, pacing) {
         Ok(did_work) => {
             txn.commit()?;

@@ -1,0 +1,158 @@
+//! Chaos-at-scale: crash–recover–resume matrix plus double-crash
+//! convergence. Only compiled with the `failpoints` feature
+//! (`cargo test -p xtc-tamix --features failpoints`).
+//!
+//! Each scenario uses the [`xtc_tamix::chaos`] harness: a CLUSTER1
+//! storm plus fate-ledgered marker writers run against a WAL-backed
+//! database, the engine is killed at an armed failpoint, recovered,
+//! verified (no acknowledged commit lost, no clean failure leaked,
+//! document invariants and indexes intact), and the remaining workload
+//! resumes on the recovered engine.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+use xtc_core::wal::WalConfig;
+use xtc_core::{recover_from, AdmissionPolicy, IsolationLevel, XtcConfig, XtcDb, XtcError};
+use xtc_failpoint::FailAction;
+use xtc_protocols::ALL_PROTOCOLS;
+use xtc_tamix::chaos::{document_digest, run_crash_recover_resume, ChaosParams};
+use xtc_tamix::{bib, BibConfig};
+
+/// Per-scenario watchdog (the matrix shares the machine with the rest
+/// of the suite).
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// The failpoint registry is process-global; tests arming it must not
+/// overlap (`cargo test` runs `#[test]` functions on multiple threads).
+static STORM_LOCK: Mutex<()> = Mutex::new(());
+
+/// One crash point per layer: the commit record (clean batch loss), the
+/// group-commit fsync (injected device failure), and a page-read I/O
+/// fault (storage-side poisoning).
+const KILL_SITES: [&str; 3] = ["wal.commit", "wal.fsync", "store.page_read_io"];
+
+#[test]
+fn chaos_matrix_over_all_protocols_and_fault_sites() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut mid_run_crashes = 0u32;
+    for proto in ALL_PROTOCOLS {
+        for (s, site) in KILL_SITES.iter().enumerate() {
+            let seed = 0xC4A0_5EED ^ ((proto.len() as u64) << 8) ^ s as u64;
+            let (tx, rx) = mpsc::channel();
+            let handle = std::thread::spawn(move || {
+                let report = run_crash_recover_resume(&ChaosParams::quick(proto, site, seed));
+                let _ = tx.send(());
+                report
+            });
+            // No hangs: a wedged scenario fails loudly instead of timing
+            // the whole suite out.
+            rx.recv_timeout(WATCHDOG).unwrap_or_else(|_| {
+                panic!("{proto}/{site}: chaos scenario hung past {WATCHDOG:?}")
+            });
+            let report = handle.join().expect("scenario panicked");
+            assert!(
+                report.passed(),
+                "{proto}/{site}: contract violated: {:?}",
+                report.violations
+            );
+            assert!(
+                report.post.committed() > 0,
+                "{proto}/{site}: no progress after recovery"
+            );
+            mid_run_crashes += u32::from(report.crashed_mid_run);
+        }
+    }
+    // Across 33 scenarios the kills must actually land mid-run (not only
+    // via the end-of-phase fallback crash), or this matrix exercises
+    // nothing beyond plain recovery.
+    assert!(
+        mid_run_crashes > 0,
+        "no scenario crashed mid-run; the kill sites never fired"
+    );
+}
+
+#[test]
+fn chaos_with_deadlines_and_admission_control() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut params = ChaosParams::quick("OO2PL", "wal.commit", 0xAD31_5510);
+    params.tamix.txn_deadline = Some(Duration::from_millis(250));
+    params.tamix.max_in_flight = Some(2);
+    params.tamix.admission = AdmissionPolicy::Queue;
+    let report = run_crash_recover_resume(&params);
+    assert!(
+        report.passed(),
+        "deadline+admission chaos violated the contract: {:?}",
+        report.violations
+    );
+    assert_eq!(report.pre.txn_deadline_us, Some(250_000));
+    assert!(report.post.committed() > 0);
+}
+
+/// Builds a WAL-backed database, runs a short marker workload, crashes
+/// it, and hands back the log for recovery experiments.
+fn crashed_log() -> Arc<xtc_core::wal::Wal> {
+    let cfg = BibConfig::tiny();
+    let db = Arc::new(XtcDb::new(XtcConfig {
+        protocol: "taDOM2".to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        wal: Some(WalConfig::default()),
+        ..XtcConfig::default()
+    }));
+    bib::generate_into(&db, &cfg);
+    db.checkpoint().expect("checkpoint");
+    for i in 0..6 {
+        let txn = db.begin();
+        let topic = txn
+            .element_by_id(&format!("t{}", i % cfg.topics))
+            .expect("read topic")
+            .expect("topic exists");
+        txn.insert_element(&topic, xtc_core::InsertPos::LastChild, &format!("dc{i}"))
+            .expect("insert marker");
+        txn.commit().expect("commit marker");
+    }
+    let wal = db.wal().expect("wal configured").clone();
+    wal.crash();
+    wal
+}
+
+#[test]
+fn double_crash_recovery_converges_to_the_same_document() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let wal = crashed_log();
+
+    for site in ["recovery.analysis", "recovery.redo"] {
+        // First recovery attempt dies at the armed site.
+        xtc_failpoint::clear();
+        xtc_failpoint::set_seed(7);
+        xtc_failpoint::configure(site, 1.0, FailAction::Error, Some(1));
+        let err = recover_from(&wal, XtcConfig::default())
+            .err()
+            .unwrap_or_else(|| panic!("{site}: armed recovery unexpectedly succeeded"));
+        assert!(
+            matches!(err, XtcError::Injected),
+            "{site}: expected injected failure, got {err}"
+        );
+        xtc_failpoint::clear();
+
+        // Recovery never writes to the source log, so the second attempt
+        // sees the same durable prefix and must succeed…
+        let (db1, report1) = recover_from(&wal, XtcConfig::default())
+            .unwrap_or_else(|e| panic!("{site}: second recovery failed: {e}"));
+        // …and a third, from the very same log, must converge to the
+        // same document byte for byte.
+        let (db2, report2) =
+            recover_from(&wal, XtcConfig::default()).expect("third recovery failed");
+        assert_eq!(report1.scanned, report2.scanned);
+        assert_eq!(report1.winners, report2.winners);
+        assert_eq!(
+            document_digest(&db1),
+            document_digest(&db2),
+            "{site}: repeated recovery diverged"
+        );
+        assert_eq!(db1.store().elements_named("dc0").len(), 1);
+        assert!(db1.store().verify_indexes().is_empty());
+    }
+}

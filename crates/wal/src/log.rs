@@ -13,6 +13,13 @@ use crate::codec;
 use crate::record::{RecordBody, WalRecord};
 use crate::{Lsn, WalError};
 
+/// In-site retry budget for transient injected I/O faults — how many
+/// consecutive device failures the log absorbs before declaring the
+/// fault permanent.
+const IO_ATTEMPTS: u32 = 4;
+/// Base backoff between injected-fault retries (grows exponentially).
+const IO_BACKOFF_BASE: Duration = Duration::from_micros(50);
+
 /// Where the log's bytes live.
 ///
 /// Backends only see *synced* batches: the [`Wal`] buffers appended
@@ -305,10 +312,36 @@ impl Wal {
         })
     }
 
+    /// Charges the virtual clock for the wall time an [`eval_io`] site
+    /// spent sleeping in transient-fault backoff (sum of the exponential
+    /// backoff steps), so injected I/O retries show up in the run's cost
+    /// accounting rather than as unexplained wall-clock noise.
+    fn charge_transient_backoff(&self, retries: u32, base: Duration) {
+        if retries > 0 {
+            let slept = base.as_micros() as u64 * ((1u64 << retries.min(16)) - 1);
+            self.obs.charge(xtc_obs::CostKind::RetryBackoff, slept);
+        }
+    }
+
     /// Append a record to the in-memory buffer and return its LSN. The
     /// record is **not** durable until [`commit_sync`](Wal::commit_sync)
     /// covers its LSN.
+    ///
+    /// Fault site `wal.append_io` models the buffer's backing device:
+    /// transient faults are retried in-site with backoff; a permanent
+    /// fault freezes the log (whatever was already synced remains the
+    /// durable prefix) and surfaces as [`WalError::Io`] — never a panic.
     pub fn append(&self, body: &RecordBody) -> Result<Lsn, WalError> {
+        match xtc_failpoint::eval_io("wal.append_io", IO_ATTEMPTS, IO_BACKOFF_BASE) {
+            xtc_failpoint::IoFault::Ok => {}
+            xtc_failpoint::IoFault::Transient { retries } => {
+                self.charge_transient_backoff(retries, IO_BACKOFF_BASE);
+            }
+            xtc_failpoint::IoFault::Permanent => {
+                self.crash();
+                return Err(WalError::Io("injected append I/O failure".into()));
+            }
+        }
         let mut st = self.state.lock().unwrap();
         if st.crashed {
             return Err(WalError::Crashed);
@@ -438,7 +471,20 @@ impl Wal {
             let _ = self.backend.append(&batch[..cut]);
             Err(WalError::Crashed)
         } else {
-            self.backend.append(&batch)
+            // Fault site `wal.fsync` models the sync itself failing
+            // *cleanly*: unlike `wal.flush` (torn tail), a permanent
+            // fsync fault loses the whole batch — the backend keeps the
+            // previous record-aligned prefix and the log freezes.
+            match xtc_failpoint::eval_io("wal.fsync", IO_ATTEMPTS, IO_BACKOFF_BASE) {
+                xtc_failpoint::IoFault::Permanent => {
+                    Err(WalError::Io("injected fsync failure".into()))
+                }
+                xtc_failpoint::IoFault::Transient { retries } => {
+                    self.charge_transient_backoff(retries, IO_BACKOFF_BASE);
+                    self.backend.append(&batch)
+                }
+                xtc_failpoint::IoFault::Ok => self.backend.append(&batch),
+            }
         };
 
         let mut st = self.state.lock().unwrap();
