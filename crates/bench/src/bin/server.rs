@@ -1,0 +1,385 @@
+//! Many-clients server benchmark: a catalog of bib documents behind the
+//! TCP front-end, driven by a fleet of concurrent sessions whose
+//! document choice is Zipf-skewed — the server-consolidation story the
+//! single-document clusters can't tell. Reports per-transaction-type
+//! tail latency (p50/p95/p99) on both clocks: wall microseconds and the
+//! engine's virtual-time attribution from each `run` reply.
+//!
+//! ```text
+//! server [--docs N] [--sessions N] [--workers N] [--requests N]
+//!        [--zipf S] [--max-in-flight N] [--protocol NAME] [--seed N]
+//!        [--json PATH] [--bench-json PATH] [--check]
+//! ```
+//!
+//! `--check` gates: every configured session must be connected
+//! concurrently (the ≥1000-sessions claim), commit rate ≥ 99%, every
+//! mix type must appear, and the Zipf skew must be visible (the hottest
+//! document serves more sessions than the coldest).
+
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use xtc_core::{AdmissionPolicy, CatalogConfig, DocStoreConfig, XtcConfig};
+use xtc_server::{Client, ServerConfig, XtcServer};
+use xtc_tamix::{build_bib_catalog, doc_name, sample_kind, BibConfig, TxnKind, Zipf};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+/// One completed request, as measured at the client.
+struct Sample {
+    kind: TxnKind,
+    wall_us: u64,
+    vt_us: u64,
+    attempts: u32,
+}
+
+/// Sorted-percentile helper (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct KindRow {
+    kind: TxnKind,
+    count: usize,
+    attempts: u64,
+    wall: [u64; 3],
+    vt: [u64; 3],
+}
+
+fn kind_rows(samples: &[Sample]) -> Vec<KindRow> {
+    let mut rows = Vec::new();
+    for kind in TxnKind::ALL {
+        let mut wall: Vec<u64> = Vec::new();
+        let mut vt: Vec<u64> = Vec::new();
+        let mut attempts = 0u64;
+        for s in samples.iter().filter(|s| s.kind == kind) {
+            wall.push(s.wall_us);
+            vt.push(s.vt_us);
+            attempts += s.attempts as u64;
+        }
+        if wall.is_empty() {
+            continue;
+        }
+        wall.sort_unstable();
+        vt.sort_unstable();
+        rows.push(KindRow {
+            kind,
+            count: wall.len(),
+            attempts,
+            wall: [
+                percentile(&wall, 50.0),
+                percentile(&wall, 95.0),
+                percentile(&wall, 99.0),
+            ],
+            vt: [
+                percentile(&vt, 50.0),
+                percentile(&vt, 95.0),
+                percentile(&vt, 99.0),
+            ],
+        });
+    }
+    rows
+}
+
+fn main() {
+    let mut docs: usize = 16;
+    let mut sessions: usize = 1024;
+    let mut workers: usize = 16;
+    let mut requests: usize = 3;
+    let mut zipf_s: f64 = 1.0;
+    let mut max_in_flight: usize = 64;
+    let mut protocol = "taDOM3+".to_string();
+    let mut seed: u64 = 0x5E55_10B5;
+    let mut json_path = "results/server.json".to_string();
+    let mut bench_json_path = "BENCH_server.json".to_string();
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--docs" => docs = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--sessions" => sessions = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--workers" => workers = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--requests" => requests = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--zipf" => zipf_s = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--max-in-flight" => {
+                max_in_flight = val("number").parse().unwrap_or_else(|_| die("bad number"))
+            }
+            "--protocol" => protocol = val("name"),
+            "--seed" => seed = val("number").parse().unwrap_or_else(|_| die("bad number")),
+            "--json" => json_path = val("path"),
+            "--bench-json" => bench_json_path = val("path"),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --docs N --sessions N --workers N --requests N \
+                     --zipf S --max-in-flight N --protocol NAME --seed N \
+                     --json PATH --bench-json PATH --check"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    if docs == 0 || sessions == 0 || workers == 0 || requests == 0 {
+        die("--docs, --sessions, --workers, --requests must all be positive");
+    }
+    workers = workers.min(sessions);
+
+    eprintln!(
+        "server: {docs} docs, {sessions} sessions over {workers} workers, \
+         {requests} requests/session, zipf {zipf_s}, gate {max_in_flight}, {protocol}"
+    );
+
+    let bib = BibConfig::tiny();
+    let catalog = build_bib_catalog(
+        CatalogConfig {
+            defaults: XtcConfig {
+                protocol: protocol.clone(),
+                lock_timeout: Duration::from_secs(10),
+                // Simulated disk: page reads charge virtual time, so the
+                // vt percentiles below measure more than lock waits.
+                store: DocStoreConfig {
+                    read_latency: Duration::from_micros(2),
+                    ..DocStoreConfig::default()
+                },
+                ..XtcConfig::default()
+            },
+            max_in_flight: Some(max_in_flight),
+            admission: AdmissionPolicy::Queue,
+            pool_budget_pages: Some(docs * 96),
+            pool_partitions: docs,
+        },
+        docs,
+        &bib,
+    )
+    .unwrap_or_else(|e| die(&format!("building catalog: {e}")));
+
+    let mut server = XtcServer::serve(
+        Arc::new(catalog),
+        ServerConfig {
+            bib: bib.clone(),
+            seed,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("starting server: {e}")));
+    let addr: SocketAddr = server.addr();
+
+    // Session → document assignment is the Zipf draw: popular documents
+    // serve many sessions, the tail serves few.
+    let zipf = Zipf::new(docs, zipf_s);
+    let mut assign_rng = SmallRng::seed_from_u64(seed);
+    let doc_of: Vec<usize> = (0..sessions).map(|_| zipf.sample(&mut assign_rng)).collect();
+    let mut sessions_per_doc = vec![0usize; docs];
+    for &d in &doc_of {
+        sessions_per_doc[d] += 1;
+    }
+
+    // Phase 1: connect the whole fleet (all sessions concurrently
+    // live), rendezvous, measure the plateau, then issue requests.
+    let all_connected = Arc::new(Barrier::new(workers + 1));
+    let started = Instant::now();
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let doc_of: Vec<usize> = doc_of
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(s, _)| s % workers == w)
+                .map(|(_, d)| d)
+                .collect();
+            let all_connected = all_connected.clone();
+            std::thread::spawn(move || {
+                let mut conns: Vec<Client> = doc_of
+                    .iter()
+                    .map(|&d| {
+                        let mut c = Client::connect(addr)
+                            .unwrap_or_else(|e| die(&format!("worker {w}: connect: {e}")));
+                        if !c.open(&doc_name(d)).unwrap_or(false) {
+                            die(&format!("worker {w}: open {} refused", doc_name(d)));
+                        }
+                        c
+                    })
+                    .collect();
+                all_connected.wait();
+                let mut kind_rng = SmallRng::seed_from_u64(0xD0C5 ^ (w as u64) << 20);
+                let mut samples: Vec<Sample> = Vec::new();
+                let mut failed = 0usize;
+                // Round-robin over this worker's sessions so every
+                // connection interleaves with the whole fleet.
+                for _round in 0..requests {
+                    for c in conns.iter_mut() {
+                        let kind = sample_kind(&mut kind_rng);
+                        let begun = Instant::now();
+                        match c.run(kind.name()) {
+                            Ok(Ok(reply)) => samples.push(Sample {
+                                kind,
+                                // Client-observed wall time: queueing at
+                                // the gate + execution + protocol.
+                                wall_us: begun.elapsed().as_micros() as u64,
+                                vt_us: reply.vt_us,
+                                attempts: reply.attempts,
+                            }),
+                            Ok(Err(_)) => failed += 1,
+                            Err(e) => die(&format!("worker {w}: transport: {e}")),
+                        }
+                    }
+                }
+                for c in conns {
+                    let _ = c.quit();
+                }
+                (samples, failed)
+            })
+        })
+        .collect();
+
+    all_connected.wait();
+    // Every session is connected right now: the concurrency plateau.
+    let peak_sessions = server.stats().active_sessions.load(Ordering::Relaxed);
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut failed = 0usize;
+    for h in worker_handles {
+        let (s, f) = h.join().unwrap_or_else(|_| die("worker panicked"));
+        samples.extend(s);
+        failed += f;
+    }
+    let wall_total = started.elapsed();
+    let committed = samples.len();
+    let in_flight_after = server.catalog().admitted_in_flight();
+    server.shutdown();
+
+    let rows = kind_rows(&samples);
+    let total_requests = committed + failed;
+    let commit_rate = if total_requests == 0 {
+        0.0
+    } else {
+        committed as f64 / total_requests as f64
+    };
+
+    println!("\n== server: {sessions} Zipf-skewed sessions over {docs} documents ==");
+    println!(
+        "peak concurrent sessions {peak_sessions}, {committed} committed / {failed} failed \
+         in {:.2}s, gate {max_in_flight} ({in_flight_after} in flight after drain)",
+        wall_total.as_secs_f64()
+    );
+    println!(
+        "{:>16} {:>7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "type", "count", "attempts", "wall p50", "wall p95", "wall p99", "vt p50", "vt p95", "vt p99"
+    );
+    for r in &rows {
+        println!(
+            "{:>16} {:>7} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            r.kind.name(),
+            r.count,
+            r.attempts,
+            r.wall[0],
+            r.wall[1],
+            r.wall[2],
+            r.vt[0],
+            r.vt[1],
+            r.vt[2],
+        );
+    }
+    let hottest = sessions_per_doc.iter().copied().max().unwrap_or(0);
+    let coldest = sessions_per_doc.iter().copied().min().unwrap_or(0);
+    println!("document popularity: hottest {hottest} sessions, coldest {coldest} sessions");
+
+    let kind_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kind\": \"{}\", \"count\": {}, \"attempts\": {}, \
+                 \"wall_p50_us\": {}, \"wall_p95_us\": {}, \"wall_p99_us\": {}, \
+                 \"vt_p50_us\": {}, \"vt_p95_us\": {}, \"vt_p99_us\": {}}}",
+                r.kind.name(),
+                r.count,
+                r.attempts,
+                r.wall[0],
+                r.wall[1],
+                r.wall[2],
+                r.vt[0],
+                r.vt[1],
+                r.vt[2],
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let popularity = sessions_per_doc
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let body = format!(
+        "{{\n  \"benchmark\": \"server\",\n  \"summary\": {{\"docs\": {docs}, \
+         \"sessions\": {sessions}, \"peak_sessions\": {peak_sessions}, \
+         \"workers\": {workers}, \"requests_per_session\": {requests}, \
+         \"zipf_exponent\": {zipf_s}, \"max_in_flight\": {max_in_flight}, \
+         \"protocol\": \"{protocol}\", \"committed\": {committed}, \
+         \"failed\": {failed}, \"commit_rate\": {commit_rate:.4}, \
+         \"wall_s\": {:.3}}},\n  \"sessions_per_doc\": [{popularity}],\n  \
+         \"kinds\": [\n{kind_json}\n  ]\n}}\n",
+        wall_total.as_secs_f64(),
+    );
+    for path in [&json_path, &bench_json_path] {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::fs::write(path, &body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("wrote {path}");
+    }
+
+    if check {
+        let mut bad = Vec::new();
+        if (peak_sessions as usize) < sessions {
+            bad.push(format!(
+                "only {peak_sessions} of {sessions} sessions were concurrently connected"
+            ));
+        }
+        if commit_rate < 0.99 {
+            bad.push(format!(
+                "commit rate {commit_rate:.4} below 0.99 ({failed} failures)"
+            ));
+        }
+        if rows.len() < 4 {
+            bad.push(format!("only {} of 4 mix types appeared", rows.len()));
+        }
+        if rows.iter().any(|r| r.vt[2] == 0) {
+            bad.push("a type reported zero virtual time at p99".to_string());
+        }
+        if zipf_s > 0.0 && docs > 1 && hottest <= coldest {
+            bad.push(format!(
+                "no visible Zipf skew: hottest doc {hottest} <= coldest {coldest}"
+            ));
+        }
+        if in_flight_after != 0 {
+            bad.push(format!(
+                "{in_flight_after} admission slots still held after the fleet drained"
+            ));
+        }
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("server check failed: {b}");
+            }
+            std::process::exit(1);
+        }
+        println!("server check passed");
+    }
+}

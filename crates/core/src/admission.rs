@@ -1,0 +1,182 @@
+//! Admission control: a bounded-concurrency gate in front of
+//! [`XtcDb::try_begin`](crate::XtcDb::try_begin).
+//!
+//! The gate is a counted semaphore (mutex + condvar) so overload sheds
+//! at the door instead of as lock-table thrashing. It was private to one
+//! engine until the catalog landed; now it is `Arc`-shareable, so a
+//! [`Catalog`](crate::Catalog) can put one gate in front of *all* its
+//! documents (a catalog-wide throttle) while a standalone [`XtcDb`]
+//! keeps a private one.
+
+use crate::db::AdmissionPolicy;
+use crate::error::XtcError;
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bounded-concurrency gate: at most `limit` transactions hold a slot at
+/// once. At capacity, [`AdmissionGate::admit`] queues (bounded) or
+/// rejects per the [`AdmissionPolicy`]. Shareable across engines — wrap
+/// it in an `Arc` and hand clones to several [`XtcDb`](crate::XtcDb)s to
+/// make it a catalog-wide throttle.
+pub struct AdmissionGate {
+    limit: usize,
+    policy: AdmissionPolicy,
+    in_flight: Mutex<usize>,
+    available: Condvar,
+}
+
+impl std::fmt::Debug for AdmissionGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionGate")
+            .field("limit", &self.limit)
+            .field("policy", &self.policy)
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `limit` concurrent transactions (a zero
+    /// limit would admit nothing, ever; it is clamped to one).
+    pub fn new(limit: usize, policy: AdmissionPolicy) -> Self {
+        AdmissionGate {
+            limit: limit.max(1),
+            policy,
+            in_flight: Mutex::new(0),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The concurrency limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// The at-capacity policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Transactions currently holding a slot.
+    pub fn in_flight(&self) -> usize {
+        *self.in_flight.lock()
+    }
+
+    /// Claims a slot, per policy. `timeout` bounds a `Queue` wait; a
+    /// wait that times out fails with [`XtcError::AdmissionRejected`]
+    /// (retryable).
+    pub fn admit(&self, timeout: Duration) -> Result<(), XtcError> {
+        let mut n = self.in_flight.lock();
+        if *n < self.limit {
+            *n += 1;
+            return Ok(());
+        }
+        if self.policy == AdmissionPolicy::Reject {
+            return Err(XtcError::AdmissionRejected);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Re-check the predicate before the deadline: a waiter that
+            // was handed a slot right at its deadline takes it rather
+            // than failing with the slot in hand.
+            if *n < self.limit {
+                *n += 1;
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // A release's notify_one may have targeted this waiter
+                // between its last sleep and this check; leaving without
+                // claiming would swallow that wakeup and strand a free
+                // slot while other waiters sleep on. Forward it — a
+                // spurious notify is harmless (waiters re-check).
+                self.available.notify_one();
+                return Err(XtcError::AdmissionRejected);
+            }
+            self.available.wait_for(&mut n, deadline - now);
+        }
+    }
+
+    /// Returns a slot and wakes one queued waiter.
+    pub fn release(&self) {
+        let mut n = self.in_flight.lock();
+        *n = n.saturating_sub(1);
+        self.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_limit_then_rejects() {
+        let gate = AdmissionGate::new(2, AdmissionPolicy::Reject);
+        gate.admit(Duration::ZERO).unwrap();
+        gate.admit(Duration::ZERO).unwrap();
+        assert!(matches!(
+            gate.admit(Duration::ZERO),
+            Err(XtcError::AdmissionRejected)
+        ));
+        gate.release();
+        gate.admit(Duration::ZERO).unwrap();
+        assert_eq!(gate.in_flight(), 2);
+    }
+
+    #[test]
+    fn queue_wait_times_out_without_stranding_slots() {
+        let gate = Arc::new(AdmissionGate::new(1, AdmissionPolicy::Queue));
+        gate.admit(Duration::ZERO).unwrap();
+        let g = gate.clone();
+        let waiter = std::thread::spawn(move || g.admit(Duration::from_millis(50)));
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(XtcError::AdmissionRejected)
+        ));
+        gate.release();
+        // The timed-out waiter left the gate consistent: the slot is
+        // immediately claimable.
+        gate.admit(Duration::ZERO).unwrap();
+        assert_eq!(gate.in_flight(), 1);
+    }
+
+    #[test]
+    fn timed_out_waiter_forwards_the_wakeup() {
+        // One slot, two queued waiters with staggered deadlines. The
+        // release lands near the short waiter's deadline; whichever way
+        // that race resolves, the long waiter (or the short one) must
+        // get the slot — it must never stay free while a waiter sleeps.
+        for _ in 0..50 {
+            let gate = Arc::new(AdmissionGate::new(1, AdmissionPolicy::Queue));
+            gate.admit(Duration::ZERO).unwrap();
+            let short = {
+                let g = gate.clone();
+                std::thread::spawn(move || g.admit(Duration::from_millis(10)))
+            };
+            let long = {
+                let g = gate.clone();
+                std::thread::spawn(move || {
+                    let r = g.admit(Duration::from_millis(400));
+                    if r.is_ok() {
+                        g.release();
+                    }
+                    r
+                })
+            };
+            // Release as close to the short deadline as a sleep gets us.
+            std::thread::sleep(Duration::from_millis(10));
+            gate.release();
+            let short_r = short.join().unwrap();
+            let long_r = long.join().unwrap();
+            if short_r.is_ok() {
+                // Short claimed the released slot and still holds it.
+                assert_eq!(gate.in_flight(), 1);
+            } else {
+                // Short timed out: the wakeup must have reached long.
+                assert!(long_r.is_ok(), "slot stranded with a sleeping waiter");
+                assert_eq!(gate.in_flight(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Multi-document catalog: N independent engines behind one front door.
+//!
+//! A [`Catalog`] hosts any number of named documents. Each document is a
+//! full [`XtcDb`] — its own lock table, its own WAL stream, its own
+//! buffer-pool partition, its own failpoint scope — so transactions on
+//! different documents share *no* synchronization state except the
+//! catalog-wide admission gate. That gate is the one deliberately shared
+//! piece: [`CatalogConfig::max_in_flight`] bounds the number of admitted
+//! transactions across **all** documents, so a hot document's overload
+//! sheds load for the whole server rather than starving its neighbors of
+//! CPU while they time out on their own private limits (DESIGN.md §14).
+//!
+//! Resource partitioning is static: [`CatalogConfig::pool_budget_pages`]
+//! is split evenly over [`CatalogConfig::pool_partitions`] slots, and
+//! every document opened gets one slot's worth of buffer residency
+//! ([`DocStoreConfig::max_resident_pages`]). Static shares keep the
+//! engines isolated — a scan-heavy document evicts its own pages, never
+//! a neighbor's — at the cost of leaving idle documents' budgets unused.
+//!
+//! [`DocStoreConfig::max_resident_pages`]: xtc_node::DocStoreConfig
+
+use crate::admission::AdmissionGate;
+use crate::db::{AdmissionPolicy, XtcConfig, XtcDb};
+use crate::error::XtcError;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of a [`Catalog`].
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// Template configuration for documents created without an explicit
+    /// override ([`DocSpec::config`]). Its `max_in_flight`/`admission`
+    /// fields are ignored — admission is catalog-wide, configured below.
+    pub defaults: XtcConfig,
+    /// Catalog-wide admission limit: at most this many transactions are
+    /// admitted concurrently *across all documents*. `None` (the
+    /// default) disables the gate.
+    pub max_in_flight: Option<usize>,
+    /// Policy at the catalog gate when `max_in_flight` is reached.
+    pub admission: AdmissionPolicy,
+    /// Total buffer-pool residency budget (pages), split evenly over
+    /// [`pool_partitions`](CatalogConfig::pool_partitions) — each
+    /// document gets one partition's share as its
+    /// `DocStoreConfig::max_resident_pages`. `None` = unbounded pools.
+    pub pool_budget_pages: Option<usize>,
+    /// Number of partitions the pool budget is divided into (clamped to
+    /// at least 1). Size this to the number of documents you expect to
+    /// host; opening more than this many documents over-commits the
+    /// budget rather than failing.
+    pub pool_partitions: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            defaults: XtcConfig::default(),
+            max_in_flight: None,
+            admission: AdmissionPolicy::default(),
+            pool_budget_pages: None,
+            pool_partitions: 16,
+        }
+    }
+}
+
+/// A document to create in a [`Catalog`].
+#[derive(Debug, Clone, Default)]
+pub struct DocSpec {
+    /// Catalog-unique document name (the routing key).
+    pub name: String,
+    /// Initial XML content, bulk-loaded (and checkpointed, when the
+    /// document has a WAL) before the handle is published.
+    pub xml: Option<String>,
+    /// Per-document configuration override; `None` uses the catalog's
+    /// [`defaults`](CatalogConfig::defaults).
+    pub config: Option<XtcConfig>,
+}
+
+impl DocSpec {
+    /// A spec for an empty document with the catalog's default config.
+    pub fn named(name: impl Into<String>) -> Self {
+        DocSpec {
+            name: name.into(),
+            ..DocSpec::default()
+        }
+    }
+
+    /// Sets the initial XML content.
+    pub fn with_xml(mut self, xml: impl Into<String>) -> Self {
+        self.xml = Some(xml.into());
+        self
+    }
+
+    /// Sets a per-document configuration override.
+    pub fn with_config(mut self, config: XtcConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+}
+
+/// A named collection of independent [`XtcDb`] engines sharing one
+/// admission gate. The concurrent front door of the reproduction: a
+/// server session opens a document by name and runs transactions against
+/// it; the catalog guarantees nothing but the gate is shared between
+/// documents.
+pub struct Catalog {
+    defaults: XtcConfig,
+    gate: Option<Arc<AdmissionGate>>,
+    per_doc_pool_pages: Option<usize>,
+    docs: RwLock<BTreeMap<String, Arc<XtcDb>>>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("docs", &self.doc_names())
+            .field("gate", &self.gate)
+            .field("per_doc_pool_pages", &self.per_doc_pool_pages)
+            .finish()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new(config: CatalogConfig) -> Self {
+        let gate = config
+            .max_in_flight
+            .map(|limit| Arc::new(AdmissionGate::new(limit, config.admission)));
+        let per_doc_pool_pages = config
+            .pool_budget_pages
+            .map(|total| (total / config.pool_partitions.max(1)).max(1));
+        Catalog {
+            defaults: config.defaults,
+            gate,
+            per_doc_pool_pages,
+            docs: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Creates a document and publishes it under its name. The engine is
+    /// fully constructed — content loaded, checkpoint taken — before any
+    /// other session can see it. Fails with [`XtcError::DocExists`] on a
+    /// name collision (the loser's engine is discarded).
+    pub fn create_doc(&self, spec: DocSpec) -> Result<Arc<XtcDb>, XtcError> {
+        let mut config = spec.config.unwrap_or_else(|| self.defaults.clone());
+        if let Some(pages) = self.per_doc_pool_pages {
+            config.store.max_resident_pages = Some(pages);
+        }
+        // Admission is catalog-wide: the engine gets the shared gate (or
+        // none), never a private one from its own config.
+        config.max_in_flight = None;
+        let db = Arc::new(XtcDb::try_new_gated(config, self.gate.clone())?);
+        if let Some(xml) = &spec.xml {
+            db.load_xml(xml).map_err(|e| XtcError::Xml(e.to_string()))?;
+        }
+        let mut docs = self.docs.write();
+        if docs.contains_key(&spec.name) {
+            xtc_failpoint::clear_scope(db.failpoint_scope());
+            return Err(XtcError::DocExists(spec.name));
+        }
+        docs.insert(spec.name, db.clone());
+        Ok(db)
+    }
+
+    /// The document registered under `name`, or [`XtcError::UnknownDoc`].
+    pub fn open(&self, name: &str) -> Result<Arc<XtcDb>, XtcError> {
+        self.get(name)
+            .ok_or_else(|| XtcError::UnknownDoc(name.to_string()))
+    }
+
+    /// The document registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<XtcDb>> {
+        self.docs.read().get(name).cloned()
+    }
+
+    /// Unregisters a document. Sessions holding the `Arc` keep a working
+    /// engine (it is only unlisted); its failpoint scope is cleared so
+    /// the process-wide registry does not accumulate dead scopes.
+    pub fn drop_doc(&self, name: &str) -> Result<(), XtcError> {
+        let db = self
+            .docs
+            .write()
+            .remove(name)
+            .ok_or_else(|| XtcError::UnknownDoc(name.to_string()))?;
+        xtc_failpoint::clear_scope(db.failpoint_scope());
+        Ok(())
+    }
+
+    /// Registered document names, sorted.
+    pub fn doc_names(&self) -> Vec<String> {
+        self.docs.read().keys().cloned().collect()
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// `true` when no documents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.docs.read().is_empty()
+    }
+
+    /// The catalog-wide admission gate, when one is configured.
+    pub fn admission_gate(&self) -> Option<&Arc<AdmissionGate>> {
+        self.gate.as_ref()
+    }
+
+    /// Transactions currently admitted across all documents (0 without a
+    /// gate).
+    pub fn admitted_in_flight(&self) -> usize {
+        self.gate.as_ref().map(|g| g.in_flight()).unwrap_or(0)
+    }
+
+    /// The buffer residency share each document gets (`None` when the
+    /// catalog was configured without a pool budget).
+    pub fn per_doc_pool_pages(&self) -> Option<usize> {
+        self.per_doc_pool_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_doc_catalog(max_in_flight: Option<usize>, policy: AdmissionPolicy) -> Catalog {
+        let catalog = Catalog::new(CatalogConfig {
+            max_in_flight,
+            admission: policy,
+            ..CatalogConfig::default()
+        });
+        for name in ["a", "b"] {
+            catalog
+                .create_doc(DocSpec::named(name).with_xml("<doc><x id=\"n1\">v</x></doc>"))
+                .unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn routes_by_name_and_rejects_unknown_or_duplicate() {
+        let catalog = two_doc_catalog(None, AdmissionPolicy::Reject);
+        assert_eq!(catalog.doc_names(), vec!["a", "b"]);
+        assert!(catalog.open("a").is_ok());
+        assert!(matches!(
+            catalog.open("nope"),
+            Err(XtcError::UnknownDoc(n)) if n == "nope"
+        ));
+        assert!(matches!(
+            catalog.create_doc(DocSpec::named("a")),
+            Err(XtcError::DocExists(n)) if n == "a"
+        ));
+        catalog.drop_doc("a").unwrap();
+        assert!(catalog.open("a").is_err());
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn documents_are_isolated_engines() {
+        let catalog = two_doc_catalog(None, AdmissionPolicy::Reject);
+        let a = catalog.open("a").unwrap();
+        let b = catalog.open("b").unwrap();
+        // Distinct lock tables, distinct failpoint scopes, distinct
+        // virtual clocks: nothing but the gate is shared.
+        assert!(!Arc::ptr_eq(a.lock_table(), b.lock_table()));
+        assert_ne!(a.failpoint_scope(), b.failpoint_scope());
+
+        // A write in one document is invisible to the other.
+        let txn = a.begin();
+        let x = txn.element_by_id("n1").unwrap().unwrap();
+        txn.rename(&x, "renamed").unwrap();
+        txn.commit().unwrap();
+        let ta = a.begin();
+        let tb = b.begin();
+        let xa = ta.element_by_id("n1").unwrap().unwrap();
+        let xb = tb.element_by_id("n1").unwrap().unwrap();
+        assert_eq!(ta.name(&xa).unwrap(), Some("renamed".to_string()));
+        assert_eq!(tb.name(&xb).unwrap(), Some("x".to_string()));
+        ta.commit().unwrap();
+        tb.commit().unwrap();
+    }
+
+    #[test]
+    fn gate_throttles_across_documents() {
+        let catalog = two_doc_catalog(Some(2), AdmissionPolicy::Reject);
+        let a = catalog.open("a").unwrap();
+        let b = catalog.open("b").unwrap();
+        let t1 = a.try_begin().unwrap();
+        let t2 = b.try_begin().unwrap();
+        assert_eq!(catalog.admitted_in_flight(), 2);
+        // Both documents are at the shared limit, whichever one asks.
+        assert!(matches!(
+            a.try_begin(),
+            Err(XtcError::AdmissionRejected)
+        ));
+        assert!(matches!(
+            b.try_begin(),
+            Err(XtcError::AdmissionRejected)
+        ));
+        t1.commit().unwrap();
+        // The slot freed on document "a" is claimable from document "b".
+        let t3 = b.try_begin().unwrap();
+        t3.commit().unwrap();
+        t2.commit().unwrap();
+        assert_eq!(catalog.admitted_in_flight(), 0);
+    }
+
+    #[test]
+    fn pool_budget_is_partitioned_per_document() {
+        let catalog = Catalog::new(CatalogConfig {
+            pool_budget_pages: Some(64),
+            pool_partitions: 4,
+            ..CatalogConfig::default()
+        });
+        assert_eq!(catalog.per_doc_pool_pages(), Some(16));
+        let db = catalog.create_doc(DocSpec::named("a")).unwrap();
+        // The share really reaches the engine's storage layer: resident
+        // pages stay bounded by it even after loading a document larger
+        // than the partition.
+        let mut xml = String::from("<doc>");
+        for i in 0..2000 {
+            xml.push_str(&format!("<item id=\"i{i}\">payload {i}</item>"));
+        }
+        xml.push_str("</doc>");
+        db.load_xml(&xml).unwrap();
+        // pool_stats aggregates the three underlying trees (document,
+        // element index, ID index); each is budgeted at 16.
+        let stats = db.store().pool_stats();
+        assert!(
+            stats.resident <= 3 * 16,
+            "resident {} exceeds 3 trees x 16 pages",
+            stats.resident
+        );
+    }
+}

@@ -1,12 +1,13 @@
 //! The database handle: storage + lock table + protocol, and transaction
 //! creation.
 
+use crate::admission::AdmissionGate;
 use crate::error::XtcError;
 use crate::recovery;
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::txn::Transaction;
 use crate::view::StoreView;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -123,62 +124,16 @@ pub(crate) struct WalHandle {
 }
 
 impl WalHandle {
-    fn open(config: WalConfig, obs: xtc_obs::Obs) -> Result<Self, XtcError> {
+    fn open(
+        config: WalConfig,
+        obs: xtc_obs::Obs,
+        scope: xtc_failpoint::ScopeId,
+    ) -> Result<Self, XtcError> {
         Ok(WalHandle {
-            wal: Arc::new(Wal::open_with_obs(config, obs)?),
+            wal: Arc::new(Wal::open_scoped(config, obs, scope)?),
             log_mutex: Mutex::new(()),
             active: Mutex::new(HashSet::new()),
         })
-    }
-}
-
-/// Bounded-concurrency gate in front of [`XtcDb::try_begin`]: a counted
-/// semaphore (mutex + condvar) so overload sheds at the door instead of
-/// as lock-table thrashing.
-struct AdmissionGate {
-    limit: usize,
-    policy: AdmissionPolicy,
-    in_flight: Mutex<usize>,
-    available: Condvar,
-}
-
-impl AdmissionGate {
-    fn new(limit: usize, policy: AdmissionPolicy) -> Self {
-        AdmissionGate {
-            // A zero limit would admit nothing, ever; clamp to one.
-            limit: limit.max(1),
-            policy,
-            in_flight: Mutex::new(0),
-            available: Condvar::new(),
-        }
-    }
-
-    /// Claims a slot, per policy. `timeout` bounds a `Queue` wait.
-    fn admit(&self, timeout: Duration) -> Result<(), XtcError> {
-        let mut n = self.in_flight.lock();
-        if *n < self.limit {
-            *n += 1;
-            return Ok(());
-        }
-        if self.policy == AdmissionPolicy::Reject {
-            return Err(XtcError::AdmissionRejected);
-        }
-        let deadline = Instant::now() + timeout;
-        while *n >= self.limit {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(XtcError::AdmissionRejected);
-            }
-            self.available.wait_for(&mut n, deadline - now);
-        }
-        *n += 1;
-        Ok(())
-    }
-
-    fn release(&self) {
-        let mut n = self.in_flight.lock();
-        *n = n.saturating_sub(1);
-        self.available.notify_one();
     }
 }
 
@@ -195,9 +150,13 @@ pub struct XtcDb {
     escalated_depth: u32,
     lock_timeout: Duration,
     txn_deadline: Option<Duration>,
-    gate: Option<AdmissionGate>,
+    gate: Option<Arc<AdmissionGate>>,
     wal: Option<WalHandle>,
     obs: xtc_obs::Obs,
+    /// This engine's failpoint scope: every fault site in the engine's
+    /// stack (lock table, storage, WAL, commit, recovery) evaluates in
+    /// it, so chaos can target one document of a catalog.
+    failpoint_scope: xtc_failpoint::ScopeId,
 }
 
 impl XtcDb {
@@ -211,6 +170,21 @@ impl XtcDb {
 
     /// Opens an empty database; fails on unknown protocol names.
     pub fn try_new(config: XtcConfig) -> Result<Self, XtcError> {
+        let gate = config
+            .max_in_flight
+            .map(|limit| Arc::new(AdmissionGate::new(limit, config.admission)));
+        Self::try_new_gated(config, gate)
+    }
+
+    /// Opens an empty database admitting transactions through the given
+    /// shared gate (a catalog-wide throttle: hand clones of one
+    /// `Arc<AdmissionGate>` to several engines). `None` disables
+    /// admission control; `XtcConfig::max_in_flight` is ignored in
+    /// favor of the explicit gate.
+    pub fn try_new_gated(
+        config: XtcConfig,
+        gate: Option<Arc<AdmissionGate>>,
+    ) -> Result<Self, XtcError> {
         let handle = xtc_protocols::build(&config.protocol)
             .ok_or_else(|| XtcError::UnknownProtocol(config.protocol.clone()))?;
         // One observability handle for the whole engine: the storage
@@ -218,11 +192,16 @@ impl XtcDb {
         // charge the same virtual clock and (when configured) the same
         // trace, so per-run accounting is consistent across layers.
         let obs = xtc_obs::Obs::with_config(config.obs.as_ref());
+        // One failpoint scope per engine, for the same reason: chaos
+        // arming this engine's scope faults this document only. Sites
+        // armed in the GLOBAL scope keep firing everywhere.
+        let failpoint_scope = xtc_failpoint::next_scope();
         let mut store_config = config.store.clone();
         store_config.obs = obs.clone();
+        store_config.failpoint_scope = failpoint_scope;
         let store = Arc::new(DocStore::new(store_config));
         let wal = match config.wal.clone() {
-            Some(wal_config) => Some(WalHandle::open(wal_config, obs.clone())?),
+            Some(wal_config) => Some(WalHandle::open(wal_config, obs.clone(), failpoint_scope)?),
             None => None,
         };
         let registry = Arc::new(TxnRegistry::new());
@@ -234,7 +213,8 @@ impl XtcDb {
             )
             .with_victim_policy(config.victim_policy)
             .with_lock_cache(config.lock_cache)
-            .with_obs(obs.clone()),
+            .with_obs(obs.clone())
+            .with_failpoint_scope(failpoint_scope),
         );
         Ok(XtcDb {
             view: Arc::new(StoreView(store.clone())),
@@ -248,11 +228,10 @@ impl XtcDb {
             escalated_depth: config.escalated_depth,
             lock_timeout: config.lock_timeout,
             txn_deadline: config.txn_deadline,
-            gate: config
-                .max_in_flight
-                .map(|limit| AdmissionGate::new(limit, config.admission)),
+            gate,
             wal,
             obs,
+            failpoint_scope,
         })
     }
 
@@ -372,9 +351,23 @@ impl XtcDb {
     }
 
     /// Transactions currently holding an admission slot (0 without a
-    /// gate) — diagnostics for overload experiments.
+    /// gate) — diagnostics for overload experiments. With a shared gate
+    /// this counts admissions across every engine on the gate.
     pub fn admitted_in_flight(&self) -> usize {
-        self.gate.as_ref().map(|g| *g.in_flight.lock()).unwrap_or(0)
+        self.gate.as_ref().map(|g| g.in_flight()).unwrap_or(0)
+    }
+
+    /// The admission gate, when one is configured — shareable with other
+    /// engines via [`XtcDb::try_new_gated`].
+    pub fn admission_gate(&self) -> Option<&Arc<AdmissionGate>> {
+        self.gate.as_ref()
+    }
+
+    /// This engine's failpoint scope: arm sites here
+    /// (`xtc_failpoint::configure_in`) to fault this document without
+    /// touching other engines in the process.
+    pub fn failpoint_scope(&self) -> xtc_failpoint::ScopeId {
+        self.failpoint_scope
     }
 
     /// The per-transaction virtual-time deadline budget, when configured.

@@ -46,6 +46,12 @@ pub enum XtcError {
     /// injected or encountered, and the store can no longer be trusted.
     /// Not retryable on the same database — recover or discard it.
     Poisoned,
+    /// Initial document content failed to parse (catalog bulk load).
+    Xml(String),
+    /// The catalog has no document under the requested name.
+    UnknownDoc(String),
+    /// The catalog already hosts a document under the requested name.
+    DocExists(String),
 }
 
 impl XtcError {
@@ -99,6 +105,11 @@ impl fmt::Display for XtcError {
             }
             XtcError::Poisoned => {
                 write!(f, "engine poisoned by a permanent storage I/O failure")
+            }
+            XtcError::Xml(e) => write!(f, "xml parse error: {e}"),
+            XtcError::UnknownDoc(name) => write!(f, "no document named {name:?} in the catalog"),
+            XtcError::DocExists(name) => {
+                write!(f, "a document named {name:?} already exists in the catalog")
             }
         }
     }

@@ -31,6 +31,8 @@
 
 #![warn(missing_docs)]
 
+mod admission;
+mod catalog;
 mod db;
 mod error;
 pub mod recovery;
@@ -38,6 +40,8 @@ mod retry;
 mod txn;
 mod view;
 
+pub use admission::AdmissionGate;
+pub use catalog::{Catalog, CatalogConfig, DocSpec};
 pub use db::{AdmissionPolicy, XtcConfig, XtcDb};
 pub use error::XtcError;
 pub use recovery::{recover_from, RecoveryReport};
@@ -46,7 +50,7 @@ pub use txn::Transaction;
 pub use view::StoreView;
 
 pub use xtc_lock::{EdgeKind, IsolationLevel, LockError, VictimPolicy};
-pub use xtc_node::{InsertPos, NodeData, NodeKind};
+pub use xtc_node::{DocStoreConfig, InsertPos, NodeData, NodeKind};
 pub use xtc_splid::SplId;
 /// Re-export of the WAL crate so downstream users (benches, chaos tests)
 /// can configure durability without a direct `xtc-wal` dependency.

@@ -137,6 +137,20 @@ pub fn replay(
     records: &[WalRecord],
     torn_tail: bool,
 ) -> Result<RecoveryReport, XtcError> {
+    replay_scoped(db, records, torn_tail, db.failpoint_scope())
+}
+
+/// [`replay`], with the recovery failpoint sites evaluated in an
+/// explicit engine scope — [`recover_from`] passes the *crashed* log's
+/// scope, so a catalog chaos harness that armed one document's scope can
+/// kill that document's recovery without touching its neighbors (the
+/// freshly built destination engine has a scope nobody has armed yet).
+pub fn replay_scoped(
+    db: &XtcDb,
+    records: &[WalRecord],
+    torn_tail: bool,
+    scope: xtc_failpoint::ScopeId,
+) -> Result<RecoveryReport, XtcError> {
     let store = db.store();
     let mut report = RecoveryReport {
         scanned: records.len(),
@@ -144,7 +158,7 @@ pub fn replay(
         ..RecoveryReport::default()
     };
 
-    match xtc_failpoint::eval("recovery.analysis") {
+    match xtc_failpoint::eval_in(scope, "recovery.analysis") {
         Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
         Some(xtc_failpoint::FailAction::Error) => return Err(XtcError::Injected),
         None => {}
@@ -200,7 +214,7 @@ pub fn replay(
     };
     for rec in &records[redo_from..] {
         if let RecordBody::PageRedo { op, .. } = &rec.body {
-            match xtc_failpoint::eval("recovery.redo") {
+            match xtc_failpoint::eval_in(scope, "recovery.redo") {
                 Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
                 Some(xtc_failpoint::FailAction::Error) => return Err(XtcError::Injected),
                 None => {}
@@ -242,7 +256,7 @@ pub fn recover_from(wal: &Wal, config: XtcConfig) -> Result<(XtcDb, RecoveryRepo
     let started = std::time::Instant::now();
     let (records, tail_err) = wal.read_records()?;
     let db = XtcDb::try_new(config)?;
-    let report = replay(&db, &records, tail_err.is_some())?;
+    let report = replay_scoped(&db, &records, tail_err.is_some(), wal.scope())?;
     if db.wal().is_some() {
         db.checkpoint()?;
     }

@@ -768,7 +768,7 @@ impl<'db> Transaction<'db> {
         // document as if the transaction never ran, so it rolls back
         // through the ordinary abort path (undo replay under the still
         // held long locks).
-        match xtc_failpoint::eval("txn.commit") {
+        match xtc_failpoint::eval_in(self.db.failpoint_scope(), "txn.commit") {
             Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
             Some(xtc_failpoint::FailAction::Error) => {
                 self.abort_inner();
@@ -781,7 +781,7 @@ impl<'db> Transaction<'db> {
                 // Chaos-test hook: kill the engine at the commit point,
                 // *before* the Commit record exists — a deterministic
                 // loser for the recovery matrix.
-                match xtc_failpoint::eval("wal.commit") {
+                match xtc_failpoint::eval_in(self.db.failpoint_scope(), "wal.commit") {
                     Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
                     Some(xtc_failpoint::FailAction::Error) => {
                         handle.wal.crash();

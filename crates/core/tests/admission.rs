@@ -1,0 +1,150 @@
+//! Admission-gate contracts under the ways transactions actually end:
+//! commit, abort, and — the one that used to be easy to get wrong —
+//! being dropped without either. A dropped admitted transaction must
+//! release its slot *and* its locks through its `Drop` impl, or the
+//! gate leaks capacity until the process dies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_core::{AdmissionPolicy, RetryPolicy, XtcConfig, XtcDb, XtcError};
+
+fn gated_db(limit: usize, policy: AdmissionPolicy) -> XtcDb {
+    let db = XtcDb::new(XtcConfig {
+        lock_timeout: Duration::from_millis(200),
+        max_in_flight: Some(limit),
+        admission: policy,
+        ..XtcConfig::default()
+    });
+    db.load_xml("<doc><x id=\"n1\">v</x></doc>").unwrap();
+    db
+}
+
+/// Regression: dropping an admitted transaction (no commit, no abort)
+/// must return its slot and release its locks. Loop well past the gate
+/// limit — a leak of either would wedge the loop within `limit` rounds.
+#[test]
+fn dropped_admitted_transactions_release_slots_and_locks() {
+    let db = gated_db(2, AdmissionPolicy::Reject);
+    for round in 0..50 {
+        let txn = db.try_begin().unwrap_or_else(|e| {
+            panic!("round {round}: admission slot leaked by a dropped txn: {e}")
+        });
+        // Take real write locks before abandoning the transaction.
+        let x = txn.element_by_id("n1").unwrap().unwrap();
+        txn.rename(&x, "dropped").unwrap();
+        drop(txn);
+        assert_eq!(db.admitted_in_flight(), 0, "round {round}: slot not returned");
+    }
+    // The dropped writers' locks are gone too: a fresh writer gets the
+    // node immediately (lock_timeout would trip otherwise), and sees the
+    // pre-drop name — drops roll back.
+    let txn = db.try_begin().unwrap();
+    let x = txn.element_by_id("n1").unwrap().unwrap();
+    assert_eq!(txn.name(&x).unwrap(), Some("x".to_string()));
+    txn.rename(&x, "committed").unwrap();
+    txn.commit().unwrap();
+    assert_eq!(db.admitted_in_flight(), 0);
+}
+
+/// `AdmissionRejected` is retryable, so `run_retrying` absorbs a full
+/// gate the same way it absorbs deadlock victims: back off, try again.
+#[test]
+fn run_retrying_rides_out_admission_rejection() {
+    let db = Arc::new(gated_db(1, AdmissionPolicy::Reject));
+    let holder = db.try_begin().unwrap();
+    let worker = {
+        let db = db.clone();
+        std::thread::spawn(move || {
+            let policy = RetryPolicy {
+                max_attempts: 100,
+                base: Duration::from_millis(2),
+                ..RetryPolicy::default()
+            };
+            db.run_retrying(&policy, |txn| {
+                let x = txn.element_by_id("n1")?.unwrap();
+                txn.rename(&x, "after-overload")
+            })
+        })
+    };
+    // Hold the only slot long enough that the worker must get rejected
+    // at least once, then free it.
+    std::thread::sleep(Duration::from_millis(30));
+    holder.commit().unwrap();
+    let (result, stats) = worker.join().unwrap();
+    result.expect("retry loop should succeed once the gate drains");
+    assert!(stats.attempts > 1, "worker never hit the full gate");
+    // Gate rejections classify as "other retryable" aborts.
+    assert!(stats.other_retryable_aborts > 0);
+    assert_eq!(db.admitted_in_flight(), 0);
+}
+
+/// Concurrent stress on the gate, both policies: threads hammer
+/// `try_begin` and finish their transactions by commit, abort, or drop,
+/// interleaved. The gate must end at zero (no slot leaks), never exceed
+/// its limit (counted at admission), and — for `Queue` — never strand a
+/// waiter while a slot is free (every thread finishes its quota).
+#[test]
+fn concurrent_commits_aborts_and_drops_leak_nothing() {
+    for policy in [AdmissionPolicy::Queue, AdmissionPolicy::Reject] {
+        const LIMIT: usize = 4;
+        const THREADS: usize = 12;
+        const PER_THREAD: usize = 40;
+        let db = Arc::new(gated_db(LIMIT, policy));
+        let over_limit = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let db = db.clone();
+                let over_limit = over_limit.clone();
+                std::thread::spawn(move || {
+                    let mut done = 0usize;
+                    let mut rejected = 0usize;
+                    while done < PER_THREAD {
+                        let txn = match db.try_begin() {
+                            Ok(txn) => txn,
+                            Err(XtcError::AdmissionRejected) => {
+                                rejected += 1;
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        };
+                        if db.admitted_in_flight() > LIMIT {
+                            over_limit.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Touch the document so drops abandon real state.
+                        let x = txn.element_by_id("n1").unwrap().unwrap();
+                        match (t + done) % 3 {
+                            0 => {
+                                let _ = txn.rename(&x, "w");
+                                let _ = txn.commit();
+                            }
+                            1 => txn.abort(),
+                            _ => drop(txn),
+                        }
+                        done += 1;
+                    }
+                    rejected
+                })
+            })
+            .collect();
+        let mut rejections = 0usize;
+        for h in handles {
+            rejections += h.join().expect("stress thread panicked");
+        }
+        assert_eq!(
+            db.admitted_in_flight(),
+            0,
+            "{policy:?}: slots leaked under concurrent commit/abort/drop"
+        );
+        assert_eq!(over_limit.load(Ordering::Relaxed), 0, "{policy:?}: limit exceeded");
+        if policy == AdmissionPolicy::Reject {
+            // 12 threads over 4 slots: the Reject gate must actually
+            // have shed load at least once, or the stress proved nothing.
+            assert!(rejections > 0, "Reject policy never rejected");
+        }
+        // The drained gate still works.
+        let txn = db.try_begin().unwrap();
+        txn.commit().unwrap();
+    }
+}

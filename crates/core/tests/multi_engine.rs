@@ -1,0 +1,105 @@
+//! Two engines in one process must be fully isolated: each has its own
+//! failpoint scope, so chaos armed against one document of a
+//! [`Catalog`] faults that document only — including its *recovery*,
+//! which evaluates in the crashed log's scope rather than the fresh
+//! destination engine's. Only compiled with the `failpoints` feature
+//! (`cargo test -p xtc-core --features failpoints --test multi_engine`).
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+use xtc_core::wal::WalConfig;
+use xtc_core::{recover_from, Catalog, CatalogConfig, DocSpec, XtcConfig, XtcDb, XtcError};
+use xtc_failpoint::FailAction;
+
+/// The failpoint registry is process-global; tests arming it must not
+/// overlap (`cargo test` runs `#[test]` functions on multiple threads).
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+fn wal_config() -> XtcConfig {
+    XtcConfig {
+        lock_timeout: Duration::from_secs(5),
+        wal: Some(WalConfig::default()),
+        ..XtcConfig::default()
+    }
+}
+
+#[test]
+fn scoped_fault_is_invisible_to_the_neighbor_document() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    xtc_failpoint::clear();
+
+    let catalog = Catalog::new(CatalogConfig::default());
+    let a = catalog
+        .create_doc(DocSpec::named("a").with_xml("<doc><x id=\"n1\">v</x></doc>"))
+        .unwrap();
+    let b = catalog
+        .create_doc(DocSpec::named("b").with_xml("<doc><x id=\"n1\">v</x></doc>"))
+        .unwrap();
+
+    // Arm the commit kill in document a's scope only.
+    xtc_failpoint::configure_in(
+        a.failpoint_scope(),
+        "txn.commit",
+        1.0,
+        FailAction::Error,
+        None,
+    );
+    assert!(matches!(a.begin().commit(), Err(XtcError::Injected)));
+    b.begin().commit().expect("neighbor engine must be unaffected");
+
+    // The same site armed in the GLOBAL scope reaches both engines —
+    // the pre-catalog behaviour, still available to whole-process chaos.
+    xtc_failpoint::clear();
+    xtc_failpoint::configure("txn.commit", 1.0, FailAction::Error, None);
+    assert!(matches!(a.begin().commit(), Err(XtcError::Injected)));
+    assert!(matches!(b.begin().commit(), Err(XtcError::Injected)));
+    xtc_failpoint::clear();
+}
+
+#[test]
+fn scoped_recovery_fault_kills_only_that_documents_recovery() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    xtc_failpoint::clear();
+
+    // Two WAL-backed engines with some durable work each.
+    let mut wals = Vec::new();
+    let mut scopes = Vec::new();
+    for _ in 0..2 {
+        let db = XtcDb::new(wal_config());
+        db.load_xml("<doc><x id=\"n1\">v</x></doc>").unwrap();
+        let txn = db.begin();
+        let x = txn.element_by_id("n1").unwrap().unwrap();
+        txn.rename(&x, "renamed").unwrap();
+        txn.commit().unwrap();
+        let wal = db.wal().unwrap().clone();
+        wal.crash();
+        scopes.push(db.failpoint_scope());
+        wals.push(wal);
+    }
+
+    // Arm the recovery kill against document a (the crashed log's
+    // scope). The destination engine recover_from builds is brand new —
+    // nobody armed *its* scope — so the site must evaluate in the
+    // source scope for the kill to land at all.
+    xtc_failpoint::configure_in(scopes[0], "recovery.analysis", 1.0, FailAction::Error, None);
+    assert!(matches!(
+        recover_from(&wals[0], XtcConfig::default()),
+        Err(XtcError::Injected)
+    ));
+    // Document b's recovery is untouched by a's chaos.
+    let (db_b, report_b) = recover_from(&wals[1], XtcConfig::default()).unwrap();
+    assert_eq!(report_b.winners.len(), 1);
+    let txn = db_b.begin();
+    let x = txn.element_by_id("n1").unwrap().unwrap();
+    assert_eq!(txn.name(&x).unwrap(), Some("renamed".to_string()));
+    txn.commit().unwrap();
+
+    // Disarm a's scope: the same log now recovers cleanly (a killed
+    // recovery never writes to its source).
+    xtc_failpoint::clear_scope(scopes[0]);
+    let (_db_a, report_a) = recover_from(&wals[0], XtcConfig::default()).unwrap();
+    assert_eq!(report_a.winners.len(), 1);
+    xtc_failpoint::clear();
+}

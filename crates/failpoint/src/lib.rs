@@ -8,11 +8,25 @@
 //! [`configure`] (probability, action, optional hit budget) under a
 //! global seed set by [`set_seed`].
 //!
-//! Determinism: every site draws from its own [SplitMix64] stream seeded
-//! from the global seed mixed with the site name, so a given
-//! `(seed, call sequence)` always injects the same faults. A `max_hits`
-//! budget makes faults "dry up", which chaos tests use to guarantee that
-//! retried transactions eventually succeed.
+//! ## Engine scopes
+//!
+//! The registry is process-wide, but a catalog hosts many engines in one
+//! process — arming `wal.fsync` globally would kill *every* document's
+//! WAL. Each engine therefore allocates a [`ScopeId`] with
+//! [`next_scope`] and evaluates its sites with [`eval_in`]; chaos
+//! harnesses arm one document with [`configure_in`] and its neighbors
+//! never see the fault. The unscoped API stays source-compatible:
+//! [`configure`] arms the [`GLOBAL`] scope, which every engine's
+//! [`eval_in`] falls back to, so single-engine tests behave exactly as
+//! before. When both a scoped and a global entry exist for a site, the
+//! scoped one wins (most specific first).
+//!
+//! Determinism: every `(scope, site)` pair draws from its own
+//! [SplitMix64] stream seeded from the global seed mixed with the site
+//! name and scope id, so a given `(seed, call sequence)` always injects
+//! the same faults. A `max_hits` budget makes faults "dry up", which
+//! chaos tests use to guarantee that retried transactions eventually
+//! succeed.
 //!
 //! **Zero cost by default**: without the `enabled` cargo feature, [`eval`]
 //! is an inlined `None` and the whole registry is compiled out. Nothing
@@ -22,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// What an armed failpoint does when it fires.
@@ -33,9 +48,26 @@ pub enum FailAction {
     Error,
 }
 
+/// Identity of one engine's failpoint namespace. Allocated with
+/// [`next_scope`]; the zero scope is [`GLOBAL`].
+pub type ScopeId = u64;
+
+/// The process-wide scope: sites armed here fire in every engine (the
+/// pre-catalog behavior, and what the unscoped API uses).
+pub const GLOBAL: ScopeId = 0;
+
+static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh engine scope. Always available (scope ids are
+/// plumbed through engine construction whether or not faults are
+/// compiled in); never returns [`GLOBAL`].
+pub fn next_scope() -> ScopeId {
+    NEXT_SCOPE.fetch_add(1, Ordering::Relaxed)
+}
+
 #[cfg(feature = "enabled")]
 mod imp {
-    use super::FailAction;
+    use super::{FailAction, ScopeId, GLOBAL};
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
@@ -49,14 +81,16 @@ mod imp {
         z ^ (z >> 31)
     }
 
-    fn mix_site(seed: u64, site: &str) -> u64 {
-        // FNV-1a over the site name, folded into the global seed.
+    fn mix_site(seed: u64, site: &str, scope: ScopeId) -> u64 {
+        // FNV-1a over the site name, folded into the global seed; the
+        // scope folds in last so the GLOBAL scope (0) reproduces the
+        // historical stream byte-for-byte.
         let mut h = 0xCBF2_9CE4_8422_2325u64;
         for b in site.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        seed ^ h
+        (seed ^ h) ^ scope.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     struct Site {
@@ -71,7 +105,10 @@ mod imp {
 
     struct Registry {
         seed: u64,
-        sites: HashMap<String, Site>,
+        /// Scope → site name → armed state. The GLOBAL scope is the
+        /// fallback every scoped eval consults when it has no entry of
+        /// its own.
+        scopes: HashMap<ScopeId, HashMap<String, Site>>,
     }
 
     static SEED: AtomicU64 = AtomicU64::new(0);
@@ -81,7 +118,7 @@ mod imp {
         REG.get_or_init(|| {
             Mutex::new(Registry {
                 seed: 0,
-                sites: HashMap::new(),
+                scopes: HashMap::new(),
             })
         })
     }
@@ -114,15 +151,23 @@ mod imp {
         let mut reg = lock_registry();
         reg.seed = seed;
         // Re-derive the stream of every already-armed site.
-        for (name, site) in reg.sites.iter_mut() {
-            site.rng = mix_site(seed, name);
+        for (&scope, sites) in reg.scopes.iter_mut() {
+            for (name, site) in sites.iter_mut() {
+                site.rng = mix_site(seed, name, scope);
+            }
         }
     }
 
-    pub fn configure(site: &str, probability: f64, action: FailAction, max_hits: Option<u64>) {
+    pub fn configure_in(
+        scope: ScopeId,
+        site: &str,
+        probability: f64,
+        action: FailAction,
+        max_hits: Option<u64>,
+    ) {
         let mut reg = lock_registry();
-        let rng = mix_site(reg.seed, site);
-        reg.sites.insert(
+        let rng = mix_site(reg.seed, site, scope);
+        reg.scopes.entry(scope).or_default().insert(
             site.to_string(),
             Site {
                 probability: probability.clamp(0.0, 1.0),
@@ -135,16 +180,31 @@ mod imp {
     }
 
     pub fn clear() {
-        lock_registry().sites.clear();
+        lock_registry().scopes.clear();
     }
 
-    pub fn hits(site: &str) -> u64 {
-        lock_registry().sites.get(site).map(|s| s.hits).unwrap_or(0)
+    pub fn clear_scope(scope: ScopeId) {
+        lock_registry().scopes.remove(&scope);
     }
 
-    pub fn eval(site: &str) -> Option<FailAction> {
+    pub fn hits_in(scope: ScopeId, site: &str) -> u64 {
+        lock_registry()
+            .scopes
+            .get(&scope)
+            .and_then(|sites| sites.get(site))
+            .map(|s| s.hits)
+            .unwrap_or(0)
+    }
+
+    pub fn eval_in(scope: ScopeId, site: &str) -> Option<FailAction> {
         let mut reg = lock_registry();
-        let s = reg.sites.get_mut(site)?;
+        // Most specific first: the engine's own entry shadows a global
+        // one; with neither armed the site is silent.
+        let s = match reg.scopes.get_mut(&scope).and_then(|m| m.get_mut(site)) {
+            Some(s) => s,
+            None if scope != GLOBAL => reg.scopes.get_mut(&GLOBAL)?.get_mut(site)?,
+            None => return None,
+        };
         if s.remaining == Some(0) {
             return None;
         }
@@ -161,34 +221,62 @@ mod imp {
     }
 }
 
-/// Evaluates a failpoint site: `Some(action)` when an armed site fires.
+/// Evaluates a failpoint site in an engine scope: `Some(action)` when an
+/// armed site fires. A site armed in the engine's own scope shadows a
+/// [`GLOBAL`] entry; with neither armed the site is silent.
 ///
 /// Compiled to an inlined `None` without the `enabled` feature.
 #[cfg(feature = "enabled")]
-pub fn eval(site: &str) -> Option<FailAction> {
-    imp::eval(site)
+pub fn eval_in(scope: ScopeId, site: &str) -> Option<FailAction> {
+    imp::eval_in(scope, site)
 }
 
-/// Evaluates a failpoint site: `Some(action)` when an armed site fires.
+/// Evaluates a failpoint site in an engine scope: `Some(action)` when an
+/// armed site fires. A site armed in the engine's own scope shadows a
+/// [`GLOBAL`] entry; with neither armed the site is silent.
 ///
 /// Compiled to an inlined `None` without the `enabled` feature.
 #[cfg(not(feature = "enabled"))]
 #[inline(always)]
-pub fn eval(_site: &str) -> Option<FailAction> {
+pub fn eval_in(_scope: ScopeId, _site: &str) -> Option<FailAction> {
     None
 }
 
-/// Arms a site: with probability `probability` each [`eval`] returns
-/// `Some(action)`, at most `max_hits` times in total (`None` = no cap).
+/// Evaluates a failpoint site in the [`GLOBAL`] scope.
+///
+/// Compiled to an inlined `None` without the `enabled` feature.
+#[inline]
+pub fn eval(site: &str) -> Option<FailAction> {
+    eval_in(GLOBAL, site)
+}
+
+/// Arms a site in one engine's scope: with probability `probability`
+/// each [`eval_in`] from that scope returns `Some(action)`, at most
+/// `max_hits` times in total (`None` = no cap). Other engines are
+/// unaffected.
+///
+/// No-op without the `enabled` feature.
+pub fn configure_in(
+    scope: ScopeId,
+    site: &str,
+    probability: f64,
+    action: FailAction,
+    max_hits: Option<u64>,
+) {
+    #[cfg(feature = "enabled")]
+    imp::configure_in(scope, site, probability, action, max_hits);
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (scope, site, probability, action, max_hits);
+    }
+}
+
+/// Arms a site in the [`GLOBAL`] scope: it fires in *every* engine
+/// (the single-engine behavior this API has always had).
 ///
 /// No-op without the `enabled` feature.
 pub fn configure(site: &str, probability: f64, action: FailAction, max_hits: Option<u64>) {
-    #[cfg(feature = "enabled")]
-    imp::configure(site, probability, action, max_hits);
-    #[cfg(not(feature = "enabled"))]
-    {
-        let _ = (site, probability, action, max_hits);
-    }
+    configure_in(GLOBAL, site, probability, action, max_hits);
 }
 
 /// Sets the global seed and re-derives every armed site's random stream.
@@ -201,7 +289,7 @@ pub fn set_seed(seed: u64) {
     let _ = seed;
 }
 
-/// Disarms all sites.
+/// Disarms all sites in every scope.
 ///
 /// No-op without the `enabled` feature.
 pub fn clear() {
@@ -209,16 +297,34 @@ pub fn clear() {
     imp::clear();
 }
 
-/// Number of times the site has fired since it was armed (0 when the
-/// feature is off or the site is unknown).
-pub fn hits(site: &str) -> u64 {
+/// Disarms all sites of one engine's scope, leaving every other scope
+/// (including [`GLOBAL`]) armed.
+///
+/// No-op without the `enabled` feature.
+pub fn clear_scope(scope: ScopeId) {
     #[cfg(feature = "enabled")]
-    return imp::hits(site);
+    imp::clear_scope(scope);
+    #[cfg(not(feature = "enabled"))]
+    let _ = scope;
+}
+
+/// Number of times the site has fired in one engine's scope (0 when the
+/// feature is off or the site is unknown). Evals that fell back to the
+/// [`GLOBAL`] entry count against [`GLOBAL`], not the falling-back scope.
+pub fn hits_in(scope: ScopeId, site: &str) -> u64 {
+    #[cfg(feature = "enabled")]
+    return imp::hits_in(scope, site);
     #[cfg(not(feature = "enabled"))]
     {
-        let _ = site;
+        let _ = (scope, site);
         0
     }
+}
+
+/// Number of times the site has fired in the [`GLOBAL`] scope since it
+/// was armed (0 when the feature is off or the site is unknown).
+pub fn hits(site: &str) -> u64 {
+    hits_in(GLOBAL, site)
 }
 
 /// Outcome of an I/O-fault evaluation ([`eval_io`]) at a site modelling
@@ -241,9 +347,10 @@ pub enum IoFault {
     Permanent,
 }
 
-/// Evaluates an I/O failpoint with a transient-retry budget.
+/// Evaluates an I/O failpoint with a transient-retry budget, in one
+/// engine's scope.
 ///
-/// The site is [`eval`]uated up to `attempts` times. Each firing
+/// The site is [`eval_in`]uated up to `attempts` times. Each firing
 /// [`FailAction::Error`] models one failed device operation; between
 /// failed attempts the caller's thread backs off `base << attempt`
 /// (deterministic, so a seeded storm reproduces byte-for-byte). A firing
@@ -253,10 +360,10 @@ pub enum IoFault {
 /// up; unlimited sites at probability 1.0 model a dead device.
 ///
 /// Compiled to an inlined [`IoFault::Ok`] without the `enabled` feature.
-pub fn eval_io(site: &str, attempts: u32, base: Duration) -> IoFault {
+pub fn eval_io_in(scope: ScopeId, site: &str, attempts: u32, base: Duration) -> IoFault {
     let mut faults = 0u32;
     loop {
-        match eval(site) {
+        match eval_in(scope, site) {
             None => {
                 return if faults == 0 {
                     IoFault::Ok
@@ -282,12 +389,19 @@ pub fn eval_io(site: &str, attempts: u32, base: Duration) -> IoFault {
     }
 }
 
-/// Convenience for delay-only sites: sleeps if the site fires with
-/// [`FailAction::Delay`]; returns `true` if the site fired with
-/// [`FailAction::Error`] (callers that have no error path may treat it
-/// as a no-op).
-pub fn fire_delay(site: &str) -> bool {
-    match eval(site) {
+/// Evaluates an I/O failpoint with a transient-retry budget in the
+/// [`GLOBAL`] scope (see [`eval_io_in`]).
+#[inline]
+pub fn eval_io(site: &str, attempts: u32, base: Duration) -> IoFault {
+    eval_io_in(GLOBAL, site, attempts, base)
+}
+
+/// Convenience for delay-only sites, in one engine's scope: sleeps if
+/// the site fires with [`FailAction::Delay`]; returns `true` if the site
+/// fired with [`FailAction::Error`] (callers that have no error path may
+/// treat it as a no-op).
+pub fn fire_delay_in(scope: ScopeId, site: &str) -> bool {
+    match eval_in(scope, site) {
         Some(FailAction::Delay(d)) => {
             std::thread::sleep(d);
             false
@@ -295,6 +409,13 @@ pub fn fire_delay(site: &str) -> bool {
         Some(FailAction::Error) => true,
         None => false,
     }
+}
+
+/// Convenience for delay-only sites in the [`GLOBAL`] scope (see
+/// [`fire_delay_in`]).
+#[inline]
+pub fn fire_delay(site: &str) -> bool {
+    fire_delay_in(GLOBAL, site)
 }
 
 #[cfg(all(test, feature = "enabled"))]
@@ -335,6 +456,70 @@ mod tests {
     #[test]
     fn unarmed_site_never_fires() {
         assert_eq!(eval("t.nothing"), None);
+    }
+
+    #[test]
+    fn scoped_arming_is_invisible_to_other_scopes() {
+        let _g = TEST_LOCK.lock().unwrap();
+        clear();
+        set_seed(5);
+        let a = next_scope();
+        let b = next_scope();
+        configure_in(a, "t.scoped", 1.0, FailAction::Error, None);
+        // Engine a sees its fault; engine b and the global scope do not.
+        assert_eq!(eval_in(a, "t.scoped"), Some(FailAction::Error));
+        assert_eq!(eval_in(b, "t.scoped"), None);
+        assert_eq!(eval("t.scoped"), None);
+        assert_eq!(hits_in(a, "t.scoped"), 1);
+        assert_eq!(hits_in(b, "t.scoped"), 0);
+        clear();
+    }
+
+    #[test]
+    fn global_arming_reaches_every_scope() {
+        let _g = TEST_LOCK.lock().unwrap();
+        clear();
+        set_seed(5);
+        let a = next_scope();
+        let b = next_scope();
+        configure("t.everywhere", 1.0, FailAction::Error, Some(3));
+        assert_eq!(eval_in(a, "t.everywhere"), Some(FailAction::Error));
+        assert_eq!(eval_in(b, "t.everywhere"), Some(FailAction::Error));
+        assert_eq!(eval("t.everywhere"), Some(FailAction::Error));
+        // All three draws consumed the single global entry's budget.
+        assert_eq!(hits("t.everywhere"), 3);
+        assert_eq!(eval_in(a, "t.everywhere"), None);
+        clear();
+    }
+
+    #[test]
+    fn scoped_entry_shadows_global() {
+        let _g = TEST_LOCK.lock().unwrap();
+        clear();
+        set_seed(5);
+        let a = next_scope();
+        configure("t.shadow", 1.0, FailAction::Error, None);
+        configure_in(a, "t.shadow", 0.0, FailAction::Error, None);
+        // a's own (never-firing) entry wins over the always-firing
+        // global one; other scopes still hit the global entry.
+        assert_eq!(eval_in(a, "t.shadow"), None);
+        assert_eq!(eval_in(next_scope(), "t.shadow"), Some(FailAction::Error));
+        clear();
+    }
+
+    #[test]
+    fn clear_scope_leaves_neighbors_armed() {
+        let _g = TEST_LOCK.lock().unwrap();
+        clear();
+        set_seed(5);
+        let a = next_scope();
+        let b = next_scope();
+        configure_in(a, "t.half", 1.0, FailAction::Error, None);
+        configure_in(b, "t.half", 1.0, FailAction::Error, None);
+        clear_scope(a);
+        assert_eq!(eval_in(a, "t.half"), None);
+        assert_eq!(eval_in(b, "t.half"), Some(FailAction::Error));
+        clear();
     }
 
     #[test]

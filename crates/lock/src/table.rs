@@ -235,6 +235,10 @@ pub struct LockTable {
     /// Observability handle: lock waits charge their measured duration to
     /// its virtual clock; lock events trace through it when tracing.
     obs: Obs,
+    /// Failpoint scope of the owning engine: the `lock.acquire` fault
+    /// site evaluates in it so chaos can fault one document's lock
+    /// manager without touching its catalog neighbors.
+    failpoint_scope: xtc_failpoint::ScopeId,
 }
 
 /// Wait-slice granularity: bounds the latency of deadlock-victim wakeup
@@ -275,6 +279,7 @@ impl LockTable {
             cache_hits: AtomicU64::new(0),
             mode_requests,
             obs: Obs::default(),
+            failpoint_scope: xtc_failpoint::GLOBAL,
         }
     }
 
@@ -290,6 +295,13 @@ impl LockTable {
     /// The observability handle this table reports into.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Sets the engine failpoint scope the `lock.acquire` site evaluates
+    /// in (builder style; default [`xtc_failpoint::GLOBAL`]).
+    pub fn with_failpoint_scope(mut self, scope: xtc_failpoint::ScopeId) -> Self {
+        self.failpoint_scope = scope;
+        self
     }
 
     /// Sets the deadlock victim policy (builder style; default
@@ -431,7 +443,7 @@ impl LockTable {
         annex_done: bool,
     ) -> Result<Acquired, LockError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        match xtc_failpoint::eval("lock.acquire") {
+        match xtc_failpoint::eval_in(self.failpoint_scope, "lock.acquire") {
             Some(xtc_failpoint::FailAction::Delay(d)) => std::thread::sleep(d),
             Some(xtc_failpoint::FailAction::Error) => return Err(LockError::Injected),
             None => {}

@@ -23,6 +23,9 @@ pub struct DocStoreConfig {
     /// their simulated latency to its virtual clock; page events trace
     /// through it when tracing is enabled.
     pub obs: xtc_obs::Obs,
+    /// Failpoint scope shared with the engine: storage fault sites
+    /// evaluate in it so chaos can target one document of a catalog.
+    pub failpoint_scope: xtc_failpoint::ScopeId,
 }
 
 impl Default for DocStoreConfig {
@@ -33,6 +36,7 @@ impl Default for DocStoreConfig {
             read_latency: std::time::Duration::ZERO,
             max_resident_pages: None,
             obs: xtc_obs::Obs::default(),
+            failpoint_scope: xtc_failpoint::GLOBAL,
         }
     }
 }
@@ -136,7 +140,7 @@ pub struct DocStore {
 impl DocStore {
     /// Creates an empty document store.
     pub fn new(config: DocStoreConfig) -> Self {
-        let stats = StorageStats::with_obs(config.obs.clone());
+        let stats = StorageStats::with_obs_scoped(config.obs.clone(), config.failpoint_scope);
         let btcfg = BTreeConfig {
             page_size: config.page_size,
             read_latency: config.read_latency,

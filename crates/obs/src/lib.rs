@@ -37,18 +37,27 @@ use std::sync::Arc;
 use trace::TraceState;
 
 thread_local! {
-    /// Stack of transactions active on this thread; the top frame
-    /// accumulates per-transaction virtual time. Always on (deadline
-    /// budgets charge against it), independent of tracing.
+    /// Stack of transactions active on this thread; the innermost frame
+    /// *of the charging engine* accumulates per-transaction virtual
+    /// time. Always on (deadline budgets charge against it),
+    /// independent of tracing. Frames are tagged with the engine they
+    /// belong to so a server worker touching two documents never bleeds
+    /// cost attribution across engines.
     static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
 
     /// Virtual time of the most recently ended transaction on this
-    /// thread, for callers (the retry loop) that learn the outcome only
-    /// after the frame is gone.
-    static LAST_ENDED: RefCell<Option<(u64, VirtualTimes)>> = const { RefCell::new(None) };
+    /// thread, kept per engine, for callers (the retry loop) that learn
+    /// the outcome only after the frame is gone.
+    static LAST_ENDED: RefCell<Vec<(EngineId, u64, VirtualTimes)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Identity of one engine: the address of its shared virtual clock.
+/// All clones of an `Obs` handle share the clock `Arc`, so they agree
+/// on the id; two independently built engines never collide.
+type EngineId = usize;
+
 struct Frame {
+    engine: EngineId,
     txn: u64,
     vt: VirtualTimes,
 }
@@ -87,15 +96,25 @@ impl Obs {
         self.trace.is_some()
     }
 
+    /// This engine's identity: the address of the clock shared by every
+    /// clone of the handle. Frames on a thread are keyed by it so two
+    /// engines used from one thread keep separate attribution.
+    #[inline]
+    fn engine_id(&self) -> EngineId {
+        Arc::as_ptr(&self.clock) as EngineId
+    }
+
     /// Charges simulated microseconds to the run-wide clock and to the
-    /// current thread's active transaction frame (deadline budgets read
-    /// the frame); while tracing, also to the matching latency
-    /// histogram.
+    /// current thread's innermost transaction frame *of this engine*
+    /// (deadline budgets read the frame); while tracing, also to the
+    /// matching latency histogram. Frames of other engines interleaved
+    /// on the same thread are never charged.
     #[inline]
     pub fn charge(&self, kind: CostKind, micros: u64) {
         self.clock.charge(kind, micros);
+        let engine = self.engine_id();
         FRAMES.with_borrow_mut(|frames| {
-            if let Some(top) = frames.last_mut() {
+            if let Some(top) = frames.iter_mut().rev().find(|f| f.engine == engine) {
                 top.vt.add_us(kind, micros);
             }
         });
@@ -122,8 +141,10 @@ impl Obs {
     /// starts accumulating virtual time) and, while tracing, records its
     /// begin event.
     pub fn txn_begin(&self, txn: u64) {
+        let engine = self.engine_id();
         FRAMES.with_borrow_mut(|frames| {
             frames.push(Frame {
+                engine,
                 txn,
                 vt: VirtualTimes::default(),
             })
@@ -131,20 +152,24 @@ impl Obs {
         self.record_for(txn, EventKind::TxnBegin);
     }
 
-    /// Ends a transaction: pops its frame (matched by id, scanning from
-    /// the top so nesting and cross-frame drops stay robust), remembers
-    /// its totals for [`Obs::take_last_txn_vt`], and, while tracing,
-    /// records the end event carrying them. Returns the transaction's
-    /// charged time when a frame was found.
+    /// Ends a transaction: pops its frame (matched by engine and id,
+    /// scanning from the top so nesting and cross-frame drops stay
+    /// robust), remembers its totals for [`Obs::take_last_txn_vt`], and,
+    /// while tracing, records the end event carrying them. Returns the
+    /// transaction's charged time when a frame was found.
     pub fn txn_end(&self, txn: u64, committed: bool) -> Option<VirtualTimes> {
+        let engine = self.engine_id();
         let found = FRAMES.with_borrow_mut(|frames| {
             frames
                 .iter()
-                .rposition(|f| f.txn == txn)
+                .rposition(|f| f.engine == engine && f.txn == txn)
                 .map(|i| frames.remove(i).vt)
         });
         let vt = found.unwrap_or_default();
-        LAST_ENDED.with_borrow_mut(|last| *last = Some((txn, vt)));
+        LAST_ENDED.with_borrow_mut(|last| {
+            last.retain(|(e, _, _)| *e != engine);
+            last.push((engine, txn, vt));
+        });
         self.record_for(txn, EventKind::TxnEnd { committed, vt });
         found
     }
@@ -153,22 +178,43 @@ impl Obs {
     /// thread (`None` when it has no frame here). This is the quantity
     /// deadline budgets are enforced against.
     pub fn txn_vt(&self, txn: u64) -> Option<VirtualTimes> {
+        let engine = self.engine_id();
         FRAMES.with_borrow(|frames| {
-            frames.iter().rfind(|f| f.txn == txn).map(|f| f.vt)
+            frames
+                .iter()
+                .rfind(|f| f.engine == engine && f.txn == txn)
+                .map(|f| f.vt)
         })
     }
 
-    /// Takes (and clears) the virtual time of the transaction that most
-    /// recently ended on this thread. The retry loop uses this to charge
-    /// each attempt against a cross-attempt elapsed budget after
-    /// commit/abort has already popped the frame.
+    /// Takes (and clears) the virtual time of this engine's transaction
+    /// that most recently ended on this thread. The retry loop uses this
+    /// to charge each attempt against a cross-attempt elapsed budget
+    /// after commit/abort has already popped the frame. Other engines'
+    /// entries on the thread are left untouched.
     pub fn take_last_txn_vt(&self) -> Option<(u64, VirtualTimes)> {
-        LAST_ENDED.with_borrow_mut(|last| last.take())
+        let engine = self.engine_id();
+        LAST_ENDED.with_borrow_mut(|last| {
+            last.iter()
+                .position(|(e, _, _)| *e == engine)
+                .map(|i| {
+                    let (_, txn, vt) = last.remove(i);
+                    (txn, vt)
+                })
+        })
     }
 
-    /// The transaction currently active on this thread (0 when none).
+    /// This engine's transaction currently active on this thread
+    /// (0 when none).
     pub fn current_txn(&self) -> u64 {
-        FRAMES.with_borrow(|frames| frames.last().map(|f| f.txn).unwrap_or(0))
+        let engine = self.engine_id();
+        FRAMES.with_borrow(|frames| {
+            frames
+                .iter()
+                .rfind(|f| f.engine == engine)
+                .map(|f| f.txn)
+                .unwrap_or(0)
+        })
     }
 
     /// Records an event attributed to the current thread's active
@@ -494,6 +540,58 @@ mod tests {
             lsns.sort_unstable();
             assert_eq!(lsns, (0..1000).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn two_engines_on_one_thread_keep_charges_separated() {
+        // A server worker thread serving two documents interleaves two
+        // engines' transactions. Each engine must charge only its own
+        // frame, see only its own current txn, and take only its own
+        // last-ended virtual time.
+        let a = Obs::default();
+        let b = Obs::default();
+        a.txn_begin(1);
+        b.txn_begin(1); // same txn id on purpose: ids are per-engine
+        a.charge(CostKind::PageRead, 100);
+        b.charge(CostKind::PageRead, 7);
+        a.charge(CostKind::LockWait, 40);
+        b.charge(CostKind::Think, 3);
+        assert_eq!(a.current_txn(), 1);
+        assert_eq!(b.current_txn(), 1);
+        assert_eq!(a.txn_vt(1).unwrap().page_read_us, 100);
+        assert_eq!(b.txn_vt(1).unwrap().page_read_us, 7);
+
+        // Ending b's txn must not disturb a's frame, and each engine's
+        // LAST_ENDED slot is independent.
+        let bvt = b.txn_end(1, true).unwrap();
+        assert_eq!(bvt.page_read_us, 7);
+        assert_eq!(bvt.think_us, 3);
+        assert_eq!(a.txn_vt(1).unwrap().lock_wait_us, 40);
+        // a hasn't ended anything yet; b's entry is not visible to a.
+        assert!(a.take_last_txn_vt().is_none());
+        assert_eq!(b.take_last_txn_vt().unwrap().1.page_read_us, 7);
+
+        // With b's frame gone, b's charges hit no frame (not a's).
+        b.charge(CostKind::PageRead, 999);
+        let avt = a.txn_end(1, false).unwrap();
+        assert_eq!(avt.page_read_us, 100);
+        assert_eq!(avt.lock_wait_us, 40);
+        assert_eq!(a.take_last_txn_vt().unwrap().1.page_read_us, 100);
+        // Run-wide clocks stay per-engine too.
+        assert_eq!(a.vt().total_us(), 140);
+        assert_eq!(b.vt().total_us(), 1009);
+    }
+
+    #[test]
+    fn clones_of_one_engine_share_identity() {
+        let a = Obs::default();
+        let a2 = a.clone();
+        a.txn_begin(5);
+        a2.charge(CostKind::Think, 11); // clone charges the same frame
+        assert_eq!(a2.current_txn(), 5);
+        assert_eq!(a.txn_end(5, true).unwrap().think_us, 11);
+        // The clone can take the last-ended entry the original wrote.
+        assert_eq!(a2.take_last_txn_vt().unwrap().0, 5);
     }
 
     #[test]

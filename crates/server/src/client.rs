@@ -1,0 +1,138 @@
+//! A blocking line-protocol client, used by the server benchmark and
+//! the integration tests. One [`Client`] is one session.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A connected session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session_id: u64,
+}
+
+/// Parsed reply to a successful `run` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReply {
+    /// Paper name of the transaction type (`TAqueryBook`, …).
+    pub kind: String,
+    /// Whether the body did its work (`false` = target vanished and the
+    /// transaction committed trivially).
+    pub did_work: bool,
+    /// Attempts the retry loop made (1 = first try committed).
+    pub attempts: u32,
+    /// Virtual microseconds charged across all attempts and backoffs.
+    pub vt_us: u64,
+    /// Wall-clock microseconds of the whole retry loop, server-side.
+    pub wall_us: u64,
+}
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects and consumes the greeting.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(writer.try_clone()?);
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting)?;
+        let session_id = greeting
+            .split_ascii_whitespace()
+            .find_map(|w| w.strip_prefix("session=")?.parse().ok())
+            .ok_or_else(|| proto_err(format!("bad greeting: {greeting:?}")))?;
+        Ok(Client {
+            reader,
+            writer,
+            session_id,
+        })
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Sends one command line and returns the raw reply line.
+    pub fn command(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Lists the hosted document names.
+    pub fn docs(&mut self) -> io::Result<Vec<String>> {
+        let reply = self.command("docs")?;
+        let list = reply
+            .strip_prefix("ok docs=")
+            .ok_or_else(|| proto_err(reply.clone()))?;
+        Ok(list.split(',').filter(|s| !s.is_empty()).map(String::from).collect())
+    }
+
+    /// Opens a document for this session's subsequent `run`s. `Ok(false)`
+    /// = the server doesn't host that name.
+    pub fn open(&mut self, doc: &str) -> io::Result<bool> {
+        let reply = self.command(&format!("open {doc}"))?;
+        if reply.starts_with("ok open ") {
+            Ok(true)
+        } else if reply.starts_with("err unknown-doc") {
+            Ok(false)
+        } else {
+            Err(proto_err(reply))
+        }
+    }
+
+    /// Reseeds the session's target-draw RNG.
+    pub fn seed(&mut self, seed: u64) -> io::Result<()> {
+        let reply = self.command(&format!("seed {seed}"))?;
+        reply
+            .starts_with("ok seed=")
+            .then_some(())
+            .ok_or_else(|| proto_err(reply))
+    }
+
+    /// Runs one transaction of `kind` on the opened document.
+    /// `Ok(Err(reason))` = the server replied `err …` (retries
+    /// exhausted, no document open); the session remains usable.
+    pub fn run(&mut self, kind: &str) -> io::Result<Result<RunReply, String>> {
+        let reply = self.command(&format!("run {kind}"))?;
+        if let Some(rest) = reply.strip_prefix("ok ") {
+            let field = |key: &str| -> io::Result<&str> {
+                rest.split_ascii_whitespace()
+                    .find_map(|w| w.strip_prefix(key))
+                    .ok_or_else(|| proto_err(format!("missing {key} in {reply:?}")))
+            };
+            Ok(Ok(RunReply {
+                kind: field("kind=")?.to_string(),
+                did_work: field("did_work=")? == "1",
+                attempts: field("attempts=")?.parse().map_err(|_| proto_err(&reply))?,
+                vt_us: field("vt_us=")?.parse().map_err(|_| proto_err(&reply))?,
+                wall_us: field("wall_us=")?.parse().map_err(|_| proto_err(&reply))?,
+            }))
+        } else if let Some(reason) = reply.strip_prefix("err ") {
+            Ok(Err(reason.to_string()))
+        } else {
+            Err(proto_err(reply))
+        }
+    }
+
+    /// Round-trip liveness check.
+    pub fn ping(&mut self) -> io::Result<()> {
+        (self.command("ping")? == "ok pong")
+            .then_some(())
+            .ok_or_else(|| proto_err("bad ping reply"))
+    }
+
+    /// Polite goodbye (the server closes the connection after).
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.command("quit")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,247 @@
+//! # xtc-server — the catalog's concurrent front door
+//!
+//! A small connection-oriented server over a multi-document
+//! [`Catalog`]: each TCP connection is a *session* served by its own
+//! thread; a session opens one document at a time by name and runs
+//! TaMix transactions against it through the engine's retry loop. The
+//! protocol is deliberately minimal — newline-delimited ASCII commands
+//! with `ok …` / `err …` replies — because the contested machinery
+//! (admission, locks, WAL, retry) all lives *below* this layer; the
+//! server's job is only routing and session lifecycle (DESIGN.md §14).
+//!
+//! ## Protocol
+//!
+//! On connect the server greets with `xtc ok session=<id> docs=<n>`.
+//! Then, per line:
+//!
+//! | command        | reply                                                |
+//! |----------------|------------------------------------------------------|
+//! | `ping`         | `ok pong`                                            |
+//! | `docs`         | `ok docs=<name,name,…>`                              |
+//! | `open <doc>`   | `ok open <doc>` / `err unknown-doc <doc>`            |
+//! | `seed <n>`     | `ok seed=<n>` (reseeds the session RNG)              |
+//! | `run <kind>`   | `ok kind=… committed=1 did_work=… attempts=… vt_us=… wall_us=…` / `err …` |
+//! | `stats`        | `ok docs=… active_sessions=… total_sessions=… in_flight=… committed=… failed=…` |
+//! | `quit`         | `ok bye`, then the server closes the connection      |
+//!
+//! `run` accepts both paper names (`TAqueryBook`) and short names
+//! (`QueryBook`), case-insensitively. A `run` whose retries exhaust
+//! replies `err txn <kind> <reason>` — the session stays usable.
+//!
+//! Transactions go through [`XtcDb::run_retrying`], so every reply
+//! carries both wall-clock and *virtual-time* cost attribution
+//! (`vt_us`: the engine-charged simulated microseconds across all
+//! attempts and backoffs), which the server benchmark aggregates into
+//! per-type tail-latency distributions.
+//!
+//! [`XtcDb::run_retrying`]: xtc_core::XtcDb::run_retrying
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod session;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xtc_core::{Catalog, RetryPolicy};
+use xtc_tamix::BibConfig;
+
+pub use client::{Client, RunReply};
+
+/// Configuration of an [`XtcServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the bound address is on
+    /// the [`ServerHandle`]).
+    pub addr: String,
+    /// Retry policy for `run` commands (attempt budget, backoff).
+    pub retry: RetryPolicy,
+    /// Shape of the hosted bib documents — the transaction bodies draw
+    /// their random targets from its ID ranges.
+    pub bib: BibConfig,
+    /// Base seed; session `s` draws from a stream seeded with
+    /// `seed ^ s` (stable across runs, distinct across sessions).
+    pub seed: u64,
+    /// Stack size for session threads. Thousands of concurrent
+    /// sessions mean thousands of threads; the protocol loop is shallow,
+    /// so a small stack keeps the address-space bill down.
+    pub session_stack_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            retry: RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_micros(200),
+                ..RetryPolicy::default()
+            },
+            bib: BibConfig::tiny(),
+            seed: 42,
+            session_stack_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Server-wide counters (all relaxed: diagnostics, not synchronization).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Sessions ever accepted.
+    pub total_sessions: AtomicU64,
+    /// Sessions currently connected.
+    pub active_sessions: AtomicU64,
+    /// `run` commands that committed.
+    pub txns_committed: AtomicU64,
+    /// `run` commands whose retries exhausted.
+    pub txns_failed: AtomicU64,
+}
+
+impl ServerStats {
+    fn load(&self) -> (u64, u64, u64, u64) {
+        (
+            self.total_sessions.load(Ordering::Relaxed),
+            self.active_sessions.load(Ordering::Relaxed),
+            self.txns_committed.load(Ordering::Relaxed),
+            self.txns_failed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Everything a session needs a handle on, shared by `Arc`.
+pub(crate) struct Shared {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) stats: ServerStats,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) bib: BibConfig,
+    pub(crate) seed: u64,
+}
+
+/// The server front-end: an accept loop spawning one thread per
+/// connection. Construct with [`XtcServer::serve`]; the returned
+/// [`ServerHandle`] owns the lifecycle.
+pub struct XtcServer;
+
+impl XtcServer {
+    /// Binds `config.addr` and starts accepting sessions against
+    /// `catalog`. Returns immediately; sessions are served on
+    /// background threads until [`ServerHandle::shutdown`].
+    pub fn serve(catalog: Arc<Catalog>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            catalog,
+            stats: ServerStats::default(),
+            retry: config.retry,
+            bib: config.bib,
+            seed: config.seed,
+        });
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let shared = shared.clone();
+            let stack = config.session_stack_bytes.max(64 * 1024);
+            std::thread::Builder::new()
+                .name("xtc-server-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, shutdown, stack))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            shared,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    stack: usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        // The shutdown wake-up connection (see ServerHandle::shutdown)
+        // lands here too; checking after accept covers both paths.
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let session_id = shared.stats.total_sessions.fetch_add(1, Ordering::Relaxed);
+        shared.stats.active_sessions.fetch_add(1, Ordering::Relaxed);
+        let session_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("xtc-session-{session_id}"))
+            .stack_size(stack)
+            .spawn(move || {
+                let _ = session::run(stream, session_id, &session_shared);
+                session_shared
+                    .stats
+                    .active_sessions
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+        if spawned.is_err() {
+            // Out of threads: the kernel told us the fleet is full.
+            // Dropping the stream refuses this session; the counter was
+            // provisionally bumped above, so undo it.
+            shared.stats.active_sessions.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A running server: its bound address and the means to stop it.
+/// Dropping the handle shuts the accept loop down (sessions already
+/// connected drain on their own threads).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.shared.catalog
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Stops accepting new sessions and joins the accept thread.
+    /// Connected sessions keep draining until their clients disconnect.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loop is blocked in accept(); a throwaway connection
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

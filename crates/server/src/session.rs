@@ -1,0 +1,139 @@
+//! One session: the per-connection protocol loop.
+
+use crate::Shared;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xtc_core::XtcDb;
+use xtc_tamix::txns::{run_txn_body, Pacing, TxnKind};
+
+/// Parses a transaction-type name: paper form (`TAqueryBook`) or short
+/// form (`QueryBook`), case-insensitive.
+fn parse_kind(s: &str) -> Option<TxnKind> {
+    let lower = s.to_ascii_lowercase();
+    let stripped = lower.strip_prefix("ta").unwrap_or(&lower);
+    TxnKind::ALL
+        .into_iter()
+        .find(|k| k.name().to_ascii_lowercase().trim_start_matches("ta") == stripped)
+}
+
+pub(crate) fn run(stream: TcpStream, session_id: u64, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writeln!(
+        writer,
+        "xtc ok session={session_id} docs={}",
+        shared.catalog.len()
+    )?;
+
+    let mut rng = SmallRng::seed_from_u64(shared.seed ^ session_id);
+    let mut doc: Option<(String, Arc<XtcDb>)> = None;
+    let pacing = Pacing {
+        wait_after_operation: Duration::ZERO,
+    };
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let mut words = line.split_ascii_whitespace();
+        let reply = match (words.next(), words.next()) {
+            (Some("ping"), _) => "ok pong".to_string(),
+            (Some("quit"), _) => {
+                writeln!(writer, "ok bye")?;
+                return Ok(());
+            }
+            (Some("docs"), _) => format!("ok docs={}", shared.catalog.doc_names().join(",")),
+            (Some("open"), Some(name)) => match shared.catalog.get(name) {
+                Some(db) => {
+                    doc = Some((name.to_string(), db));
+                    format!("ok open {name}")
+                }
+                None => format!("err unknown-doc {name}"),
+            },
+            (Some("open"), None) => "err bad-command open needs a document name".to_string(),
+            (Some("seed"), Some(n)) => match n.parse::<u64>() {
+                Ok(seed) => {
+                    rng = SmallRng::seed_from_u64(seed);
+                    format!("ok seed={seed}")
+                }
+                Err(_) => format!("err bad-command seed {n:?} is not a number"),
+            },
+            (Some("seed"), None) => "err bad-command seed needs a number".to_string(),
+            (Some("run"), Some(kind)) => match parse_kind(kind) {
+                Some(kind) => run_one(shared, &doc, kind, &mut rng, pacing),
+                None => format!("err bad-command unknown transaction type {kind:?}"),
+            },
+            (Some("run"), None) => "err bad-command run needs a transaction type".to_string(),
+            (Some("stats"), _) => {
+                let (total, active, committed, failed) = shared.stats.load();
+                format!(
+                    "ok docs={} active_sessions={active} total_sessions={total} \
+                     in_flight={} committed={committed} failed={failed}",
+                    shared.catalog.len(),
+                    shared.catalog.admitted_in_flight(),
+                )
+            }
+            (Some(cmd), _) => format!("err bad-command {cmd:?}"),
+            (None, _) => continue, // blank line
+        };
+        writeln!(writer, "{reply}")?;
+    }
+}
+
+/// Executes one `run` command through the engine's retry loop and
+/// formats the reply with wall- and virtual-time attribution.
+fn run_one(
+    shared: &Arc<Shared>,
+    doc: &Option<(String, Arc<XtcDb>)>,
+    kind: TxnKind,
+    rng: &mut SmallRng,
+    pacing: Pacing,
+) -> String {
+    let Some((_, db)) = doc else {
+        return "err no-doc open a document first".to_string();
+    };
+    let started = Instant::now();
+    let (result, stats) =
+        db.run_retrying(&shared.retry, |txn| run_txn_body(txn, kind, &shared.bib, rng, pacing));
+    let wall_us = started.elapsed().as_micros() as u64;
+    match result {
+        Ok(did_work) => {
+            shared.stats.txns_committed.fetch_add(1, Ordering::Relaxed);
+            format!(
+                "ok kind={} committed=1 did_work={} attempts={} vt_us={} wall_us={wall_us}",
+                kind.name(),
+                u8::from(did_work),
+                stats.attempts,
+                stats.vt_elapsed_us,
+            )
+        }
+        Err(e) => {
+            shared.stats.txns_failed.fetch_add(1, Ordering::Relaxed);
+            // Replies are one line; error Displays contain no newlines.
+            format!("err txn {} {e}", kind.name())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_parse_in_both_forms() {
+        assert_eq!(parse_kind("TAqueryBook"), Some(TxnKind::QueryBook));
+        assert_eq!(parse_kind("querybook"), Some(TxnKind::QueryBook));
+        assert_eq!(parse_kind("LendAndReturn"), Some(TxnKind::LendAndReturn));
+        assert_eq!(parse_kind("TArenameTopic"), Some(TxnKind::RenameTopic));
+        assert_eq!(parse_kind("Chapter"), Some(TxnKind::Chapter));
+        assert_eq!(parse_kind("DelBook"), Some(TxnKind::DelBook));
+        assert_eq!(parse_kind("nonsense"), None);
+    }
+}

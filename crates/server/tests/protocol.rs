@@ -1,0 +1,121 @@
+//! End-to-end protocol tests: a live server over a small catalog,
+//! driven through real TCP connections.
+
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_core::{AdmissionPolicy, CatalogConfig, DocStoreConfig, XtcConfig};
+use xtc_server::{Client, ServerConfig, XtcServer};
+use xtc_tamix::{build_bib_catalog, doc_name, BibConfig};
+
+fn serve(docs: usize, max_in_flight: Option<usize>) -> xtc_server::ServerHandle {
+    let catalog = build_bib_catalog(
+        CatalogConfig {
+            defaults: XtcConfig {
+                lock_timeout: Duration::from_secs(5),
+                // Simulated page-read latency so `run` replies carry
+                // nonzero virtual-time attribution.
+                store: DocStoreConfig {
+                    read_latency: Duration::from_micros(2),
+                    ..DocStoreConfig::default()
+                },
+                ..XtcConfig::default()
+            },
+            max_in_flight,
+            admission: AdmissionPolicy::Queue,
+            ..CatalogConfig::default()
+        },
+        docs,
+        &BibConfig::tiny(),
+    )
+    .unwrap();
+    XtcServer::serve(Arc::new(catalog), ServerConfig::default()).unwrap()
+}
+
+#[test]
+fn session_lifecycle_and_routing() {
+    let server = serve(3, None);
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.ping().unwrap();
+    assert_eq!(c.docs().unwrap(), vec!["doc00", "doc01", "doc02"]);
+
+    // Routing: unknown documents are refused, known ones open.
+    assert!(!c.open("nope").unwrap());
+    assert!(c.open("doc01").unwrap());
+
+    // A run before any open fails cleanly on a fresh session.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    assert_ne!(fresh.session_id(), c.session_id());
+    let denied = fresh.run("QueryBook").unwrap();
+    assert!(denied.unwrap_err().starts_with("no-doc"));
+
+    // Transactions execute and report both clocks.
+    c.seed(7).unwrap();
+    for kind in ["TAqueryBook", "chapter", "LendAndReturn", "RenameTopic"] {
+        let reply = c.run(kind).unwrap().unwrap();
+        assert!(reply.attempts >= 1);
+        assert!(reply.did_work, "{kind}: target should exist in a fresh doc");
+        assert!(reply.vt_us > 0, "{kind}: no virtual time charged");
+    }
+
+    // Garbage is rejected without killing the session.
+    assert!(c.command("frobnicate").unwrap().starts_with("err bad-command"));
+    assert!(c.command("run NoSuchTxn").unwrap().starts_with("err bad-command"));
+    c.ping().unwrap();
+
+    let stats = c.command("stats").unwrap();
+    assert!(stats.contains("docs=3"), "{stats}");
+    assert!(stats.contains("committed="), "{stats}");
+    c.quit().unwrap();
+    fresh.quit().unwrap();
+}
+
+#[test]
+fn sessions_on_different_documents_are_isolated() {
+    let server = serve(2, None);
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+    a.open("doc00").unwrap();
+    b.open("doc01").unwrap();
+    a.seed(1).unwrap();
+    // Delete every book in doc00; doc01 must keep its full ID range.
+    let books = BibConfig::tiny().books;
+    for _ in 0..books * 4 {
+        a.run("DelBook").unwrap().unwrap();
+    }
+    let reply = b.run("QueryBook").unwrap().unwrap();
+    assert!(reply.did_work, "doc01 lost its books to doc00's deletes");
+    a.quit().unwrap();
+    b.quit().unwrap();
+}
+
+#[test]
+fn concurrent_sessions_share_the_catalog_gate() {
+    let mut server = serve(4, Some(8));
+    let addr = server.addr();
+    let workers: Vec<_> = (0..16)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.open(&doc_name(w % 4)).unwrap();
+                let mut committed = 0;
+                for _ in 0..10 {
+                    if c.run("QueryBook").unwrap().is_ok() {
+                        committed += 1;
+                    }
+                }
+                c.quit().unwrap();
+                committed
+            })
+        })
+        .collect();
+    let committed: usize = workers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(committed, 160, "queued gate should admit everything");
+    // All slots returned once the fleet drained.
+    assert_eq!(server.catalog().admitted_in_flight(), 0);
+    server.shutdown();
+    // After shutdown, new connections are refused or go unanswered, but
+    // the already-collected stats survive on the handle.
+    use std::sync::atomic::Ordering;
+    assert_eq!(server.stats().txns_committed.load(Ordering::Relaxed), 160);
+    assert_eq!(server.stats().active_sessions.load(Ordering::Relaxed), 0);
+}

@@ -556,7 +556,7 @@ fn rebuild_or_split(
     // an `Error` cannot unwind from here — instead it poisons the shared
     // stats handle, which the transaction layer converts into a WAL crash
     // after the mutation returns (the mid-split-kill scenario).
-    if xtc_failpoint::fire_delay("btree.split") {
+    if xtc_failpoint::fire_delay_in(g.pool.stats().failpoint_scope(), "btree.split") {
         g.pool.stats().poison();
     }
     let page_size = g.pool.page_size();

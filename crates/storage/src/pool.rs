@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use xtc_failpoint::ScopeId;
 use xtc_obs::{CostKind, EventKind, Obs};
 
 /// Identifier of a page inside a [`PagePool`]. `0` is reserved as "no page"
@@ -71,15 +72,28 @@ struct StatsInner {
     /// Observability handle: page reads charge their simulated latency to
     /// the virtual clock here, and page events go to the trace (if on).
     obs: Obs,
+    /// Failpoint scope of the owning engine: storage fault sites
+    /// (`store.page_read`, `store.page_read_io`, `pool.evict_write`,
+    /// `btree.split`) evaluate in it, so chaos can fault one document in
+    /// a catalog without touching its neighbors. Defaults to
+    /// [`xtc_failpoint::GLOBAL`].
+    scope: ScopeId,
 }
 
 impl StorageStats {
     /// Stats wired to an observability handle: page accesses charge the
     /// virtual clock and (when tracing) emit page events.
     pub fn with_obs(obs: Obs) -> StorageStats {
+        Self::with_obs_scoped(obs, xtc_failpoint::GLOBAL)
+    }
+
+    /// Stats wired to an observability handle and an engine failpoint
+    /// scope (see [`StorageStats::failpoint_scope`]).
+    pub fn with_obs_scoped(obs: Obs, scope: ScopeId) -> StorageStats {
         StorageStats {
             inner: Arc::new(StatsInner {
                 obs,
+                scope,
                 ..StatsInner::default()
             }),
         }
@@ -88,6 +102,11 @@ impl StorageStats {
     /// The observability handle these stats report into.
     pub fn obs(&self) -> &Obs {
         &self.inner.obs
+    }
+
+    /// The failpoint scope storage fault sites evaluate in.
+    pub fn failpoint_scope(&self) -> ScopeId {
+        self.inner.scope
     }
 
     /// Pages read (pinned for read access).
@@ -338,13 +357,18 @@ impl PagePool {
         });
         // Chaos-test hook: page reads have no error path, so an armed
         // `Error` action degrades to a no-op and only `Delay` injects.
-        xtc_failpoint::fire_delay("store.page_read");
+        xtc_failpoint::fire_delay_in(self.stats.failpoint_scope(), "store.page_read");
         // Fault site `store.page_read_io` models the read's device op:
         // transient faults are absorbed in-site with backoff; a permanent
         // fault poisons the engine (the transaction layer converts that
         // into an abort or a WAL crash — never a panic) and the stale
         // in-memory bytes are returned so in-flight readers can drain.
-        match xtc_failpoint::eval_io("store.page_read_io", IO_ATTEMPTS, IO_BACKOFF_BASE) {
+        match xtc_failpoint::eval_io_in(
+            self.stats.failpoint_scope(),
+            "store.page_read_io",
+            IO_ATTEMPTS,
+            IO_BACKOFF_BASE,
+        ) {
             xtc_failpoint::IoFault::Ok => {}
             xtc_failpoint::IoFault::Transient { retries } => {
                 if retries > 0 {
@@ -461,8 +485,12 @@ impl PagePool {
                 // harmless under the WAL rule (the covering log record
                 // is durable; a later flush simply retries) — and is
                 // counted so chaos reports can assert it happened.
-                match xtc_failpoint::eval_io("pool.evict_write", IO_ATTEMPTS, IO_BACKOFF_BASE)
-                {
+                match xtc_failpoint::eval_io_in(
+                    self.stats.failpoint_scope(),
+                    "pool.evict_write",
+                    IO_ATTEMPTS,
+                    IO_BACKOFF_BASE,
+                ) {
                     xtc_failpoint::IoFault::Permanent => {
                         self.stats.count_flush_fault();
                         continue;

@@ -1,0 +1,187 @@
+//! Multi-document TaMix: the workload side of the catalog server.
+//!
+//! The single-document clusters of §4 stress one lock table; a server
+//! hosts many documents whose *popularity is skewed* — most sessions
+//! pile onto a few hot documents while the long tail idles. This module
+//! provides the pieces the server benchmark composes: a deterministic
+//! [`Zipf`] sampler over document indices, a catalog builder that
+//! generates one bib document per slot, and the CLUSTER1 transaction
+//! mix as a weighted per-request draw ([`sample_kind`]) instead of
+//! dedicated per-type client slots.
+
+use crate::bib::{self, BibConfig};
+use crate::txns::TxnKind;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use xtc_core::{Catalog, CatalogConfig, DocSpec, XtcError};
+
+/// Deterministic Zipf sampler over `0..n`: index `i` is drawn with
+/// probability proportional to `1 / (i + 1)^s`. `s = 0` degenerates to
+/// uniform; `s = 1` is the classic web-popularity curve (the default of
+/// the server benchmark); larger `s` concentrates harder on index 0.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution over `0..n`, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `0..n` with exponent `s` (`n` is clamped to ≥ 1;
+    /// negative `s` would *anti*-rank and is clamped to 0).
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let s = s.max(0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += ((i + 1) as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` for the degenerate single-rank sampler.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `i` (diagnostics for benchmark reports).
+    pub fn probability(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf.get(i).map(|c| c - lo).unwrap_or(0.0)
+    }
+}
+
+/// Stable name of document slot `i` (`doc00`, `doc01`, …): the routing
+/// key sessions pass to the server's `open` command.
+pub fn doc_name(i: usize) -> String {
+    format!("doc{i:02}")
+}
+
+/// Builds a catalog of `docs` independent bib documents named by
+/// [`doc_name`], each generated from `bib_cfg` (bulk load, bypassing
+/// locks and gate) and checkpointed when the catalog's defaults carry a
+/// WAL.
+pub fn build_bib_catalog(
+    config: CatalogConfig,
+    docs: usize,
+    bib_cfg: &BibConfig,
+) -> Result<Catalog, XtcError> {
+    let catalog = Catalog::new(config);
+    for i in 0..docs {
+        let db = catalog.create_doc(DocSpec::named(doc_name(i)))?;
+        bib::generate_into(&db, bib_cfg);
+        db.checkpoint()?;
+    }
+    Ok(catalog)
+}
+
+/// Draws a transaction type with the CLUSTER1 slot weights (9 query, 5
+/// chapter, 2 rename, 8 lend — `TAdelBook` stays out of the steady-state
+/// mix, as in the paper's clusters, so documents don't shrink away over
+/// a long run).
+pub fn sample_kind(rng: &mut SmallRng) -> TxnKind {
+    const WEIGHTED: [(TxnKind, u32); 4] = [
+        (TxnKind::QueryBook, 9),
+        (TxnKind::Chapter, 5),
+        (TxnKind::RenameTopic, 2),
+        (TxnKind::LendAndReturn, 8),
+    ];
+    let total: u32 = WEIGHTED.iter().map(|(_, w)| w).sum();
+    let mut draw = rng.random_range(0..total);
+    for (kind, w) in WEIGHTED {
+        if draw < w {
+            return kind;
+        }
+        draw -= w;
+    }
+    TxnKind::QueryBook
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_skews_toward_low_ranks_and_stays_in_range() {
+        let zipf = Zipf::new(16, 1.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 16];
+        for _ in 0..20_000 {
+            let i = zipf.sample(&mut rng);
+            counts[i] += 1;
+        }
+        // Rank 0 beats rank 1 beats the tail — with a wide margin at
+        // 20k draws (p0 ≈ 0.30, p1 ≈ 0.15, p15 ≈ 0.02 for s=1, n=16).
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[8]);
+        assert!(counts.iter().all(|&c| c > 0), "tail never sampled");
+        let p: f64 = (0..16).map(|i| zipf.probability(i)).sum();
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((zipf.probability(i) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_per_seed() {
+        let zipf = Zipf::new(16, 1.1);
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..64).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn builds_a_catalog_of_populated_documents() {
+        let cfg = BibConfig::tiny();
+        let catalog = build_bib_catalog(CatalogConfig::default(), 3, &cfg).unwrap();
+        assert_eq!(catalog.len(), 3);
+        for i in 0..3 {
+            let db = catalog.open(&doc_name(i)).unwrap();
+            assert!(db.store().node_count() > 0, "doc {i} is empty");
+            // Every document carries the full ID range.
+            let txn = db.begin();
+            assert!(txn.element_by_id("b0").unwrap().is_some());
+            txn.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn kind_mix_covers_the_cluster1_types() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(sample_kind(&mut rng));
+        }
+        assert!(seen.contains(&TxnKind::QueryBook));
+        assert!(seen.contains(&TxnKind::Chapter));
+        assert!(seen.contains(&TxnKind::RenameTopic));
+        assert!(seen.contains(&TxnKind::LendAndReturn));
+        assert!(!seen.contains(&TxnKind::DelBook));
+    }
+}

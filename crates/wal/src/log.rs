@@ -256,6 +256,11 @@ pub struct Wal {
     /// Observability handle: commit waits charge its virtual clock;
     /// append/flush/commit events trace through it when tracing.
     obs: xtc_obs::Obs,
+    /// Failpoint scope of the owning engine: the WAL fault sites
+    /// (`wal.append_io`, `wal.flush`, `wal.fsync`) and the recovery
+    /// sites replaying this log evaluate in it, so chaos can kill one
+    /// document's log without touching its catalog neighbors.
+    scope: xtc_failpoint::ScopeId,
 }
 
 impl Wal {
@@ -267,6 +272,16 @@ impl Wal {
 
     /// [`open`](Wal::open), wired to a shared observability handle.
     pub fn open_with_obs(config: WalConfig, obs: xtc_obs::Obs) -> Result<Self, WalError> {
+        Self::open_scoped(config, obs, xtc_failpoint::GLOBAL)
+    }
+
+    /// [`open`](Wal::open), wired to a shared observability handle and
+    /// an engine failpoint scope (see [`Wal::scope`]).
+    pub fn open_scoped(
+        config: WalConfig,
+        obs: xtc_obs::Obs,
+        scope: xtc_failpoint::ScopeId,
+    ) -> Result<Self, WalError> {
         let backend: Box<dyn WalBackend> = match config.storage {
             WalStorage::Memory => Box::new(MemBackend::new()),
             WalStorage::Directory { path, segment_bytes } => {
@@ -309,7 +324,13 @@ impl Wal {
             window: config.group_commit_window,
             stats: StatsInner::default(),
             obs,
+            scope,
         })
+    }
+
+    /// The engine failpoint scope this log's fault sites evaluate in.
+    pub fn scope(&self) -> xtc_failpoint::ScopeId {
+        self.scope
     }
 
     /// Charges the virtual clock for the wall time an [`eval_io`] site
@@ -332,7 +353,7 @@ impl Wal {
     /// fault freezes the log (whatever was already synced remains the
     /// durable prefix) and surfaces as [`WalError::Io`] — never a panic.
     pub fn append(&self, body: &RecordBody) -> Result<Lsn, WalError> {
-        match xtc_failpoint::eval_io("wal.append_io", IO_ATTEMPTS, IO_BACKOFF_BASE) {
+        match xtc_failpoint::eval_io_in(self.scope, "wal.append_io", IO_ATTEMPTS, IO_BACKOFF_BASE) {
             xtc_failpoint::IoFault::Ok => {}
             xtc_failpoint::IoFault::Transient { retries } => {
                 self.charge_transient_backoff(retries, IO_BACKOFF_BASE);
@@ -456,7 +477,7 @@ impl Wal {
         // Crash site `wal.flush`: Error tears the batch mid-record — a
         // prefix reaches the backend (as a partially-written page would),
         // the log freezes, and recovery must cope with the torn tail.
-        let injected = match xtc_failpoint::eval("wal.flush") {
+        let injected = match xtc_failpoint::eval_in(self.scope, "wal.flush") {
             Some(xtc_failpoint::FailAction::Delay(d)) => {
                 std::thread::sleep(d);
                 false
@@ -475,7 +496,7 @@ impl Wal {
             // *cleanly*: unlike `wal.flush` (torn tail), a permanent
             // fsync fault loses the whole batch — the backend keeps the
             // previous record-aligned prefix and the log freezes.
-            match xtc_failpoint::eval_io("wal.fsync", IO_ATTEMPTS, IO_BACKOFF_BASE) {
+            match xtc_failpoint::eval_io_in(self.scope, "wal.fsync", IO_ATTEMPTS, IO_BACKOFF_BASE) {
                 xtc_failpoint::IoFault::Permanent => {
                     Err(WalError::Io("injected fsync failure".into()))
                 }
