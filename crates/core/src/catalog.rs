@@ -22,9 +22,115 @@
 use crate::admission::AdmissionGate;
 use crate::db::{AdmissionPolicy, XtcConfig, XtcDb};
 use crate::error::XtcError;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The role a document engine plays in a replication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocRole {
+    /// The writable engine; source of the WAL stream.
+    Primary,
+    /// A read-only engine continuously redoing the primary's log.
+    Replica,
+}
+
+impl DocRole {
+    /// Lowercase wire name (`stats` replies, JSON reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DocRole::Primary => "primary",
+            DocRole::Replica => "replica",
+        }
+    }
+}
+
+/// Routing-visible state of one read replica, shared between the
+/// replication subsystem (which owns the apply loop) and the catalog
+/// (which routes reads). Lives in `xtc-core` so the catalog and the
+/// server can route without depending on the `xtc-repl` crate.
+///
+/// The **apply latch** is the snapshot-consistency device: the apply loop
+/// holds it for write while materialising one committed transaction's
+/// operations, and readers hold it for read across a whole read
+/// transaction — so a reader never observes a half-applied commit, only
+/// states at commit boundaries.
+#[derive(Debug, Default)]
+pub struct ReplicaShared {
+    applied_lsn: AtomicU64,
+    lag_us: AtomicU64,
+    poisoned: AtomicBool,
+    apply_latch: RwLock<()>,
+}
+
+impl ReplicaShared {
+    /// Fresh state: nothing applied, zero lag, healthy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Highest primary LSN this replica has applied.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn.load(Ordering::Acquire)
+    }
+
+    /// Deterministic virtual-time replication lag, in microseconds.
+    pub fn lag_us(&self) -> u64 {
+        self.lag_us.load(Ordering::Acquire)
+    }
+
+    /// `false` once a permanent apply fault poisoned this replica; it is
+    /// then excluded from read routing until re-bootstrapped.
+    pub fn is_healthy(&self) -> bool {
+        !self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Publishes progress (the apply loop calls this after each batch).
+    pub fn publish(&self, applied_lsn: u64, lag_us: u64) {
+        self.applied_lsn.store(applied_lsn, Ordering::Release);
+        self.lag_us.store(lag_us, Ordering::Release);
+    }
+
+    /// Marks the replica poisoned (permanent apply fault) or heals it
+    /// (re-bootstrap after promotion).
+    pub fn set_healthy(&self, healthy: bool) {
+        self.poisoned.store(!healthy, Ordering::Release);
+    }
+
+    /// Read side of the apply latch: hold this guard across a read
+    /// transaction to pin the replica at a commit boundary.
+    pub fn read_latch(&self) -> RwLockReadGuard<'_, ()> {
+        self.apply_latch.read()
+    }
+
+    /// Write side of the apply latch, for the apply loop. Scoped as a
+    /// closure so the guard type stays private to core.
+    pub fn with_apply_latch<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.apply_latch.write();
+        f()
+    }
+}
+
+/// One replica attached to a catalog document.
+#[derive(Clone)]
+struct ReplicaEntry {
+    db: Arc<XtcDb>,
+    shared: Arc<ReplicaShared>,
+}
+
+/// Where [`Catalog::route_read`] decided a read should run.
+#[derive(Clone)]
+pub struct ReadRoute {
+    /// The engine to read from.
+    pub db: Arc<XtcDb>,
+    /// Whether that engine is the primary or a replica.
+    pub role: DocRole,
+    /// The replica's shared state when `role` is [`DocRole::Replica`]
+    /// (take its [`read_latch`](ReplicaShared::read_latch) for the
+    /// duration of the read).
+    pub shared: Option<Arc<ReplicaShared>>,
+}
 
 /// Configuration of a [`Catalog`].
 #[derive(Debug, Clone)]
@@ -108,6 +214,10 @@ pub struct Catalog {
     gate: Option<Arc<AdmissionGate>>,
     per_doc_pool_pages: Option<usize>,
     docs: RwLock<BTreeMap<String, Arc<XtcDb>>>,
+    /// Read replicas per document name. Kept beside `docs` rather than
+    /// inside it so every pre-replication code path (open/get/drop) keeps
+    /// meaning "the primary".
+    replicas: RwLock<BTreeMap<String, Vec<ReplicaEntry>>>,
 }
 
 impl std::fmt::Debug for Catalog {
@@ -134,6 +244,7 @@ impl Catalog {
             gate,
             per_doc_pool_pages,
             docs: RwLock::new(BTreeMap::new()),
+            replicas: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -175,7 +286,8 @@ impl Catalog {
 
     /// Unregisters a document. Sessions holding the `Arc` keep a working
     /// engine (it is only unlisted); its failpoint scope is cleared so
-    /// the process-wide registry does not accumulate dead scopes.
+    /// the process-wide registry does not accumulate dead scopes. Any
+    /// attached replicas are detached with it.
     pub fn drop_doc(&self, name: &str) -> Result<(), XtcError> {
         let db = self
             .docs
@@ -183,7 +295,106 @@ impl Catalog {
             .remove(name)
             .ok_or_else(|| XtcError::UnknownDoc(name.to_string()))?;
         xtc_failpoint::clear_scope(db.failpoint_scope());
+        self.detach_replicas(name);
         Ok(())
+    }
+
+    /// Attaches a read replica to `name`'s replication group. The engine
+    /// is owned by the replication subsystem; the catalog only routes to
+    /// it. Fails with [`XtcError::UnknownDoc`] when no primary is
+    /// registered under `name`.
+    pub fn attach_replica(
+        &self,
+        name: &str,
+        db: Arc<XtcDb>,
+        shared: Arc<ReplicaShared>,
+    ) -> Result<(), XtcError> {
+        if !self.docs.read().contains_key(name) {
+            return Err(XtcError::UnknownDoc(name.to_string()));
+        }
+        self.replicas
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .push(ReplicaEntry { db, shared });
+        Ok(())
+    }
+
+    /// Detaches every replica of `name` (promotion rebuilds the group;
+    /// dropping the primary dissolves it). Engines are not torn down —
+    /// the replication subsystem owns them.
+    pub fn detach_replicas(&self, name: &str) {
+        self.replicas.write().remove(name);
+    }
+
+    /// Number of replicas attached to `name` (0 when unknown).
+    pub fn replica_count(&self, name: &str) -> usize {
+        self.replicas.read().get(name).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Routing-visible `(applied_lsn, lag_us, healthy)` of each replica
+    /// of `name`, in attach order — the `stats` wire reply's source.
+    pub fn replica_stats(&self, name: &str) -> Vec<(u64, u64, bool)> {
+        self.replicas
+            .read()
+            .get(name)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .map(|e| (e.shared.applied_lsn(), e.shared.lag_us(), e.shared.is_healthy()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Routes a read-only transaction: the least-lagged *healthy* replica
+    /// of `name` when one exists, else the primary. Writes must use
+    /// [`route_write`](Catalog::route_write).
+    pub fn route_read(&self, name: &str) -> Result<ReadRoute, XtcError> {
+        if let Some(entries) = self.replicas.read().get(name) {
+            if let Some(best) = entries
+                .iter()
+                .filter(|e| e.shared.is_healthy())
+                .min_by_key(|e| e.shared.lag_us())
+            {
+                return Ok(ReadRoute {
+                    db: best.db.clone(),
+                    role: DocRole::Replica,
+                    shared: Some(best.shared.clone()),
+                });
+            }
+        }
+        Ok(ReadRoute {
+            db: self.open(name)?,
+            role: DocRole::Primary,
+            shared: None,
+        })
+    }
+
+    /// Routes a writing transaction: always the primary.
+    pub fn route_write(&self, name: &str) -> Result<Arc<XtcDb>, XtcError> {
+        self.open(name)
+    }
+
+    /// Replaces `name`'s primary with `new_primary` (failover promotion).
+    /// The old primary's failpoint scope is cleared and the replica group
+    /// is dissolved — the replication subsystem re-attaches survivors
+    /// once they are re-bootstrapped onto the new log. Returns the old
+    /// primary so the caller can fence or inspect it.
+    pub fn promote(
+        &self,
+        name: &str,
+        new_primary: Arc<XtcDb>,
+    ) -> Result<Arc<XtcDb>, XtcError> {
+        let mut docs = self.docs.write();
+        if !docs.contains_key(name) {
+            return Err(XtcError::UnknownDoc(name.to_string()));
+        }
+        let old = docs.insert(name.to_string(), new_primary).unwrap();
+        drop(docs);
+        xtc_failpoint::clear_scope(old.failpoint_scope());
+        self.detach_replicas(name);
+        Ok(old)
     }
 
     /// Registered document names, sorted.

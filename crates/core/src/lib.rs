@@ -41,10 +41,10 @@ mod txn;
 mod view;
 
 pub use admission::AdmissionGate;
-pub use catalog::{Catalog, CatalogConfig, DocSpec};
+pub use catalog::{Catalog, CatalogConfig, DocRole, DocSpec, ReadRoute, ReplicaShared};
 pub use db::{AdmissionPolicy, XtcConfig, XtcDb};
 pub use error::XtcError;
-pub use recovery::{recover_from, RecoveryReport};
+pub use recovery::{recover_from, RecoveryReport, RedoApplier};
 pub use retry::{RetryPolicy, RetryStats};
 pub use txn::Transaction;
 pub use view::StoreView;

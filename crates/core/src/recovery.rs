@@ -245,6 +245,124 @@ pub fn replay_scoped(
     Ok(report)
 }
 
+/// Continuous-redo applier: the replication subsystem's incremental
+/// counterpart to [`replay`]. A read replica feeds it the primary's
+/// durable records in LSN order and it maintains a **committed-snapshot**
+/// document: redo operations are buffered per transaction and applied
+/// only when that transaction's `Commit` record arrives, in original log
+/// order; an `Abort` discards the buffer. Losers therefore never touch
+/// the replica store — there is no undo pass, and every state the replica
+/// ever exposes equals the primary's state at some commit boundary.
+///
+/// Commit-order grouping is serialization-safe because the primary
+/// appends a transaction's `Commit` record *before* releasing its locks:
+/// any conflicting operation of a later transaction carries a higher LSN
+/// than the earlier transaction's commit, so replaying whole transactions
+/// at their commit points reproduces the serial history. Compensation
+/// records need no special handling — only aborting transactions write
+/// CLRs, and their buffers are dropped wholesale.
+///
+/// Checkpoints: the *bootstrap* checkpoint (a clean snapshot with an
+/// empty active list, written when a document is loaded or right after a
+/// promotion recovery) is applied once into the pristine replica store;
+/// every later (fuzzy) checkpoint is skipped — its content is redundant
+/// with the redo history the applier is already consuming.
+#[derive(Debug, Default)]
+pub struct RedoApplier {
+    /// Redo ops buffered per in-flight transaction, in LSN order.
+    pending: HashMap<TxnId, Vec<RedoOp>>,
+    /// Highest LSN consumed so far.
+    applied_lsn: Lsn,
+    /// Committed transactions materialised into the store.
+    commits_applied: u64,
+    /// Redo operations materialised into the store.
+    ops_applied: u64,
+    /// A bootstrap checkpoint has been loaded (later ones are skipped).
+    bootstrapped: bool,
+}
+
+impl RedoApplier {
+    /// A fresh applier for a pristine replica store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Highest LSN consumed so far (the replica's `applied_lsn`).
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied_lsn
+    }
+
+    /// Committed transactions materialised so far.
+    pub fn commits_applied(&self) -> u64 {
+        self.commits_applied
+    }
+
+    /// Redo operations materialised so far.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Transactions currently buffered (began but not yet resolved).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Consumes one durable record. Returns the number of redo operations
+    /// materialised into `db`'s store by this record (non-zero only for
+    /// `Commit` records and the bootstrap checkpoint).
+    ///
+    /// Records must arrive in LSN order; a gap or regression is rejected
+    /// so a buggy shipper cannot silently corrupt the replica.
+    pub fn apply(&mut self, db: &XtcDb, rec: &WalRecord) -> Result<usize, XtcError> {
+        if rec.lsn <= self.applied_lsn {
+            return Err(XtcError::Wal(xtc_wal::WalError::BadPayload(
+                "replica applier: record LSN not monotonically increasing",
+            )));
+        }
+        self.applied_lsn = rec.lsn;
+        let store = db.store();
+        let applied = match &rec.body {
+            RecordBody::Begin { .. } | RecordBody::NodeUndo { .. } => 0,
+            RecordBody::PageRedo { txn, op, .. } => {
+                self.pending.entry(*txn).or_default().push(op.clone());
+                0
+            }
+            RecordBody::Commit { txn } => {
+                let ops = self.pending.remove(txn).unwrap_or_default();
+                let n = ops.len();
+                for op in &ops {
+                    apply_redo(store, op);
+                }
+                self.commits_applied += 1;
+                self.ops_applied += n as u64;
+                n
+            }
+            RecordBody::Abort { txn } => {
+                self.pending.remove(txn);
+                0
+            }
+            RecordBody::Checkpoint { active, snapshot } => {
+                if !self.bootstrapped && active.is_empty() && self.commits_applied == 0 {
+                    let decoded: Vec<_> = snapshot
+                        .iter()
+                        .filter_map(|(enc, payload)| {
+                            decode_splid(enc)
+                                .map(|id| (id, payload_to_data(store.vocab(), payload)))
+                        })
+                        .collect();
+                    let n = decoded.len();
+                    let _ = store.insert_raw(&decoded);
+                    self.bootstrapped = true;
+                    n
+                } else {
+                    0
+                }
+            }
+        };
+        Ok(applied)
+    }
+}
+
 /// Rebuilds a database from the durable contents of `wal`.
 ///
 /// The source log is typically taken from a crashed [`XtcDb`] (its

@@ -36,17 +36,23 @@ pub enum CostKind {
     /// Crash-recovery work (analysis + redo + undo passes), charged once
     /// per `recover_from` on the recovered database's clock.
     Recovery,
+    /// Replication apply work on a read replica: the configured
+    /// per-record redo cost, charged on the replica engine's clock as
+    /// shipped WAL records are replayed. Replication lag is derived from
+    /// this same cost model, so lag numbers are deterministic.
+    ReplApply,
 }
 
 impl CostKind {
     /// All cost kinds, in counter order.
-    pub const ALL: [CostKind; 6] = [
+    pub const ALL: [CostKind; 7] = [
         CostKind::PageRead,
         CostKind::Think,
         CostKind::LockWait,
         CostKind::WalFlush,
         CostKind::RetryBackoff,
         CostKind::Recovery,
+        CostKind::ReplApply,
     ];
 
     /// Stable index of this kind into counter arrays.
@@ -63,6 +69,7 @@ impl CostKind {
             CostKind::WalFlush => "wal_flush_us",
             CostKind::RetryBackoff => "backoff_us",
             CostKind::Recovery => "recovery_us",
+            CostKind::ReplApply => "repl_apply_us",
         }
     }
 }
@@ -85,6 +92,8 @@ pub struct VirtualTimes {
     pub backoff_us: u64,
     /// Microseconds of crash-recovery work.
     pub recovery_us: u64,
+    /// Microseconds of replication apply work on a replica.
+    pub repl_apply_us: u64,
 }
 
 impl VirtualTimes {
@@ -97,6 +106,7 @@ impl VirtualTimes {
             CostKind::WalFlush => self.wal_flush_us,
             CostKind::RetryBackoff => self.backoff_us,
             CostKind::Recovery => self.recovery_us,
+            CostKind::ReplApply => self.repl_apply_us,
         }
     }
 
@@ -109,6 +119,7 @@ impl VirtualTimes {
             CostKind::WalFlush => &mut self.wal_flush_us,
             CostKind::RetryBackoff => &mut self.backoff_us,
             CostKind::Recovery => &mut self.recovery_us,
+            CostKind::ReplApply => &mut self.repl_apply_us,
         };
         *slot = slot.saturating_add(micros);
     }
@@ -121,6 +132,7 @@ impl VirtualTimes {
             .saturating_add(self.wal_flush_us)
             .saturating_add(self.backoff_us)
             .saturating_add(self.recovery_us)
+            .saturating_add(self.repl_apply_us)
     }
 
     /// Simulated protocol cost: I/O plus lock waiting, excluding think
@@ -142,6 +154,7 @@ impl VirtualTimes {
             wal_flush_us: self.wal_flush_us.saturating_sub(earlier.wal_flush_us),
             backoff_us: self.backoff_us.saturating_sub(earlier.backoff_us),
             recovery_us: self.recovery_us.saturating_sub(earlier.recovery_us),
+            repl_apply_us: self.repl_apply_us.saturating_sub(earlier.repl_apply_us),
         }
     }
 
@@ -154,6 +167,7 @@ impl VirtualTimes {
             wal_flush_us: self.wal_flush_us.saturating_add(other.wal_flush_us),
             backoff_us: self.backoff_us.saturating_add(other.backoff_us),
             recovery_us: self.recovery_us.saturating_add(other.recovery_us),
+            repl_apply_us: self.repl_apply_us.saturating_add(other.repl_apply_us),
         }
     }
 
@@ -170,6 +184,7 @@ impl VirtualTimes {
             wal_flush_us: self.wal_flush_us / n,
             backoff_us: self.backoff_us / n,
             recovery_us: self.recovery_us / n,
+            repl_apply_us: self.repl_apply_us / n,
         }
     }
 
@@ -178,13 +193,14 @@ impl VirtualTimes {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"page_read_us\":{},\"think_us\":{},\"lock_wait_us\":{},\"wal_flush_us\":{},\
-             \"backoff_us\":{},\"recovery_us\":{}}}",
+             \"backoff_us\":{},\"recovery_us\":{},\"repl_apply_us\":{}}}",
             self.page_read_us,
             self.think_us,
             self.lock_wait_us,
             self.wal_flush_us,
             self.backoff_us,
-            self.recovery_us
+            self.recovery_us,
+            self.repl_apply_us
         )
     }
 }
@@ -194,7 +210,7 @@ impl VirtualTimes {
 /// to stay always-on (tracing is gated separately).
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    counters: [AtomicU64; 6],
+    counters: [AtomicU64; 7],
 }
 
 impl VirtualClock {
@@ -216,6 +232,7 @@ impl VirtualClock {
             wal_flush_us: self.counters[3].load(Ordering::Relaxed),
             backoff_us: self.counters[4].load(Ordering::Relaxed),
             recovery_us: self.counters[5].load(Ordering::Relaxed),
+            repl_apply_us: self.counters[6].load(Ordering::Relaxed),
         }
     }
 }

@@ -123,7 +123,10 @@ impl Obs {
                 CostKind::PageRead => Some(HistKind::PageRead),
                 CostKind::LockWait => Some(HistKind::LockWait),
                 CostKind::WalFlush => Some(HistKind::WalFlush),
-                CostKind::Think | CostKind::RetryBackoff | CostKind::Recovery => None,
+                CostKind::Think
+                | CostKind::RetryBackoff
+                | CostKind::Recovery
+                | CostKind::ReplApply => None,
             };
             if let Some(h) = hist {
                 trace.hist(h).record(micros);

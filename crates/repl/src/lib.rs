@@ -1,0 +1,427 @@
+//! # xtc-repl — WAL shipping, read replicas, and failover promotion
+//!
+//! The stepping stone from one process to a read-scaled deployment
+//! (ROADMAP item 4): a **primary** engine keeps writing as before, and N
+//! **replica** engines continuously redo its durable log, each serving
+//! committed-snapshot reads at its own applied LSN.
+//!
+//! ## Shipping
+//!
+//! The unit of shipping is the durable prefix of the primary's WAL:
+//! [`Wal::records_since`] hands the shipper every record in
+//! `(cursor, durable_lsn]`, decoded at record-aligned segment boundaries.
+//! Nothing buffered (unsynced) ever leaves the primary, so a replica can
+//! never get ahead of what a crash of the primary would preserve — the
+//! invariant that makes failover lossless for acknowledged commits.
+//!
+//! ## Applying
+//!
+//! Each replica runs a [`RedoApplier`] (`xtc-core::recovery`): redo
+//! operations buffer per transaction and materialise only at that
+//! transaction's `Commit` record, so the replica store only ever holds
+//! states at commit boundaries — losers are simply never applied, and no
+//! undo pass exists on the replica. Readers synchronise with the apply
+//! loop through the per-replica apply latch ([`ReplicaShared`]): the
+//! applier holds it for write while materialising a commit, a reader
+//! holds it for read across its transaction.
+//!
+//! Apply work is charged to the replica engine's virtual clock as
+//! [`CostKind::ReplApply`] (a configured per-record cost), which makes
+//! **replication lag deterministic**: `lag_us = (durable_lsn −
+//! applied_lsn) × apply_cost_us`, independent of host speed.
+//!
+//! ## Fault model
+//!
+//! Two failpoint sites evaluate in the *replica's* engine scope, so a
+//! chaos harness can poison one replica while its neighbours keep
+//! serving: `repl.ship` (per shipping round; transient faults retry with
+//! backoff, a permanent fault poisons the replica) and `repl.apply` (per
+//! record; same discipline). A poisoned replica is excluded from read
+//! routing ([`Catalog::route_read`]) until a promotion rebuilds it.
+//!
+//! ## Promotion
+//!
+//! [`ReplGroup::promote`] runs the failover protocol after a primary
+//! crash: **fence** the old log ([`Wal::crash`], idempotent — the
+//! durable prefix stays readable), run **full recovery** over it
+//! (analysis, redo, *and undo* — the promoted engine must roll losers
+//! back, unlike a serving replica which never applied them), swap the
+//! recovered engine in as the new primary, and **re-bootstrap** every
+//! replica from the new log's clean post-recovery checkpoint. Every
+//! commit acknowledged by the old primary was durable in the fenced
+//! prefix, so none is lost.
+//!
+//! [`Wal::records_since`]: xtc_wal::Wal::records_since
+//! [`Wal::crash`]: xtc_wal::Wal::crash
+//! [`RedoApplier`]: xtc_core::RedoApplier
+//! [`CostKind::ReplApply`]: xtc_obs::CostKind
+//! [`Catalog::route_read`]: xtc_core::Catalog::route_read
+
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use xtc_core::{
+    recover_from, Catalog, RecoveryReport, RedoApplier, ReplicaShared, XtcConfig, XtcDb, XtcError,
+};
+use xtc_wal::{Lsn, WalError, WalRecord};
+
+/// In-site retry budget for transient injected ship/apply faults.
+const REPL_IO_ATTEMPTS: u32 = 4;
+/// Base backoff between transient-fault retries (grows exponentially).
+const REPL_IO_BACKOFF_BASE: Duration = Duration::from_micros(50);
+
+/// Configuration of a replication group.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// Deterministic virtual-time cost charged per applied record
+    /// ([`xtc_obs::CostKind::ReplApply`] on the replica's clock); also
+    /// the per-record unit of the lag metric.
+    pub apply_cost_us: u64,
+    /// Maximum records shipped to one replica per pump round (0 =
+    /// unbounded). Small batches make staleness observable in tests.
+    pub ship_batch: usize,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            apply_cost_us: 2,
+            ship_batch: 0,
+        }
+    }
+}
+
+/// One read replica: a WAL-less engine plus its redo cursor and the
+/// routing state shared with the catalog.
+pub struct Replica {
+    db: Arc<XtcDb>,
+    shared: Arc<ReplicaShared>,
+    applier: Mutex<RedoApplier>,
+    apply_cost_us: u64,
+}
+
+impl Replica {
+    fn new(template: &XtcConfig, apply_cost_us: u64) -> Result<Self, XtcError> {
+        // Replicas redo the primary's log; they keep no log of their own
+        // and take no part in admission (reads are routed, not gated).
+        let mut cfg = template.clone();
+        cfg.wal = None;
+        cfg.max_in_flight = None;
+        Ok(Replica {
+            db: Arc::new(XtcDb::try_new(cfg)?),
+            shared: Arc::new(ReplicaShared::new()),
+            applier: Mutex::new(RedoApplier::new()),
+            apply_cost_us,
+        })
+    }
+
+    /// The replica engine (serve read transactions against it while
+    /// holding [`ReplicaShared::read_latch`]).
+    pub fn db(&self) -> &Arc<XtcDb> {
+        &self.db
+    }
+
+    /// The routing state shared with the catalog.
+    pub fn shared(&self) -> &Arc<ReplicaShared> {
+        &self.shared
+    }
+
+    /// Highest primary LSN applied so far.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.shared.applied_lsn()
+    }
+
+    /// Deterministic replication lag, in virtual microseconds.
+    pub fn lag_us(&self) -> u64 {
+        self.shared.lag_us()
+    }
+
+    /// `false` once a permanent ship/apply fault poisoned this replica.
+    pub fn is_healthy(&self) -> bool {
+        self.shared.is_healthy()
+    }
+
+    /// Applies one shipped batch. Returns records applied before any
+    /// permanent fault; on such a fault the replica is poisoned (readers
+    /// are routed elsewhere) rather than erroring — its neighbours and
+    /// the primary are unaffected.
+    fn apply_batch(&self, records: &[WalRecord], primary_durable: Lsn) -> Result<usize, XtcError> {
+        let scope = self.db.failpoint_scope();
+        let mut applied = 0usize;
+        let mut applier = self.applier.lock().unwrap();
+        for rec in records {
+            // Fault site `repl.apply`, in the *replica's* scope: models
+            // the apply path hitting bad memory/storage on this replica.
+            match xtc_failpoint::eval_io_in(
+                scope,
+                "repl.apply",
+                REPL_IO_ATTEMPTS,
+                REPL_IO_BACKOFF_BASE,
+            ) {
+                xtc_failpoint::IoFault::Ok => {}
+                xtc_failpoint::IoFault::Transient { retries } => {
+                    charge_transient_backoff(self.db.obs(), retries);
+                }
+                xtc_failpoint::IoFault::Permanent => {
+                    self.shared.set_healthy(false);
+                    break;
+                }
+            }
+            // The latch is held per record, not per batch, so readers
+            // interleave with apply progress; commit application is the
+            // only store-mutating step and stays atomic under it.
+            self.shared
+                .with_apply_latch(|| applier.apply(&self.db, rec))?;
+            self.db
+                .obs()
+                .charge(xtc_obs::CostKind::ReplApply, self.apply_cost_us);
+            applied += 1;
+        }
+        let applied_lsn = applier.applied_lsn();
+        drop(applier);
+        let lag_records = primary_durable.saturating_sub(applied_lsn);
+        self.shared
+            .publish(applied_lsn, lag_records * self.apply_cost_us);
+        Ok(applied)
+    }
+}
+
+fn charge_transient_backoff(obs: &xtc_obs::Obs, retries: u32) {
+    if retries > 0 {
+        let slept =
+            REPL_IO_BACKOFF_BASE.as_micros() as u64 * ((1u64 << retries.min(16)) - 1);
+        obs.charge(xtc_obs::CostKind::RetryBackoff, slept);
+    }
+}
+
+/// What one [`ReplGroup::pump`] round did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Records applied across all replicas this round.
+    pub applied: usize,
+    /// Replicas skipped because they are poisoned.
+    pub poisoned: usize,
+    /// `true` when every healthy replica reached the primary's durable
+    /// LSN as of the start of the round.
+    pub caught_up: bool,
+}
+
+/// What a [`ReplGroup::promote`] failover did.
+#[derive(Debug, Clone)]
+pub struct PromotionReport {
+    /// Durable LSN of the fenced old log — the acknowledged prefix the
+    /// new primary is guaranteed to contain.
+    pub fenced_lsn: Lsn,
+    /// The recovery pass over the fenced log (winners, losers, redo and
+    /// undo work).
+    pub recovery: RecoveryReport,
+    /// Replicas rebuilt and re-attached onto the new log.
+    pub replicas_rebuilt: usize,
+}
+
+/// A replication group for one catalog document: the primary stays in
+/// the [`Catalog`] under the document's name; the group owns the replica
+/// engines and keeps the catalog's routing state current.
+pub struct ReplGroup {
+    catalog: Arc<Catalog>,
+    doc: String,
+    /// Engine template for replicas and the promotion target (usually
+    /// the primary's config; WAL and admission fields are overridden).
+    template: XtcConfig,
+    config: ReplConfig,
+    replicas: RwLock<Vec<Arc<Replica>>>,
+}
+
+impl ReplGroup {
+    /// A group over `catalog`'s document `doc`, which must exist and
+    /// have a WAL (there is nothing to ship otherwise). `template` is
+    /// the engine configuration replicas are built from.
+    pub fn new(
+        catalog: Arc<Catalog>,
+        doc: impl Into<String>,
+        template: XtcConfig,
+        config: ReplConfig,
+    ) -> Result<Self, XtcError> {
+        let doc = doc.into();
+        let primary = catalog.open(&doc)?;
+        if primary.wal().is_none() {
+            return Err(XtcError::Wal(WalError::BadPayload(
+                "replication requires the primary to have a WAL",
+            )));
+        }
+        Ok(ReplGroup {
+            catalog,
+            doc,
+            template,
+            config,
+            replicas: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The document this group replicates.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// The current primary engine.
+    pub fn primary(&self) -> Result<Arc<XtcDb>, XtcError> {
+        self.catalog.open(&self.doc)
+    }
+
+    /// Snapshot of the replica handles (attach order).
+    pub fn replicas(&self) -> Vec<Arc<Replica>> {
+        self.replicas.read().unwrap().clone()
+    }
+
+    /// Builds a fresh replica, attaches it to the catalog's routing
+    /// table, and returns its handle. It starts at LSN 0 and catches up
+    /// on subsequent [`pump`](ReplGroup::pump) rounds (the first record
+    /// it consumes is typically the primary's clean bootstrap
+    /// checkpoint).
+    pub fn add_replica(&self) -> Result<Arc<Replica>, XtcError> {
+        let replica = Arc::new(Replica::new(&self.template, self.config.apply_cost_us)?);
+        self.catalog
+            .attach_replica(&self.doc, replica.db.clone(), replica.shared.clone())?;
+        self.replicas.write().unwrap().push(replica.clone());
+        Ok(replica)
+    }
+
+    /// One shipping round: for each healthy replica, read the primary's
+    /// durable records past the replica's cursor (fault site `repl.ship`
+    /// in the replica's scope) and apply them. Safe to call from a
+    /// dedicated shipper thread while writers run on the primary.
+    pub fn pump(&self) -> Result<PumpReport, XtcError> {
+        let primary = self.primary()?;
+        let wal = primary
+            .wal()
+            .ok_or(XtcError::Wal(WalError::BadPayload("primary lost its WAL")))?;
+        let durable = wal.durable_lsn();
+        let mut report = PumpReport {
+            caught_up: true,
+            ..PumpReport::default()
+        };
+        for replica in self.replicas() {
+            if !replica.is_healthy() {
+                report.poisoned += 1;
+                continue;
+            }
+            let since = replica.applied_lsn();
+            if since >= durable {
+                replica.shared.publish(since, 0);
+                continue;
+            }
+            report.caught_up = false;
+            // Fault site `repl.ship`, in the replica's scope: models the
+            // transfer leg to this replica. Transient faults retry with
+            // backoff in-site; a permanent fault poisons the replica.
+            match xtc_failpoint::eval_io_in(
+                replica.db.failpoint_scope(),
+                "repl.ship",
+                REPL_IO_ATTEMPTS,
+                REPL_IO_BACKOFF_BASE,
+            ) {
+                xtc_failpoint::IoFault::Ok => {}
+                xtc_failpoint::IoFault::Transient { retries } => {
+                    charge_transient_backoff(replica.db.obs(), retries);
+                }
+                xtc_failpoint::IoFault::Permanent => {
+                    replica.shared.set_healthy(false);
+                    report.poisoned += 1;
+                    continue;
+                }
+            }
+            let mut records = wal.records_since(since)?;
+            if self.config.ship_batch > 0 && records.len() > self.config.ship_batch {
+                records.truncate(self.config.ship_batch);
+            }
+            report.applied += replica.apply_batch(&records, durable)?;
+        }
+        Ok(report)
+    }
+
+    /// Pumps until every healthy replica has applied the primary's
+    /// durable prefix (bounded by progress: a round that applies nothing
+    /// and reports nothing outstanding terminates the loop).
+    pub fn catch_up(&self) -> Result<(), XtcError> {
+        loop {
+            let report = self.pump()?;
+            if report.caught_up || report.applied == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Fails over after a primary crash: fences the old log, recovers a
+    /// new primary from its durable prefix (full recovery — analysis,
+    /// redo, undo of losers), swaps it into the catalog, and rebuilds
+    /// every replica from the new log's clean post-recovery checkpoint.
+    ///
+    /// Works whether the old primary is already crashed (the expected
+    /// case) or still alive — fencing is exactly [`xtc_wal::Wal::crash`],
+    /// which is idempotent and freezes further writes either way, so a
+    /// deposed primary can never split-brain past its fenced prefix.
+    pub fn promote(&self) -> Result<PromotionReport, XtcError> {
+        let old = self.primary()?;
+        let old_wal = old
+            .wal()
+            .ok_or(XtcError::Wal(WalError::BadPayload("primary lost its WAL")))?;
+        // 1. Fence: freeze the old log. Its durable prefix — everything
+        //    any client ever got an acknowledgement for — stays readable.
+        old_wal.crash();
+        let fenced_lsn = old_wal.durable_lsn();
+
+        // 2. Recover the new primary from the fenced prefix. Unlike the
+        //    replicas' continuous redo, this is full recovery *with
+        //    undo*: in-flight losers' effects must be rolled back before
+        //    the engine accepts writes. The new epoch gets a fresh WAL
+        //    (and `recover_from` checkpoints the recovered state into
+        //    it, which is what rebuilt replicas bootstrap from).
+        let mut cfg = self.template.clone();
+        if cfg.wal.is_none() {
+            cfg.wal = Some(xtc_wal::WalConfig::default());
+        }
+        cfg.max_in_flight = None;
+        let (new_db, recovery) = recover_from(old_wal, cfg)?;
+        let new_db = Arc::new(new_db);
+
+        // 3. Swap the catalog's primary. Routing flips atomically: reads
+        //    may still hit old replicas' committed snapshots until the
+        //    rebuild below, writes go to the new primary immediately.
+        self.catalog.promote(&self.doc, new_db)?;
+
+        // 4. Rebuild the replica fleet against the new log. A replica's
+        //    committed snapshot equals the recovered state in content,
+        //    but its cursor is meaningless against the new epoch's LSNs,
+        //    so each is replaced wholesale (which also heals poisoned
+        //    ones). Old engines die with their Arcs.
+        let count = {
+            let mut replicas = self.replicas.write().unwrap();
+            let count = replicas.len();
+            for replica in replicas.drain(..) {
+                xtc_failpoint::clear_scope(replica.db.failpoint_scope());
+            }
+            count
+        };
+        for _ in 0..count {
+            self.add_replica()?;
+        }
+        self.catch_up()?;
+        Ok(PromotionReport {
+            fenced_lsn,
+            recovery,
+            replicas_rebuilt: count,
+        })
+    }
+}
+
+impl std::fmt::Debug for ReplGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplGroup")
+            .field("doc", &self.doc)
+            .field("replicas", &self.replicas.read().unwrap().len())
+            .field("config", &self.config)
+            .finish()
+    }
+}

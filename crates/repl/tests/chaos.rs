@@ -1,0 +1,160 @@
+//! Chaos cell for the replication fault model: the `repl.ship` and
+//! `repl.apply` sites evaluate in the *replica's* engine scope, so a
+//! transient fault costs one replica some backoff and a permanent fault
+//! poisons that replica only — neighbours and the primary never notice.
+//! Only compiled with the `failpoints` feature
+//! (`cargo test -p xtc-repl --features failpoints --test chaos`).
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Arc, Mutex};
+
+use xtc_core::{Catalog, CatalogConfig, DocRole, DocSpec, InsertPos, XtcConfig, XtcDb};
+use xtc_failpoint::FailAction;
+use xtc_repl::{ReplConfig, ReplGroup};
+use xtc_tamix::chaos::document_digest;
+
+/// The failpoint registry is process-global; tests arming it must not
+/// overlap (`cargo test` runs `#[test]` functions on multiple threads).
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+const DOC: &str = "d";
+
+fn wal_config() -> XtcConfig {
+    XtcConfig {
+        wal: Some(xtc_core::wal::WalConfig::default()),
+        ..XtcConfig::default()
+    }
+}
+
+fn catalog_with_doc() -> Arc<Catalog> {
+    let catalog = Arc::new(Catalog::new(CatalogConfig {
+        defaults: wal_config(),
+        ..CatalogConfig::default()
+    }));
+    catalog
+        .create_doc(DocSpec::named(DOC).with_xml("<doc><seed>s</seed></doc>"))
+        .unwrap();
+    catalog
+}
+
+fn commit_marker(db: &XtcDb, i: usize) {
+    let txn = db.begin();
+    let root = txn.root().unwrap().unwrap();
+    txn.insert_element(&root, InsertPos::LastChild, &format!("m{i}"))
+        .unwrap();
+    txn.commit().unwrap();
+}
+
+#[test]
+fn transient_ship_fault_retries_with_backoff_and_replication_completes() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    xtc_failpoint::clear();
+    xtc_failpoint::set_seed(0xF00D);
+
+    let catalog = catalog_with_doc();
+    let g = ReplGroup::new(catalog.clone(), DOC, wal_config(), ReplConfig::default()).unwrap();
+    let faulty = g.add_replica().unwrap();
+    let clean = g.add_replica().unwrap();
+    g.catch_up().unwrap();
+
+    // A transient transfer fault on one replica's ship leg: fires twice
+    // (within the in-site retry budget), then dries up.
+    let faulty_scope = faulty.db().failpoint_scope();
+    xtc_failpoint::configure_in(faulty_scope, "repl.ship", 1.0, FailAction::Error, Some(2));
+
+    let primary = g.primary().unwrap();
+    for i in 0..5 {
+        commit_marker(&primary, i);
+    }
+    let backoff_before = faulty.db().obs().vt().backoff_us;
+    g.catch_up().unwrap();
+
+    // The fault dried up in-site: both hits landed on the faulty
+    // replica, nothing fired on its neighbour, and everyone caught up.
+    assert_eq!(xtc_failpoint::hits_in(faulty_scope, "repl.ship"), 2);
+    assert_eq!(
+        xtc_failpoint::hits_in(clean.db().failpoint_scope(), "repl.ship"),
+        0
+    );
+    for replica in [&faulty, &clean] {
+        assert!(replica.is_healthy());
+        assert_eq!(replica.lag_us(), 0);
+        assert_eq!(document_digest(replica.db()), document_digest(&primary));
+    }
+    // Two in-site retries charged deterministic backoff to the faulty
+    // replica's clock: 50µs + 100µs.
+    assert_eq!(faulty.db().obs().vt().backoff_us - backoff_before, 150);
+    assert_eq!(clean.db().obs().vt().backoff_us, 0);
+
+    xtc_failpoint::clear();
+}
+
+#[test]
+fn permanent_apply_fault_poisons_only_that_replica() {
+    let _guard = FP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    xtc_failpoint::clear();
+
+    let catalog = catalog_with_doc();
+    let g = ReplGroup::new(catalog.clone(), DOC, wal_config(), ReplConfig::default()).unwrap();
+    let doomed = g.add_replica().unwrap();
+    let survivor = g.add_replica().unwrap();
+    g.catch_up().unwrap();
+    let doomed_digest = document_digest(doomed.db());
+
+    // A dead apply path on one replica: every attempt in the budget
+    // fails, so the first shipped record permanently poisons it.
+    xtc_failpoint::configure_in(
+        doomed.db().failpoint_scope(),
+        "repl.apply",
+        1.0,
+        FailAction::Error,
+        None,
+    );
+
+    let primary = g.primary().unwrap();
+    for i in 0..6 {
+        commit_marker(&primary, i);
+    }
+    g.catch_up().unwrap();
+
+    // The poison is contained: the doomed replica froze at its last
+    // committed snapshot, while its neighbour caught up and the primary
+    // kept committing throughout.
+    assert!(!doomed.is_healthy());
+    assert_eq!(document_digest(doomed.db()), doomed_digest);
+    assert!(survivor.is_healthy());
+    assert_eq!(survivor.lag_us(), 0);
+    assert_eq!(document_digest(survivor.db()), document_digest(&primary));
+
+    // Read routing avoids the poisoned replica.
+    let route = catalog.route_read(DOC).unwrap();
+    assert_eq!(route.role, DocRole::Replica);
+    assert_eq!(
+        route.shared.as_ref().unwrap().applied_lsn(),
+        survivor.applied_lsn()
+    );
+
+    // Further pumps skip it without touching its dead apply path again.
+    let hits = xtc_failpoint::hits_in(doomed.db().failpoint_scope(), "repl.apply");
+    commit_marker(&primary, 99);
+    let report = g.pump().unwrap();
+    assert_eq!(report.poisoned, 1);
+    assert_eq!(
+        xtc_failpoint::hits_in(doomed.db().failpoint_scope(), "repl.apply"),
+        hits
+    );
+
+    // Promotion rebuilds the fleet and thereby heals the poison: the
+    // replacement replica is a fresh engine with an unarmed scope.
+    primary.wal().unwrap().crash();
+    let promo = g.promote().unwrap();
+    assert_eq!(promo.replicas_rebuilt, 2);
+    let new_primary = g.primary().unwrap();
+    for replica in g.replicas() {
+        assert!(replica.is_healthy());
+        assert_eq!(document_digest(replica.db()), document_digest(&new_primary));
+    }
+
+    xtc_failpoint::clear();
+}

@@ -16,6 +16,9 @@ pub struct Client {
 pub struct RunReply {
     /// Paper name of the transaction type (`TAqueryBook`, …).
     pub kind: String,
+    /// Which role served the transaction: `"primary"`, or `"replica"`
+    /// for a read routed to a read replica.
+    pub role: String,
     /// Whether the body did its work (`false` = target vanished and the
     /// transaction committed trivially).
     pub did_work: bool,
@@ -25,6 +28,41 @@ pub struct RunReply {
     pub vt_us: u64,
     /// Wall-clock microseconds of the whole retry loop, server-side.
     pub wall_us: u64,
+}
+
+/// Replication state of one hosted document, from a `stats` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocReplication {
+    /// Document name.
+    pub name: String,
+    /// Where a read routes right now: `"primary"` or `"replica"`.
+    pub role: String,
+    /// Deterministic lag of the routed replica, in virtual microseconds
+    /// (0 when reads go to the primary).
+    pub lag_us: u64,
+    /// Read replicas attached to the document.
+    pub replicas: usize,
+}
+
+/// Parsed reply to a `stats` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Hosted documents.
+    pub docs: usize,
+    /// Sessions currently connected.
+    pub active_sessions: u64,
+    /// Sessions ever accepted.
+    pub total_sessions: u64,
+    /// Transactions currently admitted across the catalog.
+    pub in_flight: u64,
+    /// `run` commands that committed (server-wide).
+    pub committed: u64,
+    /// `run` commands whose retries exhausted (server-wide).
+    pub failed: u64,
+    /// Committed `run`s served by a read replica.
+    pub replica_reads: u64,
+    /// Per-document replication state, in document-name order.
+    pub doc_replication: Vec<DocReplication>,
 }
 
 fn proto_err(msg: impl Into<String>) -> io::Error {
@@ -111,6 +149,7 @@ impl Client {
             };
             Ok(Ok(RunReply {
                 kind: field("kind=")?.to_string(),
+                role: field("role=")?.to_string(),
                 did_work: field("did_work=")? == "1",
                 attempts: field("attempts=")?.parse().map_err(|_| proto_err(&reply))?,
                 vt_us: field("vt_us=")?.parse().map_err(|_| proto_err(&reply))?,
@@ -121,6 +160,46 @@ impl Client {
         } else {
             Err(proto_err(reply))
         }
+    }
+
+    /// Fetches and parses the server-wide counters and per-document
+    /// replication state.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        let reply = self.command("stats")?;
+        let rest = reply
+            .strip_prefix("ok ")
+            .ok_or_else(|| proto_err(reply.clone()))?
+            .to_string();
+        let field = |key: &str| -> io::Result<u64> {
+            rest.split_ascii_whitespace()
+                .find_map(|w| w.strip_prefix(key))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| proto_err(format!("missing {key} in {reply:?}")))
+        };
+        let mut doc_replication = Vec::new();
+        for token in rest.split_ascii_whitespace() {
+            let Some(spec) = token.strip_prefix("doc=") else {
+                continue;
+            };
+            let mut parts = spec.split(':');
+            let bad = || proto_err(format!("bad doc token {token:?}"));
+            doc_replication.push(DocReplication {
+                name: parts.next().ok_or_else(bad)?.to_string(),
+                role: parts.next().ok_or_else(bad)?.to_string(),
+                lag_us: parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+                replicas: parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+            });
+        }
+        Ok(StatsReply {
+            docs: field("docs=")? as usize,
+            active_sessions: field("active_sessions=")?,
+            total_sessions: field("total_sessions=")?,
+            in_flight: field("in_flight=")?,
+            committed: field("committed=")?,
+            failed: field("failed=")?,
+            replica_reads: field("replica_reads=")?,
+            doc_replication,
+        })
     }
 
     /// Round-trip liveness check.

@@ -20,13 +20,22 @@
 //! | `docs`         | `ok docs=<name,name,…>`                              |
 //! | `open <doc>`   | `ok open <doc>` / `err unknown-doc <doc>`            |
 //! | `seed <n>`     | `ok seed=<n>` (reseeds the session RNG)              |
-//! | `run <kind>`   | `ok kind=… committed=1 did_work=… attempts=… vt_us=… wall_us=…` / `err …` |
-//! | `stats`        | `ok docs=… active_sessions=… total_sessions=… in_flight=… committed=… failed=…` |
+//! | `run <kind>`   | `ok kind=… role=… committed=1 did_work=… attempts=… vt_us=… wall_us=…` / `err …` |
+//! | `stats`        | `ok docs=… active_sessions=… total_sessions=… in_flight=… committed=… failed=… replica_reads=… doc=<name>:<role>:<lag_us>:<replicas> …` |
 //! | `quit`         | `ok bye`, then the server closes the connection      |
 //!
 //! `run` accepts both paper names (`TAqueryBook`) and short names
 //! (`QueryBook`), case-insensitively. A `run` whose retries exhaust
 //! replies `err txn <kind> <reason>` — the session stays usable.
+//!
+//! ## Replica routing
+//!
+//! When read replicas are attached to a document ([`Catalog`]'s routing
+//! table, kept by `xtc-repl`'s `ReplGroup`), read-only transaction types
+//! (`TAqueryBook`) route to the least-lagged healthy replica and reply
+//! with `role=replica`; every writer type routes to the primary. The
+//! `stats` reply carries one `doc=<name>:<role>:<lag_us>:<replicas>`
+//! token per document describing where its reads go right now.
 //!
 //! Transactions go through [`XtcDb::run_retrying`], so every reply
 //! carries both wall-clock and *virtual-time* cost attribution
@@ -50,7 +59,7 @@ use std::time::Duration;
 use xtc_core::{Catalog, RetryPolicy};
 use xtc_tamix::BibConfig;
 
-pub use client::{Client, RunReply};
+pub use client::{Client, DocReplication, RunReply, StatsReply};
 
 /// Configuration of an [`XtcServer`].
 #[derive(Debug, Clone)]
@@ -99,15 +108,18 @@ pub struct ServerStats {
     pub txns_committed: AtomicU64,
     /// `run` commands whose retries exhausted.
     pub txns_failed: AtomicU64,
+    /// Committed `run`s served by a read replica rather than a primary.
+    pub replica_reads: AtomicU64,
 }
 
 impl ServerStats {
-    fn load(&self) -> (u64, u64, u64, u64) {
+    fn load(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.total_sessions.load(Ordering::Relaxed),
             self.active_sessions.load(Ordering::Relaxed),
             self.txns_committed.load(Ordering::Relaxed),
             self.txns_failed.load(Ordering::Relaxed),
+            self.replica_reads.load(Ordering::Relaxed),
         )
     }
 }

@@ -8,7 +8,7 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xtc_core::XtcDb;
+use xtc_core::{DocRole, ReadRoute};
 use xtc_tamix::txns::{run_txn_body, Pacing, TxnKind};
 
 /// Parses a transaction-type name: paper form (`TAqueryBook`) or short
@@ -31,7 +31,10 @@ pub(crate) fn run(stream: TcpStream, session_id: u64, shared: &Arc<Shared>) -> s
     )?;
 
     let mut rng = SmallRng::seed_from_u64(shared.seed ^ session_id);
-    let mut doc: Option<(String, Arc<XtcDb>)> = None;
+    // Only the *name* is held open: every `run` re-routes through the
+    // catalog, so a replica attached (or a primary promoted) mid-session
+    // takes effect on the next transaction.
+    let mut doc: Option<String> = None;
     let pacing = Pacing {
         wait_after_operation: Duration::ZERO,
     };
@@ -51,8 +54,8 @@ pub(crate) fn run(stream: TcpStream, session_id: u64, shared: &Arc<Shared>) -> s
             }
             (Some("docs"), _) => format!("ok docs={}", shared.catalog.doc_names().join(",")),
             (Some("open"), Some(name)) => match shared.catalog.get(name) {
-                Some(db) => {
-                    doc = Some((name.to_string(), db));
+                Some(_) => {
+                    doc = Some(name.to_string());
                     format!("ok open {name}")
                 }
                 None => format!("err unknown-doc {name}"),
@@ -72,13 +75,27 @@ pub(crate) fn run(stream: TcpStream, session_id: u64, shared: &Arc<Shared>) -> s
             },
             (Some("run"), None) => "err bad-command run needs a transaction type".to_string(),
             (Some("stats"), _) => {
-                let (total, active, committed, failed) = shared.stats.load();
-                format!(
+                let (total, active, committed, failed, replica_reads) = shared.stats.load();
+                let mut reply = format!(
                     "ok docs={} active_sessions={active} total_sessions={total} \
-                     in_flight={} committed={committed} failed={failed}",
+                     in_flight={} committed={committed} failed={failed} \
+                     replica_reads={replica_reads}",
                     shared.catalog.len(),
                     shared.catalog.admitted_in_flight(),
-                )
+                );
+                // Per-document replication state: where a read routes
+                // right now, its lag, and the attached replica count.
+                for name in shared.catalog.doc_names() {
+                    if let Ok(route) = shared.catalog.route_read(&name) {
+                        let lag = route.shared.as_ref().map_or(0, |s| s.lag_us());
+                        reply.push_str(&format!(
+                            " doc={name}:{}:{lag}:{}",
+                            route.role.name(),
+                            shared.catalog.replica_count(&name),
+                        ));
+                    }
+                }
+                reply
             }
             (Some(cmd), _) => format!("err bad-command {cmd:?}"),
             (None, _) => continue, // blank line
@@ -88,27 +105,53 @@ pub(crate) fn run(stream: TcpStream, session_id: u64, shared: &Arc<Shared>) -> s
 }
 
 /// Executes one `run` command through the engine's retry loop and
-/// formats the reply with wall- and virtual-time attribution.
+/// formats the reply with wall- and virtual-time attribution. Writers
+/// always run on the primary; read-only transactions are routed to the
+/// least-lagged healthy replica (the primary when none is attached).
 fn run_one(
     shared: &Arc<Shared>,
-    doc: &Option<(String, Arc<XtcDb>)>,
+    doc: &Option<String>,
     kind: TxnKind,
     rng: &mut SmallRng,
     pacing: Pacing,
 ) -> String {
-    let Some((_, db)) = doc else {
+    let Some(name) = doc else {
         return "err no-doc open a document first".to_string();
     };
+    let route = if kind.is_writer() {
+        match shared.catalog.route_write(name) {
+            Ok(db) => ReadRoute {
+                db,
+                role: DocRole::Primary,
+                shared: None,
+            },
+            Err(_) => return format!("err unknown-doc {name}"),
+        }
+    } else {
+        match shared.catalog.route_read(name) {
+            Ok(route) => route,
+            Err(_) => return format!("err unknown-doc {name}"),
+        }
+    };
+    // A replica read holds the apply latch for the whole transaction so
+    // the apply loop can never tear its committed snapshot.
+    let _latch = route.shared.as_ref().map(|s| s.read_latch());
     let started = Instant::now();
-    let (result, stats) =
-        db.run_retrying(&shared.retry, |txn| run_txn_body(txn, kind, &shared.bib, rng, pacing));
+    let (result, stats) = route
+        .db
+        .run_retrying(&shared.retry, |txn| run_txn_body(txn, kind, &shared.bib, rng, pacing));
     let wall_us = started.elapsed().as_micros() as u64;
     match result {
         Ok(did_work) => {
             shared.stats.txns_committed.fetch_add(1, Ordering::Relaxed);
+            if route.role == DocRole::Replica {
+                shared.stats.replica_reads.fetch_add(1, Ordering::Relaxed);
+            }
             format!(
-                "ok kind={} committed=1 did_work={} attempts={} vt_us={} wall_us={wall_us}",
+                "ok kind={} role={} committed=1 did_work={} attempts={} vt_us={} \
+                 wall_us={wall_us}",
                 kind.name(),
+                route.role.name(),
                 u8::from(did_work),
                 stats.attempts,
                 stats.vt_elapsed_us,

@@ -117,5 +117,15 @@ fn concurrent_sessions_share_the_catalog_gate() {
     // the already-collected stats survive on the handle.
     use std::sync::atomic::Ordering;
     assert_eq!(server.stats().txns_committed.load(Ordering::Relaxed), 160);
+    // A session thread decrements active_sessions *after* its farewell
+    // reply is on the wire, so a client can observe `ok bye` (and this
+    // test can get here) a beat before the counter drops — wait for the
+    // drain instead of sampling it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.stats().active_sessions.load(Ordering::Relaxed) != 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::yield_now();
+    }
     assert_eq!(server.stats().active_sessions.load(Ordering::Relaxed), 0);
 }

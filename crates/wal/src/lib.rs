@@ -51,7 +51,7 @@ pub mod codec;
 mod log;
 mod record;
 
-pub use log::{MemBackend, Wal, WalBackend, WalConfig, WalStats, WalStorage};
+pub use log::{MemBackend, Wal, WalBackend, WalConfig, WalSegment, WalStats, WalStorage};
 pub use record::{NodePayload, RecordBody, RedoOp, UndoOp, WalRecord};
 
 /// Log sequence number: 1-based position of a record in the log. `0`

@@ -33,6 +33,14 @@ pub trait WalBackend: Send + Sync {
     /// Discard everything past the first `len` bytes (used on reopen to
     /// drop a torn tail).
     fn truncate(&self, len: u64) -> Result<(), WalError>;
+    /// The durable image split at the backend's natural boundaries (one
+    /// entry per segment file; a single entry for unsegmented backends),
+    /// concatenating to exactly [`WalBackend::read_all`]. Because flush
+    /// batches never straddle a roll, every entry starts and ends on a
+    /// record frame — the invariant log shipping relies on.
+    fn read_segments(&self) -> Result<Vec<Vec<u8>>, WalError> {
+        Ok(vec![self.read_all()?])
+    }
 }
 
 /// In-memory backend: "durable" within the process, reset on drop. This
@@ -142,6 +150,15 @@ impl WalBackend for DirBackend {
         Ok(out)
     }
 
+    fn read_segments(&self) -> Result<Vec<Vec<u8>>, WalError> {
+        let _st = self.state.lock().unwrap();
+        let mut out = Vec::new();
+        for idx in Self::list_segments(&self.dir)? {
+            out.push(fs::read(self.dir.join(segment_name(idx)))?);
+        }
+        Ok(out)
+    }
+
     fn truncate(&self, len: u64) -> Result<(), WalError> {
         let mut st = self.state.lock().unwrap();
         let mut remaining = len;
@@ -241,6 +258,27 @@ struct WalState {
     crashed: bool,
     /// A flush leader is currently writing the backend.
     flushing: bool,
+}
+
+/// One durable log segment's worth of decoded records, as returned by
+/// [`Wal::segments_since`]. The memory backend reports its whole log as
+/// a single segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalSegment {
+    /// The segment's intact records in LSN order (never empty).
+    pub records: Vec<WalRecord>,
+}
+
+impl WalSegment {
+    /// LSN of the first record in the segment.
+    pub fn first_lsn(&self) -> Lsn {
+        self.records.first().map(|r| r.lsn).unwrap_or(0)
+    }
+
+    /// LSN of the last record in the segment.
+    pub fn last_lsn(&self) -> Lsn {
+        self.records.last().map(|r| r.lsn).unwrap_or(0)
+    }
 }
 
 /// The write-ahead log. See the crate docs for the protocol; in short:
@@ -553,6 +591,43 @@ impl Wal {
         Ok(codec::decode_stream(&image))
     }
 
+    /// The durable records with LSN in `(since, durable_lsn]`, grouped by
+    /// backend segment — the log-shipping read path. Each group decodes
+    /// independently because flush batches never straddle a segment roll,
+    /// so boundaries are always record-aligned. Buffered (unsynced)
+    /// records and any torn tail past the durable LSN are never shipped:
+    /// a replica only sees what a crash of this log would preserve.
+    ///
+    /// Works on a [crashed](Wal::crash) log too — promotion ships the
+    /// fenced primary's remaining durable prefix through this same call.
+    pub fn segments_since(&self, since: Lsn) -> Result<Vec<WalSegment>, WalError> {
+        // Durable LSN is snapshotted *before* the image is read, so the
+        // image is always a superset of the prefix we admit.
+        let durable = self.durable_lsn();
+        let mut out = Vec::new();
+        for image in self.backend.read_segments()? {
+            let (records, _tail_damage) = codec::decode_stream(&image);
+            let records: Vec<WalRecord> = records
+                .into_iter()
+                .filter(|r| r.lsn > since && r.lsn <= durable)
+                .collect();
+            if !records.is_empty() {
+                out.push(WalSegment { records });
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`segments_since`](Wal::segments_since), flattened to one record
+    /// stream in LSN order.
+    pub fn records_since(&self, since: Lsn) -> Result<Vec<WalRecord>, WalError> {
+        Ok(self
+            .segments_since(since)?
+            .into_iter()
+            .flat_map(|s| s.records)
+            .collect())
+    }
+
     /// Snapshot of the writer's counters.
     pub fn stats(&self) -> WalStats {
         WalStats {
@@ -595,6 +670,60 @@ mod tests {
         assert_eq!(damage, None);
         assert_eq!(wal.append(&RecordBody::Begin { txn: 2 }), Err(WalError::Crashed));
         assert_eq!(wal.commit_sync(l1 + 1), Err(WalError::Crashed));
+    }
+
+    #[test]
+    fn segments_since_is_record_aligned_across_rollover() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtc-wal-shipseg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        // A tiny segment budget forces a roll roughly every record, so
+        // the log spreads across many files.
+        let wal = Wal::open(WalConfig {
+            storage: WalStorage::Directory { path: dir.clone(), segment_bytes: 48 },
+            group_commit_window: Duration::ZERO,
+        })
+        .unwrap();
+        let total = 40u64;
+        for txn in 1..=total {
+            let lsn = wal.append(&RecordBody::Commit { txn }).unwrap();
+            wal.commit_sync(lsn).unwrap();
+        }
+        let on_disk = DirBackend::list_segments(&dir).unwrap().len();
+        assert!(on_disk > 3, "expected rollover, got {on_disk} segment files");
+
+        // Full ship: every segment decodes independently (record-aligned
+        // boundaries) and the concatenation is the exact LSN sequence.
+        let segments = wal.segments_since(0).unwrap();
+        assert!(segments.len() > 3);
+        let mut expect = 1u64;
+        for seg in &segments {
+            assert!(!seg.records.is_empty());
+            assert_eq!(seg.first_lsn(), expect);
+            for rec in &seg.records {
+                assert_eq!(rec.lsn, expect);
+                expect += 1;
+            }
+            assert_eq!(seg.last_lsn(), expect - 1);
+        }
+        assert_eq!(expect, total + 1);
+
+        // Incremental ship from an arbitrary mid-log cursor.
+        let tail = wal.records_since(17).unwrap();
+        assert_eq!(tail.first().unwrap().lsn, 18);
+        assert_eq!(tail.len() as u64, total - 17);
+
+        // Buffered records past the durable prefix are never shipped.
+        wal.append(&RecordBody::Begin { txn: 99 }).unwrap();
+        assert_eq!(wal.records_since(0).unwrap().len() as u64, total);
+
+        // A crashed (fenced) log still ships its durable prefix.
+        wal.crash();
+        assert_eq!(wal.records_since(17).unwrap().len() as u64, total - 17);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use xtc_node as node;
 pub use xtc_obs as obs;
 pub use xtc_protocols as protocols;
 pub use xtc_query as query;
+pub use xtc_repl as repl;
 pub use xtc_server as server;
 pub use xtc_splid as splid;
 pub use xtc_storage as storage;
