@@ -139,7 +139,21 @@ fn main() {
             let mut params = ChaosParams::quick(proto, site, seed ^ ((s as u64) << 17));
             params.tamix.duration = duration;
             params.resume_duration = resume;
+            // The write-back kill site is only meaningful when write-backs
+            // are real: give those cells a disk-backed pool under a tight
+            // residency budget with the background flusher running.
+            let fb_dir = (site == "pool.evict_write").then(|| {
+                std::env::temp_dir().join(format!("xtc-chaos-{}-{proto}-{s}", std::process::id()))
+            });
+            if let Some(dir) = &fb_dir {
+                params.tamix.store.backend_dir = Some(dir.clone());
+                params.tamix.store.max_resident_pages = Some(8);
+                params.tamix.writeback_interval = Some(Duration::from_millis(2));
+            }
             let r = run_crash_recover_resume(&params);
+            if let Some(dir) = &fb_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
             eprintln!(
                 "chaos: {proto}/{site}: {} mid-run={} recovery={}us ({} records) \
                  pre={} post={}",

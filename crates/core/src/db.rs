@@ -87,6 +87,15 @@ pub struct XtcConfig {
     /// WAL, and transaction events into a lock-free ring buffer with
     /// latency histograms — exportable via [`XtcDb::obs`] as JSON.
     pub obs: Option<xtc_obs::ObsConfig>,
+    /// Background writeback cadence. `Some(interval)` spawns a flusher
+    /// thread that, every `interval`, publishes the WAL's durable LSN to
+    /// the storage layer and writes back every dirty page the durable
+    /// prefix covers (`page_lsn <= durable_lsn` — the WAL rule). This
+    /// keeps the pool's clean-victim supply ahead of eviction pressure so
+    /// the synchronous forced-writeback fallback stays rare, and shrinks
+    /// checkpoint stalls (most pages are already clean). `None` (the
+    /// default) flushes only at checkpoints.
+    pub writeback_interval: Option<Duration>,
 }
 
 impl Default for XtcConfig {
@@ -106,6 +115,56 @@ impl Default for XtcConfig {
             max_in_flight: None,
             admission: AdmissionPolicy::default(),
             obs: None,
+            writeback_interval: None,
+        }
+    }
+}
+
+/// The background flusher: owns the stop flag and join handle; dropping
+/// it (with the [`XtcDb`]) signals the thread and waits for it to exit,
+/// so no flush races the engine's teardown.
+struct WritebackThread {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WritebackThread {
+    fn spawn(interval: Duration, store: Arc<DocStore>, wal: Option<Arc<Wal>>) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        // Sleep in short slices so teardown never waits a full interval.
+        let slice = interval.min(Duration::from_millis(5)).max(Duration::from_micros(50));
+        let join = std::thread::Builder::new()
+            .name("xtc-writeback".into())
+            .spawn(move || loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if thread_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                // Without a WAL there is no WAL rule: every dirty page is
+                // immediately flushable.
+                let durable = wal.as_ref().map(|w| w.durable_lsn()).unwrap_or(u64::MAX);
+                store.stats().set_durable_lsn(durable);
+                store.flush_all(durable);
+            })
+            .expect("spawn xtc-writeback");
+        WritebackThread {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for WritebackThread {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
         }
     }
 }
@@ -152,6 +211,10 @@ pub struct XtcDb {
     txn_deadline: Option<Duration>,
     gate: Option<Arc<AdmissionGate>>,
     wal: Option<WalHandle>,
+    /// Background flusher ([`XtcConfig::writeback_interval`]); never
+    /// read, held so dropping the engine stops and joins the thread.
+    #[allow(dead_code)]
+    writeback: Option<WritebackThread>,
     obs: xtc_obs::Obs,
     /// This engine's failpoint scope: every fault site in the engine's
     /// stack (lock table, storage, WAL, commit, recovery) evaluates in
@@ -204,6 +267,13 @@ impl XtcDb {
             Some(wal_config) => Some(WalHandle::open(wal_config, obs.clone(), failpoint_scope)?),
             None => None,
         };
+        let writeback = config.writeback_interval.map(|interval| {
+            WritebackThread::spawn(
+                interval,
+                store.clone(),
+                wal.as_ref().map(|h| h.wal.clone()),
+            )
+        });
         let registry = Arc::new(TxnRegistry::new());
         let table = Arc::new(
             LockTable::new(
@@ -230,6 +300,7 @@ impl XtcDb {
             txn_deadline: config.txn_deadline,
             gate,
             wal,
+            writeback,
             obs,
             failpoint_scope,
         })
@@ -295,7 +366,11 @@ impl XtcDb {
             .wal
             .append(&RecordBody::Checkpoint { active, snapshot })?;
         handle.wal.sync_all()?;
-        self.store.flush_all(handle.wal.durable_lsn());
+        // Publish durability before flushing so eviction's forced
+        // writeback also sees the fresh WAL-safe horizon.
+        let durable = handle.wal.durable_lsn();
+        self.store.stats().set_durable_lsn(durable);
+        self.store.flush_all(durable);
         Ok(Some(lsn))
     }
 

@@ -811,6 +811,14 @@ impl<'db> Transaction<'db> {
                     self.abort_inner();
                     return Err(e.into());
                 }
+                // The group flush advanced the durable horizon; publish
+                // it so the buffer pool's WAL rule (write back only
+                // pages with `page_lsn <= durable_lsn`) unblocks the
+                // pages this transaction dirtied.
+                self.db
+                    .store()
+                    .stats()
+                    .set_durable_lsn(handle.wal.durable_lsn());
                 handle.active.lock().remove(&self.id);
             }
         }

@@ -1,0 +1,67 @@
+//! Background writeback (ISSUE 9): the flusher thread configured by
+//! `XtcConfig::writeback_interval` must clean dirty pages between
+//! checkpoints while honoring the WAL rule — only pages whose stamp the
+//! durable log prefix covers are written back.
+
+use std::time::{Duration, Instant};
+use xtc_core::wal::WalConfig;
+use xtc_core::{InsertPos, XtcConfig, XtcDb};
+
+fn wait_clean(db: &XtcDb, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let ps = db.store().pool_stats();
+        if ps.dirty == 0 && ps.flushes > 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what}: background writeback never cleaned the pages: {ps:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn background_writeback_cleans_committed_pages_between_checkpoints() {
+    let mut config = XtcConfig {
+        wal: Some(WalConfig::default()),
+        writeback_interval: Some(Duration::from_millis(2)),
+        ..XtcConfig::default()
+    };
+    // File-backed pools: the flusher's write-backs are real I/O.
+    config.store.backend_dir = Some(
+        std::env::temp_dir().join(format!("xtc-writeback-test-{}", std::process::id())),
+    );
+    let dir = config.store.backend_dir.clone().unwrap();
+    {
+        let db = XtcDb::new(config);
+        db.load_xml(r#"<bib><a id="x0">seed</a></bib>"#).unwrap();
+
+        // Dirty a batch of pages; commit publishes the durable LSN, so
+        // the flusher (not a checkpoint) must clean them.
+        let t = db.begin();
+        let a = t.element_by_id("x0").unwrap().unwrap();
+        for i in 0..8 {
+            t.insert_element(&a, InsertPos::LastChild, &format!("c{i}"))
+                .unwrap();
+        }
+        t.commit().unwrap();
+        wait_clean(&db, "wal + file backend");
+        // Dropping the db joins the flusher — no flush races teardown.
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_writeback_without_wal_flushes_unconditionally() {
+    // No WAL → no WAL rule: every dirty page is immediately flushable,
+    // and load_xml (which checkpoints only under a WAL) leaves the pages
+    // dirty for the flusher to find.
+    let db = XtcDb::new(XtcConfig {
+        writeback_interval: Some(Duration::from_millis(2)),
+        ..XtcConfig::default()
+    });
+    db.load_xml(r#"<bib><a id="x0">seed</a></bib>"#).unwrap();
+    wait_clean(&db, "volatile engine");
+}

@@ -29,3 +29,7 @@ mod xml;
 pub use record::{NodeData, NodeKind, RecordError};
 pub use store::{AttrPlan, DocStore, DocStoreConfig, InsertPos, NodeError};
 pub use xml::{parse_into, serialize_subtree, XmlError};
+// Buffer-pool configuration and reporting types, re-exported so callers
+// configuring a `DocStoreConfig` (eviction policy, file backend) or
+// reading `DocStore::pool_stats` don't need a direct `xtc-storage` dep.
+pub use xtc_storage::{EvictPolicy, PageBackendConfig, PoolStats};

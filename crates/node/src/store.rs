@@ -1,9 +1,12 @@
 //! The node manager: navigational and IUD access to one taDOM document.
 
 use crate::record::{NodeData, NodeKind};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use xtc_splid::{encode, subtree_upper_bound, LabelAllocator, SplId};
-use xtc_storage::{BTree, BTreeConfig, StorageError, StorageStats, VocId, Vocabulary};
+use xtc_storage::{
+    BTree, BTreeConfig, CuckooFilter, EvictPolicy, PageBackendConfig, StorageError, StorageStats,
+    VocId, Vocabulary,
+};
 
 /// Configuration for a [`DocStore`].
 #[derive(Debug, Clone)]
@@ -15,10 +18,36 @@ pub struct DocStoreConfig {
     /// Simulated per-page-read latency (default zero): the stand-in for
     /// the paper's disk accesses (CLUSTER2 uses it — see EXPERIMENTS.md).
     pub read_latency: std::time::Duration,
+    /// Simulated per-write-back latency (default zero), charged as
+    /// `page_write_us` virtual time.
+    pub write_latency: std::time::Duration,
+    /// Extra simulated latency charged only on buffer misses (default
+    /// zero) — the storage bench's price for a fault-in.
+    pub miss_latency: std::time::Duration,
     /// Buffer residency budget per underlying tree (document, element
     /// index, ID index); `None` = unbounded. Evicted pages fault back in
     /// as buffer misses — see `xtc_storage::PoolStats`.
     pub max_resident_pages: Option<usize>,
+    /// Eviction policy under the residency budget (default:
+    /// scan-resistant LRU-2).
+    pub evict_policy: EvictPolicy,
+    /// Hit/miss counting window in LRU-clock ticks: repeated touches of
+    /// one page within the window count as a single logical reference
+    /// (`xtc_storage::PoolConfig::burst_ticks`). The storage bench
+    /// widens it to transaction scale.
+    pub burst_ticks: u64,
+    /// When set, the three B\*-trees keep their page bytes in real page
+    /// files under this directory (`doc.pages`, `elem.pages`,
+    /// `id.pages`) — `pwrite` on write-back, `pread` + CRC verify on
+    /// fault-in. `None` (default) = simulated storage.
+    pub backend_dir: Option<std::path::PathBuf>,
+    /// Cuckoo filters front the element and ID indexes: probes for
+    /// names/values that were never indexed answer "absent" without a
+    /// B\*-tree descent (default on; see `PoolStats::filter_negatives`).
+    pub index_filters: bool,
+    /// Approximate per-filter capacity. Overflowing it degrades the
+    /// filter to always-"maybe" (correct, just no longer filtering).
+    pub filter_capacity: usize,
     /// Observability handle shared with the engine: page reads charge
     /// their simulated latency to its virtual clock; page events trace
     /// through it when tracing is enabled.
@@ -34,7 +63,14 @@ impl Default for DocStoreConfig {
             page_size: 8192,
             dist: 16,
             read_latency: std::time::Duration::ZERO,
+            write_latency: std::time::Duration::ZERO,
+            miss_latency: std::time::Duration::ZERO,
             max_resident_pages: None,
+            evict_policy: EvictPolicy::default(),
+            burst_ticks: xtc_storage::DEFAULT_CORRELATED_TICKS,
+            backend_dir: None,
+            index_filters: true,
+            filter_capacity: 16 * 1024,
             obs: xtc_obs::Obs::default(),
             failpoint_scope: xtc_failpoint::GLOBAL,
         }
@@ -135,28 +171,58 @@ pub struct DocStore {
     stats: StorageStats,
     /// Interned name of the ID attribute (`"id"`).
     id_attr: VocId,
+    /// Negative-lookup cache over element *names* present in the element
+    /// index (`None` = filtering disabled). Keyed by name surrogate;
+    /// refcounted in `elem_name_counts` because many elements share one
+    /// name but the filter holds one entry per name.
+    elem_filter: Option<Mutex<CuckooFilter>>,
+    /// Live element count per name surrogate (only kept while filtering).
+    elem_name_counts: Mutex<std::collections::HashMap<u16, u64>>,
+    /// Negative-lookup cache over ID values present in the ID index
+    /// (`None` = filtering disabled). ID values are unique keys, so no
+    /// refcounting is needed — inserts/deletes mirror the index exactly.
+    id_filter: Option<Mutex<CuckooFilter>>,
 }
 
 impl DocStore {
     /// Creates an empty document store.
     pub fn new(config: DocStoreConfig) -> Self {
         let stats = StorageStats::with_obs_scoped(config.obs.clone(), config.failpoint_scope);
-        let btcfg = BTreeConfig {
+        let backend = |file: &str| match &config.backend_dir {
+            Some(dir) => PageBackendConfig::File {
+                path: dir.join(file),
+            },
+            None => PageBackendConfig::Sim,
+        };
+        let btcfg = |file: &str| BTreeConfig {
             page_size: config.page_size,
             read_latency: config.read_latency,
+            write_latency: config.write_latency,
+            miss_latency: config.miss_latency,
             max_resident: config.max_resident_pages,
+            policy: config.evict_policy,
+            backend: backend(file),
+            burst_ticks: config.burst_ticks,
             ..BTreeConfig::default()
         };
         let vocab = Arc::new(Vocabulary::new());
         let id_attr = vocab.intern("id");
+        let filter = || {
+            config
+                .index_filters
+                .then(|| Mutex::new(CuckooFilter::with_capacity(config.filter_capacity)))
+        };
         DocStore {
-            doc: BTree::with_config(btcfg.clone(), stats.clone()),
-            elem_index: BTree::with_config(btcfg.clone(), stats.clone()),
-            id_index: BTree::with_config(btcfg, stats.clone()),
+            doc: BTree::with_config(btcfg("doc.pages"), stats.clone()),
+            elem_index: BTree::with_config(btcfg("elem.pages"), stats.clone()),
+            id_index: BTree::with_config(btcfg("id.pages"), stats.clone()),
             vocab,
             alloc: LabelAllocator::new(config.dist),
             stats,
             id_attr,
+            elem_filter: filter(),
+            elem_name_counts: Mutex::new(std::collections::HashMap::new()),
+            id_filter: filter(),
         }
     }
 
@@ -283,6 +349,10 @@ impl DocStore {
             evictions: d.evictions,
             evict_blocked: d.evict_blocked,
             flush_faults: d.flush_faults,
+            ghost_hits: d.ghost_hits,
+            forced_writebacks: d.forced_writebacks,
+            filter_negatives: d.filter_negatives,
+            filter_probes: d.filter_probes,
             dirty: d.dirty + e.dirty + i.dirty,
             resident: d.resident + e.resident + i.resident,
             live: d.live + e.live + i.live,
@@ -417,8 +487,21 @@ impl DocStore {
         }
     }
 
-    /// Direct jump via the ID index (`getElementById`).
+    /// Direct jump via the ID index (`getElementById`). When the ID
+    /// filter is on, probes for values that were never indexed are
+    /// answered "absent" without descending the B\*-tree (zero page
+    /// reads).
     pub fn element_by_id(&self, id_value: &str) -> Option<SplId> {
+        if let Some(filter) = &self.id_filter {
+            self.stats.count_filter_probe();
+            if !filter.lock().unwrap().contains(id_value.as_bytes()) {
+                self.stats.count_filter_negative();
+                self.stats.obs().record(xtc_obs::EventKind::FilterNegative {
+                    key: fnv64(id_value.as_bytes()),
+                });
+                return None;
+            }
+        }
         let enc = self.id_index.get(id_value.as_bytes())?;
         Some(xtc_splid::decode(&enc).expect("corrupt id index"))
     }
@@ -429,6 +512,18 @@ impl DocStore {
         let Some(voc) = self.vocab.lookup(name) else {
             return Vec::new();
         };
+        // The name may be interned (e.g. by an attribute) without any
+        // live *element* carrying it: the filter skips the index descent.
+        if let Some(filter) = &self.elem_filter {
+            self.stats.count_filter_probe();
+            if !filter.lock().unwrap().contains(&voc.to_bytes()) {
+                self.stats.count_filter_negative();
+                self.stats.obs().record(xtc_obs::EventKind::FilterNegative {
+                    key: u64::from(voc.0),
+                });
+                return Vec::new();
+            }
+        }
         let lo = voc.to_bytes().to_vec();
         // Exclusive upper bound: the next surrogate value (all index keys
         // are strictly longer than `lo`, so `lo` itself is safely
@@ -598,7 +693,7 @@ impl DocStore {
             },
         )?;
         if voc == self.id_attr {
-            self.id_index.insert(value.as_bytes(), &encode(elem))?;
+            self.id_index_add(value.as_bytes(), &encode(elem))?;
         }
         Ok((attr, None))
     }
@@ -627,8 +722,8 @@ impl DocStore {
             // Keep the ID index consistent under id-value updates.
             let owner = node.parent().and_then(|ar| ar.parent());
             if let (Some(owner), Some(old)) = (owner, &old) {
-                self.id_index.remove(old.as_bytes());
-                self.id_index.insert(content.as_bytes(), &encode(&owner))?;
+                self.id_index_del(old.as_bytes());
+                self.id_index_add(content.as_bytes(), &encode(&owner))?;
             }
         }
         Ok(old)
@@ -644,8 +739,8 @@ impl DocStore {
         self.doc
             .insert(&encode(elem), &NodeData::Element { name: new }.encode())?;
         let enc = encode(elem);
-        self.elem_index.remove(&index_key(old, &enc));
-        self.elem_index.insert(&index_key(new, &enc), &[])?;
+        self.elem_index_del(old, &enc);
+        self.elem_index_add(new, &enc)?;
         Ok(old)
     }
 
@@ -744,6 +839,62 @@ impl DocStore {
 
     // ---- internals --------------------------------------------------------
 
+    /// Inserts an element-index entry and keeps the name filter coherent:
+    /// the first live element of a name enters the filter; duplicates
+    /// only bump the refcount.
+    fn elem_index_add(&self, name: VocId, enc: &[u8]) -> Result<(), StorageError> {
+        if self.elem_index.insert(&index_key(name, enc), &[])?.is_none() {
+            if let Some(filter) = &self.elem_filter {
+                let mut counts = self.elem_name_counts.lock().unwrap();
+                let n = counts.entry(name.0).or_insert(0);
+                if *n == 0 {
+                    filter.lock().unwrap().insert(&name.to_bytes());
+                }
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes an element-index entry; the last live element of a name
+    /// leaves the filter.
+    fn elem_index_del(&self, name: VocId, enc: &[u8]) {
+        if self.elem_index.remove(&index_key(name, enc)).is_some() {
+            if let Some(filter) = &self.elem_filter {
+                let mut counts = self.elem_name_counts.lock().unwrap();
+                if let Some(n) = counts.get_mut(&name.0) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        counts.remove(&name.0);
+                        filter.lock().unwrap().delete(&name.to_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts an ID-index entry, mirroring *new* keys into the filter
+    /// (an overwrite changes the owner, not the key set).
+    fn id_index_add(&self, value: &[u8], enc: &[u8]) -> Result<(), StorageError> {
+        if self.id_index.insert(value, enc)?.is_none() {
+            if let Some(filter) = &self.id_filter {
+                filter.lock().unwrap().insert(value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes an ID-index entry, mirroring actual removals into the
+    /// filter (deleting a never-inserted key could evict an unrelated
+    /// fingerprint).
+    fn id_index_del(&self, value: &[u8]) {
+        if self.id_index.remove(value).is_some() {
+            if let Some(filter) = &self.id_filter {
+                filter.lock().unwrap().delete(value);
+            }
+        }
+    }
+
     fn require_element(&self, id: &SplId) -> Result<(), NodeError> {
         match self.get(id) {
             Some(NodeData::Element { .. }) => Ok(()),
@@ -792,7 +943,7 @@ impl DocStore {
     fn put_node(&self, id: &SplId, data: &NodeData) -> Result<(), NodeError> {
         self.doc.insert(&encode(id), &data.encode())?;
         if let NodeData::Element { name } = data {
-            self.elem_index.insert(&index_key(*name, &encode(id)), &[])?;
+            self.elem_index_add(*name, &encode(id))?;
         }
         Ok(())
     }
@@ -802,11 +953,11 @@ impl DocStore {
         for (id, data) in nodes {
             match data {
                 NodeData::Element { name } => {
-                    self.elem_index.remove(&index_key(*name, &encode(id)));
+                    self.elem_index_del(*name, &encode(id));
                 }
                 NodeData::Attribute { name } if *name == self.id_attr => {
                     if let Some(val) = self.value_within(nodes, id) {
-                        self.id_index.remove(val.as_bytes());
+                        self.id_index_del(val.as_bytes());
                     }
                 }
                 _ => {}
@@ -819,14 +970,14 @@ impl DocStore {
         for (id, data) in nodes {
             match data {
                 NodeData::Element { name } => {
-                    let _ = self.elem_index.insert(&index_key(*name, &encode(id)), &[]);
+                    let _ = self.elem_index_add(*name, &encode(id));
                 }
                 NodeData::Attribute { name } if *name == self.id_attr => {
                     if let (Some(val), Some(owner)) = (
                         self.value_within(nodes, id),
                         id.parent().and_then(|ar| ar.parent()),
                     ) {
-                        let _ = self.id_index.insert(val.as_bytes(), &encode(&owner));
+                        let _ = self.id_index_add(val.as_bytes(), &encode(&owner));
                     }
                 }
                 _ => {}
@@ -844,6 +995,16 @@ impl DocStore {
             _ => None,
         })
     }
+}
+
+/// FNV-1a over key bytes — stable tag for `FilterNegative` trace events.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
 }
 
 fn index_key(name: VocId, encoded_splid: &[u8]) -> Vec<u8> {
@@ -1027,6 +1188,90 @@ mod tests {
         s.update_content(&attr, "b99").unwrap();
         assert_eq!(s.element_by_id("b0"), None);
         assert_eq!(s.element_by_id("b99"), Some(book));
+    }
+
+    #[test]
+    fn absent_index_probes_cost_zero_page_reads_with_filters_on() {
+        let (s, book) = sample();
+        // Force the names/values into the vocabulary so the probes reach
+        // the filter (an unknown name short-circuits at the vocabulary).
+        s.vocab().intern("phantom");
+        let reads_before = s.stats().page_reads();
+        assert!(s.elements_named("phantom").is_empty());
+        assert_eq!(s.element_by_id("no-such-id"), None);
+        assert_eq!(
+            s.stats().page_reads(),
+            reads_before,
+            "absent probes must skip the B*-tree descent entirely"
+        );
+        assert_eq!(s.stats().filter_probes(), 2);
+        assert_eq!(s.stats().filter_negatives(), 2);
+        // Present probes pass the filter and still find their targets.
+        assert_eq!(s.elements_named("book"), vec![book.clone()]);
+        assert_eq!(s.element_by_id("b0"), Some(book));
+        assert_eq!(s.stats().filter_probes(), 4);
+        assert_eq!(s.stats().filter_negatives(), 2);
+    }
+
+    #[test]
+    fn filters_stay_coherent_under_rename_delete_churn() {
+        let s = store();
+        let root = s.create_root("r").unwrap();
+        for i in 0..50 {
+            let e = s.insert_element(&root, InsertPos::LastChild, "old").unwrap();
+            s.set_attribute(&e, "id", &format!("k{i}")).unwrap();
+        }
+        // Rename every element: "old" must become filter-absent (last
+        // refcount dropped), "new" filter-present.
+        for e in s.elements_named("old") {
+            s.rename_element(&e, "new").unwrap();
+        }
+        let reads = s.stats().page_reads();
+        assert!(s.elements_named("old").is_empty());
+        assert_eq!(s.stats().page_reads(), reads, "renamed-away name filtered");
+        assert_eq!(s.elements_named("new").len(), 50);
+        // Delete every subtree: ids drain from filter and index alike.
+        for e in s.elements_named("new") {
+            s.delete_subtree(&e).unwrap();
+        }
+        let reads = s.stats().page_reads();
+        assert_eq!(s.element_by_id("k7"), None);
+        assert!(s.elements_named("new").is_empty());
+        assert_eq!(s.stats().page_reads(), reads, "deleted keys filtered");
+        assert!(s.verify_indexes().is_empty());
+    }
+
+    #[test]
+    fn filters_off_is_equivalent_just_slower() {
+        let on = sample().0;
+        let off = {
+            let s = DocStore::new(DocStoreConfig {
+                index_filters: false,
+                ..DocStoreConfig::default()
+            });
+            let bib = s.create_root("bib").unwrap();
+            let topics = s.insert_element(&bib, InsertPos::LastChild, "topics").unwrap();
+            let topic = s.insert_element(&topics, InsertPos::LastChild, "topic").unwrap();
+            s.set_attribute(&topic, "id", "t0").unwrap();
+            let book = s.insert_element(&topic, InsertPos::LastChild, "book").unwrap();
+            s.set_attribute(&book, "id", "b0").unwrap();
+            s.set_attribute(&book, "year", "2006").unwrap();
+            let title = s.insert_element(&book, InsertPos::LastChild, "title").unwrap();
+            s.insert_text(&title, InsertPos::LastChild, "Transaction Processing").unwrap();
+            let author = s.insert_element(&book, InsertPos::LastChild, "author").unwrap();
+            s.insert_text(&author, InsertPos::LastChild, "Gray").unwrap();
+            s
+        };
+        off.vocab().intern("phantom");
+        on.vocab().intern("phantom");
+        for name in ["bib", "book", "title", "phantom"] {
+            assert_eq!(on.elements_named(name), off.elements_named(name));
+        }
+        for id in ["t0", "b0", "nope"] {
+            assert_eq!(on.element_by_id(id), off.element_by_id(id));
+        }
+        assert_eq!(off.stats().filter_probes(), 0, "filters off: no probes");
+        assert!(on.stats().filter_probes() > 0);
     }
 
     #[test]

@@ -41,11 +41,17 @@ pub enum CostKind {
     /// shipped WAL records are replayed. Replication lag is derived from
     /// this same cost model, so lag numbers are deterministic.
     ReplApply,
+    /// Simulated page-write latency: charged once per page flushed to
+    /// the backing store (checkpoint flushes, background writeback,
+    /// forced eviction writebacks). Zero-cost by default so existing
+    /// deterministic runs are unchanged; the storage bench configures a
+    /// nonzero write latency to price real media.
+    PageWrite,
 }
 
 impl CostKind {
     /// All cost kinds, in counter order.
-    pub const ALL: [CostKind; 7] = [
+    pub const ALL: [CostKind; 8] = [
         CostKind::PageRead,
         CostKind::Think,
         CostKind::LockWait,
@@ -53,6 +59,7 @@ impl CostKind {
         CostKind::RetryBackoff,
         CostKind::Recovery,
         CostKind::ReplApply,
+        CostKind::PageWrite,
     ];
 
     /// Stable index of this kind into counter arrays.
@@ -70,6 +77,7 @@ impl CostKind {
             CostKind::RetryBackoff => "backoff_us",
             CostKind::Recovery => "recovery_us",
             CostKind::ReplApply => "repl_apply_us",
+            CostKind::PageWrite => "page_write_us",
         }
     }
 }
@@ -94,6 +102,8 @@ pub struct VirtualTimes {
     pub recovery_us: u64,
     /// Microseconds of replication apply work on a replica.
     pub repl_apply_us: u64,
+    /// Microseconds charged for simulated page-write latency.
+    pub page_write_us: u64,
 }
 
 impl VirtualTimes {
@@ -107,6 +117,7 @@ impl VirtualTimes {
             CostKind::RetryBackoff => self.backoff_us,
             CostKind::Recovery => self.recovery_us,
             CostKind::ReplApply => self.repl_apply_us,
+            CostKind::PageWrite => self.page_write_us,
         }
     }
 
@@ -120,6 +131,7 @@ impl VirtualTimes {
             CostKind::RetryBackoff => &mut self.backoff_us,
             CostKind::Recovery => &mut self.recovery_us,
             CostKind::ReplApply => &mut self.repl_apply_us,
+            CostKind::PageWrite => &mut self.page_write_us,
         };
         *slot = slot.saturating_add(micros);
     }
@@ -133,6 +145,7 @@ impl VirtualTimes {
             .saturating_add(self.backoff_us)
             .saturating_add(self.recovery_us)
             .saturating_add(self.repl_apply_us)
+            .saturating_add(self.page_write_us)
     }
 
     /// Simulated protocol cost: I/O plus lock waiting, excluding think
@@ -142,6 +155,7 @@ impl VirtualTimes {
         self.page_read_us
             .saturating_add(self.lock_wait_us)
             .saturating_add(self.wal_flush_us)
+            .saturating_add(self.page_write_us)
     }
 
     /// Component-wise saturating difference (`self - earlier`), used to
@@ -155,6 +169,7 @@ impl VirtualTimes {
             backoff_us: self.backoff_us.saturating_sub(earlier.backoff_us),
             recovery_us: self.recovery_us.saturating_sub(earlier.recovery_us),
             repl_apply_us: self.repl_apply_us.saturating_sub(earlier.repl_apply_us),
+            page_write_us: self.page_write_us.saturating_sub(earlier.page_write_us),
         }
     }
 
@@ -168,6 +183,7 @@ impl VirtualTimes {
             backoff_us: self.backoff_us.saturating_add(other.backoff_us),
             recovery_us: self.recovery_us.saturating_add(other.recovery_us),
             repl_apply_us: self.repl_apply_us.saturating_add(other.repl_apply_us),
+            page_write_us: self.page_write_us.saturating_add(other.page_write_us),
         }
     }
 
@@ -185,6 +201,7 @@ impl VirtualTimes {
             backoff_us: self.backoff_us / n,
             recovery_us: self.recovery_us / n,
             repl_apply_us: self.repl_apply_us / n,
+            page_write_us: self.page_write_us / n,
         }
     }
 
@@ -193,14 +210,15 @@ impl VirtualTimes {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"page_read_us\":{},\"think_us\":{},\"lock_wait_us\":{},\"wal_flush_us\":{},\
-             \"backoff_us\":{},\"recovery_us\":{},\"repl_apply_us\":{}}}",
+             \"backoff_us\":{},\"recovery_us\":{},\"repl_apply_us\":{},\"page_write_us\":{}}}",
             self.page_read_us,
             self.think_us,
             self.lock_wait_us,
             self.wal_flush_us,
             self.backoff_us,
             self.recovery_us,
-            self.repl_apply_us
+            self.repl_apply_us,
+            self.page_write_us
         )
     }
 }
@@ -210,7 +228,7 @@ impl VirtualTimes {
 /// to stay always-on (tracing is gated separately).
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    counters: [AtomicU64; 7],
+    counters: [AtomicU64; 8],
 }
 
 impl VirtualClock {
@@ -233,6 +251,7 @@ impl VirtualClock {
             backoff_us: self.counters[4].load(Ordering::Relaxed),
             recovery_us: self.counters[5].load(Ordering::Relaxed),
             repl_apply_us: self.counters[6].load(Ordering::Relaxed),
+            page_write_us: self.counters[7].load(Ordering::Relaxed),
         }
     }
 }

@@ -126,7 +126,8 @@ impl Obs {
                 CostKind::Think
                 | CostKind::RetryBackoff
                 | CostKind::Recovery
-                | CostKind::ReplApply => None,
+                | CostKind::ReplApply
+                | CostKind::PageWrite => None,
             };
             if let Some(h) = hist {
                 trace.hist(h).record(micros);
@@ -454,6 +455,12 @@ mod tests {
                 lsn: 100,
                 waited_us: 250,
             },
+            EventKind::PageWriteback {
+                page: 6,
+                forced: true,
+            },
+            EventKind::PoolGhostHit { page: 7 },
+            EventKind::FilterNegative { key: 0xFEED },
             EventKind::TxnEnd {
                 committed: true,
                 vt: VirtualTimes {

@@ -156,6 +156,28 @@ pub enum EventKind {
         /// durability.
         waited_us: u64,
     },
+    /// A dirty page was written back to the backing store (checkpoint
+    /// flush, background writeback, or a forced eviction writeback).
+    PageWriteback {
+        /// Page number within the store.
+        page: u64,
+        /// True when the writeback was forced synchronously on the
+        /// eviction path (no clean victim available).
+        forced: bool,
+    },
+    /// A faulted-in page was found in the eviction policy's ghost list:
+    /// it was resident recently enough that its access history was
+    /// still remembered and restored (LRU-2 scan resistance at work).
+    PoolGhostHit {
+        /// Page number within the store.
+        page: u64,
+    },
+    /// A negative-lookup filter answered "absent" for an index probe,
+    /// skipping the B*-tree descent (and its page faults) entirely.
+    FilterNegative {
+        /// Stable hash of the probed key.
+        key: u64,
+    },
 }
 
 impl EventKind {
@@ -175,6 +197,9 @@ impl EventKind {
             EventKind::WalAppend { .. } => "wal_append",
             EventKind::WalFlush { .. } => "wal_flush",
             EventKind::WalCommit { .. } => "wal_commit",
+            EventKind::PageWriteback { .. } => "page_writeback",
+            EventKind::PoolGhostHit { .. } => "pool_ghost_hit",
+            EventKind::FilterNegative { .. } => "filter_negative",
         }
     }
 
@@ -238,6 +263,11 @@ impl EventKind {
             EventKind::WalCommit { lsn, waited_us } => {
                 format!("\"lsn\":{lsn},\"waited_us\":{waited_us}")
             }
+            EventKind::PageWriteback { page, forced } => {
+                format!("\"page\":{page},\"forced\":{forced}")
+            }
+            EventKind::PoolGhostHit { page } => format!("\"page\":{page}"),
+            EventKind::FilterNegative { key } => format!("\"key\":{key}"),
         }
     }
 }
@@ -257,6 +287,9 @@ const TAG_PAGE_EVICT: u8 = 9;
 const TAG_WAL_APPEND: u8 = 10;
 const TAG_WAL_FLUSH: u8 = 11;
 const TAG_WAL_COMMIT: u8 = 12;
+const TAG_PAGE_WRITEBACK: u8 = 13;
+const TAG_POOL_GHOST_HIT: u8 = 14;
+const TAG_FILTER_NEGATIVE: u8 = 15;
 
 fn pack0(tag: u8, flags: u8, m1: u8, m2: u8) -> u64 {
     tag as u64 | (flags as u64) << 8 | (m1 as u64) << 16 | (m2 as u64) << 24
@@ -311,6 +344,11 @@ pub(crate) fn encode(txn: u64, kind: &EventKind) -> [u64; 6] {
         EventKind::WalCommit { lsn, waited_us } => {
             (pack0(TAG_WAL_COMMIT, 0, 0, 0), lsn, waited_us, 0, 0)
         }
+        EventKind::PageWriteback { page, forced } => {
+            (pack0(TAG_PAGE_WRITEBACK, forced as u8, 0, 0), page, 0, 0, 0)
+        }
+        EventKind::PoolGhostHit { page } => (pack0(TAG_POOL_GHOST_HIT, 0, 0, 0), page, 0, 0, 0),
+        EventKind::FilterNegative { key } => (pack0(TAG_FILTER_NEGATIVE, 0, 0, 0), key, 0, 0, 0),
     };
     [w0, txn, a, b, c, d]
 }
@@ -368,6 +406,12 @@ pub(crate) fn decode(words: [u64; 6]) -> Option<(u64, EventKind)> {
             lsn: a,
             waited_us: b,
         },
+        TAG_PAGE_WRITEBACK => EventKind::PageWriteback {
+            page: a,
+            forced: flag,
+        },
+        TAG_POOL_GHOST_HIT => EventKind::PoolGhostHit { page: a },
+        TAG_FILTER_NEGATIVE => EventKind::FilterNegative { key: a },
         _ => return None,
     };
     Some((txn, kind))

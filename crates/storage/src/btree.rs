@@ -25,8 +25,21 @@ pub struct BTreeConfig {
     /// [`PagePool::with_latency`].
     pub read_latency: std::time::Duration,
     /// Buffer residency budget: at most this many pages stay buffered;
-    /// the excess is evicted clean-LRU-first (`None` = unbounded).
+    /// the excess is evicted under `policy` (`None` = unbounded).
     pub max_resident: Option<usize>,
+    /// Simulated per-write-back latency (default zero), charged as
+    /// `page_write_us` virtual time.
+    pub write_latency: std::time::Duration,
+    /// Extra simulated latency charged only on buffer misses (default
+    /// zero) — the storage bench's price for a fault-in.
+    pub miss_latency: std::time::Duration,
+    /// Eviction policy under the residency budget (default:
+    /// scan-resistant LRU-2).
+    pub policy: crate::EvictPolicy,
+    /// Page-byte backend: simulated memory (default) or a real page file.
+    pub backend: crate::PageBackendConfig,
+    /// Hit/miss counting window — see [`crate::PoolConfig::burst_ticks`].
+    pub burst_ticks: u64,
 }
 
 impl Default for BTreeConfig {
@@ -36,6 +49,11 @@ impl Default for BTreeConfig {
             max_key: 128,
             read_latency: std::time::Duration::ZERO,
             max_resident: None,
+            write_latency: std::time::Duration::ZERO,
+            miss_latency: std::time::Duration::ZERO,
+            policy: crate::EvictPolicy::default(),
+            backend: crate::PageBackendConfig::Sim,
+            burst_ticks: crate::DEFAULT_CORRELATED_TICKS,
         }
     }
 }
@@ -122,11 +140,18 @@ impl BTree {
             "front-coded cells store key lengths in one byte (the paper's \
              'key length < 128B' B-tree restriction)"
         );
-        let mut pool = PagePool::with_budget(
-            config.page_size,
+        let mut pool = PagePool::with_config(
+            crate::PoolConfig {
+                page_size: config.page_size,
+                read_latency: config.read_latency,
+                write_latency: config.write_latency,
+                miss_latency: config.miss_latency,
+                max_resident: config.max_resident,
+                policy: config.policy,
+                backend: config.backend.clone(),
+                burst_ticks: config.burst_ticks,
+            },
             stats.clone(),
-            config.read_latency,
-            config.max_resident,
         );
         let root = pool.alloc();
         page::init_leaf(pool.write(root), NO_PAGE, NO_PAGE);

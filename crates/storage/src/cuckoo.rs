@@ -1,0 +1,272 @@
+//! Cuckoo filter: a compact negative-lookup cache for index probes.
+//!
+//! A probe for a key that was never inserted answers "absent" with high
+//! probability, letting the node manager skip a whole B*-tree descent
+//! (and its page faults) for absent element names and unknown ID values.
+//! Unlike a Bloom filter, entries can be deleted, which the churn of
+//! rename/delete workloads needs.
+//!
+//! Standard partial-key cuckoo hashing (Fan et al.): 16-bit
+//! fingerprints, 4-way buckets, two candidate buckets per key related by
+//! `i2 = i1 ^ h(fingerprint)`, bounded relocation on insert. The filter
+//! **never answers a false "absent"** for a present key: if an insert's
+//! relocation chain exhausts its kick budget the filter latches into an
+//! *overflowed* state where every probe answers "maybe present" —
+//! degraded to useless, never to wrong.
+
+/// Maximum relocations one insert may attempt before the filter latches
+/// overflowed.
+const MAX_KICKS: u32 = 500;
+
+/// Slots per bucket.
+const BUCKET_SLOTS: usize = 4;
+
+/// 64-bit mix (splitmix64 finalizer) — the filter's hash function.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the key bytes, then mixed — cheap and stable.
+#[inline]
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// A deletable approximate-membership filter over byte-string keys.
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    /// `0` marks an empty slot; fingerprints are always nonzero.
+    buckets: Vec<[u16; BUCKET_SLOTS]>,
+    mask: usize,
+    len: usize,
+    /// Deterministic relocation-choice state (seeded xorshift).
+    rng: u64,
+    overflowed: bool,
+}
+
+impl CuckooFilter {
+    /// A filter sized for about `capacity` entries (rounded up to a
+    /// power-of-two bucket count at ~4 slots per bucket, so the load
+    /// factor stays in cuckoo-friendly territory).
+    pub fn with_capacity(capacity: usize) -> CuckooFilter {
+        let buckets = (capacity.max(16) / BUCKET_SLOTS + 1)
+            .next_power_of_two()
+            .max(2);
+        CuckooFilter {
+            buckets: vec![[0; BUCKET_SLOTS]; buckets],
+            mask: buckets - 1,
+            len: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            overflowed: false,
+        }
+    }
+
+    /// Entries currently stored (not counting any lost to overflow).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once an insert has exhausted its relocation budget; from
+    /// then on every [`contains`](CuckooFilter::contains) answers `true`
+    /// (no false negatives, ever).
+    pub fn is_overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    fn fingerprint_and_bucket(&self, key: &[u8]) -> (u16, usize) {
+        let h = hash_key(key);
+        // Fingerprint from the high bits, never zero (zero = empty slot).
+        let fp = ((h >> 48) as u16).max(1);
+        (fp, (h as usize) & self.mask)
+    }
+
+    fn alt_bucket(&self, fp: u16, bucket: usize) -> usize {
+        bucket ^ (mix64(fp as u64) as usize & self.mask)
+    }
+
+    fn place(&mut self, fp: u16, bucket: usize) -> bool {
+        for slot in self.buckets[bucket].iter_mut() {
+            if *slot == 0 {
+                *slot = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts a key. Returns `false` (after latching overflowed) when
+    /// the relocation chain exhausts its budget; the caller may keep
+    /// using the filter — probes just stop filtering.
+    pub fn insert(&mut self, key: &[u8]) -> bool {
+        let (mut fp, b1) = self.fingerprint_and_bucket(key);
+        let b2 = self.alt_bucket(fp, b1);
+        if self.place(fp, b1) || self.place(fp, b2) {
+            self.len += 1;
+            return true;
+        }
+        // Relocate: evict a random slot of a random candidate bucket and
+        // re-home the displaced fingerprint, up to MAX_KICKS times.
+        let mut bucket = if self.next_rand() & 1 == 0 { b1 } else { b2 };
+        for _ in 0..MAX_KICKS {
+            let slot = (self.next_rand() as usize) % BUCKET_SLOTS;
+            std::mem::swap(&mut fp, &mut self.buckets[bucket][slot]);
+            bucket = self.alt_bucket(fp, bucket);
+            if self.place(fp, bucket) {
+                self.len += 1;
+                return true;
+            }
+        }
+        self.overflowed = true;
+        false
+    }
+
+    /// Removes one copy of a key's fingerprint. Returns whether one was
+    /// found. Deleting keys that were never inserted is unsupported (as
+    /// in any cuckoo filter, it could evict an unrelated key's
+    /// fingerprint) — callers refcount to keep insert/delete balanced.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        let (fp, b1) = self.fingerprint_and_bucket(key);
+        let b2 = self.alt_bucket(fp, b1);
+        for bucket in [b1, b2] {
+            for slot in self.buckets[bucket].iter_mut() {
+                if *slot == fp {
+                    *slot = 0;
+                    self.len = self.len.saturating_sub(1);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the key *may* be present. `false` is definitive (the key
+    /// was never inserted, or was deleted); `true` may be a false
+    /// positive at the fingerprint collision rate (~2·4/2^16 per probe),
+    /// and is always returned once the filter overflowed.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        if self.overflowed {
+            return true;
+        }
+        let (fp, b1) = self.fingerprint_and_bucket(key);
+        let b2 = self.alt_bucket(fp, b1);
+        self.buckets[b1].contains(&fp) || self.buckets[b2].contains(&fp)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic, no external dependency.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("element-name-{i}").into_bytes()
+    }
+
+    #[test]
+    fn present_keys_are_always_found() {
+        let mut f = CuckooFilter::with_capacity(1024);
+        for i in 0..800 {
+            assert!(f.insert(&key(i)), "insert {i} failed below capacity");
+        }
+        for i in 0..800 {
+            assert!(f.contains(&key(i)), "false negative for {i}");
+        }
+        assert_eq!(f.len(), 800);
+    }
+
+    #[test]
+    fn deleted_keys_become_absent_again() {
+        let mut f = CuckooFilter::with_capacity(256);
+        for i in 0..100 {
+            f.insert(&key(i));
+        }
+        for i in 0..50 {
+            assert!(f.delete(&key(i)));
+        }
+        // The surviving half still answers present.
+        for i in 50..100 {
+            assert!(f.contains(&key(i)));
+        }
+        assert_eq!(f.len(), 50);
+    }
+
+    #[test]
+    fn false_positive_rate_is_small_and_absent_probes_mostly_miss() {
+        let mut f = CuckooFilter::with_capacity(4096);
+        for i in 0..3000 {
+            f.insert(&key(i));
+        }
+        let fp = (10_000..60_000).filter(|&i| f.contains(&key(i))).count();
+        // 16-bit fingerprints, 2 buckets x 4 slots: expect ~0.012%.
+        assert!(
+            fp < 50,
+            "false-positive rate too high: {fp}/50000 absent probes matched"
+        );
+    }
+
+    #[test]
+    fn overflow_latches_to_no_false_negatives() {
+        // Tiny filter, force overflow.
+        let mut f = CuckooFilter::with_capacity(16);
+        let mut inserted = Vec::new();
+        for i in 0..10_000 {
+            if !f.insert(&key(i)) {
+                break;
+            }
+            inserted.push(i);
+        }
+        assert!(f.is_overflowed(), "expected overflow on a tiny filter");
+        // Every successfully inserted key still answers present.
+        for &i in &inserted {
+            assert!(f.contains(&key(i)));
+        }
+        // And so does everything else — degraded, never wrong.
+        assert!(f.contains(&key(999_999)));
+    }
+
+    #[test]
+    fn churn_keeps_the_filter_coherent() {
+        // Insert/delete waves (rename-heavy workload shape): after each
+        // wave, live keys answer present and the dead majority answer
+        // absent at the fingerprint FP rate.
+        let mut f = CuckooFilter::with_capacity(2048);
+        for wave in 0u64..20 {
+            for i in 0..500 {
+                assert!(f.insert(&key(wave * 1000 + i)));
+            }
+            for i in 0..500 {
+                assert!(f.delete(&key(wave * 1000 + i)));
+            }
+        }
+        assert_eq!(f.len(), 0);
+        assert!(!f.is_overflowed());
+        let ghosts = (0u64..20)
+            .flat_map(|w| (0..500).map(move |i| w * 1000 + i))
+            .filter(|&i| f.contains(&key(i)))
+            .count();
+        assert_eq!(ghosts, 0, "deleted keys must read absent after churn");
+    }
+}

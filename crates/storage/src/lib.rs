@@ -21,13 +21,19 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod btree;
+mod cuckoo;
 mod error;
 mod page;
 mod pool;
 mod vocab;
 
+pub use backend::{crc32, FileBackend, PageBackendConfig, PAGE_HEADER};
 pub use btree::{BTree, BTreeConfig, OccupancyReport};
+pub use cuckoo::CuckooFilter;
 pub use error::StorageError;
-pub use pool::{PagePool, PoolStats, StorageStats};
+pub use pool::{
+    EvictPolicy, PagePool, PoolConfig, PoolStats, StorageStats, DEFAULT_CORRELATED_TICKS,
+};
 pub use vocab::{VocId, Vocabulary};

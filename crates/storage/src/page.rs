@@ -541,7 +541,7 @@ mod tests {
         let n = count(&p);
         assert_eq!(leaf_search(&p, k), Ok(n - 1));
         let (shared, _) = leaf_suffix_parts(&p, n - 1);
-        assert_eq!(shared, if (n - 1) % RESTART_INTERVAL == 0 { 0 } else { 3 });
+        assert_eq!(shared, if (n - 1).is_multiple_of(RESTART_INTERVAL) { 0 } else { 3 });
     }
 
     #[test]

@@ -1,28 +1,31 @@
 //! Property test: the B*-tree behaves like a `BTreeMap` under arbitrary
 //! operation sequences with SPLID-shaped keys.
+//!
+//! Driven by a hand-rolled deterministic generator rather than
+//! `proptest!` so the cases run (and reproduce by seed) in the offline
+//! build — the in-repo proptest stub expands `proptest!` to nothing.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::ops::Bound;
 use xtc_splid::{encode, LabelAllocator, SplId};
 use xtc_storage::{BTree, BTreeConfig, StorageStats};
 
-#[derive(Debug, Clone)]
-enum Op {
-    Insert(usize, Vec<u8>),
-    Remove(usize),
-    ScanAll,
-}
+/// xorshift64*: deterministic op generator.
+struct Rng(u64);
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0usize..400, prop::collection::vec(any::<u8>(), 0..24))
-                .prop_map(|(k, v)| Op::Insert(k, v)),
-            (0usize..400).prop_map(Op::Remove),
-            Just(Op::ScanAll),
-        ],
-        1..300,
-    )
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
 /// A pool of SPLID-encoded keys: sequential children of the root with
@@ -44,52 +47,53 @@ fn key_pool() -> Vec<Vec<u8>> {
     keys
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn btree_matches_model(ops in arb_ops()) {
-        let keys = key_pool();
+#[test]
+fn btree_matches_model() {
+    let keys = key_pool();
+    for case in 0..64u64 {
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ (case.wrapping_mul(0x0101_0101)));
         let tree = BTree::with_config(
             BTreeConfig { page_size: 256, max_key: 64, ..BTreeConfig::default() },
             StorageStats::default(),
         );
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        for op in ops {
-            match op {
-                Op::Insert(k, v) => {
-                    let k = &keys[k % keys.len()];
+        let ops = 1 + rng.below(299);
+        for _ in 0..ops {
+            match rng.below(5) {
+                0..=2 => {
+                    let k = &keys[rng.below(keys.len() as u64) as usize];
+                    let v: Vec<u8> = (0..rng.below(24)).map(|_| rng.next() as u8).collect();
                     let a = tree.insert(k, &v).unwrap();
                     let b = model.insert(k.clone(), v);
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b, "insert result diverged (case {case})");
                 }
-                Op::Remove(k) => {
-                    let k = &keys[k % keys.len()];
-                    prop_assert_eq!(tree.remove(k), model.remove(k));
+                3 => {
+                    let k = &keys[rng.below(keys.len() as u64) as usize];
+                    assert_eq!(tree.remove(k), model.remove(k), "remove diverged (case {case})");
                 }
-                Op::ScanAll => {
+                _ => {
                     let got = tree.scan_range(&[], &[0xFF; 8]);
-                    let want: Vec<_> = model.iter()
-                        .map(|(k, v)| (k.clone(), v.clone()))
-                        .collect();
-                    prop_assert_eq!(got, want);
+                    let want: Vec<_> =
+                        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                    assert_eq!(got, want, "full scan diverged (case {case})");
                 }
             }
         }
-        prop_assert_eq!(tree.len(), model.len());
+        assert_eq!(tree.len(), model.len(), "len diverged (case {case})");
         // next_after / prev_before agree with the model at every key.
         for k in &keys {
             let got = tree.next_after(k);
-            let want = model.range::<Vec<u8>, _>((
-                std::ops::Bound::Excluded(k.clone()),
-                std::ops::Bound::Unbounded,
-            )).next().map(|(k, v)| (k.clone(), v.clone()));
-            prop_assert_eq!(got, want);
+            let want = model
+                .range::<Vec<u8>, _>((Bound::Excluded(k.clone()), Bound::Unbounded))
+                .next()
+                .map(|(k, v)| (k.clone(), v.clone()));
+            assert_eq!(got, want, "next_after diverged (case {case})");
             let got = tree.prev_before(k);
-            let want = model.range::<Vec<u8>, _>((
-                std::ops::Bound::Unbounded,
-                std::ops::Bound::Excluded(k.clone()),
-            )).next_back().map(|(k, v)| (k.clone(), v.clone()));
-            prop_assert_eq!(got, want);
+            let want = model
+                .range::<Vec<u8>, _>((Bound::Unbounded, Bound::Excluded(k.clone())))
+                .next_back()
+                .map(|(k, v)| (k.clone(), v.clone()));
+            assert_eq!(got, want, "prev_before diverged (case {case})");
         }
     }
 }

@@ -273,6 +273,10 @@ fn marker_writer(
 /// recovering.
 pub fn run_crash_recover_resume(params: &ChaosParams) -> ChaosReport {
     let tamix = &params.tamix;
+    // `tamix.store`/`tamix.writeback_interval` carry through to both the
+    // pre-crash and the recovered engine, so the whole scenario — storm,
+    // crash, recovery, resume — can run on a file-backed pool with a
+    // background flusher.
     let db = Arc::new(XtcDb::new(XtcConfig {
         protocol: tamix.protocol.clone(),
         isolation: tamix.isolation,
@@ -280,10 +284,12 @@ pub fn run_crash_recover_resume(params: &ChaosParams) -> ChaosReport {
         lock_timeout: tamix.lock_timeout,
         victim_policy: tamix.victim_policy,
         lock_cache: tamix.lock_cache,
+        store: tamix.store.clone(),
         wal: Some(WalConfig::default()),
         txn_deadline: tamix.txn_deadline,
         max_in_flight: tamix.max_in_flight,
         admission: tamix.admission,
+        writeback_interval: tamix.writeback_interval,
         ..XtcConfig::default()
     }));
     // Bulk generation bypasses the log; the checkpoint makes the base
@@ -344,10 +350,12 @@ pub fn run_crash_recover_resume(params: &ChaosParams) -> ChaosReport {
             lock_timeout: tamix.lock_timeout,
             victim_policy: tamix.victim_policy,
             lock_cache: tamix.lock_cache,
+            store: tamix.store.clone(),
             wal: Some(WalConfig::default()),
             txn_deadline: tamix.txn_deadline,
             max_in_flight: tamix.max_in_flight,
             admission: tamix.admission,
+            writeback_interval: tamix.writeback_interval,
             ..XtcConfig::default()
         },
     )

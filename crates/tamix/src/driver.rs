@@ -73,6 +73,15 @@ pub struct TamixParams {
     /// time stays bounded under sustained load. `None` = no
     /// checkpointer.
     pub checkpoint_every: Option<Duration>,
+    /// Base storage configuration when [`run_cluster1`] builds the
+    /// database itself: eviction policy, residency budget, file backend,
+    /// index filters. [`TamixParams::read_latency`] is applied on top
+    /// (it predates this field and keeps its priority). Ignored by
+    /// [`run_cluster1_on`] — there the caller's database wins.
+    pub store: xtc_node::DocStoreConfig,
+    /// Background-writeback cadence ([`XtcConfig::writeback_interval`])
+    /// when [`run_cluster1`] builds the database itself.
+    pub writeback_interval: Option<Duration>,
 }
 
 impl TamixParams {
@@ -106,6 +115,8 @@ impl TamixParams {
             max_in_flight: None,
             admission: AdmissionPolicy::default(),
             checkpoint_every: None,
+            store: xtc_node::DocStoreConfig::default(),
+            writeback_interval: None,
         }
     }
 
@@ -139,11 +150,12 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
         lock_cache: params.lock_cache,
         store: xtc_node::DocStoreConfig {
             read_latency: params.read_latency,
-            ..xtc_node::DocStoreConfig::default()
+            ..params.store.clone()
         },
         txn_deadline: params.txn_deadline,
         max_in_flight: params.max_in_flight,
         admission: params.admission,
+        writeback_interval: params.writeback_interval,
         ..XtcConfig::default()
     }));
     bib::generate_into(&db, bib_cfg);
@@ -160,6 +172,7 @@ pub fn run_cluster1(params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
 /// the mix, pacing, duration, and retry policy.
 pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfig) -> RunReport {
     let reads_before = db.store().stats().page_reads();
+    let pool_before = db.store().pool_stats();
     let vt_before = db.obs().vt();
 
     let deadline = Instant::now() + params.duration;
@@ -224,6 +237,7 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
         table_requests: db.lock_table().table_requests(),
         cache_hits: db.lock_table().cache_hits(),
         page_reads: db.store().stats().page_reads() - reads_before,
+        pool: crate::metrics::PoolReport::delta(&pool_before, &db.store().pool_stats()),
         escalations: db.lock_table().escalations(),
         retries,
         txn_deadline_us: params.txn_deadline.map(|d| d.as_micros() as u64),

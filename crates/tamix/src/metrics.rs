@@ -159,6 +159,58 @@ impl RetryTotals {
     }
 }
 
+/// Buffer-pool and index-filter activity over one run: the delta of the
+/// engine's aggregated [`xtc_node::PoolStats`] between run start and run
+/// end (counters only — the gauges `dirty`/`resident`/`live` are
+/// point-in-time and excluded).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PoolReport {
+    /// Page accesses served from resident frames.
+    pub hits: u64,
+    /// Page accesses that faulted the page in.
+    pub misses: u64,
+    /// Frames evicted under the residency budget.
+    pub evictions: u64,
+    /// Evictions that found no clean, unpinned, WAL-safe victim.
+    pub evict_blocked: u64,
+    /// Dirty pages written back (background writeback + checkpoints).
+    pub flushes: u64,
+    /// Dirty victims synchronously written back on the eviction path.
+    pub forced_writebacks: u64,
+    /// Fault-ins whose access history the LRU-2 ghost list remembered.
+    pub ghost_hits: u64,
+    /// Index probes that consulted a negative-lookup filter.
+    pub filter_probes: u64,
+    /// Index probes the filter answered "absent" (descent skipped).
+    pub filter_negatives: u64,
+}
+
+impl PoolReport {
+    /// The counter delta between two pool snapshots.
+    pub fn delta(before: &xtc_node::PoolStats, after: &xtc_node::PoolStats) -> PoolReport {
+        PoolReport {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+            evict_blocked: after.evict_blocked - before.evict_blocked,
+            flushes: after.flushes - before.flushes,
+            forced_writebacks: after.forced_writebacks - before.forced_writebacks,
+            ghost_hits: after.ghost_hits - before.ghost_hits,
+            filter_probes: after.filter_probes - before.filter_probes,
+            filter_negatives: after.filter_negatives - before.filter_negatives,
+        }
+    }
+
+    /// Fraction of page accesses served without a fault-in.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
 /// Report of one benchmark run (one protocol, isolation level, depth).
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
@@ -187,6 +239,9 @@ pub struct RunReport {
     pub cache_hits: u64,
     /// Logical page reads during the run.
     pub page_reads: u64,
+    /// Buffer-pool and index-filter activity (hits, misses, evictions,
+    /// writebacks, filter probes) as a delta over the run.
+    pub pool: PoolReport,
     /// Lock escalations (transactions switching to coarser locks).
     pub escalations: u64,
     /// Retry-layer totals (zero without a retry policy).

@@ -90,6 +90,119 @@ fn chaos_with_deadlines_and_admission_control() {
     assert!(report.post.committed() > 0);
 }
 
+#[test]
+fn file_backed_pool_chaos_with_background_writeback() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Same contract as the main matrix, but on a disk-backed pool with a
+    // tight residency budget and a background flusher, with the armed
+    // kill site on the write-back path — so the faults land inside the
+    // flusher thread and the eviction-time forced writeback.
+    for (i, proto) in ["taDOM3+", "OO2PL"].into_iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtc-chaos-filebacked-{}-{i}",
+            std::process::id()
+        ));
+        let mut params =
+            ChaosParams::quick(proto, "pool.evict_write", 0xF11E_0C4A ^ (i as u64) << 4);
+        params.tamix.store.backend_dir = Some(dir.clone());
+        params.tamix.store.max_resident_pages = Some(8);
+        params.tamix.writeback_interval = Some(Duration::from_millis(2));
+        let report = run_crash_recover_resume(&params);
+        assert!(
+            report.passed(),
+            "{proto}/pool.evict_write file-backed: contract violated: {:?}",
+            report.violations
+        );
+        assert!(
+            report.post.committed() > 0,
+            "{proto}: no progress after file-backed recovery"
+        );
+        // The scenario must actually have driven the write-back path it
+        // targets: pages were flushed (background or forced) pre-crash.
+        assert!(
+            report.pre.pool.flushes + report.pre.pool.forced_writebacks > 0,
+            "{proto}: file-backed storm never wrote a page back: {:?}",
+            report.pre.pool
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn file_backed_recovery_matches_in_memory_recovery() {
+    let _storm = STORM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Kill writebacks while a file-backed engine with a background
+    // flusher runs the marker workload, crash it, then recover the same
+    // durable prefix twice — once onto a file-backed pool (tight budget,
+    // so replay itself evicts and faults pages back in through the CRC
+    // check) and once onto the in-memory pool. The documents must match
+    // byte for byte: the storage tier must never change what recovery
+    // reconstructs.
+    let dir_run = std::env::temp_dir().join(format!("xtc-fbrun-{}", std::process::id()));
+    let dir_rec = std::env::temp_dir().join(format!("xtc-fbrec-{}", std::process::id()));
+
+    let cfg = BibConfig::tiny();
+    let mut run_cfg = XtcConfig {
+        protocol: "taDOM2".to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        wal: Some(WalConfig::default()),
+        writeback_interval: Some(Duration::from_millis(1)),
+        ..XtcConfig::default()
+    };
+    run_cfg.store.backend_dir = Some(dir_run.clone());
+    run_cfg.store.max_resident_pages = Some(8);
+    xtc_failpoint::clear();
+    xtc_failpoint::set_seed(11);
+    // A transient burst: the first three write-back attempts fail (the
+    // flusher and forced writebacks retry through them), then the device
+    // heals.
+    xtc_failpoint::configure("pool.evict_write", 1.0, FailAction::Error, Some(3));
+    let wal = {
+        let db = Arc::new(XtcDb::new(run_cfg));
+        bib::generate_into(&db, &cfg);
+        db.checkpoint().expect("checkpoint");
+        for i in 0..6 {
+            let txn = db.begin();
+            let topic = txn
+                .element_by_id(&format!("t{}", i % cfg.topics))
+                .expect("read topic")
+                .expect("topic exists");
+            txn.insert_element(&topic, xtc_core::InsertPos::LastChild, &format!("fb{i}"))
+                .expect("insert marker");
+            txn.commit().expect("commit marker");
+            // Leave the flusher a window so some kills land inside it.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let wal = db.wal().expect("wal configured").clone();
+        wal.crash();
+        wal
+    };
+    xtc_failpoint::clear();
+
+    let mut fb_cfg = XtcConfig::default();
+    fb_cfg.store.backend_dir = Some(dir_rec.clone());
+    fb_cfg.store.max_resident_pages = Some(8);
+    fb_cfg.writeback_interval = Some(Duration::from_millis(1));
+    let (db_fb, rep_fb) = recover_from(&wal, fb_cfg).expect("file-backed recovery failed");
+    let (db_mem, rep_mem) = recover_from(&wal, XtcConfig::default()).expect("recovery failed");
+    assert_eq!(rep_fb.scanned, rep_mem.scanned);
+    assert_eq!(rep_fb.winners, rep_mem.winners);
+    assert_eq!(
+        document_digest(&db_fb),
+        document_digest(&db_mem),
+        "file-backed recovery diverged from in-memory recovery"
+    );
+    assert_eq!(db_fb.store().elements_named("fb0").len(), 1);
+    assert!(db_fb.store().verify_indexes().is_empty());
+    assert!(
+        !db_fb.store().stats().is_poisoned(),
+        "file-backed replay poisoned the store"
+    );
+    let _ = std::fs::remove_dir_all(&dir_run);
+    let _ = std::fs::remove_dir_all(&dir_rec);
+}
+
 /// Builds a WAL-backed database, runs a short marker workload, crashes
 /// it, and hands back the log for recovery experiments.
 fn crashed_log() -> Arc<xtc_core::wal::Wal> {

@@ -1,0 +1,178 @@
+//! Filter-on vs. filter-off equivalence (ISSUE 9, satellite 4): the
+//! cuckoo filters fronting the element and ID indexes are a pure
+//! negative-lookup fast path. For a deterministic (sequential, seeded)
+//! TaMix workload they must produce identical commit/abort outcomes,
+//! identical final documents, and identical lock traces
+//! (`lock_requests`/`table_requests` — the filter sits *below* the lock
+//! protocol, so no lock may appear or vanish with it) for every
+//! protocol. What may legitimately change is page reads: that is the
+//! point of the filter.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Duration;
+use xtc_core::{IsolationLevel, XtcConfig, XtcDb};
+use xtc_tamix::txns::{run_txn, Pacing};
+use xtc_tamix::{bib, BibConfig, TxnKind};
+
+/// Serializes tests (shared failpoint/vocabulary-free, but keeps the
+/// file's runs from fighting over cores in CI).
+static GUARD: Mutex<()> = Mutex::new(());
+
+const MIX: [TxnKind; 5] = [
+    TxnKind::QueryBook,
+    TxnKind::Chapter,
+    TxnKind::LendAndReturn,
+    TxnKind::RenameTopic,
+    TxnKind::DelBook,
+];
+const TXNS: usize = 40;
+
+fn outcome_of(result: Result<bool, xtc_core::XtcError>) -> String {
+    match result {
+        Ok(true) => "commit".to_string(),
+        Ok(false) => "empty".to_string(),
+        Err(e) => format!("abort: {e}"),
+    }
+}
+
+/// FNV-1a digest over the document in document order.
+fn document_digest(db: &XtcDb) -> u64 {
+    let mut nodes = db.store().all_nodes();
+    nodes.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (id, _) in &nodes {
+        eat(id.to_string().as_bytes());
+        if let Some(name) = db.store().name_of(id) {
+            eat(b"n:");
+            eat(name.as_bytes());
+        }
+        if let Some(text) = db.store().text_of(id) {
+            eat(b"t:");
+            eat(text.as_bytes());
+        }
+    }
+    h
+}
+
+struct RunResult {
+    outcomes: Vec<String>,
+    digest: u64,
+    lock_requests: u64,
+    table_requests: u64,
+    filter_probes: u64,
+    filter_negatives: u64,
+}
+
+fn run_workload(protocol: &str, filters: bool, seed: u64) -> RunResult {
+    let mut config = XtcConfig {
+        protocol: protocol.to_string(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: Duration::from_secs(5),
+        ..XtcConfig::default()
+    };
+    config.store.index_filters = filters;
+    let db = XtcDb::new(config);
+    bib::generate_into(&db, &BibConfig::tiny());
+    let pacing = Pacing {
+        wait_after_operation: Duration::ZERO,
+    };
+    let mut outcomes = Vec::with_capacity(TXNS);
+    for i in 0..TXNS {
+        let kind = MIX[i % MIX.len()];
+        // Fresh RNG per transaction so both arms draw identical targets.
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64 * 7919));
+        outcomes.push(outcome_of(run_txn(&db, kind, &BibConfig::tiny(), &mut rng, pacing)));
+    }
+    let pool = db.store().pool_stats();
+    RunResult {
+        outcomes,
+        digest: document_digest(&db),
+        lock_requests: db.lock_table().requests(),
+        table_requests: db.lock_table().table_requests(),
+        filter_probes: pool.filter_probes,
+        filter_negatives: pool.filter_negatives,
+    }
+}
+
+#[test]
+fn filter_equivalence_all_protocols() {
+    let _g = GUARD.lock().unwrap();
+    let mut total_probes = 0u64;
+    for proto in xtc_protocols::ALL_PROTOCOLS {
+        let on = run_workload(proto, true, 0xF117_E500);
+        let off = run_workload(proto, false, 0xF117_E500);
+        assert_eq!(
+            on.outcomes, off.outcomes,
+            "{proto}: commit/abort outcomes diverge between filters on and off"
+        );
+        assert_eq!(
+            on.digest, off.digest,
+            "{proto}: final documents diverge between filters on and off"
+        );
+        assert_eq!(
+            on.lock_requests, off.lock_requests,
+            "{proto}: the filter must not change the lock trace"
+        );
+        assert_eq!(
+            on.table_requests, off.table_requests,
+            "{proto}: the filter must not change shared-table traffic"
+        );
+        assert_eq!(
+            off.filter_probes, 0,
+            "{proto}: disabled filters must never report probes"
+        );
+        assert!(
+            on.filter_negatives <= on.filter_probes,
+            "{proto}: more negatives than probes: {on:?} probes",
+            on = on.filter_probes
+        );
+        total_probes += on.filter_probes;
+    }
+    assert!(
+        total_probes > 0,
+        "the workload must actually consult the filters somewhere"
+    );
+}
+
+#[test]
+fn filters_short_circuit_absent_probes_in_a_live_engine() {
+    let _g = GUARD.lock().unwrap();
+    let db = XtcDb::new(XtcConfig::default());
+    bib::generate_into(&db, &BibConfig::tiny());
+
+    // Intern "wisp" by inserting and renaming an element away from it:
+    // the name stays in the vocabulary (so probes reach the filter) but
+    // no element carries it, and its ID value "wisp-id" was never used.
+    let t = db.begin();
+    let topic = t.element_by_id("t0").unwrap().unwrap();
+    let e = t
+        .insert_element(&topic, xtc_core::InsertPos::LastChild, "wisp")
+        .unwrap();
+    t.rename(&e, "wosp").unwrap();
+    t.commit().unwrap();
+
+    let store = db.store();
+    let reads_before = store.stats().page_reads();
+    let negatives_before = store.pool_stats().filter_negatives;
+    assert!(store.elements_named("wisp").is_empty());
+    assert!(store.element_by_id("wisp-id").is_none());
+    assert_eq!(
+        store.stats().page_reads(),
+        reads_before,
+        "absent probes must not read a single page with filters on"
+    );
+    assert_eq!(store.pool_stats().filter_negatives, negatives_before + 2);
+
+    // The renamed-to name still resolves — the filter only skips descents
+    // for keys it has never admitted or whose last holder vanished.
+    assert_eq!(store.elements_named("wosp").len(), 1);
+}

@@ -291,6 +291,10 @@ pub struct Wal {
     backend: Box<dyn WalBackend>,
     window: Duration,
     stats: StatsInner,
+    /// Lock-free mirror of `WalState::durable_lsn`, so hot readers (the
+    /// background writeback thread, the eviction path deciding which
+    /// dirty pages are WAL-safe) never contend on the log mutex.
+    durable_atomic: AtomicU64,
     /// Observability handle: commit waits charge its virtual clock;
     /// append/flush/commit events trace through it when tracing.
     obs: xtc_obs::Obs,
@@ -361,6 +365,7 @@ impl Wal {
             backend,
             window: config.group_commit_window,
             stats: StatsInner::default(),
+            durable_atomic: AtomicU64::new(last_lsn),
             obs,
             scope,
         })
@@ -423,9 +428,11 @@ impl Wal {
         self.state.lock().unwrap().next_lsn
     }
 
-    /// Highest LSN known durable.
+    /// Highest LSN known durable. Lock-free: reads an atomic mirror, so
+    /// the background writeback thread and the eviction path can poll it
+    /// without touching the log mutex.
     pub fn durable_lsn(&self) -> Lsn {
-        self.state.lock().unwrap().durable_lsn
+        self.durable_atomic.load(Ordering::Acquire)
     }
 
     /// Whether [`crash`](Wal::crash) has frozen the log.
@@ -550,6 +557,8 @@ impl Wal {
         match io {
             Ok(()) => {
                 st.durable_lsn = st.durable_lsn.max(batch_max);
+                self.durable_atomic
+                    .fetch_max(st.durable_lsn, Ordering::AcqRel);
                 st.flushing = false;
                 self.cv.notify_all();
                 self.stats.flushes.fetch_add(1, Ordering::Relaxed);
