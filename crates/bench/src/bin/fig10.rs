@@ -15,8 +15,11 @@ use xtc_tamix::{run_cluster1, RunReport, TxnKind};
 
 fn main() {
     let args = CommonArgs::parse();
+    // The versioned contestants close the field: their readers take no
+    // locks, their writers map through taDOM3+.
     let protocols = [
-        "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+        "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+", "taMVCC",
+        "taOCC",
     ];
     let xs: Vec<String> = args.depths.iter().map(|d| d.to_string()).collect();
 

@@ -7,9 +7,13 @@
 //! subtree for ID-attribute owners and IDX-lock them, paying node-manager
 //! page accesses; every intention-lock protocol (including Node2PLa)
 //! deletes with a handful of path locks.
+//!
+//! The versioned contestants (taMVCC, taOCC) ride along at the end of
+//! the field: single-user deletion exercises their taDOM3+ write path,
+//! so they land with the taDOM group.
 
 use xtc_bench::CommonArgs;
-use xtc_protocols::ALL_PROTOCOLS;
+use xtc_protocols::EXTENDED_PROTOCOLS;
 use xtc_tamix::run_cluster2;
 
 fn main() {
@@ -20,7 +24,7 @@ fn main() {
         "protocol", "time [µs]", "lock requests", "page reads"
     );
     let reps = args.runs.max(3);
-    for proto in ALL_PROTOCOLS {
+    for proto in EXTENDED_PROTOCOLS {
         let rep = run_cluster2(proto, &args.bib, reps);
         println!(
             "{:>10} {:>14} {:>14} {:>14}",

@@ -15,9 +15,11 @@ use xtc_tamix::run_cluster1;
 fn main() {
     let args = CommonArgs::parse();
     // Node2PLa represents the *-2PL group (§2.2); the MGL* and taDOM*
-    // groups appear in full.
+    // groups appear in full, followed by the versioned contestants
+    // (snapshot reads; depth applies to their taDOM3+ write side).
     let protocols = [
-        "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+        "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+", "taMVCC",
+        "taOCC",
     ];
     let xs: Vec<String> = args.depths.iter().map(|d| d.to_string()).collect();
     let mut throughput: Vec<(String, Vec<f64>)> = Vec::new();

@@ -1,0 +1,186 @@
+//! CLUSTER2 long-reader contest — the versioned contestants vs the
+//! pessimistic field.
+//!
+//! One report reader walks the whole bib document navigationally and
+//! then stays pinned (transaction open) while chapter-update writers
+//! run for a fixed window. Every pessimistic protocol serializes the
+//! writers behind the reader's read locks (their update steps time out
+//! and retry until the window closes); `taMVCC` and `taOCC` serve the
+//! reader from versioned snapshots without any read locks, so writers
+//! commit freely while the reader's view stays stable.
+//!
+//! ```text
+//! mvcc [--bib tiny|scaled|paper] [--duration-ms N] [--writers N]
+//!      [--protocols a,b,c] [--json PATH] [--check]
+//! ```
+//!
+//! `--json` writes one machine-readable report (committed under
+//! `results/BENCH_mvcc.json` to track the trajectory); `--check` is the
+//! CI regression gate: taMVCC writer throughput must be at least twice
+//! the best pessimistic protocol's, and the reader must be charged zero
+//! lock-wait virtual time under both versioned contestants.
+
+use std::time::Duration;
+use xtc_protocols::{EXTENDED_PROTOCOLS, MVCC_PROTOCOLS};
+use xtc_tamix::{run_long_reader, BibConfig, LongReaderParams, LongReaderReport};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg} (try --help)");
+    std::process::exit(2)
+}
+
+fn json_cell(r: &LongReaderReport) -> String {
+    format!(
+        "    {{\"protocol\": \"{}\", \"writer_commits\": {}, \"writer_aborts\": {}, \
+         \"reader_reads\": {}, \"reader_lock_wait_us\": {}, \"reader_consistent\": {}, \
+         \"elapsed_ms\": {}, \"lock_wait_us_total\": {}}}",
+        r.protocol,
+        r.writer_commits,
+        r.writer_aborts,
+        r.reader_reads,
+        r.reader_lock_wait_us,
+        r.reader_consistent,
+        r.elapsed.as_millis(),
+        r.vt.lock_wait_us,
+    )
+}
+
+fn main() {
+    let mut bib_cfg = BibConfig::tiny();
+    let mut bib_name = "tiny".to_string();
+    let mut duration = Duration::from_millis(400);
+    let mut writers = 2usize;
+    let mut protocols: Vec<String> = EXTENDED_PROTOCOLS.iter().map(|p| p.to_string()).collect();
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{a} needs a {what}")))
+        };
+        match a.as_str() {
+            "--bib" => {
+                bib_name = val("size");
+                bib_cfg = match bib_name.as_str() {
+                    "tiny" => BibConfig::tiny(),
+                    "scaled" => BibConfig::scaled(),
+                    "paper" => BibConfig::paper(),
+                    other => die(&format!("unknown bib size {other}")),
+                };
+            }
+            "--duration-ms" => {
+                duration = Duration::from_millis(
+                    val("number").parse().unwrap_or_else(|_| die("bad number")),
+                )
+            }
+            "--writers" => {
+                writers = val("number").parse().unwrap_or_else(|_| die("bad number"))
+            }
+            "--protocols" => {
+                protocols = val("list").split(',').map(|p| p.to_string()).collect()
+            }
+            "--json" => json_path = Some(val("path")),
+            "--check" => check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --bib tiny|scaled|paper --duration-ms N --writers N \
+                     --protocols a,b,c --json PATH --check"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+
+    println!(
+        "\n== CLUSTER2 long reader ({bib_name} bib, {writers} writers, {}ms window) ==",
+        duration.as_millis()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>16} {:>11}",
+        "protocol", "commits", "aborts", "reader reads", "reader wait [µs]", "consistent"
+    );
+    let mut cells = Vec::new();
+    for proto in &protocols {
+        let mut params = LongReaderParams::quick(proto);
+        params.duration = duration;
+        params.writers = writers;
+        params.bib = bib_cfg.clone();
+        let rep = run_long_reader(&params);
+        println!(
+            "{:>10} {:>10} {:>10} {:>12} {:>16} {:>11}",
+            rep.protocol,
+            rep.writer_commits,
+            rep.writer_aborts,
+            rep.reader_reads,
+            rep.reader_lock_wait_us,
+            rep.reader_consistent
+        );
+        cells.push(rep);
+    }
+
+    if let Some(path) = &json_path {
+        let body = format!(
+            "{{\n  \"benchmark\": \"mvcc_long_reader\",\n  \"bib\": \"{bib_name}\",\n  \
+             \"duration_ms\": {},\n  \"writers\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            duration.as_millis(),
+            writers,
+            cells.iter().map(json_cell).collect::<Vec<_>>().join(",\n")
+        );
+        std::fs::write(path, body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        println!("\nwrote {path}");
+    }
+
+    if check {
+        let mut failures = Vec::new();
+        let best_pessimistic = cells
+            .iter()
+            .filter(|c| !MVCC_PROTOCOLS.contains(&c.protocol.as_str()))
+            .map(|c| c.writer_commits)
+            .max()
+            .unwrap_or(0);
+        for name in MVCC_PROTOCOLS {
+            let Some(cell) = cells.iter().find(|c| c.protocol == name) else {
+                failures.push(format!("{name} missing from the sweep"));
+                continue;
+            };
+            if cell.reader_lock_wait_us != 0 {
+                failures.push(format!(
+                    "{name}: reader charged {}µs lock wait, snapshot reads must wait 0",
+                    cell.reader_lock_wait_us
+                ));
+            }
+            if !cell.reader_consistent {
+                failures.push(format!("{name}: reader snapshot was not stable"));
+            }
+            if cell.writer_commits == 0 {
+                failures.push(format!("{name}: no writer committed behind the reader"));
+            }
+        }
+        if let Some(mvcc) = cells.iter().find(|c| c.protocol == "taMVCC") {
+            if mvcc.writer_commits < 2 * best_pessimistic.max(1) {
+                failures.push(format!(
+                    "taMVCC writer throughput {} below 2x best pessimistic {}",
+                    mvcc.writer_commits, best_pessimistic
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "check ok: versioned readers waited 0µs; taMVCC committed {}x the best \
+             pessimistic writer count",
+            cells
+                .iter()
+                .find(|c| c.protocol == "taMVCC")
+                .map(|c| c.writer_commits / best_pessimistic.max(1))
+                .unwrap_or(0)
+        );
+    }
+}

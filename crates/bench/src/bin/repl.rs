@@ -170,6 +170,7 @@ fn run_scale_cell(
                 let retry = retry_policy();
                 let pacing = Pacing {
                     wait_after_operation: Duration::from_micros(write_pause_us),
+                    ..Pacing::default()
                 };
                 // No DelBook: the hot set is tiny by design, and the
                 // storm must not eat the population out from under the
@@ -206,6 +207,7 @@ fn run_scale_cell(
                 let retry = retry_policy();
                 let pacing = Pacing {
                     wait_after_operation: Duration::ZERO,
+                    ..Pacing::default()
                 };
                 let replica = (!fleet.is_empty()).then(|| fleet[r % fleet.len()].clone());
                 let mut vt = Vec::with_capacity(reads);

@@ -111,6 +111,7 @@ fn main() {
         bib::generate_into(&db, &bib_cfg);
         let pacing = Pacing {
             wait_after_operation: Duration::ZERO,
+            ..Pacing::default()
         };
         let mut committed = 0u64;
         let mut aborted = 0u64;

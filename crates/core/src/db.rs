@@ -3,6 +3,7 @@
 
 use crate::admission::AdmissionGate;
 use crate::error::XtcError;
+use crate::mvcc::VersionStore;
 use crate::recovery;
 use crate::retry::{RetryPolicy, RetryStats};
 use crate::txn::Transaction;
@@ -211,6 +212,9 @@ pub struct XtcDb {
     txn_deadline: Option<Duration>,
     gate: Option<Arc<AdmissionGate>>,
     wal: Option<WalHandle>,
+    /// Version chains for snapshot reads — present only when the
+    /// configured protocol reads from versions (taMVCC/taOCC).
+    versions: Option<Arc<VersionStore>>,
     /// Background flusher ([`XtcConfig::writeback_interval`]); never
     /// read, held so dropping the engine stops and joins the thread.
     #[allow(dead_code)]
@@ -274,6 +278,10 @@ impl XtcDb {
                 wal.as_ref().map(|h| h.wal.clone()),
             )
         });
+        let versions = handle
+            .protocol
+            .versioned_reads()
+            .then(|| Arc::new(VersionStore::new()));
         let registry = Arc::new(TxnRegistry::new());
         let table = Arc::new(
             LockTable::new(
@@ -300,10 +308,18 @@ impl XtcDb {
             txn_deadline: config.txn_deadline,
             gate,
             wal,
+            versions,
             writeback,
             obs,
             failpoint_scope,
         })
+    }
+
+    /// The version store, when the configured protocol reads from
+    /// versioned snapshots (taMVCC/taOCC); `None` for the pessimistic
+    /// contestants.
+    pub fn versions(&self) -> Option<&Arc<VersionStore>> {
+        self.versions.as_ref()
     }
 
     /// The underlying node manager — **unlocked** access, intended for

@@ -48,6 +48,12 @@ pub enum XtcError {
     Poisoned,
     /// Initial document content failed to parse (catalog bulk load).
     Xml(String),
+    /// Commit-time validation failed under a versioned/optimistic
+    /// protocol: another transaction committed a conflicting write after
+    /// this transaction's snapshot (first-updater-wins), or an
+    /// optimistic read-set entry was invalidated. The transaction was
+    /// rolled back; retryable — a fresh attempt sees a newer snapshot.
+    ValidationFailed,
     /// The catalog has no document under the requested name.
     UnknownDoc(String),
     /// The catalog already hosts a document under the requested name.
@@ -65,6 +71,7 @@ impl XtcError {
                 | XtcError::Injected
                 | XtcError::DeadlineExceeded { .. }
                 | XtcError::AdmissionRejected
+                | XtcError::ValidationFailed
         )
     }
 
@@ -105,6 +112,9 @@ impl fmt::Display for XtcError {
             }
             XtcError::Poisoned => {
                 write!(f, "engine poisoned by a permanent storage I/O failure")
+            }
+            XtcError::ValidationFailed => {
+                write!(f, "commit-time validation failed (conflicting concurrent write)")
             }
             XtcError::Xml(e) => write!(f, "xml parse error: {e}"),
             XtcError::UnknownDoc(name) => write!(f, "no document named {name:?} in the catalog"),

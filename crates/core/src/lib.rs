@@ -35,6 +35,7 @@ mod admission;
 mod catalog;
 mod db;
 mod error;
+mod mvcc;
 pub mod recovery;
 mod retry;
 mod txn;
@@ -44,6 +45,7 @@ pub use admission::AdmissionGate;
 pub use catalog::{Catalog, CatalogConfig, DocRole, DocSpec, ReadRoute, ReplicaShared};
 pub use db::{AdmissionPolicy, XtcConfig, XtcDb};
 pub use error::XtcError;
+pub use mvcc::{ReadKey, VersionStats, VersionStore};
 pub use recovery::{recover_from, RecoveryReport, RedoApplier};
 pub use retry::{RetryPolicy, RetryStats};
 pub use txn::Transaction;

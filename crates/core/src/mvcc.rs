@@ -1,0 +1,840 @@
+//! Multi-version storage for the versioned contest entries (taMVCC and
+//! taOCC, protocols #12/#13).
+//!
+//! The pessimistic contestants serialize long readers against writers:
+//! a CLUSTER2 reader holding shared locks over the whole document blocks
+//! every update until it commits. The versioned protocols break that
+//! coupling with *snapshot reads*: a transaction registers a snapshot
+//! stamp at begin, reads resolve against the [`VersionStore`] at that
+//! stamp without touching the lock table, and writers (which still take
+//! the delegated taDOM3+ exclusive locks) publish *pre-images* here so
+//! concurrent snapshots can reconstruct the state they began under.
+//!
+//! Design:
+//!
+//! - **Version chains** are keyed by SPLID. Each entry stores the
+//!   pre-image of one logged mutation (the same logical undo record the
+//!   WAL carries), a stamp (pending transaction id, or the commit stamp
+//!   once the writer commits), and — when a WAL is configured — the
+//!   commit LSN, which keys recovery's chain rebuild.
+//! - **Visibility**: an entry is visible to `(snapshot, txn)` iff it is
+//!   the transaction's own pending write or committed with
+//!   `stamp <= snapshot`. An *invisible* entry means the mutation
+//!   happened after the snapshot, so its pre-image is the state the
+//!   snapshot must see. When several invisible entries affect the same
+//!   facet of a node, the oldest one (smallest global push sequence)
+//!   wins — writers of one item are serialized by their exclusive
+//!   locks, so push order is modification order.
+//! - **First-updater-wins**: pushing a write fails with
+//!   [`XtcError::ValidationFailed`] when a conflicting entry is already
+//!   committed past the writer's snapshot (or pending for another
+//!   transaction) — snapshot-isolation write-write conflict detection.
+//! - **Watermark GC**: snapshots are refcounted; entries committed at or
+//!   below the oldest active snapshot are visible to every current and
+//!   future reader, so their pre-images are pruned.
+//!
+//! The optimistic protocol (taOCC) additionally records a read set
+//! ([`ReadKey`]) and validates it at commit: any conflicting entry that
+//! appeared after the snapshot aborts the transaction (retryable — the
+//! contention manager is the seeded-backoff [`crate::RetryPolicy`]).
+
+use crate::error::XtcError;
+use crate::recovery;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use xtc_node::{DocStore, NodeData};
+use xtc_splid::SplId;
+use xtc_storage::Vocabulary;
+use xtc_wal::{Lsn, TxnId, UndoOp};
+
+/// One tracked read of an optimistic transaction, at the granularity the
+/// meta-lock interface distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReadKey {
+    /// A single node was read (content, name, record, navigation target).
+    Node(SplId),
+    /// A node's direct child list was read (`getChildNodes`).
+    Level(SplId),
+    /// A whole subtree was read (`getFragmentNodes`-style).
+    Tree(SplId),
+}
+
+/// Stamp of one version entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stamp {
+    /// The writer is still running.
+    Pending(TxnId),
+    /// The writer committed at this stamp (monotonic commit clock; after
+    /// recovery, the commit LSN).
+    Committed(u64),
+}
+
+/// The pre-image one mutation displaced.
+#[derive(Debug, Clone)]
+enum Pre {
+    /// A content update: the text/attribute value before the write (the
+    /// entry is keyed at the content-bearing Text/Attribute node).
+    Content(String),
+    /// A rename: the element name before the write.
+    Name(String),
+    /// A subtree insert: the subtree did not exist before the write (the
+    /// entry is keyed at the inserted root).
+    Inserted,
+    /// A subtree delete: the captured nodes existed before the write.
+    Deleted(Vec<(SplId, NodeData)>),
+}
+
+/// One version-chain entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Global push order — modification order for any single item,
+    /// because same-item writers hold exclusive locks.
+    seq: u64,
+    stamp: Stamp,
+    /// Commit LSN of the writer, when a WAL is configured. Keys the
+    /// recovery rebuild.
+    lsn: Option<Lsn>,
+    pre: Pre,
+}
+
+impl Entry {
+    /// Visible entries describe history the snapshot already includes;
+    /// invisible entries carry the pre-image the snapshot must see.
+    fn visible(&self, snapshot: u64, me: TxnId) -> bool {
+        match self.stamp {
+            Stamp::Pending(t) => t == me,
+            Stamp::Committed(c) => c <= snapshot,
+        }
+    }
+
+    /// A write that violates first-updater-wins / OCC validation against
+    /// `(snapshot, me)`.
+    fn conflicts(&self, snapshot: u64, me: TxnId) -> bool {
+        match self.stamp {
+            Stamp::Pending(t) => t != me,
+            Stamp::Committed(c) => c > snapshot,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Version chains, keyed by the mutated node (content/rename), the
+    /// inserted root, or the deleted root.
+    chains: HashMap<SplId, Vec<Entry>>,
+    /// Active snapshot stamps with refcounts; the smallest key is the GC
+    /// watermark.
+    snapshots: BTreeMap<u64, usize>,
+    /// Commit clock: the stamp of the most recent committed writer.
+    clock: u64,
+    /// Global push sequence.
+    next_seq: u64,
+    /// Entries pruned by watermark GC (stat).
+    pruned: u64,
+    /// Entries reconstructed by recovery (stat).
+    rebuilt: u64,
+}
+
+impl Inner {
+    fn watermark(&self) -> u64 {
+        self.snapshots.keys().next().copied().unwrap_or(self.clock)
+    }
+
+    fn prune(&mut self) {
+        let watermark = self.watermark();
+        let mut pruned = 0u64;
+        self.chains.retain(|_, entries| {
+            entries.retain(|e| {
+                let keep = match e.stamp {
+                    Stamp::Pending(_) => true,
+                    Stamp::Committed(c) => c > watermark,
+                };
+                if !keep {
+                    pruned += 1;
+                }
+                keep
+            });
+            !entries.is_empty()
+        });
+        self.pruned += pruned;
+    }
+
+    fn push(&mut self, stamp: Stamp, lsn: Option<Lsn>, key: SplId, pre: Pre) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.chains.entry(key).or_default().push(Entry {
+            seq,
+            stamp,
+            lsn,
+            pre,
+        });
+    }
+}
+
+/// Counters of a [`VersionStore`], for reports and test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Nodes with at least one live version entry.
+    pub chains: usize,
+    /// Live version entries across all chains.
+    pub entries: usize,
+    /// Entries removed by watermark GC so far.
+    pub pruned: u64,
+    /// Entries reconstructed by crash recovery.
+    pub rebuilt: u64,
+    /// Current commit-clock value.
+    pub clock: u64,
+    /// Current GC watermark (oldest active snapshot, or the clock).
+    pub watermark: u64,
+    /// Distinct snapshot stamps currently registered.
+    pub active_snapshots: usize,
+}
+
+/// The version store one versioned-protocol engine carries. See the
+/// module docs for the design.
+#[derive(Default)]
+pub struct VersionStore {
+    inner: Mutex<Inner>,
+}
+
+/// Converts one logical undo record into its version-chain form,
+/// re-interning captured names into the engine's vocabulary.
+fn entry_from_undo(vocab: &Vocabulary, op: &UndoOp) -> Option<(SplId, Pre)> {
+    match op {
+        UndoOp::Content { node, old } => {
+            Some((xtc_splid::decode(node).ok()?, Pre::Content(old.clone())))
+        }
+        UndoOp::Rename { node, old } => {
+            Some((xtc_splid::decode(node).ok()?, Pre::Name(old.clone())))
+        }
+        // The undo of an insert is a delete: the operation inserted here.
+        UndoOp::Delete { root } => Some((xtc_splid::decode(root).ok()?, Pre::Inserted)),
+        // The undo of a delete restores the capture: these nodes existed.
+        UndoOp::Restore { nodes } => {
+            let decoded: Vec<(SplId, NodeData)> = nodes
+                .iter()
+                .filter_map(|(enc, payload)| {
+                    xtc_splid::decode(enc)
+                        .ok()
+                        .map(|id| (id, recovery::payload_to_data(vocab, payload)))
+                })
+                .collect();
+            let root = decoded.first()?.0.clone();
+            Some((root, Pre::Deleted(decoded)))
+        }
+    }
+}
+
+impl VersionStore {
+    /// An empty version store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a snapshot at the current commit clock. The stamp and
+    /// the clock are read under one lock, so a concurrent committer is
+    /// either entirely visible or entirely invisible to the snapshot.
+    pub fn register_snapshot(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let stamp = inner.clock;
+        *inner.snapshots.entry(stamp).or_insert(0) += 1;
+        stamp
+    }
+
+    /// Releases one registration of `snapshot` and prunes entries the
+    /// advanced watermark no longer needs.
+    pub fn release_snapshot(&self, snapshot: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(count) = inner.snapshots.get_mut(&snapshot) {
+            *count -= 1;
+            if *count == 0 {
+                inner.snapshots.remove(&snapshot);
+            }
+        }
+        inner.prune();
+    }
+
+    /// Publishes the pre-image of one logged mutation as a pending entry,
+    /// enforcing first-updater-wins: a conflicting entry committed past
+    /// the writer's snapshot (or pending for another transaction) fails
+    /// the write with [`XtcError::ValidationFailed`] before the store is
+    /// touched.
+    pub(crate) fn push_write(
+        &self,
+        me: TxnId,
+        snapshot: u64,
+        vocab: &Vocabulary,
+        op: &UndoOp,
+    ) -> Result<(), XtcError> {
+        let Some((key, pre)) = entry_from_undo(vocab, op) else {
+            return Ok(());
+        };
+        let mut inner = self.inner.lock();
+        match &pre {
+            Pre::Content(_) | Pre::Name(_) => {
+                if let Some(entries) = inner.chains.get(&key) {
+                    if entries.iter().any(|e| e.conflicts(snapshot, me)) {
+                        return Err(XtcError::ValidationFailed);
+                    }
+                }
+            }
+            Pre::Deleted(_) => {
+                // Deleting a subtree conflicts with any post-snapshot
+                // write inside it.
+                let doomed = |k: &SplId| key == *k || key.is_ancestor_of(k);
+                if inner.chains.iter().any(|(k, entries)| {
+                    doomed(k) && entries.iter().any(|e| e.conflicts(snapshot, me))
+                }) {
+                    return Err(XtcError::ValidationFailed);
+                }
+            }
+            // Inserts create fresh labels; snapshot isolation admits them
+            // without a check (phantoms are the OCC read-set's job).
+            Pre::Inserted => {}
+        }
+        inner.push(Stamp::Pending(me), None, key, pre);
+        Ok(())
+    }
+
+    /// Stamps all of `me`'s pending entries committed at the next clock
+    /// tick, carrying the commit LSN for recovery.
+    pub(crate) fn commit(&self, me: TxnId, lsn: Option<Lsn>) {
+        let mut inner = self.inner.lock();
+        let stamp = inner.clock + 1;
+        let mut stamped = false;
+        for entries in inner.chains.values_mut() {
+            for e in entries.iter_mut() {
+                if e.stamp == Stamp::Pending(me) {
+                    e.stamp = Stamp::Committed(stamp);
+                    e.lsn = lsn;
+                    stamped = true;
+                }
+            }
+        }
+        if stamped {
+            inner.clock = stamp;
+        }
+        inner.prune();
+    }
+
+    /// Discards all of `me`'s pending entries (the store mutations have
+    /// been rolled back by the undo replay; the pre-images no longer
+    /// describe anything).
+    pub(crate) fn abort(&self, me: TxnId) {
+        let mut inner = self.inner.lock();
+        for entries in inner.chains.values_mut() {
+            entries.retain(|e| e.stamp != Stamp::Pending(me));
+        }
+        inner.chains.retain(|_, entries| !entries.is_empty());
+    }
+
+    /// Validates an optimistic transaction's read set at commit: counts
+    /// conflicting entries (committed past the snapshot, or pending for
+    /// another transaction) that affect any tracked read. A non-zero
+    /// count means the transaction must abort.
+    pub(crate) fn validate(&self, me: TxnId, snapshot: u64, reads: &HashSet<ReadKey>) -> u64 {
+        let inner = self.inner.lock();
+        let mut conflicts = 0u64;
+        for (key, entries) in &inner.chains {
+            for e in entries.iter().filter(|e| e.conflicts(snapshot, me)) {
+                if reads.iter().any(|r| entry_affects_read(key, e, r)) {
+                    conflicts += 1;
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// Rebuilds committed chains from recovered winner records: each
+    /// `(commit LSN, undo record)` pair becomes an entry committed at a
+    /// stamp equal to its commit LSN, then the watermark (no snapshots
+    /// survive a crash) prunes everything — the chains recover *to the
+    /// committed watermark*, and the clock continues from the highest
+    /// commit LSN so post-recovery stamps stay monotonic.
+    pub(crate) fn rebuild_committed(&self, vocab: &Vocabulary, winners: &[(Lsn, UndoOp)]) {
+        let mut inner = self.inner.lock();
+        for (commit_lsn, op) in winners {
+            if let Some((key, pre)) = entry_from_undo(vocab, op) {
+                inner.push(Stamp::Committed(*commit_lsn), Some(*commit_lsn), key, pre);
+                inner.rebuilt += 1;
+                inner.clock = inner.clock.max(*commit_lsn);
+            }
+        }
+        inner.prune();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> VersionStats {
+        let inner = self.inner.lock();
+        VersionStats {
+            chains: inner.chains.len(),
+            entries: inner.chains.values().map(Vec::len).sum(),
+            pruned: inner.pruned,
+            rebuilt: inner.rebuilt,
+            clock: inner.clock,
+            watermark: inner.watermark(),
+            active_snapshots: inner.snapshots.len(),
+        }
+    }
+
+    // ---- snapshot reads -------------------------------------------------
+
+    /// Whether `n` existed at the snapshot.
+    pub(crate) fn exists_at(&self, store: &DocStore, n: &SplId, snapshot: u64, me: TxnId) -> bool {
+        let inner = self.inner.lock();
+        exists_at(&inner, store, n, snapshot, me)
+    }
+
+    /// Node record of `n` at the snapshot.
+    pub(crate) fn data_at(
+        &self,
+        store: &DocStore,
+        n: &SplId,
+        snapshot: u64,
+        me: TxnId,
+    ) -> Option<NodeData> {
+        let inner = self.inner.lock();
+        data_at(&inner, store, n, snapshot, me)
+    }
+
+    /// Element/attribute name of `n` at the snapshot.
+    pub(crate) fn name_at(
+        &self,
+        store: &DocStore,
+        n: &SplId,
+        snapshot: u64,
+        me: TxnId,
+    ) -> Option<String> {
+        let inner = self.inner.lock();
+        name_at(&inner, store, n, snapshot, me)
+    }
+
+    /// Text/attribute content of `n` at the snapshot.
+    pub(crate) fn text_at(
+        &self,
+        store: &DocStore,
+        n: &SplId,
+        snapshot: u64,
+        me: TxnId,
+    ) -> Option<String> {
+        let inner = self.inner.lock();
+        text_at(&inner, store, n, snapshot, me)
+    }
+
+    /// Direct children of `n` at the snapshot, in document order.
+    pub(crate) fn children_at(
+        &self,
+        store: &DocStore,
+        n: &SplId,
+        snapshot: u64,
+        me: TxnId,
+    ) -> Vec<SplId> {
+        let inner = self.inner.lock();
+        children_at(&inner, store, n, snapshot, me)
+    }
+
+    /// The whole subtree under `n` (inclusive) at the snapshot, in
+    /// document order.
+    pub(crate) fn subtree_at(
+        &self,
+        store: &DocStore,
+        n: &SplId,
+        snapshot: u64,
+        me: TxnId,
+    ) -> Vec<(SplId, NodeData)> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        collect_subtree(&inner, store, n, snapshot, me, &mut out);
+        out
+    }
+}
+
+/// Whether one conflicting entry invalidates one tracked read.
+fn entry_affects_read(key: &SplId, e: &Entry, read: &ReadKey) -> bool {
+    match read {
+        ReadKey::Node(n) => match &e.pre {
+            Pre::Content(_) => key == n || *n == key.reserved_child(),
+            Pre::Name(_) => key == n,
+            Pre::Inserted => key == n || key.is_ancestor_of(n),
+            Pre::Deleted(nodes) => nodes.iter().any(|(m, _)| m == n),
+        },
+        // A child list changes only through structural writes at or
+        // around the level.
+        ReadKey::Level(n) => match &e.pre {
+            Pre::Content(_) | Pre::Name(_) => false,
+            Pre::Inserted => key.parent().as_ref() == Some(n) || key == n || key.is_ancestor_of(n),
+            Pre::Deleted(nodes) => nodes
+                .iter()
+                .any(|(m, _)| m.parent().as_ref() == Some(n) || m == n),
+        },
+        ReadKey::Tree(n) => {
+            let inside = key == n || n.is_ancestor_of(key) || key.is_ancestor_of(n);
+            match &e.pre {
+                Pre::Deleted(nodes) => {
+                    inside || nodes.iter().any(|(m, _)| m == n || n.is_ancestor_of(m))
+                }
+                _ => inside,
+            }
+        }
+    }
+}
+
+/// One invisible fact about a node: the aspect of the pre-state an
+/// invisible (post-snapshot) write displaced.
+enum Fact<'a> {
+    /// The node did not exist (it was inserted after the snapshot).
+    Absent,
+    /// The node existed with this captured record (deleted after the
+    /// snapshot).
+    Present(&'a NodeData),
+    /// Its content was this (overwritten after the snapshot).
+    Content(&'a str),
+    /// Its name was this (renamed after the snapshot).
+    Name(&'a str),
+}
+
+/// Collects the invisible facts affecting node `n`, walking the chains of
+/// `n` and all its ancestors (structural writes at an ancestor swallow or
+/// resurrect the whole region).
+fn facts_for<'a>(
+    inner: &'a Inner,
+    n: &SplId,
+    snapshot: u64,
+    me: TxnId,
+) -> Vec<(u64, Fact<'a>)> {
+    let mut facts = Vec::new();
+    let mut scan = |key: &SplId| {
+        let Some(entries) = inner.chains.get(key) else {
+            return;
+        };
+        for e in entries.iter().filter(|e| !e.visible(snapshot, me)) {
+            match &e.pre {
+                Pre::Inserted => facts.push((e.seq, Fact::Absent)),
+                Pre::Deleted(nodes) => {
+                    if let Some((_, data)) = nodes.iter().find(|(m, _)| m == n) {
+                        facts.push((e.seq, Fact::Present(data)));
+                    }
+                }
+                Pre::Content(old) => {
+                    // A content entry is keyed at the Text/Attribute node;
+                    // the displaced value lives in its reserved String
+                    // child.
+                    if key == n || *n == key.reserved_child() {
+                        facts.push((e.seq, Fact::Content(old)));
+                    }
+                }
+                Pre::Name(old) => {
+                    if key == n {
+                        facts.push((e.seq, Fact::Name(old)));
+                    }
+                }
+            }
+        }
+    };
+    scan(n);
+    for a in n.ancestors() {
+        scan(&a);
+    }
+    facts
+}
+
+/// The oldest (first-pushed) fact among the relevant ones — the state at
+/// the snapshot, because pushes of one item happen in modification order
+/// and the oldest post-snapshot write displaced the snapshot's state.
+fn oldest<'a>(
+    facts: Vec<(u64, Fact<'a>)>,
+    relevant: impl Fn(&Fact<'a>) -> bool,
+) -> Option<Fact<'a>> {
+    facts
+        .into_iter()
+        .filter(|(_, f)| relevant(f))
+        .min_by_key(|(seq, _)| *seq)
+        .map(|(_, f)| f)
+}
+
+fn exists_at(inner: &Inner, store: &DocStore, n: &SplId, snapshot: u64, me: TxnId) -> bool {
+    match oldest(facts_for(inner, n, snapshot, me), |f| {
+        matches!(f, Fact::Absent | Fact::Present(_))
+    }) {
+        Some(Fact::Absent) => false,
+        Some(Fact::Present(_)) => true,
+        _ => store.exists(n),
+    }
+}
+
+fn data_at(
+    inner: &Inner,
+    store: &DocStore,
+    n: &SplId,
+    snapshot: u64,
+    me: TxnId,
+) -> Option<NodeData> {
+    match oldest(facts_for(inner, n, snapshot, me), |_| true) {
+        Some(Fact::Absent) => None,
+        Some(Fact::Present(data)) => Some(data.clone()),
+        Some(Fact::Content(old)) => {
+            // Only the String child's record carries the value.
+            if n.parent().map(|p| *n == p.reserved_child()).unwrap_or(false) {
+                Some(NodeData::String {
+                    value: old.as_bytes().to_vec(),
+                })
+            } else {
+                store.get(n)
+            }
+        }
+        Some(Fact::Name(old)) => Some(NodeData::Element {
+            name: store.vocab().intern(old),
+        }),
+        None => store.get(n),
+    }
+}
+
+fn name_at(
+    inner: &Inner,
+    store: &DocStore,
+    n: &SplId,
+    snapshot: u64,
+    me: TxnId,
+) -> Option<String> {
+    match oldest(facts_for(inner, n, snapshot, me), |f| {
+        matches!(f, Fact::Absent | Fact::Present(_) | Fact::Name(_))
+    }) {
+        Some(Fact::Absent) => None,
+        Some(Fact::Name(old)) => Some(old.to_string()),
+        Some(Fact::Present(data)) => match data {
+            NodeData::Element { name } | NodeData::Attribute { name } => {
+                store.vocab().resolve(*name)
+            }
+            _ => None,
+        },
+        _ => store.name_of(n),
+    }
+}
+
+fn text_at(
+    inner: &Inner,
+    store: &DocStore,
+    n: &SplId,
+    snapshot: u64,
+    me: TxnId,
+) -> Option<String> {
+    // The value lives in the reserved String child; content entries keyed
+    // at `n` surface through its facts (see `facts_for`).
+    let s = n.reserved_child();
+    match oldest(facts_for(inner, &s, snapshot, me), |f| {
+        matches!(f, Fact::Absent | Fact::Present(_) | Fact::Content(_))
+    }) {
+        Some(Fact::Absent) => None,
+        Some(Fact::Content(old)) => Some(old.to_string()),
+        Some(Fact::Present(NodeData::String { value })) => {
+            Some(String::from_utf8_lossy(value).into_owned())
+        }
+        Some(Fact::Present(_)) => None,
+        _ => store.text_of(n),
+    }
+}
+
+fn children_at(
+    inner: &Inner,
+    store: &DocStore,
+    n: &SplId,
+    snapshot: u64,
+    me: TxnId,
+) -> Vec<SplId> {
+    let mut kids: Vec<SplId> = store
+        .children(n)
+        .into_iter()
+        .filter(|c| exists_at(inner, store, c, snapshot, me))
+        .collect();
+    // Resurrect children that invisible (post-snapshot) deletes removed:
+    // their captures carry the pre-images.
+    for entries in inner.chains.values() {
+        for e in entries.iter().filter(|e| !e.visible(snapshot, me)) {
+            if let Pre::Deleted(nodes) = &e.pre {
+                for (m, _) in nodes {
+                    if m.parent().as_ref() == Some(n)
+                        && !kids.contains(m)
+                        && exists_at(inner, store, m, snapshot, me)
+                    {
+                        kids.push(m.clone());
+                    }
+                }
+            }
+        }
+    }
+    kids.sort();
+    kids.dedup();
+    kids
+}
+
+fn collect_subtree(
+    inner: &Inner,
+    store: &DocStore,
+    n: &SplId,
+    snapshot: u64,
+    me: TxnId,
+    out: &mut Vec<(SplId, NodeData)>,
+) {
+    if !exists_at(inner, store, n, snapshot, me) {
+        return;
+    }
+    if let Some(data) = data_at(inner, store, n, snapshot, me) {
+        out.push((n.clone(), data));
+    }
+    for c in children_at(inner, store, n, snapshot, me) {
+        collect_subtree(inner, store, &c, snapshot, me, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> DocStore {
+        DocStore::new(xtc_node::DocStoreConfig::default())
+    }
+
+    fn content_undo(n: &SplId, old: &str) -> UndoOp {
+        UndoOp::Content {
+            node: xtc_splid::encode(n),
+            old: old.to_string(),
+        }
+    }
+
+    #[test]
+    fn snapshot_sees_pre_image_until_release() {
+        let s = store();
+        let root = s
+            .insert_raw(&[(SplId::root(), NodeData::Element { name: s.vocab().intern("r") })])
+            .map(|_| SplId::root())
+            .unwrap();
+        let text = s.insert_text(&root, xtc_node::InsertPos::LastChild, "old").unwrap();
+
+        let v = VersionStore::new();
+        let snap = v.register_snapshot();
+        // Writer txn 7 updates the text after the snapshot.
+        v.push_write(7, snap, s.vocab(), &content_undo(&text, "old")).unwrap();
+        s.update_content(&text, "new").unwrap();
+
+        // Pending for another txn: reader still sees the pre-image.
+        assert_eq!(v.text_at(&s, &text, snap, 1), Some("old".into()));
+        // The writer itself sees its own pending write.
+        assert_eq!(v.text_at(&s, &text, snap, 7), Some("new".into()));
+
+        v.commit(7, None);
+        // Committed past the snapshot: still the pre-image.
+        assert_eq!(v.text_at(&s, &text, snap, 1), Some("old".into()));
+        // A fresh snapshot sees the new value.
+        let snap2 = v.register_snapshot();
+        assert_eq!(v.text_at(&s, &text, snap2, 1), Some("new".into()));
+
+        // Releasing the old snapshot advances the watermark and GCs.
+        assert_eq!(v.stats().entries, 1);
+        v.release_snapshot(snap);
+        v.release_snapshot(snap2);
+        assert_eq!(v.stats().entries, 0);
+        assert_eq!(v.stats().pruned, 1);
+    }
+
+    #[test]
+    fn first_updater_wins_on_content() {
+        let s = store();
+        let n = SplId::root();
+        let v = VersionStore::new();
+        let snap_old = v.register_snapshot();
+        let snap_new;
+        {
+            let w1 = v.register_snapshot();
+            v.push_write(1, w1, s.vocab(), &content_undo(&n, "a")).unwrap();
+            v.commit(1, None);
+            v.release_snapshot(w1);
+            snap_new = v.register_snapshot();
+        }
+        // Writer with the stale snapshot loses.
+        assert_eq!(
+            v.push_write(2, snap_old, s.vocab(), &content_undo(&n, "b")),
+            Err(XtcError::ValidationFailed)
+        );
+        // Writer with a fresh snapshot wins.
+        v.push_write(3, snap_new, s.vocab(), &content_undo(&n, "b")).unwrap();
+        v.release_snapshot(snap_old);
+        v.release_snapshot(snap_new);
+    }
+
+    #[test]
+    fn insert_then_delete_after_snapshot_stays_absent() {
+        let s = store();
+        let root = SplId::root();
+        s.insert_raw(&[(root.clone(), NodeData::Element { name: s.vocab().intern("r") })])
+            .unwrap();
+        let v = VersionStore::new();
+        let snap = v.register_snapshot();
+        // txn 5 inserts an element, commits; txn 6 deletes it, commits.
+        let inserted = s.insert_element(&root, xtc_node::InsertPos::LastChild, "x").unwrap();
+        v.push_write(
+            5,
+            snap,
+            s.vocab(),
+            &UndoOp::Delete { root: xtc_splid::encode(&inserted) },
+        )
+        .unwrap();
+        v.commit(5, None);
+        let capture = vec![(
+            xtc_splid::encode(&inserted),
+            recovery::data_to_payload(s.vocab(), &s.get(&inserted).unwrap()),
+        )];
+        let w = v.register_snapshot();
+        v.push_write(6, w, s.vocab(), &UndoOp::Restore { nodes: capture }).unwrap();
+        s.delete_subtree(&inserted).unwrap();
+        v.commit(6, None);
+        v.release_snapshot(w);
+
+        // At the old snapshot the node never existed: the *oldest*
+        // invisible fact (the insert) wins over the delete's capture.
+        assert!(!v.exists_at(&s, &inserted, snap, 1));
+        assert!(!v.children_at(&s, &root, snap, 1).contains(&inserted));
+        v.release_snapshot(snap);
+    }
+
+    #[test]
+    fn occ_validation_flags_read_write_conflicts() {
+        let s = store();
+        let n = SplId::root();
+        let child = n.reserved_child(); // any child label works here
+        let v = VersionStore::new();
+        let snap = v.register_snapshot();
+        let w = v.register_snapshot();
+        v.push_write(9, w, s.vocab(), &content_undo(&child, "a")).unwrap();
+        v.commit(9, None);
+        v.release_snapshot(w);
+
+        let mut reads = HashSet::new();
+        reads.insert(ReadKey::Node(child.clone()));
+        assert_eq!(v.validate(1, snap, &reads), 1, "direct node read conflicts");
+
+        let mut tree = HashSet::new();
+        tree.insert(ReadKey::Tree(n.clone()));
+        assert_eq!(v.validate(1, snap, &tree), 1, "tree read covers the child");
+
+        // A later snapshot already includes the write: no conflict.
+        let snap2 = v.register_snapshot();
+        assert_eq!(v.validate(1, snap2, &reads), 0);
+        v.release_snapshot(snap);
+        v.release_snapshot(snap2);
+    }
+
+    #[test]
+    fn rebuild_prunes_to_the_committed_watermark() {
+        let s = store();
+        let n = SplId::root();
+        let v = VersionStore::new();
+        v.rebuild_committed(
+            s.vocab(),
+            &[(42, content_undo(&n, "x")), (17, content_undo(&n, "y"))],
+        );
+        let st = v.stats();
+        assert_eq!(st.rebuilt, 2);
+        assert_eq!(st.entries, 0, "no snapshots survive a crash: chains prune empty");
+        assert_eq!(st.clock, 42, "clock continues from the highest commit LSN");
+    }
+}

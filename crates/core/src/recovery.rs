@@ -242,6 +242,32 @@ pub fn replay_scoped(
         report.undo_applied += 1;
     }
 
+    // -- Version chains (versioned protocols only) ------------------------
+    // Rebuild the version store's committed history from the winners'
+    // undo records, stamped with their Commit record's LSN so the
+    // post-recovery version clock stays monotonic with the log. No
+    // snapshot survives a crash, so the rebuild immediately prunes to
+    // the committed watermark — the chains start empty but the clock
+    // (and stats) reflect the recovered history.
+    if let Some(versions) = db.versions() {
+        let mut commit_lsn: std::collections::HashMap<TxnId, Lsn> = std::collections::HashMap::new();
+        for rec in records {
+            if let RecordBody::Commit { txn } = &rec.body {
+                commit_lsn.insert(*txn, rec.lsn);
+            }
+        }
+        let mut committed: Vec<(Lsn, UndoOp)> = Vec::new();
+        for rec in records {
+            if let RecordBody::NodeUndo { txn, op } = &rec.body {
+                if let Some(lsn) = commit_lsn.get(txn) {
+                    committed.push((*lsn, op.clone()));
+                }
+            }
+        }
+        committed.sort_by_key(|(lsn, _)| *lsn);
+        versions.rebuild_committed(store.vocab(), &committed);
+    }
+
     Ok(report)
 }
 

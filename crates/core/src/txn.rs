@@ -24,8 +24,10 @@
 
 use crate::db::XtcDb;
 use crate::error::XtcError;
+use crate::mvcc::ReadKey;
 use crate::recovery;
 use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
 use std::sync::Arc;
 use xtc_lock::{EdgeKind, IsolationLevel, LockCtx, MetaOp, TxnHandle, TxnId};
 use xtc_node::{AttrPlan, InsertPos, NodeData};
@@ -59,6 +61,18 @@ pub struct Transaction<'db> {
     /// (started via [`XtcDb::try_begin`] with `max_in_flight` set);
     /// released exactly once on commit/abort.
     admitted: bool,
+    /// Snapshot stamp registered at begin when the protocol reads from
+    /// versions (taMVCC/taOCC); reads resolve against the version store
+    /// at this stamp and never touch the lock table. Released exactly
+    /// once in [`Transaction::release`] (commit, abort, and drop all
+    /// funnel there), which also unpins the GC watermark.
+    snapshot: Option<u64>,
+    /// Read set of an optimistic transaction (protocol validates at
+    /// commit); unused otherwise.
+    reads: RefCell<HashSet<ReadKey>>,
+    /// Whether commit must validate the read set
+    /// (`Protocol::validates_at_commit`).
+    validates: bool,
 }
 
 impl<'db> Transaction<'db> {
@@ -69,6 +83,8 @@ impl<'db> Transaction<'db> {
         lock_depth: u32,
         admitted: bool,
     ) -> Self {
+        let snapshot = db.versions().map(|v| v.register_snapshot());
+        let validates = db.protocol().validates_at_commit();
         Transaction {
             db,
             id: handle.id(),
@@ -80,7 +96,16 @@ impl<'db> Transaction<'db> {
             began: Cell::new(false),
             escalated: Cell::new(false),
             admitted,
+            snapshot,
+            reads: RefCell::new(HashSet::new()),
+            validates,
         }
+    }
+
+    /// The snapshot stamp this transaction reads at, when the protocol
+    /// is versioned (`None` for the pessimistic contestants).
+    pub fn snapshot(&self) -> Option<u64> {
+        self.snapshot
     }
 
     /// The transaction's id (also its age for victim selection).
@@ -194,6 +219,45 @@ impl<'db> Transaction<'db> {
         self.db.store()
     }
 
+    // ---- snapshot reads -------------------------------------------------
+
+    /// The version store and snapshot stamp, when this transaction reads
+    /// from versions. Every snapshot read goes through here: it performs
+    /// the same health checks as [`Transaction::acquire`] but touches no
+    /// locks — the zero-lock-wait guarantee of the versioned protocols.
+    fn snap(&self) -> Option<(&Arc<crate::VersionStore>, u64)> {
+        match (self.db.versions(), self.snapshot) {
+            (Some(v), Some(s)) => Some((v, s)),
+            _ => None,
+        }
+    }
+
+    fn snapshot_op(&self, stamp: u64) -> Result<(), XtcError> {
+        if self.finished.get() {
+            return Err(XtcError::Finished);
+        }
+        if self.store().stats().is_poisoned() {
+            if let Some(handle) = self.db.wal_handle() {
+                handle.wal.crash();
+                return Err(XtcError::Wal(WalError::Crashed));
+            }
+            return Err(XtcError::Poisoned);
+        }
+        self.check_deadline()?;
+        self.db
+            .obs()
+            .record_for(self.id, xtc_obs::EventKind::SnapshotRead { stamp });
+        Ok(())
+    }
+
+    /// Adds one read to the optimistic read set (no-op unless the
+    /// protocol validates at commit).
+    fn track_read(&self, key: ReadKey) {
+        if self.validates {
+            self.reads.borrow_mut().insert(key);
+        }
+    }
+
     // ---- reads ----------------------------------------------------------
 
     /// Direct jump via the ID index (`getElementById`).
@@ -202,6 +266,22 @@ impl<'db> Transaction<'db> {
     /// is share-locked — present or absent — so a repeated jump can
     /// neither lose nor gain a target (footnote 1's phantom protection).
     pub fn element_by_id(&self, id_value: &str) -> Result<Option<SplId>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            // Snapshot relaxation: the index is probed at its *latest*
+            // state and the hit is verified visible at the snapshot — an
+            // element whose id appeared after the snapshot is filtered
+            // out, but one removed after it is not found (no historic
+            // index; see DESIGN.md §17).
+            let found = self
+                .store()
+                .element_by_id(id_value)
+                .filter(|n| v.exists_at(self.store(), n, s, self.id));
+            if let Some(n) = &found {
+                self.track_read(ReadKey::Node(n.clone()));
+            }
+            return Ok(found);
+        }
         if self.isolation.locks_index_keys() {
             self.acquire(MetaOp::IndexKeyRead(id_value.as_bytes()))?;
         }
@@ -222,6 +302,19 @@ impl<'db> Transaction<'db> {
 
     /// All elements with a given name via the element index, jump-locked.
     pub fn elements_named(&self, name: &str) -> Result<Vec<SplId>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            let found: Vec<SplId> = self
+                .store()
+                .elements_named(name)
+                .into_iter()
+                .filter(|e| v.name_at(self.store(), e, s, self.id).as_deref() == Some(name))
+                .collect();
+            for e in &found {
+                self.track_read(ReadKey::Node(e.clone()));
+            }
+            return Ok(found);
+        }
         let found = self.store().elements_named(name);
         for e in &found {
             self.acquire(MetaOp::JumpRead(e))?;
@@ -233,6 +326,11 @@ impl<'db> Transaction<'db> {
     /// The document root element, if any.
     pub fn root(&self) -> Result<Option<SplId>, XtcError> {
         let root = SplId::root();
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Node(root.clone()));
+            return Ok(v.exists_at(self.store(), &root, s, self.id).then_some(root));
+        }
         if !self.store().exists(&root) {
             return Ok(None);
         }
@@ -243,6 +341,11 @@ impl<'db> Transaction<'db> {
 
     /// Reads a node's record.
     pub fn node(&self, n: &SplId) -> Result<Option<NodeData>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Node(n.clone()));
+            return Ok(v.data_at(self.store(), n, s, self.id));
+        }
         self.acquire(MetaOp::ReadNode(n))?;
         let data = self.store().get(n);
         self.end_operation();
@@ -251,6 +354,11 @@ impl<'db> Transaction<'db> {
 
     /// Element/attribute name of a node.
     pub fn name(&self, n: &SplId) -> Result<Option<String>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Node(n.clone()));
+            return Ok(v.name_at(self.store(), n, s, self.id));
+        }
         self.acquire(MetaOp::ReadNode(n))?;
         let name = self.store().name_of(n);
         self.end_operation();
@@ -260,6 +368,20 @@ impl<'db> Transaction<'db> {
     /// Concatenated text content of an element's direct text children
     /// (convenience over `children` + `text_content`).
     pub fn element_text(&self, elem: &SplId) -> Result<String, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Level(elem.clone()));
+            let mut out = String::new();
+            for c in v.children_at(self.store(), elem, s, self.id) {
+                if matches!(v.data_at(self.store(), &c, s, self.id), Some(NodeData::Text)) {
+                    self.track_read(ReadKey::Node(c.clone()));
+                    if let Some(t) = v.text_at(self.store(), &c, s, self.id) {
+                        out.push_str(&t);
+                    }
+                }
+            }
+            return Ok(out);
+        }
         self.acquire(MetaOp::ReadLevel(elem))?;
         let mut out = String::new();
         for c in self.store().children(elem) {
@@ -276,6 +398,11 @@ impl<'db> Transaction<'db> {
 
     /// Content of a text or attribute node.
     pub fn text_content(&self, n: &SplId) -> Result<Option<String>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Node(n.clone()));
+            return Ok(v.text_at(self.store(), n, s, self.id));
+        }
         self.acquire(MetaOp::ReadNode(n))?;
         let text = self.store().text_of(n);
         self.end_operation();
@@ -303,23 +430,64 @@ impl<'db> Transaction<'db> {
         Err(XtcError::Busy)
     }
 
+    /// Resolves a sibling-axis step against the version store: the
+    /// snapshot-visible child list of `parent`, offset from `n`.
+    fn snapshot_sibling(
+        &self,
+        n: &SplId,
+        next: bool,
+    ) -> Result<Option<SplId>, XtcError> {
+        let (v, s) = self.snap().expect("caller checked");
+        let Some(p) = n.parent() else { return Ok(None) };
+        self.track_read(ReadKey::Level(p.clone()));
+        let sibs = v.children_at(self.store(), &p, s, self.id);
+        let Some(i) = sibs.iter().position(|x| x == n) else {
+            return Ok(None);
+        };
+        Ok(if next {
+            sibs.get(i + 1).cloned()
+        } else if i > 0 {
+            sibs.get(i - 1).cloned()
+        } else {
+            None
+        })
+    }
+
     /// `getFirstChild`.
     pub fn first_child(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Level(n.clone()));
+            return Ok(v.children_at(self.store(), n, s, self.id).into_iter().next());
+        }
         self.navigate(n, EdgeKind::FirstChild, |s| s.first_child(n))
     }
 
     /// `getLastChild`.
     pub fn last_child(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Level(n.clone()));
+            return Ok(v.children_at(self.store(), n, s, self.id).pop());
+        }
         self.navigate(n, EdgeKind::LastChild, |s| s.last_child(n))
     }
 
     /// `getNextSibling`.
     pub fn next_sibling(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        if let Some((_, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            return self.snapshot_sibling(n, true);
+        }
         self.navigate(n, EdgeKind::NextSibling, |s| s.next_sibling(n))
     }
 
     /// `getPreviousSibling`.
     pub fn prev_sibling(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
+        if let Some((_, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            return self.snapshot_sibling(n, false);
+        }
         self.navigate(n, EdgeKind::PrevSibling, |s| s.prev_sibling(n))
     }
 
@@ -327,6 +495,11 @@ impl<'db> Transaction<'db> {
     pub fn parent(&self, n: &SplId) -> Result<Option<SplId>, XtcError> {
         match n.parent() {
             Some(p) => {
+                if let Some((v, s)) = self.snap() {
+                    self.snapshot_op(s)?;
+                    self.track_read(ReadKey::Node(p.clone()));
+                    return Ok(v.exists_at(self.store(), &p, s, self.id).then_some(p));
+                }
                 self.acquire(MetaOp::ReadNode(&p))?;
                 let exists = self.store().exists(&p);
                 self.end_operation();
@@ -339,6 +512,11 @@ impl<'db> Transaction<'db> {
     /// `getChildNodes` — one shared level lock under taDOM, a per-child
     /// fan-out elsewhere.
     pub fn children(&self, n: &SplId) -> Result<Vec<SplId>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Level(n.clone()));
+            return Ok(v.children_at(self.store(), n, s, self.id));
+        }
         self.acquire(MetaOp::ReadLevel(n))?;
         let kids = self.store().children(n);
         self.end_operation();
@@ -347,6 +525,20 @@ impl<'db> Transaction<'db> {
 
     /// Element children only (skips attribute roots and text nodes).
     pub fn element_children(&self, n: &SplId) -> Result<Vec<SplId>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Level(n.clone()));
+            return Ok(v
+                .children_at(self.store(), n, s, self.id)
+                .into_iter()
+                .filter(|c| {
+                    matches!(
+                        v.data_at(self.store(), c, s, self.id),
+                        Some(NodeData::Element { .. })
+                    )
+                })
+                .collect());
+        }
         self.acquire(MetaOp::ReadLevel(n))?;
         let kids = self.store().element_children(n);
         self.end_operation();
@@ -357,6 +549,22 @@ impl<'db> Transaction<'db> {
     /// optimization of §2.3).
     pub fn attributes(&self, elem: &SplId) -> Result<Vec<(SplId, String)>, XtcError> {
         let ar = elem.reserved_child();
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Node(elem.clone()));
+            self.track_read(ReadKey::Level(ar.clone()));
+            let mut out = Vec::new();
+            for a in v.children_at(self.store(), &ar, s, self.id) {
+                if matches!(
+                    v.data_at(self.store(), &a, s, self.id),
+                    Some(NodeData::Attribute { .. })
+                ) {
+                    let name = v.name_at(self.store(), &a, s, self.id).unwrap_or_default();
+                    out.push((a, name));
+                }
+            }
+            return Ok(out);
+        }
         self.acquire(MetaOp::ReadNode(elem))?;
         if self.store().exists(&ar) {
             self.acquire(MetaOp::ReadLevel(&ar))?;
@@ -374,6 +582,22 @@ impl<'db> Transaction<'db> {
     /// Value of a named attribute.
     pub fn attribute(&self, elem: &SplId, name: &str) -> Result<Option<String>, XtcError> {
         let ar = elem.reserved_child();
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Node(elem.clone()));
+            self.track_read(ReadKey::Level(ar.clone()));
+            for a in v.children_at(self.store(), &ar, s, self.id) {
+                if matches!(
+                    v.data_at(self.store(), &a, s, self.id),
+                    Some(NodeData::Attribute { .. })
+                ) && v.name_at(self.store(), &a, s, self.id).as_deref() == Some(name)
+                {
+                    self.track_read(ReadKey::Node(a.clone()));
+                    return Ok(v.text_at(self.store(), &a, s, self.id));
+                }
+            }
+            return Ok(None);
+        }
         self.acquire(MetaOp::ReadNode(elem))?;
         if self.store().exists(&ar) {
             self.acquire(MetaOp::ReadLevel(&ar))?;
@@ -386,6 +610,11 @@ impl<'db> Transaction<'db> {
     /// Reads a whole subtree (`getFragmentNodes`-style) under one tree
     /// lock.
     pub fn subtree(&self, n: &SplId) -> Result<Vec<(SplId, NodeData)>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Tree(n.clone()));
+            return Ok(v.subtree_at(self.store(), n, s, self.id));
+        }
         self.acquire(MetaOp::ReadTree(n))?;
         let nodes = self.store().subtree(n);
         self.end_operation();
@@ -393,8 +622,16 @@ impl<'db> Transaction<'db> {
     }
 
     /// Reads a subtree declaring the intent to update parts of it (tree
-    /// update lock — exercises the U modes).
+    /// update lock — exercises the U modes). Under a versioned protocol
+    /// this is a plain snapshot read: the update intent is discharged by
+    /// first-updater-wins checks (and, for taOCC, commit validation) on
+    /// the writes themselves.
     pub fn subtree_for_update(&self, n: &SplId) -> Result<Vec<(SplId, NodeData)>, XtcError> {
+        if let Some((v, s)) = self.snap() {
+            self.snapshot_op(s)?;
+            self.track_read(ReadKey::Tree(n.clone()));
+            return Ok(v.subtree_at(self.store(), n, s, self.id));
+        }
         self.acquire(MetaOp::UpdateTree(n))?;
         let nodes = self.store().subtree(n);
         self.end_operation();
@@ -427,6 +664,12 @@ impl<'db> Transaction<'db> {
         redo: impl FnOnce(&T) -> RedoOp,
     ) -> Result<T, XtcError> {
         self.check_deadline()?;
+        // Versioned protocols park the pre-image in the version store
+        // *before* mutating, so concurrent snapshot readers keep seeing
+        // the old state and first-updater-wins conflicts surface here.
+        if let (Some((v, s)), Some(op)) = (self.snap(), undo.as_ref()) {
+            v.push_write(self.id, s, self.store().vocab(), op)?;
+        }
         let Some(handle) = self.db.wal_handle() else {
             let value = mutate()?;
             if let Some(op) = undo {
@@ -776,6 +1019,23 @@ impl<'db> Transaction<'db> {
             }
             None => {}
         }
+        // Optimistic protocols validate the read set now, before any
+        // durable effect: a write committed since our snapshot that
+        // intersects anything we read means this transaction observed a
+        // state no serial order can explain — roll back (retryable).
+        if self.validates {
+            if let Some((v, s)) = self.snap() {
+                let conflicts = v.validate(self.id, s, &self.reads.borrow());
+                if conflicts > 0 {
+                    self.db
+                        .obs()
+                        .record_for(self.id, xtc_obs::EventKind::ValidationAbort { conflicts });
+                    self.abort_inner();
+                    return Err(XtcError::ValidationFailed);
+                }
+            }
+        }
+        let mut commit_lsn: Option<Lsn> = None;
         if let Some(handle) = self.db.wal_handle() {
             if self.began.get() {
                 // Chaos-test hook: kill the engine at the commit point,
@@ -801,6 +1061,7 @@ impl<'db> Transaction<'db> {
                         return Err(e.into());
                     }
                 };
+                commit_lsn = Some(lsn);
                 // Force the log *outside* the log mutex so concurrent
                 // committers can pile into the same flush window.
                 if let Err(e) = handle.wal.commit_sync(lsn) {
@@ -821,6 +1082,12 @@ impl<'db> Transaction<'db> {
                     .set_durable_lsn(handle.wal.durable_lsn());
                 handle.active.lock().remove(&self.id);
             }
+        }
+        // Publish this transaction's versions: pending entries become
+        // committed at the next version-clock tick (stamped with the
+        // commit LSN's identity for recovery alignment).
+        if let Some(v) = self.db.versions() {
+            v.commit(self.id, commit_lsn);
         }
         self.finished.set(true);
         self.undo.borrow_mut().clear();
@@ -880,11 +1147,21 @@ impl<'db> Transaction<'db> {
                 }
             }
         }
+        if let Some(v) = self.db.versions() {
+            v.abort(self.id);
+        }
         self.release();
         self.db.obs().txn_end(self.id, false);
     }
 
     fn release(&self) {
+        // Unpin the snapshot first so the version-store watermark can
+        // advance (and prune) the moment this transaction is done. This
+        // also covers the Drop path: a read-only snapshot transaction
+        // that is simply dropped must not pin version GC forever.
+        if let (Some(v), Some(s)) = (self.db.versions(), self.snapshot) {
+            v.release_snapshot(s);
+        }
         self.db.lock_table().release_all(self.id);
         self.db.registry().finish(self.id);
         if self.admitted {

@@ -155,3 +155,48 @@ fn concurrent_commits_aborts_and_drops_leak_nothing() {
         txn.commit().unwrap();
     }
 }
+
+/// The MVCC read path extends the drop contract: a read-only snapshot
+/// transaction that is dropped (no commit, no abort) must return its
+/// admission slot *and* its snapshot registration — a leaked snapshot
+/// pins the version-GC watermark forever — and must never have logged
+/// a WAL `Begin`, because `Begin` is lazy on the first write and
+/// snapshot reads don't write.
+#[test]
+fn dropped_snapshot_readers_release_slot_and_snapshot_and_log_nothing() {
+    use xtc_core::wal::{RecordBody, WalConfig};
+
+    let db = XtcDb::new(XtcConfig {
+        protocol: "taMVCC".into(),
+        lock_timeout: Duration::from_millis(200),
+        max_in_flight: Some(2),
+        admission: AdmissionPolicy::Reject,
+        wal: Some(WalConfig::default()),
+        ..XtcConfig::default()
+    });
+    db.load_xml("<doc><x id=\"n1\">v</x></doc>").unwrap();
+    let versions = db.versions().expect("taMVCC keeps a version store").clone();
+
+    for round in 0..50 {
+        let txn = db.try_begin().unwrap_or_else(|e| {
+            panic!("round {round}: admission slot leaked by a dropped reader: {e}")
+        });
+        let x = txn.element_by_id("n1").unwrap().unwrap();
+        assert_eq!(txn.element_text(&x).unwrap(), "v");
+        drop(txn);
+        assert_eq!(db.admitted_in_flight(), 0, "round {round}: slot not returned");
+        assert_eq!(
+            versions.stats().active_snapshots,
+            0,
+            "round {round}: dropped reader left its snapshot pinned"
+        );
+    }
+
+    let (records, _) = db.wal().unwrap().read_records().unwrap();
+    assert!(
+        records
+            .iter()
+            .all(|r| !matches!(r.body, RecordBody::Begin { .. })),
+        "read-only snapshot transactions must not log Begin"
+    );
+}

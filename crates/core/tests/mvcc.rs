@@ -1,0 +1,273 @@
+//! End-to-end contracts of the versioned contestants (taMVCC, taOCC):
+//! snapshot stability under concurrent committed writes, first-updater
+//! write-write conflicts, commit-time read validation (and its
+//! retryability through `run_retrying`), and recovery of the version
+//! store to the committed watermark.
+
+use std::sync::Arc;
+use std::time::Duration;
+use xtc_core::wal::WalConfig;
+use xtc_core::{recover_from, IsolationLevel, RetryPolicy, XtcConfig, XtcDb, XtcError};
+
+/// The text node under `elem` (its first child is the attribute root —
+/// every element here carries an `id`).
+fn text_child(txn: &xtc_core::Transaction<'_>, elem: &xtc_core::SplId) -> xtc_core::SplId {
+    txn.children(elem)
+        .unwrap()
+        .into_iter()
+        .find(|c| matches!(txn.node(c).unwrap(), Some(xtc_core::NodeData::Text)))
+        .expect("element has a text child")
+}
+
+fn versioned_db(protocol: &str, wal: bool) -> XtcDb {
+    let db = XtcDb::new(XtcConfig {
+        protocol: protocol.into(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: Duration::from_millis(500),
+        wal: wal.then(WalConfig::default),
+        ..XtcConfig::default()
+    });
+    db.load_xml(
+        "<doc><a id=\"n1\">one</a><b id=\"n2\">two</b><c id=\"n3\">three</c></doc>",
+    )
+    .unwrap();
+    db
+}
+
+/// A reader's snapshot is fixed at begin: writes committed afterwards
+/// are invisible to it, visible to transactions begun later, and the
+/// reader never waits on any lock to keep it that way.
+#[test]
+fn snapshot_reads_stay_stable_under_concurrent_committed_writes() {
+    let db = versioned_db("taMVCC", false);
+    let reader = db.begin();
+    let a = reader.element_by_id("n1").unwrap().unwrap();
+    assert_eq!(reader.element_text(&a).unwrap(), "one");
+
+    let writer = db.begin();
+    let wa = writer.element_by_id("n1").unwrap().unwrap();
+    let text = text_child(&writer, &wa);
+    writer.update_text(&text, "ONE'").unwrap();
+    writer.rename(&wa, "renamed").unwrap();
+    writer.commit().unwrap();
+
+    // The pinned reader still sees its snapshot — content and name.
+    assert_eq!(reader.element_text(&a).unwrap(), "one");
+    assert_eq!(reader.name(&a).unwrap(), Some("a".to_string()));
+
+    // A transaction begun after the commit sees the new world.
+    let late = db.begin();
+    let la = late.element_by_id("n1").unwrap().unwrap();
+    assert_eq!(late.element_text(&la).unwrap(), "ONE'");
+    assert_eq!(late.name(&la).unwrap(), Some("renamed".to_string()));
+    late.commit().unwrap();
+    reader.commit().unwrap();
+
+    // With no snapshot left pinned, GC prunes the chains.
+    let stats = db.versions().unwrap().stats();
+    assert_eq!(stats.active_snapshots, 0);
+    assert!(stats.pruned > 0, "watermark GC must reclaim dead versions");
+}
+
+/// Deleted subtrees stay navigable from an older snapshot: the version
+/// store resurrects the pre-images the delete captured.
+#[test]
+fn snapshot_survives_a_concurrent_subtree_delete() {
+    let db = versioned_db("taMVCC", false);
+    let reader = db.begin();
+    let b = reader.element_by_id("n2").unwrap().unwrap();
+
+    let deleter = db.begin();
+    let db_node = deleter.element_by_id("n2").unwrap().unwrap();
+    deleter.delete_subtree(&db_node).unwrap();
+    deleter.commit().unwrap();
+
+    // Gone for newcomers…
+    let late = db.begin();
+    assert_eq!(late.element_by_id("n2").unwrap(), None);
+    late.commit().unwrap();
+
+    // …still whole for the pinned snapshot.
+    assert_eq!(reader.name(&b).unwrap(), Some("b".to_string()));
+    assert_eq!(reader.element_text(&b).unwrap(), "two");
+    let root = reader.root().unwrap().unwrap();
+    assert_eq!(reader.element_children(&root).unwrap().len(), 3);
+    reader.commit().unwrap();
+}
+
+/// Write-write conflicts resolve first-updater-wins at write time, for
+/// both versioned protocols: once the first updater commits, a
+/// concurrent transaction whose snapshot predates that commit fails its
+/// own write to the same node with the retryable `ValidationFailed` —
+/// before touching the store. (While the first updater is still active
+/// its write *locks* hold the second off; the version check takes over
+/// the moment those locks are gone.)
+#[test]
+fn first_updater_wins_rejects_the_second_writer() {
+    for proto in ["taMVCC", "taOCC"] {
+        let db = versioned_db(proto, false);
+        let t1 = db.begin();
+        let t2 = db.begin();
+        let a1 = t1.element_by_id("n1").unwrap().unwrap();
+        let text1 = text_child(&t1, &a1);
+        t1.update_text(&text1, "first").unwrap();
+        t1.commit().unwrap();
+
+        // `t2` began before the commit: its snapshot cannot see "first",
+        // so overwriting it would lose an update — first updater wins.
+        let a2 = t2.element_by_id("n1").unwrap().unwrap();
+        assert_eq!(t2.element_text(&a2).unwrap(), "one", "{proto}: old snapshot");
+        let text2 = text_child(&t2, &a2);
+        let lost = t2.update_text(&text2, "second");
+        assert!(
+            matches!(lost, Err(XtcError::ValidationFailed)),
+            "{proto}: second updater must lose, got {lost:?}"
+        );
+        assert!(
+            XtcError::ValidationFailed.is_retryable(),
+            "losers must be retryable"
+        );
+        t2.abort();
+        let check = db.begin();
+        let a = check.element_by_id("n1").unwrap().unwrap();
+        assert_eq!(check.element_text(&a).unwrap(), "first");
+        check.commit().unwrap();
+    }
+}
+
+/// taOCC validates the read set at commit: a transaction that read a
+/// node someone else overwrote (commit stamp above its snapshot) aborts
+/// with `ValidationFailed`; under taMVCC the same history commits —
+/// plain snapshot isolation does not validate reads.
+#[test]
+fn occ_validates_reads_at_commit_where_mvcc_does_not() {
+    for (proto, expect_abort) in [("taOCC", true), ("taMVCC", false)] {
+        let db = versioned_db(proto, false);
+        let t = db.begin();
+        let a = t.element_by_id("n1").unwrap().unwrap();
+        assert_eq!(t.element_text(&a).unwrap(), "one");
+
+        // A concurrent writer overwrites what `t` read, and commits.
+        let w = db.begin();
+        let wa = w.element_by_id("n1").unwrap().unwrap();
+        let wt = text_child(&w, &wa);
+        w.update_text(&wt, "clobbered").unwrap();
+        w.commit().unwrap();
+
+        // `t` then writes somewhere disjoint and tries to commit.
+        let b = t.element_by_id("n2").unwrap().unwrap();
+        let bt = text_child(&t, &b);
+        t.update_text(&bt, "touched").unwrap();
+        let result = t.commit();
+        if expect_abort {
+            assert!(
+                matches!(result, Err(XtcError::ValidationFailed)),
+                "{proto}: stale read must fail validation, got {result:?}"
+            );
+            // The validation abort rolled the write back.
+            let check = db.begin();
+            let cb = check.element_by_id("n2").unwrap().unwrap();
+            assert_eq!(check.element_text(&cb).unwrap(), "two");
+            check.commit().unwrap();
+        } else {
+            assert!(result.is_ok(), "{proto}: snapshot isolation commits: {result:?}");
+        }
+    }
+}
+
+/// `run_retrying` absorbs validation aborts the way it absorbs deadlock
+/// victims: back off, take a fresh snapshot, try again.
+#[test]
+fn run_retrying_rides_out_validation_aborts() {
+    let db = Arc::new(versioned_db("taOCC", false));
+
+    // Provoke one real validation failure inside the retry loop: the
+    // first attempt reads n1, then a side writer clobbers n1 before the
+    // attempt commits. Later attempts see the new stamp and pass.
+    let mut attempt = 0;
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        ..RetryPolicy::default()
+    };
+    let side = db.clone();
+    let (result, stats) = db.run_retrying(&policy, |txn| {
+        attempt += 1;
+        let a = txn.element_by_id("n1").unwrap().unwrap();
+        let _ = txn.element_text(&a)?;
+        if attempt == 1 {
+            let w = side.begin();
+            let wa = w.element_by_id("n1").unwrap().unwrap();
+            let wt = text_child(&w, &wa);
+            w.update_text(&wt, "interference").unwrap();
+            w.commit().unwrap();
+        }
+        let b = txn.element_by_id("n3").unwrap().unwrap();
+        let bt = text_child(&txn, &b);
+        txn.update_text(&bt, "retried")?;
+        Ok(true)
+    });
+    assert_eq!(result.unwrap(), true);
+    assert!(attempt >= 2, "the first attempt must have failed validation");
+    assert!(stats.attempts >= 2);
+    let check = db.begin();
+    let c = check.element_by_id("n3").unwrap().unwrap();
+    assert_eq!(check.element_text(&c).unwrap(), "retried");
+    check.commit().unwrap();
+}
+
+/// Crash–recover: the version store of a recovered versioned engine
+/// reflects exactly the committed history — winners rebuild the version
+/// clock past zero, losers leave no trace, and new snapshots read the
+/// committed state.
+#[test]
+fn version_chains_recover_to_the_committed_watermark() {
+    let db = versioned_db("taMVCC", true);
+
+    let t = db.begin();
+    let a = t.element_by_id("n1").unwrap().unwrap();
+    let text = text_child(&t, &a);
+    t.update_text(&text, "durable").unwrap();
+    t.commit().unwrap();
+
+    // An in-flight loser: writes, never commits, dies with the crash.
+    let loser = db.begin();
+    let b = loser.element_by_id("n2").unwrap().unwrap();
+    let btext = text_child(&loser, &b);
+    loser.update_text(&btext, "lost").unwrap();
+
+    let wal = db.wal().unwrap().clone();
+    wal.sync_all().unwrap();
+    wal.crash();
+    drop(loser);
+    drop(db);
+
+    let (rec, report) = recover_from(
+        &wal,
+        XtcConfig {
+            protocol: "taMVCC".into(),
+            ..XtcConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(report.redo_applied > 0, "the committed update must redo");
+
+    let stats = rec.versions().expect("recovered engine is versioned").stats();
+    assert!(stats.rebuilt > 0, "committed winners rebuild the version clock");
+    assert!(stats.clock > 0, "the clock advances past the rebuilt history");
+    assert_eq!(stats.active_snapshots, 0);
+
+    let check = rec.begin();
+    let a = check.element_by_id("n1").unwrap().unwrap();
+    assert_eq!(check.element_text(&a).unwrap(), "durable");
+    let b = check.element_by_id("n2").unwrap().unwrap();
+    assert_eq!(check.element_text(&b).unwrap(), "two", "the loser rolled back");
+    check.commit().unwrap();
+
+    // The recovered engine keeps taking snapshots and committing.
+    let t2 = rec.begin();
+    let c = t2.element_by_id("n3").unwrap().unwrap();
+    let ct = text_child(&t2, &c);
+    t2.update_text(&ct, "after recovery").unwrap();
+    t2.commit().unwrap();
+}

@@ -212,6 +212,22 @@ pub trait Protocol: Send + Sync {
 
     /// Serves one meta-lock request, blocking as needed.
     fn acquire(&self, cx: &LockCtx<'_>, op: &MetaOp<'_>) -> Result<(), LockError>;
+
+    /// Whether read-type meta-locks are served from versioned snapshots
+    /// instead of the lock table. A versioned protocol's `acquire` is
+    /// only invoked for write-type requests; the transaction layer
+    /// resolves reads against a version store at the transaction's
+    /// snapshot and never blocks them.
+    fn versioned_reads(&self) -> bool {
+        false
+    }
+
+    /// Whether the protocol defers conflict detection to commit: the
+    /// transaction layer tracks a read set and validates it against
+    /// committed writes at commit time (optimistic concurrency control).
+    fn validates_at_commit(&self) -> bool {
+        false
+    }
 }
 
 /// Depth clamping (§2.2 footnote 2): "Lock depth n determines that, while

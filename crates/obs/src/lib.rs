@@ -461,6 +461,8 @@ mod tests {
             },
             EventKind::PoolGhostHit { page: 7 },
             EventKind::FilterNegative { key: 0xFEED },
+            EventKind::SnapshotRead { stamp: 12 },
+            EventKind::ValidationAbort { conflicts: 3 },
             EventKind::TxnEnd {
                 committed: true,
                 vt: VirtualTimes {

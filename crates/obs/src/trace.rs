@@ -178,6 +178,18 @@ pub enum EventKind {
         /// Stable hash of the probed key.
         key: u64,
     },
+    /// A versioned protocol served a read from its MVCC snapshot — no
+    /// lock was requested and no lock-wait time can accrue.
+    SnapshotRead {
+        /// The version-clock stamp the read resolved against.
+        stamp: u64,
+    },
+    /// Commit-time validation under an optimistic protocol found
+    /// conflicting committed writes and aborted the transaction.
+    ValidationAbort {
+        /// Read-set entries invalidated by concurrent committed writes.
+        conflicts: u64,
+    },
 }
 
 impl EventKind {
@@ -200,6 +212,8 @@ impl EventKind {
             EventKind::PageWriteback { .. } => "page_writeback",
             EventKind::PoolGhostHit { .. } => "pool_ghost_hit",
             EventKind::FilterNegative { .. } => "filter_negative",
+            EventKind::SnapshotRead { .. } => "snapshot_read",
+            EventKind::ValidationAbort { .. } => "validation_abort",
         }
     }
 
@@ -268,6 +282,8 @@ impl EventKind {
             }
             EventKind::PoolGhostHit { page } => format!("\"page\":{page}"),
             EventKind::FilterNegative { key } => format!("\"key\":{key}"),
+            EventKind::SnapshotRead { stamp } => format!("\"stamp\":{stamp}"),
+            EventKind::ValidationAbort { conflicts } => format!("\"conflicts\":{conflicts}"),
         }
     }
 }
@@ -290,6 +306,8 @@ const TAG_WAL_COMMIT: u8 = 12;
 const TAG_PAGE_WRITEBACK: u8 = 13;
 const TAG_POOL_GHOST_HIT: u8 = 14;
 const TAG_FILTER_NEGATIVE: u8 = 15;
+const TAG_SNAPSHOT_READ: u8 = 16;
+const TAG_VALIDATION_ABORT: u8 = 17;
 
 fn pack0(tag: u8, flags: u8, m1: u8, m2: u8) -> u64 {
     tag as u64 | (flags as u64) << 8 | (m1 as u64) << 16 | (m2 as u64) << 24
@@ -349,6 +367,10 @@ pub(crate) fn encode(txn: u64, kind: &EventKind) -> [u64; 6] {
         }
         EventKind::PoolGhostHit { page } => (pack0(TAG_POOL_GHOST_HIT, 0, 0, 0), page, 0, 0, 0),
         EventKind::FilterNegative { key } => (pack0(TAG_FILTER_NEGATIVE, 0, 0, 0), key, 0, 0, 0),
+        EventKind::SnapshotRead { stamp } => (pack0(TAG_SNAPSHOT_READ, 0, 0, 0), stamp, 0, 0, 0),
+        EventKind::ValidationAbort { conflicts } => {
+            (pack0(TAG_VALIDATION_ABORT, 0, 0, 0), conflicts, 0, 0, 0)
+        }
     };
     [w0, txn, a, b, c, d]
 }
@@ -412,6 +434,8 @@ pub(crate) fn decode(words: [u64; 6]) -> Option<(u64, EventKind)> {
         },
         TAG_POOL_GHOST_HIT => EventKind::PoolGhostHit { page: a },
         TAG_FILTER_NEGATIVE => EventKind::FilterNegative { key: a },
+        TAG_SNAPSHOT_READ => EventKind::SnapshotRead { stamp: a },
+        TAG_VALIDATION_ABORT => EventKind::ValidationAbort { conflicts: a },
         _ => return None,
     };
     Some((txn, kind))

@@ -10,6 +10,13 @@
 //! | MGL*   | `IRX`, `IRIX`, `URIX` |
 //! | taDOM* | `taDOM2`, `taDOM2+`, `taDOM3`, `taDOM3+` |
 //!
+//! Two post-paper contestants extend the field ([`MVCC_PROTOCOLS`],
+//! [`EXTENDED_PROTOCOLS`]): `taMVCC` serves reads from versioned
+//! snapshots (no read locks at all) while keeping taDOM3+ write
+//! mapping, and `taOCC` adds optimistic read-set validation at commit
+//! on top. Both answer the CLUSTER2 long-reader pathology, where every
+//! pessimistic protocol serializes writers behind a report reader.
+//!
 //! Each protocol is a set of mode families (generated from the region
 //! algebra of `xtc_lock::algebra`; the printed matrices of Figures 1–4
 //! are pinned by tests) plus mapping logic from [`MetaOp`]s to concrete
@@ -23,7 +30,9 @@
 mod edges;
 mod hier;
 mod mgl;
+mod mvcc;
 mod node2pla;
+mod optimistic;
 mod star2pl;
 mod tadom;
 
@@ -31,7 +40,9 @@ use std::sync::Arc;
 use xtc_lock::{ModeTable, Protocol};
 
 pub use hier::Hierarchical;
+pub use mvcc::TaMvcc;
 pub use node2pla::Node2PLa;
+pub use optimistic::TaOcc;
 pub use star2pl::{No2Pl, Node2Pl, Oo2Pl};
 
 /// Which of the paper's three groups a protocol belongs to (drives the
@@ -44,6 +55,8 @@ pub enum ProtocolGroup {
     Mgl,
     /// taDOM2, taDOM2+, taDOM3, taDOM3+.
     TaDom,
+    /// The post-paper versioned contestants: taMVCC, taOCC.
+    Versioned,
 }
 
 /// A protocol plus the mode-family tables its lock table needs.
@@ -62,6 +75,16 @@ pub const ALL_PROTOCOLS: [&str; 11] = [
     "taDOM3", "taDOM3+",
 ];
 
+/// The post-paper versioned contestants (entries #12 and #13).
+pub const MVCC_PROTOCOLS: [&str; 2] = ["taMVCC", "taOCC"];
+
+/// The extended field: the paper's eleven plus the two versioned
+/// contestants, in presentation order.
+pub const EXTENDED_PROTOCOLS: [&str; 13] = [
+    "Node2PL", "NO2PL", "OO2PL", "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+",
+    "taDOM3", "taDOM3+", "taMVCC", "taOCC",
+];
+
 /// Builds a protocol by its paper name. Returns `None` for unknown names.
 pub fn build(name: &str) -> Option<ProtocolHandle> {
     match name {
@@ -76,6 +99,8 @@ pub fn build(name: &str) -> Option<ProtocolHandle> {
         "taDOM2+" => Some(tadom::tadom2_plus()),
         "taDOM3" => Some(tadom::tadom3()),
         "taDOM3+" => Some(tadom::tadom3_plus()),
+        "taMVCC" => Some(mvcc::ta_mvcc()),
+        "taOCC" => Some(optimistic::ta_occ()),
         _ => None,
     }
 }
@@ -92,6 +117,32 @@ mod tests {
             assert!(!h.families.is_empty());
         }
         assert!(build("taDOM4").is_none());
+    }
+
+    #[test]
+    fn versioned_contestants_build_and_flag_their_semantics() {
+        for name in MVCC_PROTOCOLS {
+            let h = build(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(h.protocol.name(), name);
+            assert_eq!(h.group, ProtocolGroup::Versioned);
+            assert!(h.protocol.versioned_reads(), "{name} reads are versioned");
+            assert!(h.protocol.supports_lock_depth(), "{name} inherits depth");
+            // taMVCC writes are plain snapshot-isolated; taOCC validates.
+            assert_eq!(h.protocol.validates_at_commit(), name == "taOCC", "{name}");
+            // The write side is taDOM3+: same 20-node/3-edge families.
+            assert_eq!(h.families[0].len(), 20, "{name} node modes");
+            assert_eq!(h.families[1].len(), 3, "{name} edge modes");
+        }
+        // The paper's field keeps pessimistic semantics untouched.
+        for name in ALL_PROTOCOLS {
+            let h = build(name).unwrap();
+            assert!(!h.protocol.versioned_reads(), "{name}");
+            assert!(!h.protocol.validates_at_commit(), "{name}");
+        }
+        assert_eq!(EXTENDED_PROTOCOLS.len(), ALL_PROTOCOLS.len() + MVCC_PROTOCOLS.len());
+        for name in EXTENDED_PROTOCOLS {
+            assert!(build(name).is_some(), "{name}");
+        }
     }
 
     #[test]

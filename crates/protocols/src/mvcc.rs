@@ -1,0 +1,71 @@
+//! taMVCC: taDOM-flavored multi-version concurrency control.
+//!
+//! A twelfth contestant, outside the paper's original field: reads are
+//! served from versioned snapshots (the transaction layer resolves them
+//! against a version store at the transaction's begin stamp) and
+//! therefore acquire **no** locks at all — a long report reader can no
+//! longer serialize CLUSTER2 writers behind its SR/LR locks. Writes
+//! still go through the full taDOM3+ mapping, so writer/writer
+//! isolation keeps the strongest pessimistic behavior of the field
+//! while writer/reader conflicts vanish by construction (snapshot
+//! isolation with first-updater-wins, enforced by the version store).
+
+use crate::{tadom, ProtocolGroup, ProtocolHandle};
+use std::sync::Arc;
+use xtc_lock::{LockCtx, LockError, MetaOp, Protocol};
+
+/// Is this meta-lock request a read under snapshot semantics? Versioned
+/// protocols serve these from the version store without locks.
+/// `UpdateTree` counts as a read: the declared update intent is
+/// discharged by first-updater-wins checks on the writes themselves.
+pub(crate) fn is_snapshot_read(op: &MetaOp<'_>) -> bool {
+    matches!(
+        op,
+        MetaOp::ReadNode(_)
+            | MetaOp::Navigate { .. }
+            | MetaOp::ReadLevel(_)
+            | MetaOp::ReadTree(_)
+            | MetaOp::UpdateTree(_)
+            | MetaOp::JumpRead(_)
+            | MetaOp::IndexKeyRead(_)
+    )
+}
+
+/// The taMVCC protocol: snapshot reads, taDOM3+ writes.
+pub struct TaMvcc {
+    inner: Arc<dyn Protocol>,
+}
+
+impl Protocol for TaMvcc {
+    fn name(&self) -> &'static str {
+        "taMVCC"
+    }
+
+    fn supports_lock_depth(&self) -> bool {
+        self.inner.supports_lock_depth()
+    }
+
+    fn acquire(&self, cx: &LockCtx<'_>, op: &MetaOp<'_>) -> Result<(), LockError> {
+        if is_snapshot_read(op) {
+            return Ok(());
+        }
+        self.inner.acquire(cx, op)
+    }
+
+    fn versioned_reads(&self) -> bool {
+        true
+    }
+}
+
+/// Builds taMVCC: the taDOM3+ write mapping (and its mode families)
+/// behind a snapshot-read front.
+pub fn ta_mvcc() -> ProtocolHandle {
+    let base = tadom::tadom3_plus();
+    ProtocolHandle {
+        protocol: Arc::new(TaMvcc {
+            inner: base.protocol,
+        }),
+        families: base.families,
+        group: ProtocolGroup::Versioned,
+    }
+}

@@ -1,0 +1,59 @@
+//! taOCC: optimistic validate-at-commit on top of snapshot reads.
+//!
+//! The thirteenth contestant: like taMVCC, reads are lock-free snapshot
+//! reads, but the transaction layer additionally tracks a read set
+//! (node/level/tree keys) and validates it against writes committed
+//! since the snapshot at commit time. A conflict aborts the committer
+//! with a retryable [`xtc-core`] `ValidationFailed` error; the retry
+//! loop's seeded jittered backoff doubles as the contention manager.
+//! This buys serializable-style read validation without read locks —
+//! at the price of wasted work under write-heavy contention.
+
+use crate::mvcc::is_snapshot_read;
+use crate::{tadom, ProtocolGroup, ProtocolHandle};
+use std::sync::Arc;
+use xtc_lock::{LockCtx, LockError, MetaOp, Protocol};
+
+/// The taOCC protocol: snapshot reads + read-set validation at commit,
+/// taDOM3+ writes.
+pub struct TaOcc {
+    inner: Arc<dyn Protocol>,
+}
+
+impl Protocol for TaOcc {
+    fn name(&self) -> &'static str {
+        "taOCC"
+    }
+
+    fn supports_lock_depth(&self) -> bool {
+        self.inner.supports_lock_depth()
+    }
+
+    fn acquire(&self, cx: &LockCtx<'_>, op: &MetaOp<'_>) -> Result<(), LockError> {
+        if is_snapshot_read(op) {
+            return Ok(());
+        }
+        self.inner.acquire(cx, op)
+    }
+
+    fn versioned_reads(&self) -> bool {
+        true
+    }
+
+    fn validates_at_commit(&self) -> bool {
+        true
+    }
+}
+
+/// Builds taOCC: taDOM3+ writes behind a snapshot-read front, with
+/// commit-time read-set validation enabled.
+pub fn ta_occ() -> ProtocolHandle {
+    let base = tadom::tadom3_plus();
+    ProtocolHandle {
+        protocol: Arc::new(TaOcc {
+            inner: base.protocol,
+        }),
+        families: base.families,
+        group: ProtocolGroup::Versioned,
+    }
+}

@@ -37,6 +37,7 @@ pub(crate) fn run(stream: TcpStream, session_id: u64, shared: &Arc<Shared>) -> s
     let mut doc: Option<String> = None;
     let pacing = Pacing {
         wait_after_operation: Duration::ZERO,
+        ..Pacing::default()
     };
 
     let mut line = String::new();

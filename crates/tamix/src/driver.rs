@@ -3,7 +3,7 @@
 
 use crate::bib::{self, BibConfig};
 use crate::metrics::{RetryTotals, RunReport, TxnOutcome, TypeStats};
-use crate::txns::{run_txn, run_txn_body, Pacing, TxnKind};
+use crate::txns::{run_txn, run_txn_body, Pacing, PacingMode, TxnKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -82,6 +82,13 @@ pub struct TamixParams {
     /// Background-writeback cadence ([`XtcConfig::writeback_interval`])
     /// when [`run_cluster1`] builds the database itself.
     pub writeback_interval: Option<Duration>,
+    /// How the run's pauses (initial stagger, waitAfterOperation,
+    /// waitAfterCommit, checkpointer naps) are realized: charged to the
+    /// virtual clock only, or additionally slept on the wall clock.
+    /// [`TamixParams::cluster1`] opts into [`PacingMode::Wall`] — the
+    /// paper's client behavior, and what the figure-shape expectations
+    /// are calibrated against.
+    pub pacing: PacingMode,
 }
 
 impl TamixParams {
@@ -117,6 +124,7 @@ impl TamixParams {
             checkpoint_every: None,
             store: xtc_node::DocStoreConfig::default(),
             writeback_interval: None,
+            pacing: PacingMode::Wall,
         }
     }
 
@@ -182,11 +190,32 @@ pub fn run_cluster1_on(db: &Arc<XtcDb>, params: &TamixParams, bib_cfg: &BibConfi
     // by a chaos failpoint mid-run — the workload threads handle that).
     let checkpointer = params.checkpoint_every.filter(|_| db.wal().is_some()).map(|every| {
         let db = db.clone();
+        let mode = params.pacing;
         std::thread::spawn(move || {
             let mut taken = 0usize;
             while Instant::now() < deadline {
-                let nap = every.min(deadline.saturating_duration_since(Instant::now()));
-                std::thread::sleep(nap);
+                match mode {
+                    PacingMode::Wall => {
+                        // The nap is simulated idle time like any other
+                        // pause of the run: charge it to the virtual
+                        // clock, then sleep it.
+                        let nap = every.min(deadline.saturating_duration_since(Instant::now()));
+                        db.obs()
+                            .charge(xtc_obs::CostKind::Think, nap.as_micros() as u64);
+                        std::thread::sleep(nap);
+                    }
+                    PacingMode::Virtual => {
+                        // Pace checkpoints by the run's *virtual* clock:
+                        // wait until the workload threads have charged
+                        // another `every` worth of simulated time,
+                        // polling in small wall slices so an idle run
+                        // still honors the wall deadline.
+                        let target = db.obs().vt().total_us() + every.as_micros() as u64;
+                        while Instant::now() < deadline && db.obs().vt().total_us() < target {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
                 if Instant::now() >= deadline {
                     break;
                 }
@@ -279,6 +308,7 @@ fn slot_loop(
     });
     let pacing = Pacing {
         wait_after_operation: params.wait_after_operation,
+        mode: params.pacing,
     };
     if !params.initial_wait_max.is_zero() {
         let wait = params
@@ -287,7 +317,9 @@ fn slot_loop(
             .min(deadline.saturating_duration_since(Instant::now()));
         db.obs()
             .charge(xtc_obs::CostKind::Think, wait.as_micros() as u64);
-        std::thread::sleep(wait);
+        if params.pacing == PacingMode::Wall {
+            std::thread::sleep(wait);
+        }
     }
     while Instant::now() < deadline {
         let started = Instant::now();
@@ -312,7 +344,9 @@ fn slot_loop(
             .min(deadline.saturating_duration_since(Instant::now()));
         db.obs()
             .charge(xtc_obs::CostKind::Think, pause.as_micros() as u64);
-        std::thread::sleep(pause);
+        if params.pacing == PacingMode::Wall {
+            std::thread::sleep(pause);
+        }
     }
     (kind, stats, retries)
 }
@@ -374,9 +408,7 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
             TxnKind::DelBook,
             bib_cfg,
             &mut rng,
-            Pacing {
-                wait_after_operation: Duration::ZERO,
-            },
+            Pacing::default(),
         )
         .expect("single-user TAdelBook must commit");
         total += started.elapsed();
@@ -391,6 +423,191 @@ pub fn run_cluster2(protocol: &str, bib_cfg: &BibConfig, repetitions: u32) -> Cl
         lock_requests: total_requests / n as u64,
         page_reads: total_reads / n as u64,
         vt: total_vt.scaled_down(n as u64),
+    }
+}
+
+/// Parameters of the CLUSTER2 long-reader scenario: one report reader
+/// pinned on the whole document while writers compete.
+#[derive(Debug, Clone)]
+pub struct LongReaderParams {
+    /// Protocol under test.
+    pub protocol: String,
+    /// How long the writers run while the reader stays pinned.
+    pub duration: Duration,
+    /// Concurrent chapter-updating writers.
+    pub writers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Lock-wait timeout (kept short: a blocked pessimistic writer
+    /// should cycle through timeout-and-retry instead of stalling the
+    /// whole cell).
+    pub lock_timeout: Duration,
+    /// Document scale.
+    pub bib: BibConfig,
+}
+
+impl LongReaderParams {
+    /// A quick cell: a tiny bib, two writers, a short writer window.
+    pub fn quick(protocol: &str) -> Self {
+        LongReaderParams {
+            protocol: protocol.to_string(),
+            duration: Duration::from_millis(400),
+            writers: 2,
+            seed: 42,
+            lock_timeout: Duration::from_millis(50),
+            bib: BibConfig::tiny(),
+        }
+    }
+}
+
+/// Report of a long-reader run.
+#[derive(Debug, Clone)]
+pub struct LongReaderReport {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Writer transactions committed while the reader was pinned.
+    pub writer_commits: u64,
+    /// Writer aborts (after retries were exhausted).
+    pub writer_aborts: u64,
+    /// Nodes the reader visited on its full-document walk.
+    pub reader_reads: u64,
+    /// Virtual lock-wait microseconds charged to the reader. Zero under
+    /// a versioned protocol — snapshot reads never touch the lock table.
+    pub reader_lock_wait_us: u64,
+    /// Whether the value the reader sampled during its walk read the
+    /// same at the end, after all writer commits — repeatable-read
+    /// stability for the pessimistic field, snapshot stability for the
+    /// versioned one.
+    pub reader_consistent: bool,
+    /// Wall time of the writer window.
+    pub elapsed: Duration,
+    /// Virtual-time totals of the whole run.
+    pub vt: xtc_obs::VirtualTimes,
+}
+
+/// The CLUSTER2 long-reader scenario: a single report reader walks the
+/// *entire* document navigationally at isolation level repeatable and
+/// then stays pinned (transaction open) while `writers` chapter-update
+/// writers run for `duration`. Under every pessimistic protocol the
+/// reader's read locks serialize the writers behind it — their
+/// update-text steps time out and retry until the reader ends. Under
+/// the versioned contestants (taMVCC, taOCC) the reader holds no locks
+/// at all, so writers commit freely while the reader's snapshot stays
+/// stable.
+pub fn run_long_reader(params: &LongReaderParams) -> LongReaderReport {
+    use std::sync::mpsc;
+
+    let db = Arc::new(XtcDb::new(XtcConfig {
+        protocol: params.protocol.clone(),
+        isolation: IsolationLevel::Repeatable,
+        lock_depth: 4,
+        lock_timeout: params.lock_timeout,
+        ..XtcConfig::default()
+    }));
+    bib::generate_into(&db, &params.bib);
+    let vt_before = db.obs().vt();
+
+    let (walked_tx, walked_rx) = mpsc::channel::<()>();
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let reader_db = db.clone();
+    let reader = std::thread::spawn(move || {
+        let txn = reader_db.begin();
+        let mut visited = 0u64;
+        let mut sample: Option<(xtc_core::SplId, Option<String>)> = None;
+        // Full-document DFS over navigation edges — the report reader.
+        let mut stack: Vec<xtc_core::SplId> = txn.root().ok().flatten().into_iter().collect();
+        while let Some(n) = stack.pop() {
+            let Ok(data) = txn.node(&n) else { break };
+            visited += 1;
+            if sample.is_none() && matches!(data, Some(xtc_core::NodeData::Text)) {
+                sample = Some((n.clone(), txn.text_content(&n).ok().flatten()));
+            }
+            if matches!(
+                data,
+                Some(xtc_core::NodeData::Element { .. })
+                    | Some(xtc_core::NodeData::AttributeRoot)
+            ) {
+                let mut kids = Vec::new();
+                let mut c = txn.first_child(&n).ok().flatten();
+                while let Some(cur) = c {
+                    c = txn.next_sibling(&cur).ok().flatten();
+                    kids.push(cur);
+                }
+                stack.extend(kids.into_iter().rev());
+            }
+        }
+        let _ = walked_tx.send(());
+        // Stay pinned (transaction open, locks/snapshot held) until the
+        // writer window closes.
+        let _ = stop_rx.recv();
+        let consistent = match &sample {
+            Some((n, first)) => txn.text_content(n).ok().flatten() == *first,
+            None => true,
+        };
+        let lock_wait = reader_db
+            .obs()
+            .txn_vt(txn.id())
+            .map(|vt| vt.lock_wait_us)
+            .unwrap_or(0);
+        let _ = txn.commit();
+        (visited, lock_wait, consistent)
+    });
+    walked_rx.recv().expect("reader finished its walk");
+
+    let deadline = Instant::now() + params.duration;
+    let started = Instant::now();
+    let mut writer_handles = Vec::new();
+    for w in 0..params.writers {
+        let db = db.clone();
+        let cfg = params.bib.clone();
+        let seed = params.seed.wrapping_add(w as u64 * 6151);
+        writer_handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut commits = 0u64;
+            let mut aborts = 0u64;
+            while Instant::now() < deadline {
+                // The seeded jittered backoff of the retry loop is the
+                // contention manager for validation aborts (taOCC) and
+                // timeout aborts (the pessimistic field) alike.
+                let policy = RetryPolicy {
+                    max_attempts: 4,
+                    deadline: Some(deadline.saturating_duration_since(Instant::now())),
+                    seed,
+                    ..RetryPolicy::default()
+                };
+                let (res, _stats) = db.run_retrying(&policy, |txn| {
+                    run_txn_body(txn, TxnKind::Chapter, &cfg, &mut rng, Pacing::default())
+                });
+                match res {
+                    Ok(true) => commits += 1,
+                    Ok(false) => {}
+                    Err(_) => aborts += 1,
+                }
+            }
+            (commits, aborts)
+        }));
+    }
+    let mut writer_commits = 0u64;
+    let mut writer_aborts = 0u64;
+    for h in writer_handles {
+        let (c, a) = h.join().expect("writer thread panicked");
+        writer_commits += c;
+        writer_aborts += a;
+    }
+    let elapsed = started.elapsed();
+    let _ = stop_tx.send(());
+    let (reader_reads, reader_lock_wait_us, reader_consistent) =
+        reader.join().expect("reader thread panicked");
+
+    LongReaderReport {
+        protocol: params.protocol.clone(),
+        writer_commits,
+        writer_aborts,
+        reader_reads,
+        reader_lock_wait_us,
+        reader_consistent,
+        elapsed,
+        vt: db.obs().vt().saturating_sub(vt_before),
     }
 }
 
@@ -430,6 +647,40 @@ mod tests {
             "IDX subtree scan must cost extra page reads ({} vs {})",
             star.page_reads,
             tadom.page_reads
+        );
+    }
+
+    #[test]
+    fn long_reader_under_tamvcc_never_waits_and_writers_commit() {
+        let mut params = LongReaderParams::quick("taMVCC");
+        params.duration = Duration::from_millis(300);
+        let report = run_long_reader(&params);
+        assert!(report.reader_reads > 50, "reader walked the document");
+        assert_eq!(
+            report.reader_lock_wait_us, 0,
+            "snapshot reads never touch the lock table"
+        );
+        assert!(report.reader_consistent, "snapshot stays stable");
+        // The reader never blocks the writers; the only aborts possible
+        // are writer-vs-writer first-updater conflicts, which backoff
+        // resolves, so commits dominate.
+        assert!(
+            report.writer_commits > report.writer_aborts,
+            "writers commit freely while the reader stays pinned ({} commits, {} aborts)",
+            report.writer_commits,
+            report.writer_aborts
+        );
+    }
+
+    #[test]
+    fn long_reader_under_pessimistic_protocol_blocks_writers() {
+        let mut params = LongReaderParams::quick("taDOM3+");
+        params.duration = Duration::from_millis(300);
+        let report = run_long_reader(&params);
+        assert!(report.reader_consistent, "repeatable read holds");
+        assert_eq!(
+            report.writer_commits, 0,
+            "chapter updates time out behind the pinned reader's read locks"
         );
     }
 

@@ -29,7 +29,10 @@ pub mod txns;
 
 pub use bib::BibConfig;
 pub use chaos::{run_crash_recover_resume, ChaosParams, ChaosReport, Fate};
-pub use driver::{run_cluster1, run_cluster1_on, run_cluster2, Cluster2Report, TamixParams};
+pub use driver::{
+    run_cluster1, run_cluster1_on, run_cluster2, run_long_reader, Cluster2Report,
+    LongReaderParams, LongReaderReport, TamixParams,
+};
 pub use metrics::{PoolReport, RetryTotals, RunReport, TxnOutcome, TypeStats};
 pub use multi::{build_bib_catalog, doc_name, sample_kind, Zipf};
-pub use txns::TxnKind;
+pub use txns::{Pacing, PacingMode, TxnKind};

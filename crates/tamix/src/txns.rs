@@ -54,26 +54,46 @@ impl TxnKind {
     ];
 }
 
+/// How think-time pauses (waitAfterOperation, waitAfterCommit, initial
+/// stagger, checkpointer naps) are realized. The pauses survived the
+/// virtual-time migration as wall-clock sleeps; virtual pacing charges
+/// them to the simulated clock only, so runs finish at CPU speed while
+/// the virtual-time totals still reflect the paper's pacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacingMode {
+    /// Charge pauses to the virtual clock only — no wall-clock sleep.
+    #[default]
+    Virtual,
+    /// Charge the virtual clock *and* sleep the wall clock (the paper's
+    /// original client behavior; wall-clock durations stay meaningful).
+    Wall,
+}
+
 /// Per-operation think time inside a transaction (the paper's
 /// waitAfterOperation).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Pacing {
-    /// Sleep after each DOM operation.
+    /// Think time after each DOM operation.
     pub wait_after_operation: Duration,
+    /// Wall sleep vs. virtual-clock-only pacing.
+    pub mode: PacingMode,
 }
 
 impl Pacing {
-    /// Sleeps the configured think time and charges it to the
-    /// transaction's virtual clock, so simulated-time totals account for
-    /// pacing deterministically (the charge is the configured pause, not
-    /// the measured sleep).
+    /// Charges the configured think time to the transaction's virtual
+    /// clock (the charge is the configured pause, not a measured sleep,
+    /// so simulated-time totals are deterministic) and — in
+    /// [`PacingMode::Wall`] only — sleeps it.
     fn think(&self, txn: &Transaction<'_>) {
         if !self.wait_after_operation.is_zero() {
             txn.obs().charge(
                 xtc_obs::CostKind::Think,
                 self.wait_after_operation.as_micros() as u64,
             );
-            std::thread::sleep(self.wait_after_operation);
+            match self.mode {
+                PacingMode::Wall => std::thread::sleep(self.wait_after_operation),
+                PacingMode::Virtual => std::thread::yield_now(),
+            }
         }
     }
 }
@@ -324,10 +344,8 @@ mod tests {
 
     #[test]
     fn every_kind_commits_single_user_under_every_protocol() {
-        let pacing = Pacing {
-            wait_after_operation: Duration::ZERO,
-        };
-        for proto in xtc_protocols::ALL_PROTOCOLS {
+        let pacing = Pacing::default();
+        for proto in xtc_protocols::EXTENDED_PROTOCOLS {
             let (db, cfg) = db(proto);
             let mut rng = SmallRng::seed_from_u64(7);
             for kind in TxnKind::ALL {
@@ -346,9 +364,7 @@ mod tests {
     fn lend_and_return_changes_history() {
         let (db, cfg) = db("taDOM3+");
         let mut rng = SmallRng::seed_from_u64(3);
-        let pacing = Pacing {
-            wait_after_operation: Duration::ZERO,
-        };
+        let pacing = Pacing::default();
         for _ in 0..10 {
             run_txn(&db, TxnKind::LendAndReturn, &cfg, &mut rng, pacing).unwrap();
         }
@@ -365,9 +381,7 @@ mod tests {
     fn rename_topic_flips_names() {
         let (db, cfg) = db("taDOM3+");
         let mut rng = SmallRng::seed_from_u64(5);
-        let pacing = Pacing {
-            wait_after_operation: Duration::ZERO,
-        };
+        let pacing = Pacing::default();
         for _ in 0..8 {
             run_txn(&db, TxnKind::RenameTopic, &cfg, &mut rng, pacing).unwrap();
         }

@@ -16,7 +16,7 @@ use std::time::Duration;
 use xtc_core::wal::WalConfig;
 use xtc_core::{recover_from, AdmissionPolicy, IsolationLevel, XtcConfig, XtcDb, XtcError};
 use xtc_failpoint::FailAction;
-use xtc_protocols::ALL_PROTOCOLS;
+use xtc_protocols::EXTENDED_PROTOCOLS;
 use xtc_tamix::chaos::{document_digest, run_crash_recover_resume, ChaosParams};
 use xtc_tamix::{bib, BibConfig};
 
@@ -37,7 +37,10 @@ const KILL_SITES: [&str; 3] = ["wal.commit", "wal.fsync", "store.page_read_io"];
 fn chaos_matrix_over_all_protocols_and_fault_sites() {
     let _storm = STORM_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut mid_run_crashes = 0u32;
-    for proto in ALL_PROTOCOLS {
+    // The extended field: the versioned contestants recover through the
+    // same WAL path (their version chains rebuild from committed
+    // winners), so they face the same kill sites.
+    for proto in EXTENDED_PROTOCOLS {
         for (s, site) in KILL_SITES.iter().enumerate() {
             let seed = 0xC4A0_5EED ^ ((proto.len() as u64) << 8) ^ s as u64;
             let (tx, rx) = mpsc::channel();
@@ -64,7 +67,7 @@ fn chaos_matrix_over_all_protocols_and_fault_sites() {
             mid_run_crashes += u32::from(report.crashed_mid_run);
         }
     }
-    // Across 33 scenarios the kills must actually land mid-run (not only
+    // Across 39 scenarios the kills must actually land mid-run (not only
     // via the end-of-phase fallback crash), or this matrix exercises
     // nothing beyond plain recovery.
     assert!(

@@ -84,6 +84,7 @@ fn run_workload(protocol: &str, filters: bool, seed: u64) -> RunResult {
     bib::generate_into(&db, &BibConfig::tiny());
     let pacing = Pacing {
         wait_after_operation: Duration::ZERO,
+        ..Pacing::default()
     };
     let mut outcomes = Vec::with_capacity(TXNS);
     for i in 0..TXNS {

@@ -42,6 +42,7 @@ fn traced_run(protocol: &str) -> (Vec<Event>, xtc_obs::VirtualTimes) {
     bib::generate_into(&db, &BibConfig::tiny());
     let pacing = Pacing {
         wait_after_operation: Duration::ZERO,
+        ..Pacing::default()
     };
     for i in 0..TXNS {
         let kind = MIX[i % MIX.len()];
@@ -66,7 +67,9 @@ fn normalized(events: &[Event]) -> Vec<(u64, u64, EventKind)> {
 
 #[test]
 fn same_seed_same_trace() {
-    for proto in ["taDOM3+", "Node2PL"] {
+    // taMVCC covers the versioned read path: snapshot-read events and
+    // version-store interactions must replay bit-identically too.
+    for proto in ["taDOM3+", "Node2PL", "taMVCC"] {
         let (a, vt_a) = traced_run(proto);
         let (b, vt_b) = traced_run(proto);
         assert!(!a.is_empty(), "{proto}: the run must record events");
@@ -120,6 +123,7 @@ fn export_carries_timelines_and_histograms() {
     let mut rng = SmallRng::seed_from_u64(SEED);
     let pacing = Pacing {
         wait_after_operation: Duration::ZERO,
+        ..Pacing::default()
     };
     run_txn(&db, TxnKind::QueryBook, &BibConfig::tiny(), &mut rng, pacing).unwrap();
     let reads = db.store().stats().page_reads();

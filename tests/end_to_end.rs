@@ -107,9 +107,7 @@ fn concurrent_mixed_workload_keeps_invariants_for_each_group_representative() {
                         kind,
                         &cfg,
                         &mut rng,
-                        Pacing {
-                            wait_after_operation: Duration::ZERO,
-                        },
+                        Pacing::default(),
                     )
                     .is_ok()
                     {
